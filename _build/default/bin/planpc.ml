@@ -1,0 +1,205 @@
+(* planpc — the PLAN-P program checker and compiler driver.
+
+   Subcommands:
+     check  FILE     parse + type check
+     verify FILE     run the safety analyses (paper 2.1)
+     ast    FILE     dump the parsed program (pretty-printed PLAN-P)
+     bytecode FILE   dump the compiled bytecode
+     time   FILE     measure code-generation time per backend (Fig. 3)
+     prims           list registered primitives *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  content
+
+let or_die = function
+  | Ok value -> value
+  | Error message ->
+      prerr_endline ("planpc: " ^ message);
+      exit 1
+
+let checked_of_file path =
+  Planp_runtime.Prims.install ();
+  or_die (Extnet.check_source (read_file path))
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"PLAN-P source file")
+
+let check_cmd =
+  let run path =
+    let checked = checked_of_file path in
+    let chans = Planp.Ast.channels checked.Planp.Typecheck.program in
+    Printf.printf "%s: OK (%d lines, %d channel(s), protocol state %s)\n" path
+      (Planp.Ast.line_count (read_file path))
+      (List.length chans)
+      (Planp.Ptype.to_string checked.Planp.Typecheck.proto_type)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Parse and type check a PLAN-P program")
+    Term.(const run $ file_arg)
+
+let verify_cmd =
+  let run path =
+    let checked = checked_of_file path in
+    let report = Planp_analysis.Verifier.verify checked.Planp.Typecheck.program in
+    Format.printf "%a@." Planp_analysis.Verifier.pp report;
+    if not (Planp_analysis.Verifier.passes report) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Run the safety analyses: termination, delivery, duplication")
+    Term.(const run $ file_arg)
+
+let ast_cmd =
+  let run path =
+    let checked = checked_of_file path in
+    print_string (Planp.Pretty.program_to_string checked.Planp.Typecheck.program)
+  in
+  Cmd.v (Cmd.info "ast" ~doc:"Pretty-print the parsed program")
+    Term.(const run $ file_arg)
+
+let fold_cmd =
+  let run path =
+    let checked = checked_of_file path in
+    (* Evaluate the globals so folding can inline them, like the backends. *)
+    let world, _, _ = Planp_runtime.World.dummy () in
+    let globals =
+      List.fold_left
+        (fun globals decl ->
+          match decl with
+          | Planp.Ast.Dval ({ Planp.Ast.bind_name; bind_expr; _ }, _) ->
+              globals
+              @ [ (bind_name,
+                   Planp_runtime.Interp.eval_const ~world ~globals bind_expr) ]
+          | _ -> globals)
+        [] checked.Planp.Typecheck.program
+    in
+    let folded = Planp_jit.Fold.program checked ~globals in
+    print_string
+      (Planp.Pretty.program_to_string folded.Planp.Typecheck.program)
+  in
+  Cmd.v
+    (Cmd.info "fold"
+       ~doc:"Pretty-print the program after compile-time constant folding")
+    Term.(const run $ file_arg)
+
+let bytecode_cmd =
+  let run path =
+    let checked = checked_of_file path in
+    let compiled = Planp_jit.Bytecomp.compile_program checked ~globals:[] in
+    Array.iter
+      (fun func -> print_endline (Planp_jit.Bytecode.disassemble func))
+      compiled.Planp_jit.Bytecomp.unit_.Planp_jit.Bytecode.funcs
+  in
+  Cmd.v (Cmd.info "bytecode" ~doc:"Dump compiled bytecode")
+    Term.(const run $ file_arg)
+
+let time_cmd =
+  let run path =
+    let source = read_file path in
+    let checked = checked_of_file path in
+    Printf.printf "%-42s %d lines\n" path (Planp.Ast.line_count source);
+    List.iter
+      (fun backend ->
+        let ms =
+          Planp_jit.Backends.codegen_time_ms backend checked ~globals:[]
+            ~repeats:50
+        in
+        Printf.printf "  %-10s %8.3f ms\n"
+          backend.Planp_runtime.Backend.backend_name ms)
+      (Planp_jit.Backends.all ())
+  in
+  Cmd.v (Cmd.info "time" ~doc:"Measure code generation time (paper Fig. 3)")
+    Term.(const run $ file_arg)
+
+let simulate_cmd =
+  let run path packets backend_name =
+    let source = read_file path in
+    let backend =
+      match Planp_jit.Backends.by_name backend_name with
+      | Some backend -> backend
+      | None ->
+          prerr_endline ("planpc: unknown backend " ^ backend_name);
+          exit 1
+    in
+    (* A three-node line; the program runs on the router. *)
+    let topo = Extnet.Topology.create () in
+    let a = Extnet.Topology.add_host topo "alice" "10.0.0.1" in
+    let router = Extnet.Topology.add_host topo "router" "10.0.0.254" in
+    let b = Extnet.Topology.add_host topo "bob" "10.0.0.2" in
+    ignore (Extnet.Topology.connect topo a router);
+    ignore (Extnet.Topology.connect topo router b);
+    Extnet.Topology.compute_routes topo;
+    (match Extnet.verify_source source with
+    | Ok report ->
+        Format.printf "--- verification ---@.%a@.@." Extnet.Verifier.pp report
+    | Error message -> or_die (Error message));
+    (* Authenticated so that rejected-but-interesting programs still run. *)
+    let program =
+      or_die
+        (Extnet.load ~backend ~admission:Extnet.Authenticated router ~source ())
+    in
+    let tcp_seen = ref 0 and udp_seen = ref 0 in
+    Extnet.Node.on_tcp_default b (fun _ _ -> incr tcp_seen);
+    Extnet.Node.on_udp_default b (fun _ _ -> incr udp_seen);
+    for i = 1 to packets do
+      Extnet.Node.send_tcp a ~dst:(Extnet.Node.addr b) ~src_port:(3000 + i)
+        ~dst_port:(if i mod 4 = 0 then 8080 else 80)
+        (Extnet.Payload.of_string "payload");
+      Extnet.Node.send_udp a ~dst:(Extnet.Node.addr b) ~src_port:(4000 + i)
+        ~dst_port:(if i mod 3 = 0 then 7 else 53)
+        (Extnet.Payload.of_string "payload")
+    done;
+    Extnet.Topology.run topo;
+    (match Extnet.runtime_of router with
+    | Some rt ->
+        let stats = Extnet.Runtime.stats rt in
+        Printf.printf "--- router runtime (%s backend) ---\n" backend_name;
+        Printf.printf "packets treated by the program: %d\n"
+          stats.Extnet.Runtime.handled;
+        Printf.printf "fell through to standard IP:    %d\n"
+          stats.Extnet.Runtime.fallthrough;
+        Printf.printf "program errors:                 %d\n"
+          stats.Extnet.Runtime.errors;
+        List.iter
+          (fun (name, pkt_type, hits) ->
+            Printf.printf "  channel %s (%s): %d packet(s)\n" name pkt_type hits)
+          (Extnet.Runtime.channel_hits program);
+        let output = Extnet.Runtime.output rt in
+        if String.length output > 0 then
+          Printf.printf "--- program output ---\n%s\n" output
+    | None -> ());
+    Printf.printf "--- receiver (bob) ---\ntcp: %d   udp: %d (of %d each sent)\n"
+      !tcp_seen !udp_seen packets
+  in
+  let packets_arg =
+    Arg.(value & opt int 20 & info [ "packets"; "n" ] ~doc:"Packets of each kind to inject")
+  in
+  let backend_arg =
+    Arg.(value & opt string "jit" & info [ "backend" ] ~doc:"interp | jit | bytecode")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the program on a simulated router and inject test traffic")
+    Term.(const run $ file_arg $ packets_arg $ backend_arg)
+
+let prims_cmd =
+  let run () =
+    Planp_runtime.Prims.install ();
+    List.iter print_endline (Planp_runtime.Prim.names ())
+  in
+  Cmd.v (Cmd.info "prims" ~doc:"List registered primitives")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "planpc" ~version:"1.0"
+       ~doc:"PLAN-P checker, verifier and compiler driver")
+    [ check_cmd; verify_cmd; ast_cmd; fold_cmd; bytecode_cmd; time_cmd;
+      simulate_cmd; prims_cmd ]
+
+let () = exit (Cmd.eval main)

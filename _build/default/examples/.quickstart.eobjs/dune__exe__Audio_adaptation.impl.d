@@ -1,0 +1,1 @@
+examples/audio_adaptation.ml: Asp List Printf String

@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Asp Extnet Format Printf

@@ -1,0 +1,1 @@
+examples/http_cluster.ml: Asp Extnet Format Planp_jit Printf

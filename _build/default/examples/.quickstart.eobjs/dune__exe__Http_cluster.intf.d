@@ -1,0 +1,1 @@
+examples/http_cluster.mli:

@@ -1,0 +1,1 @@
+examples/image_distillation.ml: Asp Extnet Format Printf

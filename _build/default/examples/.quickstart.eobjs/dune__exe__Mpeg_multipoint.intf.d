@@ -1,0 +1,1 @@
+examples/mpeg_multipoint.mli:

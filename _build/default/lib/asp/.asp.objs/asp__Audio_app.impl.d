@@ -1,0 +1,1 @@
+lib/asp/audio_app.ml: Hashtbl List Netsim Option Planp_runtime

@@ -1,0 +1,1 @@
+lib/asp/audio_asp.ml: Audio_app Printf

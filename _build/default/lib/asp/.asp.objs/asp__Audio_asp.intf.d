@@ -1,0 +1,1 @@
+lib/asp/audio_asp.mli:

@@ -1,0 +1,1 @@
+lib/asp/audio_experiment.ml: Audio_app Audio_asp List Loadgen Netsim Planp_jit Planp_runtime

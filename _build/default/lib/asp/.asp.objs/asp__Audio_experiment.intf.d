@@ -1,0 +1,1 @@
+lib/asp/audio_experiment.mli: Audio_asp Planp_runtime

@@ -1,0 +1,1 @@
+lib/asp/http_app.ml: Hashtbl Int List Netsim Printf Queue Rng String

@@ -1,0 +1,1 @@
+lib/asp/http_app.mli: Netsim

@@ -1,0 +1,1 @@
+lib/asp/http_asp.ml: Hashtbl Netsim Printf

@@ -1,0 +1,1 @@
+lib/asp/http_asp.mli: Netsim

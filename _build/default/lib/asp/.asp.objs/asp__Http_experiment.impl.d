@@ -1,0 +1,1 @@
+lib/asp/http_experiment.ml: Fun Http_app Http_asp List Netsim Planp_runtime Printf

@@ -1,0 +1,1 @@
+lib/asp/http_experiment.mli: Http_asp Planp_runtime

@@ -1,0 +1,1 @@
+lib/asp/http_ft.ml: Array Hashtbl Http_app Http_asp Http_experiment Int List Netsim Planp_jit Planp_runtime Printf

@@ -1,0 +1,1 @@
+lib/asp/http_ft.mli: Netsim Planp_runtime

@@ -1,0 +1,1 @@
+lib/asp/image_asp.ml: Netsim Planp_jit Planp_runtime Printf

@@ -1,0 +1,1 @@
+lib/asp/image_asp.mli: Netsim Planp_runtime

@@ -1,0 +1,1 @@
+lib/asp/loadgen.ml: Float List Netsim

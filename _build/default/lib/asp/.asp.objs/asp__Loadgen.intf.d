@@ -1,0 +1,1 @@
+lib/asp/loadgen.mli: Netsim

@@ -1,0 +1,1 @@
+lib/asp/mpeg_app.ml: Array Char Netsim

@@ -1,0 +1,1 @@
+lib/asp/mpeg_asp.ml: Mpeg_app Printf

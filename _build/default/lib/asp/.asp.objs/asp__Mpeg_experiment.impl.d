@@ -1,0 +1,1 @@
+lib/asp/mpeg_experiment.ml: List Mpeg_app Mpeg_asp Netsim Planp_jit Planp_runtime Printf

@@ -1,0 +1,1 @@
+lib/asp/mpeg_experiment.mli: Planp_runtime

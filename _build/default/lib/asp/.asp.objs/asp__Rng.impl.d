@@ -1,0 +1,1 @@
+lib/asp/rng.ml: Array Float Int64

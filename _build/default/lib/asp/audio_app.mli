@@ -1,0 +1,65 @@
+(** The audio broadcasting application (paper §3.1): an unmodified
+    CD-quality broadcaster and a playback client.
+
+    The source multicasts {!Planp_runtime.Audio_frame} packets; the client
+    reconstructs a playback timeline and counts *silent periods* — maximal
+    runs of frames missing at their playback deadline — the metric of the
+    paper's Fig. 7. *)
+
+(** Default UDP port of the audio stream. *)
+val audio_port : int
+
+(** Default multicast group (224.5.5.5). *)
+val group : Netsim.Addr.t
+
+module Source : sig
+  type t
+
+  (** [start node ~until ()] broadcasts 20 ms 44.1 kHz stereo frames
+      (50 frames/s, 176.4 kB/s on the wire) to [group]:[audio_port]. *)
+  val start :
+    ?group:Netsim.Addr.t ->
+    ?port:int ->
+    ?frame_ms:float ->
+    Netsim.Node.t ->
+    until:float ->
+    unit ->
+    t
+
+  val frames_sent : t -> int
+end
+
+module Client : sig
+  type t
+
+  (** [attach node ()] joins the group and listens. Playback of frame [i]
+      is due [buffer_ms] after the stream start (default 150 ms — enough to
+      ride out a full drop-tail queue, so only losses cause silence); a
+      frame not yet received when due plays as silence. *)
+  val attach :
+    ?group:Netsim.Addr.t ->
+    ?port:int ->
+    ?frame_ms:float ->
+    ?buffer_ms:float ->
+    Netsim.Node.t ->
+    unit ->
+    t
+
+  val frames_received : t -> int
+
+  (** [quality_counts t] is [(stereo16, mono16, mono8)] frame counts. *)
+  val quality_counts : t -> int * int * int
+
+  (** [received_rate_series t ~period ~until] must be called right after
+      {!attach} (it arms a sampler): [(time, kB/s)] of audio arriving at the
+      client — the series of Fig. 6. *)
+  val received_rate_series :
+    t -> period:float -> until:float -> unit
+
+  val series_points : t -> (float * float) list
+
+  (** [silent_periods t ~frames_expected] — evaluated after the run:
+      the number of maximal runs of missed playback deadlines (Fig. 7) and
+      the total count of silent frames. *)
+  val silent_periods : t -> frames_expected:int -> int * int
+end

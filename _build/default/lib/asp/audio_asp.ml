@@ -1,0 +1,65 @@
+type policy = { mono16_above : int; mono8_above : int }
+
+let default_policy = { mono16_above = 950; mono8_above = 1150 }
+
+let router_program ?(policy = default_policy) ?(port = Audio_app.audio_port)
+    ~iface () =
+  Printf.sprintf
+    {|-- Audio bandwidth adaptation (router side).
+-- Degrades the audio stream when the outgoing segment saturates;
+-- measurement is local to the router, so adaptation is immediate.
+val audioPort : int = %d
+val mono16Above : int = %d
+val mono8Above : int = %d
+val outIface : int = %d
+
+fun targetQuality(load : int) : int =
+  if load > mono8Above then 2 else
+  if load > mono16Above then 1 else 0
+
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  let
+    val iph : ip = #1 p
+    val udph : udp = #2 p
+    val body : blob = #3 p
+  in
+    if udpDst(udph) = audioPort then
+      let
+        val q : int = targetQuality(linkLoad(outIface))
+      in
+        try
+          (OnRemote(network, (iph, udph, audioDegrade(body, q))); (q, ss))
+        handle BadAudio =>
+          -- Not an audio frame after all: forward untouched.
+          (OnRemote(network, p); (ps, ss))
+        end
+      end
+    else
+      (OnRemote(network, p); (ps, ss))
+  end
+|}
+    port policy.mono16_above policy.mono8_above iface
+
+let client_program ?(port = Audio_app.audio_port) () =
+  Printf.sprintf
+    {|-- Audio restoration (client side): re-expand degraded frames to the
+-- player's native 16-bit stereo format, so the player needs no change.
+val audioPort : int = %d
+
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is
+  let
+    val iph : ip = #1 p
+    val udph : udp = #2 p
+    val body : blob = #3 p
+  in
+    if udpDst(udph) = audioPort then
+      try
+        (deliver((iph, udph, audioRestore(body))); (ps, ss))
+      handle BadAudio =>
+        (deliver(p); (ps, ss))
+      end
+    else
+      (deliver(p); (ps, ss))
+  end
+|}
+    port

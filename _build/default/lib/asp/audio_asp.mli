@@ -1,0 +1,25 @@
+(** The audio-adaptation PLAN-P programs (paper §3.1).
+
+    Two programs, as in the paper: one for routers (monitor the outgoing
+    segment, degrade quality when it saturates), one for clients (restore
+    degraded frames to the player's native format). The router program is
+    generated with its thresholds and monitored interface baked in — the
+    paper's point that "ASPs can be easily modified to match a new network
+    topology" or to try another adaptation policy. *)
+
+(** An adaptation policy: the thresholds (in kB/s of observed segment load)
+    above which quality drops to 16-bit mono and to 8-bit mono. *)
+type policy = {
+  mono16_above : int;
+  mono8_above : int;
+}
+
+(** The default policy for a 10 Mb/s (1250 kB/s) segment. *)
+val default_policy : policy
+
+(** [router_program ~iface ()] is the PLAN-P source for a router whose
+    congested interface has index [iface]. *)
+val router_program : ?policy:policy -> ?port:int -> iface:int -> unit -> string
+
+(** [client_program ()] restores degraded audio and delivers everything. *)
+val client_program : ?port:int -> unit -> string

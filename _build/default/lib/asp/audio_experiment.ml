@@ -1,0 +1,139 @@
+module Topology = Netsim.Topology
+module Node = Netsim.Node
+module Runtime = Planp_runtime.Runtime
+module Audio_frame = Planp_runtime.Audio_frame
+
+type config = {
+  duration : float;
+  adapt : bool;
+  schedule : (float * float) list;
+  backend : Planp_runtime.Backend.t;
+  policy : Audio_asp.policy;
+  sample_period : float;
+}
+
+let fig6_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit) () =
+  {
+    duration = 500.0;
+    adapt;
+    (* Loads in kB/s on the 1250 kB/s segment; chosen so the equilibria
+       reproduce the paper's Fig. 6: heavy -> stable 8-bit mono, medium ->
+       oscillates between 8- and 16-bit mono, light -> stable 16-bit mono. *)
+    schedule = [ (0.0, 0.0); (100.0, 1150.0); (220.0, 1050.0); (340.0, 900.0) ];
+    backend;
+    policy = Audio_asp.default_policy;
+    sample_period = 2.0;
+  }
+
+let quick_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit) () =
+  {
+    duration = 50.0;
+    adapt;
+    schedule = [ (0.0, 0.0); (10.0, 1150.0); (22.0, 1050.0); (34.0, 900.0) ];
+    backend;
+    policy = Audio_asp.default_policy;
+    sample_period = 1.0;
+  }
+
+type result = {
+  series : (float * float) list;
+  frames_sent : int;
+  frames_received : int;
+  wire_quality_counts : int * int * int;
+  silent_periods : int;
+  silent_frames : int;
+  segment_drops : int;
+}
+
+(* Passive wire measurement on the client segment: count only frames of the
+   audio flow, decode their quality — how Fig. 6's "bandwidth used by the
+   audio traffic" was measured. *)
+type wire_monitor = {
+  wire_stat : Netsim.Flowstat.t;
+  mutable wq_stereo16 : int;
+  mutable wq_mono16 : int;
+  mutable wq_mono8 : int;
+}
+
+let attach_wire_monitor segment =
+  let mon =
+    { wire_stat = Netsim.Flowstat.create (); wq_stereo16 = 0; wq_mono16 = 0;
+      wq_mono8 = 0 }
+  in
+  Netsim.Segment.set_tap segment (fun ~at ~l2_dst:_ packet ->
+      match packet.Netsim.Packet.l4 with
+      | Netsim.Packet.Udp { Netsim.Packet.udp_dst; _ }
+        when udp_dst = Audio_app.audio_port -> (
+          Netsim.Flowstat.record mon.wire_stat ~now:at
+            (Netsim.Packet.wire_size packet);
+          match Audio_frame.decode packet.Netsim.Packet.body with
+          | Some frame -> (
+              match frame.Audio_frame.quality with
+              | Audio_frame.Stereo16 -> mon.wq_stereo16 <- mon.wq_stereo16 + 1
+              | Audio_frame.Mono16 -> mon.wq_mono16 <- mon.wq_mono16 + 1
+              | Audio_frame.Mono8 -> mon.wq_mono8 <- mon.wq_mono8 + 1)
+          | None -> ())
+      | Netsim.Packet.Udp _ | Netsim.Packet.Tcp _ | Netsim.Packet.Raw -> ());
+  mon
+
+let run config =
+  let topo = Topology.create () in
+  let server = Topology.add_host topo "audio-server" "10.1.0.1" in
+  let router = Topology.add_host topo "router" "10.1.0.254" in
+  let client = Topology.add_host topo "client" "10.2.0.10" in
+  let sink = Topology.add_host topo "load-sink" "10.2.0.99" in
+  let loadgen_node = Topology.add_host topo "load-generator" "10.2.0.98" in
+  ignore
+    (Topology.connect topo ~name:"backbone" ~bandwidth_bps:100e6
+       ~latency:0.0005 server router);
+  let segment =
+    Topology.segment topo ~name:"client-segment" ~bandwidth_bps:10e6
+      ~latency:0.0005 ()
+  in
+  let router_seg_iface = Topology.attach topo segment router in
+  ignore (Topology.attach topo segment client);
+  ignore (Topology.attach topo segment sink);
+  ignore (Topology.attach topo segment loadgen_node);
+  Topology.compute_routes topo;
+  let wire = attach_wire_monitor segment in
+  let wire_series =
+    Netsim.Flowstat.Series.attach (Topology.engine topo) wire.wire_stat
+      ~period:config.sample_period ~until:config.duration
+  in
+  (* The receiver must be a group member before the source starts. *)
+  let audio_client = Audio_app.Client.attach client () in
+  let source = Audio_app.Source.start server ~until:config.duration () in
+  ignore
+    (Loadgen.start loadgen_node ~dst:(Node.addr sink) ~schedule:config.schedule
+       ~until:config.duration ());
+  if config.adapt then begin
+    let router_rt = Runtime.attach router in
+    Runtime.install_exn router_rt ~backend:config.backend ~name:"audio-router"
+      ~source:
+        (Audio_asp.router_program ~policy:config.policy ~iface:router_seg_iface
+           ())
+      ()
+    |> ignore;
+    let client_rt = Runtime.attach client in
+    Runtime.install_exn client_rt ~backend:config.backend ~name:"audio-client"
+      ~source:(Audio_asp.client_program ()) ()
+    |> ignore
+  end;
+  (* Run slightly past the end so frames in flight at [duration] land. *)
+  Topology.run_until topo ~stop:(config.duration +. 0.5);
+  let frames_sent = Audio_app.Source.frames_sent source in
+  let silent_periods, silent_frames =
+    Audio_app.Client.silent_periods audio_client ~frames_expected:frames_sent
+  in
+  {
+    series =
+      List.map
+        (fun (time, bps) -> (time, bps /. 8.0 /. 1000.0))
+        (Netsim.Flowstat.Series.points wire_series);
+    frames_sent;
+    frames_received = Audio_app.Client.frames_received audio_client;
+    wire_quality_counts = (wire.wq_stereo16, wire.wq_mono16, wire.wq_mono8);
+    silent_periods;
+    silent_frames;
+    segment_drops = Netsim.Segment.drops segment;
+  }

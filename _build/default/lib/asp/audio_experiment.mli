@@ -1,0 +1,38 @@
+(** The audio broadcasting experiment end to end (paper §3.1, Fig. 5-7).
+
+    Topology (Fig. 5): audio server —100 Mb link→ router —10 Mb shared
+    segment→ {audio client, load generator sink}. The load generator sits
+    on the client's segment, so its traffic competes with the audio stream
+    there and the router observes the contention directly. *)
+
+type config = {
+  duration : float;  (** seconds of simulated time *)
+  adapt : bool;  (** install the adaptation ASPs *)
+  schedule : (float * float) list;  (** load steps: (time, kB/s) *)
+  backend : Planp_runtime.Backend.t;
+  policy : Audio_asp.policy;
+  sample_period : float;  (** Fig. 6 sampling *)
+}
+
+(** The paper's Fig. 6 scenario: no load until 100 s, heavy at 100 s,
+    medium at 220 s, light at 340 s, 500 s total. *)
+val fig6_config : ?adapt:bool -> ?backend:Planp_runtime.Backend.t -> unit -> config
+
+(** A shortened variant for tests and quick runs: same shape, 50 s. *)
+val quick_config : ?adapt:bool -> ?backend:Planp_runtime.Backend.t -> unit -> config
+
+type result = {
+  series : (float * float) list;
+      (** (time, kB/s) of audio traffic *on the wire* of the client segment
+          — the paper measures bandwidth before the client ASP restores
+          frames to full size *)
+  frames_sent : int;
+  frames_received : int;  (** frames the client application played *)
+  wire_quality_counts : int * int * int;
+      (** stereo16 / mono16 / mono8 frames observed on the wire *)
+  silent_periods : int;  (** Fig. 7 metric: maximal runs of missed frames *)
+  silent_frames : int;
+  segment_drops : int;
+}
+
+val run : config -> result

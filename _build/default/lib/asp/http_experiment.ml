@@ -1,0 +1,204 @@
+module Topology = Netsim.Topology
+module Node = Netsim.Node
+module Routing = Netsim.Routing
+module Runtime = Planp_runtime.Runtime
+
+type setup =
+  | Single
+  | Asp_gateway of Planp_runtime.Backend.t
+  | Native_gateway
+  | Disjoint
+
+let setup_name = function
+  | Single -> "single server"
+  | Asp_gateway backend ->
+      Printf.sprintf "ASP gateway (%s), 2 servers"
+        backend.Planp_runtime.Backend.backend_name
+  | Native_gateway -> "built-in gateway, 2 servers"
+  | Disjoint -> "2 servers, disjoint clients"
+
+(* ~21000 cycles on the paper's 170 MHz Ultra-1 — the kernel packet path
+   plus header rewrite and connection lookup. The JIT-compiled ASP matches
+   built-in C (the paper's central performance claim); interpretation pays
+   the factors measured by the `backends` microbenchmark. *)
+let gateway_cost_compiled = 125e-6
+
+let gateway_cost = function
+  | "interp" -> gateway_cost_compiled *. 10.0
+  | "bytecode" -> gateway_cost_compiled *. 2.0
+  | _ -> gateway_cost_compiled
+
+type config = {
+  duration : float;
+  warmup : float;
+  client_count : int;
+  trace_requests : int;
+  trace_files : int;
+  seed : int;
+  strategy : Http_asp.strategy;
+}
+
+let default_config =
+  {
+    duration = 30.0;
+    warmup = 5.0;
+    client_count = 8;
+    trace_requests = 80_000;
+    trace_files = 2_000;
+    seed = 42;
+    strategy = Http_asp.Modulo;
+  }
+
+type point = {
+  workers : int;
+  replies_per_s : float;
+  mean_response_ms : float;
+  p95_response_ms : float;
+  gateway_requests : int;
+  server_loads : int * int;
+}
+
+let vip_string = "10.3.0.100"
+let server0_string = "10.3.0.1"
+let server1_string = "10.3.0.2"
+
+(* Split [total] into [bins] near-equal parts. *)
+let split_workers total bins =
+  List.init bins (fun i -> (total / bins) + if i < total mod bins then 1 else 0)
+
+let run_point config setup ~workers =
+  let topo = Topology.create () in
+  let gateway = Topology.add_host topo "gateway" "10.3.0.254" in
+  let server0_node = Topology.add_host topo "server0" server0_string in
+  let server1_node = Topology.add_host topo "server1" server1_string in
+  let cluster =
+    Topology.segment topo ~name:"cluster" ~bandwidth_bps:100e6 ~latency:0.0002
+      ()
+  in
+  ignore (Topology.attach topo cluster gateway);
+  ignore (Topology.attach topo cluster server0_node);
+  ignore (Topology.attach topo cluster server1_node);
+  let clients =
+    List.init config.client_count (fun i ->
+        let client =
+          Topology.add_host topo
+            (Printf.sprintf "client%d" i)
+            (Printf.sprintf "10.4.%d.1" i)
+        in
+        ignore
+          (Topology.connect topo
+             ~name:(Printf.sprintf "access%d" i)
+             ~bandwidth_bps:10e6 ~latency:0.001 gateway client);
+        client)
+  in
+  Topology.compute_routes topo;
+  (* The virtual server address has no node: clients reach it through their
+     default route into the gateway. *)
+  let vip = Netsim.Addr.of_string vip_string in
+  List.iter
+    (fun client ->
+      Routing.set_default (Node.routing client)
+        (Some { Routing.ifindex = 0; next_hop = Some (Node.addr gateway) }))
+    clients;
+  let server0 = Http_app.Server.start server0_node () in
+  let server1 = Http_app.Server.start server1_node () in
+  (* Gateway flavour; returns a thunk reading how many requests it routed. *)
+  let read_gateway_requests =
+    match setup with
+    | Single | Disjoint -> fun () -> 0
+    | Native_gateway ->
+        Node.set_processing_cost gateway (gateway_cost "native");
+        let counter =
+          Http_asp.install_native_gateway gateway ~vip
+            ~servers:(Node.addr server0_node, Node.addr server1_node)
+            ()
+        in
+        fun () -> !counter
+    | Asp_gateway backend ->
+        Node.set_processing_cost gateway
+          (gateway_cost backend.Planp_runtime.Backend.backend_name);
+        let rt = Runtime.attach gateway in
+        let program =
+          Runtime.install_exn rt ~backend ~name:"http-gateway"
+            ~source:
+              (Http_asp.gateway_program ~strategy:config.strategy
+                 ~vip:vip_string
+                 ~servers:(server0_string, server1_string) ())
+            ()
+        in
+        fun () ->
+          (* The ASP counts routed requests in its protocol state. *)
+          (match Runtime.proto_state program with
+          | Planp_runtime.Value.Vint n -> n
+          | _ -> 0)
+  in
+  let trace =
+    Http_app.Trace.generate ~requests:config.trace_requests
+      ~files:config.trace_files ~seed:config.seed ()
+  in
+  let per_client = split_workers workers config.client_count in
+  let client_apps =
+    List.map2
+      (fun i (client, client_workers) ->
+        let target =
+          match setup with
+          | Single -> Node.addr server0_node
+          | Asp_gateway _ | Native_gateway -> vip
+          | Disjoint ->
+              if i < config.client_count / 2 then Node.addr server0_node
+              else Node.addr server1_node
+        in
+        if client_workers = 0 then None
+        else
+          Some
+            (Http_app.Client.start ~warmup:config.warmup client ~server:target
+               ~workers:client_workers ~trace ()))
+      (List.init config.client_count Fun.id)
+      (List.combine clients per_client)
+  in
+  Topology.run_until topo ~stop:config.duration;
+  let completed =
+    List.fold_left
+      (fun acc app ->
+        match app with
+        | Some app -> acc + Http_app.Client.completed app
+        | None -> acc)
+      0 client_apps
+  in
+  let response_sum, response_n =
+    List.fold_left
+      (fun (sum, n) app ->
+        match app with
+        | Some app when Http_app.Client.completed app > 0 ->
+            ( sum
+              +. Http_app.Client.mean_response_time app
+                 *. float_of_int (Http_app.Client.completed app),
+              n + Http_app.Client.completed app )
+        | Some _ | None -> (sum, n))
+      (0.0, 0) client_apps
+  in
+  let measured = config.duration -. config.warmup in
+  (* Aggregate the per-client response-time distributions. *)
+  let all_times = Netsim.Summary.create () in
+  List.iter
+    (fun app ->
+      match app with
+      | Some app ->
+          Netsim.Summary.merge ~into:all_times (Http_app.Client.response_times app)
+      | None -> ())
+    client_apps;
+  {
+    workers;
+    replies_per_s = float_of_int completed /. measured;
+    mean_response_ms =
+      (if response_n = 0 then 0.0
+       else response_sum /. float_of_int response_n *. 1000.0);
+    p95_response_ms = Netsim.Summary.percentile all_times 95.0 *. 1000.0;
+    gateway_requests = read_gateway_requests ();
+    server_loads =
+      ( Http_app.Server.requests_served server0,
+        Http_app.Server.requests_served server1 );
+  }
+
+let run_sweep config setup ~workers_list =
+  List.map (fun workers -> run_point config setup ~workers) workers_list

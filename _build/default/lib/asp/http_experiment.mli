@@ -1,0 +1,58 @@
+(** The clustered HTTP server experiment (§3.2, Fig. 8).
+
+    Topology: two Apache-like servers and a gateway on a 100 Mb/s cluster
+    segment; each client machine reaches the cluster through its own
+    10 Mb/s link into the gateway node (the paper's clients are on 10 Mb
+    Ethernet). Clients replay a synthetic 80 000-request trace in closed
+    loop; the x-axis of Fig. 8 is the number of concurrent client
+    processes, the y-axis completed replies per second.
+
+    The gateway's per-packet CPU cost models the contention point the
+    paper measures. Compiled code (the JIT-specialized ASP and the
+    built-in native gateway) costs [gateway_cost_compiled] per packet;
+    the interpreter and the bytecode VM are slower by the factors the
+    [backends] microbenchmark measures. *)
+
+type setup =
+  | Single  (** one server, no gateway (curve a) *)
+  | Asp_gateway of Planp_runtime.Backend.t
+      (** two servers behind the PLAN-P gateway (curve b) *)
+  | Native_gateway  (** two servers behind the built-in gateway (curve c) *)
+  | Disjoint
+      (** two servers, clients statically split, no gateway (curve d) *)
+
+val setup_name : setup -> string
+
+(** Per-packet gateway CPU cost for compiled code (seconds). *)
+val gateway_cost_compiled : float
+
+(** [gateway_cost backend_name] scales the compiled cost by the measured
+    interpretation overhead (interp ~10x, bytecode ~2x). *)
+val gateway_cost : string -> float
+
+type config = {
+  duration : float;
+  warmup : float;
+  client_count : int;
+  trace_requests : int;
+  trace_files : int;
+  seed : int;
+  strategy : Http_asp.strategy;  (** used by [Asp_gateway] setups *)
+}
+
+val default_config : config
+
+type point = {
+  workers : int;  (** total concurrent client processes *)
+  replies_per_s : float;
+  mean_response_ms : float;
+  p95_response_ms : float;
+  gateway_requests : int;  (** requests the gateway rewrote (0 without one) *)
+  server_loads : int * int;  (** requests served by each physical server *)
+}
+
+(** [run_point config setup ~workers] runs one (setup, load) cell. *)
+val run_point : config -> setup -> workers:int -> point
+
+(** [run_sweep config setup ~workers_list] maps {!run_point}. *)
+val run_sweep : config -> setup -> workers_list:int list -> point list

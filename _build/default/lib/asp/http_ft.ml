@@ -1,0 +1,220 @@
+module Topology = Netsim.Topology
+module Node = Netsim.Node
+module Engine = Netsim.Engine
+module Packet = Netsim.Packet
+module Payload = Netsim.Payload
+module Routing = Netsim.Routing
+module Runtime = Planp_runtime.Runtime
+
+module Monitor = struct
+  type server_state = {
+    addr : Netsim.Addr.t;
+    index : int;
+    mutable pending : int;  (* consecutive unanswered probes *)
+    mutable believed_up : bool;
+  }
+
+  type t = {
+    node : Node.t;
+    servers : server_state array;
+    period : float;
+    misses : int;
+    probe_port : int;
+    until : float;
+    mutable next_probe_port : int;
+    mutable flips : int;
+    outstanding : (int, server_state) Hashtbl.t;  (* probe port -> server *)
+  }
+
+  let signal t server up =
+    t.flips <- t.flips + 1;
+    server.believed_up <- up;
+    (* The health packet is consumed by this node's own gateway ASP. *)
+    Node.receive t.node ~ifindex:0 ~l2_dst:None
+      (Http_asp.health_packet ~gateway:(Node.addr t.node)
+         ~server_index:server.index ~up)
+
+  (* A probe is one tiny direct request; the response (any packet back on
+     the probe's port) clears the pending count. *)
+  let send_probe t server =
+    let port = t.next_probe_port in
+    t.next_probe_port <- t.next_probe_port + 1;
+    Hashtbl.replace t.outstanding port server;
+    server.pending <- server.pending + 1;
+    if server.pending >= t.misses && server.believed_up then
+      signal t server false;
+    let writer = Payload.Writer.create () in
+    Payload.Writer.u32 writer 1;
+    Node.send_tcp t.node ~dst:server.addr ~src_port:port ~dst_port:t.probe_port
+      (Payload.Writer.finish writer)
+
+  let on_probe_reply t _node (packet : Packet.t) =
+    match packet.Packet.l4 with
+    | Packet.Tcp { Packet.tcp_dst; _ } -> (
+        match Hashtbl.find_opt t.outstanding tcp_dst with
+        | Some server ->
+            Hashtbl.remove t.outstanding tcp_dst;
+            server.pending <- 0;
+            if not server.believed_up then signal t server true
+        | None -> ())
+    | Packet.Udp _ | Packet.Raw -> ()
+
+  let rec tick t () =
+    let now = Engine.now (Node.engine t.node) in
+    if now < t.until then begin
+      Array.iter (send_probe t) t.servers;
+      Engine.schedule_after (Node.engine t.node) ~delay:t.period (tick t)
+    end
+
+  let start ?(period = 0.5) ?(misses = 2) ?(probe_port = 80) node
+      ~servers:(server0, server1) ~until () =
+    let t =
+      {
+        node;
+        servers =
+          [| { addr = server0; index = 0; pending = 0; believed_up = true };
+             { addr = server1; index = 1; pending = 0; believed_up = true } |];
+        period;
+        misses;
+        probe_port;
+        until;
+        next_probe_port = 40000;
+        flips = 0;
+        outstanding = Hashtbl.create 16;
+      }
+    in
+    (* Probe replies come back to ports 40000+; catch them before any other
+       default handler claims them. *)
+    Node.on_tcp_default node (on_probe_reply t);
+    Engine.schedule_after (Node.engine node) ~delay:period (tick t);
+    t
+
+  let state t = (t.servers.(0).believed_up, t.servers.(1).believed_up)
+  let transitions t = t.flips
+end
+
+type config = {
+  failover : bool;
+  duration : float;
+  kill_at : float;
+  recover_at : float option;
+  workers : int;
+  backend : Planp_runtime.Backend.t;
+}
+
+let default_config ?(failover = true) () =
+  {
+    failover;
+    duration = 30.0;
+    kill_at = 10.0;
+    recover_at = None;
+    workers = 24;
+    backend = Planp_jit.Backends.jit;
+  }
+
+type result = {
+  before_kill_rate : float;
+  after_kill_rate : float;
+  monitor_transitions : int;
+  server_loads : int * int;
+  stalled_retries : int;
+}
+
+let vip_string = "10.3.0.100"
+let server0_string = "10.3.0.1"
+let server1_string = "10.3.0.2"
+
+let run config =
+  let topo = Topology.create () in
+  let gateway = Topology.add_host topo "gateway" "10.3.0.254" in
+  let server0_node = Topology.add_host topo "server0" server0_string in
+  let server1_node = Topology.add_host topo "server1" server1_string in
+  let cluster =
+    Topology.segment topo ~name:"cluster" ~bandwidth_bps:100e6 ~latency:0.0002 ()
+  in
+  ignore (Topology.attach topo cluster gateway);
+  ignore (Topology.attach topo cluster server0_node);
+  ignore (Topology.attach topo cluster server1_node);
+  let client_count = 8 in
+  let clients =
+    List.init client_count (fun i ->
+        let client =
+          Topology.add_host topo
+            (Printf.sprintf "client%d" i)
+            (Printf.sprintf "10.4.%d.1" i)
+        in
+        ignore
+          (Topology.connect topo
+             ~name:(Printf.sprintf "access%d" i)
+             ~bandwidth_bps:10e6 ~latency:0.001 gateway client);
+        client)
+  in
+  Topology.compute_routes topo;
+  let vip = Netsim.Addr.of_string vip_string in
+  List.iter
+    (fun client ->
+      Routing.set_default (Node.routing client)
+        (Some { Routing.ifindex = 0; next_hop = Some (Node.addr gateway) }))
+    clients;
+  let server0 = Http_app.Server.start server0_node () in
+  let server1 = Http_app.Server.start server1_node () in
+  Node.set_processing_cost gateway Http_experiment.gateway_cost_compiled;
+  let rt = Runtime.attach gateway in
+  let source =
+    if config.failover then
+      Http_asp.failover_gateway_program ~vip:vip_string
+        ~servers:(server0_string, server1_string) ()
+    else
+      Http_asp.gateway_program ~vip:vip_string
+        ~servers:(server0_string, server1_string) ()
+  in
+  ignore (Runtime.install_exn rt ~backend:config.backend ~name:"gateway" ~source ());
+  let monitor =
+    if config.failover then
+      Some
+        (Monitor.start gateway
+           ~servers:(Node.addr server0_node, Node.addr server1_node)
+           ~until:config.duration ())
+    else None
+  in
+  (* Fault injection. *)
+  let engine = Topology.engine topo in
+  Engine.schedule engine ~at:config.kill_at (fun () ->
+      Http_app.Server.set_down server0 true);
+  (match config.recover_at with
+  | Some at ->
+      Engine.schedule engine ~at (fun () -> Http_app.Server.set_down server0 false)
+  | None -> ());
+  (* Clients: measure the healthy phase and the degraded phase separately
+     by reading the completion counter at the kill time. *)
+  let trace =
+    Http_app.Trace.generate ~requests:80_000 ~files:2_000 ~seed:7 ()
+  in
+  let per_client = config.workers / client_count in
+  let apps =
+    List.map
+      (fun client ->
+        Http_app.Client.start ~warmup:2.0 ~retry_timeout:2.0 client ~server:vip
+          ~workers:(Int.max 1 per_client) ~trace ())
+      clients
+  in
+  let completed () =
+    List.fold_left (fun acc app -> acc + Http_app.Client.completed app) 0 apps
+  in
+  let at_kill = ref 0 in
+  Engine.schedule engine ~at:config.kill_at (fun () -> at_kill := completed ());
+  Topology.run_until topo ~stop:config.duration;
+  let total = completed () in
+  let healthy_window = config.kill_at -. 2.0 in
+  let degraded_window = config.duration -. config.kill_at in
+  {
+    before_kill_rate = float_of_int !at_kill /. healthy_window;
+    after_kill_rate = float_of_int (total - !at_kill) /. degraded_window;
+    monitor_transitions =
+      (match monitor with Some m -> Monitor.transitions m | None -> 0);
+    server_loads =
+      ( Http_app.Server.requests_served server0,
+        Http_app.Server.requests_served server1 );
+    stalled_retries =
+      List.fold_left (fun acc app -> acc + Http_app.Client.retries app) 0 apps;
+  }

@@ -1,0 +1,54 @@
+(** Fault tolerance for the HTTP cluster — the paper's §5 "enrich the HTTP
+    cluster server experiment with fault-tolerance capabilities", built on
+    {!Http_asp.failover_gateway_program}.
+
+    A health monitor runs on the gateway host: it probes both physical
+    servers with tiny direct HTTP requests; consecutive missed probes mark
+    a server down through the gateway ASP's [health] channel, and a
+    successful probe marks it back up. The experiment crashes a server
+    mid-run and compares throughput with and without the failover ASP. *)
+
+module Monitor : sig
+  type t
+
+  (** [start gateway_node ~servers ()] begins probing.
+
+      @param period probe interval, seconds (default 0.5)
+      @param misses consecutive losses before marking down (default 2) *)
+  val start :
+    ?period:float ->
+    ?misses:int ->
+    ?probe_port:int ->
+    Netsim.Node.t ->
+    servers:Netsim.Addr.t * Netsim.Addr.t ->
+    until:float ->
+    unit ->
+    t
+
+  (** [state t] is the current (server0 up, server1 up) belief. *)
+  val state : t -> bool * bool
+
+  (** [transitions t] — how many up/down flips were signalled. *)
+  val transitions : t -> int
+end
+
+type config = {
+  failover : bool;  (** failover ASP vs the plain gateway ASP *)
+  duration : float;
+  kill_at : float;  (** when server0 crashes *)
+  recover_at : float option;  (** when (if ever) server0 comes back *)
+  workers : int;
+  backend : Planp_runtime.Backend.t;
+}
+
+val default_config : ?failover:bool -> unit -> config
+
+type result = {
+  before_kill_rate : float;  (** replies/s in the healthy phase *)
+  after_kill_rate : float;  (** replies/s once the server is dead *)
+  monitor_transitions : int;
+  server_loads : int * int;
+  stalled_retries : int;  (** client-side request retries (stall signal) *)
+}
+
+val run : config -> result

@@ -1,0 +1,178 @@
+module Node = Netsim.Node
+module Engine = Netsim.Engine
+module Packet = Netsim.Packet
+module Payload = Netsim.Payload
+module Image = Planp_runtime.Image
+
+let image_port = 8898
+
+let router_program ?(port = image_port) ?(one_below = 100) ?(two_below = 20)
+    ~slow_iface () =
+  Printf.sprintf
+    {|-- Image distillation for a slow downstream link (paper 5).
+-- Image responses crossing the slow interface are distilled in the
+-- router: the thinner the pipe, the more aggressive the distillation.
+val imagePort : int = %d
+val slowIface : int = %d
+val oneBelow : int = %d
+val twoBelow : int = %d
+
+fun levels(capacity : int) : int =
+  if capacity < twoBelow then 2 else
+  if capacity < oneBelow then 1 else 0
+
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  let
+    val iph : ip = #1 p
+    val udph : udp = #2 p
+    val body : blob = #3 p
+  in
+    if udpSrc(udph) = imagePort andalso isImage(body) then
+      try
+        let
+          val n : int = levels(linkCapacity(slowIface))
+        in
+          (OnRemote(network, (iph, udph, imgDistill(body, n)));
+           (ps + n, ss))
+        end
+      handle BadImage =>
+        (OnRemote(network, p); (ps, ss))
+      end
+    else
+      (OnRemote(network, p); (ps, ss))
+  end
+|}
+    port slow_iface one_below two_below
+
+module Server = struct
+  type t = { node : Node.t; port : int; size : int; mutable served : int }
+
+  let on_request t node (packet : Packet.t) =
+    match packet.Packet.l4 with
+    | Packet.Udp { Packet.udp_src; _ }
+      when Payload.length packet.Packet.body >= 4 ->
+        let image_id = Payload.get_u32 packet.Packet.body 0 in
+        t.served <- t.served + 1;
+        let image = Image.synth ~width:t.size ~height:t.size ~seed:image_id in
+        Node.send_udp node ~dst:packet.Packet.src ~src_port:t.port
+          ~dst_port:udp_src (Image.encode image)
+    | Packet.Udp _ | Packet.Tcp _ | Packet.Raw -> ()
+
+  let start ?(port = image_port) ?(size = 64) node () =
+    let t = { node; port; size; served = 0 } in
+    Node.on_udp node ~port (on_request t);
+    t
+
+  let images_served t = t.served
+end
+
+module Client = struct
+  type t = {
+    node : Node.t;
+    server : Netsim.Addr.t;
+    port : int;
+    count : int;
+    size : int;
+    mutable next_id : int;
+    mutable requested_at : float;
+    mutable got : int;
+    mutable latency_sum : float;
+    mutable bytes_sum : int;
+    mutable fidelity_sum : float;
+  }
+
+  let request t =
+    let writer = Payload.Writer.create () in
+    Payload.Writer.u32 writer t.next_id;
+    t.requested_at <- Engine.now (Node.engine t.node);
+    Node.send_udp t.node ~dst:t.server ~src_port:(41000 + t.next_id)
+      ~dst_port:t.port
+      (Payload.Writer.finish writer)
+
+  let on_image t node (packet : Packet.t) =
+    ignore node;
+    match Image.decode packet.Packet.body with
+    | None -> ()
+    | Some image ->
+        let now = Engine.now (Node.engine t.node) in
+        t.got <- t.got + 1;
+        t.latency_sum <- t.latency_sum +. (now -. t.requested_at);
+        t.bytes_sum <- t.bytes_sum + Payload.length packet.Packet.body;
+        let original =
+          Image.synth ~width:t.size ~height:t.size ~seed:t.next_id
+        in
+        t.fidelity_sum <- t.fidelity_sum +. Image.rms_error original image;
+        t.next_id <- t.next_id + 1;
+        if t.next_id < t.count then request t
+
+  let start ?(port = image_port) node ~server ~count ~at () =
+    let t =
+      {
+        node;
+        server;
+        port;
+        count;
+        size = 64;
+        next_id = 0;
+        requested_at = 0.0;
+        got = 0;
+        latency_sum = 0.0;
+        bytes_sum = 0;
+        fidelity_sum = 0.0;
+      }
+    in
+    Node.on_udp_default node (on_image t);
+    Engine.schedule (Node.engine node) ~at (fun () -> request t);
+    t
+
+  let received t = t.got
+
+  let mean_latency t =
+    if t.got = 0 then 0.0 else t.latency_sum /. float_of_int t.got
+
+  let mean_bytes t =
+    if t.got = 0 then 0.0 else float_of_int t.bytes_sum /. float_of_int t.got
+
+  let mean_fidelity_error t =
+    if t.got = 0 then 0.0 else t.fidelity_sum /. float_of_int t.got
+end
+
+type result = {
+  latency_s : float;
+  bytes_per_image : float;
+  fidelity_rms : float;
+  images : int;
+}
+
+let run_experiment ?(link_bps = 128e3) ?(count = 20)
+    ?(backend = Planp_jit.Backends.jit) ~distill () =
+  let topo = Netsim.Topology.create () in
+  let server_node = Netsim.Topology.add_host topo "image-server" "10.8.0.1" in
+  let router = Netsim.Topology.add_host topo "router" "10.8.0.254" in
+  let client_node = Netsim.Topology.add_host topo "mobile-client" "10.9.0.1" in
+  ignore
+    (Netsim.Topology.connect topo ~name:"backbone" ~bandwidth_bps:100e6
+       ~latency:0.001 server_node router);
+  ignore
+    (Netsim.Topology.connect topo ~name:"modem" ~bandwidth_bps:link_bps
+       ~latency:0.02 router client_node);
+  Netsim.Topology.compute_routes topo;
+  let server = Server.start server_node () in
+  let client =
+    Client.start client_node ~server:(Node.addr server_node) ~count ~at:0.1 ()
+  in
+  if distill then begin
+    let rt = Planp_runtime.Runtime.attach router in
+    (* The modem is the router's second interface (index 1). *)
+    ignore
+      (Planp_runtime.Runtime.install_exn rt ~backend ~name:"image-distiller"
+         ~source:(router_program ~slow_iface:1 ()) ())
+  end;
+  Netsim.Topology.run_until topo ~stop:(float_of_int count *. 2.0);
+  ignore (Server.images_served server);
+  {
+    latency_s = Client.mean_latency client;
+    bytes_per_image = Client.mean_bytes client;
+    fidelity_rms = Client.mean_fidelity_error client;
+    images = Client.received client;
+  }

@@ -1,0 +1,74 @@
+(** Image distillation over low-bandwidth links — the paper's §5 medium-term
+    goal ("adaptation of data traffic such as images ... over low bandwidth
+    networks. One possible solution is the integration of image
+    distillation support into PLAN-P").
+
+    The router ASP watches image responses (UDP from the image server's
+    port) about to cross a slow interface and distills them — halving
+    resolution and depth per level — proportionally to the interface's
+    capacity. The client receives a smaller, lower-fidelity image sooner;
+    neither the server nor the client changes. *)
+
+(** Default UDP port the image server answers from. *)
+val image_port : int
+
+(** [router_program ~slow_iface ()] generates the distilling router ASP.
+    Levels by capacity of [slow_iface]: below [two_below] kB/s distill
+    twice, below [one_below] once, otherwise pass through. Defaults
+    (20/100 kB/s) suit modem-to-LAN gateways. *)
+val router_program :
+  ?port:int -> ?one_below:int -> ?two_below:int -> slow_iface:int -> unit -> string
+
+module Server : sig
+  type t
+
+  (** [start node ()] answers requests (u32 image id) on {!image_port} with
+      a synthesized 8-bit image of [size]×[size] pixels (default 64). *)
+  val start : ?port:int -> ?size:int -> Netsim.Node.t -> unit -> t
+
+  val images_served : t -> int
+end
+
+module Client : sig
+  type t
+
+  (** [start node ~server ~count ()] requests [count] images sequentially
+      (the next request goes out when the previous image arrives). *)
+  val start :
+    ?port:int ->
+    Netsim.Node.t ->
+    server:Netsim.Addr.t ->
+    count:int ->
+    at:float ->
+    unit ->
+    t
+
+  val received : t -> int
+
+  (** [mean_latency t] — request-to-image seconds over received images. *)
+  val mean_latency : t -> float
+
+  (** [mean_bytes t] — average image size as received. *)
+  val mean_bytes : t -> float
+
+  (** [mean_fidelity_error t] — average RMS error versus the full-quality
+      original (0 when undistilled). *)
+  val mean_fidelity_error : t -> float
+end
+
+type result = {
+  latency_s : float;
+  bytes_per_image : float;
+  fidelity_rms : float;
+  images : int;
+}
+
+(** [run_experiment ~distill ()] fetches images across a slow access link
+    (default 128 kb/s) with or without the distilling ASP on the router. *)
+val run_experiment :
+  ?link_bps:float ->
+  ?count:int ->
+  ?backend:Planp_runtime.Backend.t ->
+  distill:bool ->
+  unit ->
+  result

@@ -1,0 +1,28 @@
+(** Cross-traffic generator — the "load generator" of the paper's Fig. 5.
+
+    Sends UDP packets at a piecewise-constant byte rate following a
+    schedule, so benches can reproduce the stepped loads of Fig. 6 (no
+    load, then heavy at 100 s, medium at 220 s, light at 340 s). *)
+
+type t
+
+(** [start node ~dst ~schedule ~until ()] begins generating.
+
+    @param schedule [(start_time, kbytes_per_second)] steps, sorted by time;
+      rate 0 pauses the generator
+    @param packet_size payload bytes per packet (default 1024)
+    @param port destination UDP port (default 9) *)
+val start :
+  ?packet_size:int ->
+  ?port:int ->
+  Netsim.Node.t ->
+  dst:Netsim.Addr.t ->
+  schedule:(float * float) list ->
+  until:float ->
+  unit ->
+  t
+
+(** [packets_sent t] — generated so far. *)
+val packets_sent : t -> int
+
+val bytes_sent : t -> int

@@ -1,0 +1,236 @@
+module Node = Netsim.Node
+module Engine = Netsim.Engine
+module Packet = Netsim.Packet
+module Payload = Netsim.Payload
+
+let control_port = 554
+let query_port = 5999
+
+type frame_kind = I_frame | P_frame | B_frame
+
+let frame_size = function I_frame -> 12000 | P_frame -> 4000 | B_frame -> 1500
+
+let gop_pattern =
+  [| I_frame; B_frame; B_frame; P_frame; B_frame; B_frame; P_frame; B_frame;
+     B_frame |]
+
+let frames_per_second = 24.0
+
+type setup = { file_id : int; total_frames : int }
+
+let encode_setup setup =
+  let writer = Payload.Writer.create () in
+  Payload.Writer.string writer "MPEGSETUP";
+  Payload.Writer.u32 writer setup.file_id;
+  Payload.Writer.u32 writer setup.total_frames;
+  Payload.Writer.finish writer
+
+let decode_setup payload =
+  if Payload.length payload <> 17 then None
+  else if Payload.to_string (Payload.sub payload ~pos:0 ~len:9) <> "MPEGSETUP"
+  then None
+  else
+    Some
+      {
+        file_id = Payload.get_u32 payload 9;
+        total_frames = Payload.get_u32 payload 13;
+      }
+
+(* Video frame payload: u32 file, u32 frame index, u8 kind, data. *)
+let encode_frame ~file ~index kind =
+  let writer = Payload.Writer.create () in
+  Payload.Writer.u32 writer file;
+  Payload.Writer.u32 writer index;
+  Payload.Writer.u8 writer
+    (match kind with I_frame -> 0 | P_frame -> 1 | B_frame -> 2);
+  Payload.Writer.raw writer (Payload.fill (frame_size kind - 9) 0x3C);
+  Payload.Writer.finish writer
+
+module Server = struct
+  type t = {
+    node : Node.t;
+    port : int;
+    movie_frames : int;
+    mutable opened : int;
+    mutable sent : int;
+  }
+
+  let rec stream t ~dst ~dst_port ~file ~index =
+    if index < t.movie_frames then begin
+      let kind = gop_pattern.(index mod Array.length gop_pattern) in
+      Node.send_udp t.node ~dst ~src_port:t.port ~dst_port
+        (encode_frame ~file ~index kind);
+      t.sent <- t.sent + 1;
+      Engine.schedule_after (Node.engine t.node)
+        ~delay:(1.0 /. frames_per_second) (fun () ->
+          stream t ~dst ~dst_port ~file ~index:(index + 1))
+    end
+    else begin
+      (* Stream over: TEARDOWN control packet ('T', file, port), so
+         connection monitors can forget the entry. *)
+      let writer = Payload.Writer.create () in
+      Payload.Writer.u8 writer (Char.code 'T');
+      Payload.Writer.u32 writer file;
+      Payload.Writer.u32 writer dst_port;
+      Node.send_tcp t.node ~dst ~src_port:t.port ~dst_port:(20000 + dst_port)
+        (Payload.Writer.finish writer)
+    end
+
+  let on_control t node (packet : Packet.t) =
+    let body = packet.Packet.body in
+    match packet.Packet.l4 with
+    | Packet.Tcp { Packet.tcp_src; _ }
+      when Payload.length body = 9 && Payload.get_u8 body 0 = Char.code 'P' ->
+        let file = Payload.get_u32 body 1 in
+        let video_port = Payload.get_u32 body 5 in
+        t.opened <- t.opened + 1;
+        (* SETUP reply: 'S', file id, setup blob. *)
+        let writer = Payload.Writer.create () in
+        Payload.Writer.u8 writer (Char.code 'S');
+        Payload.Writer.u32 writer file;
+        Payload.Writer.raw writer
+          (encode_setup { file_id = file; total_frames = t.movie_frames });
+        Node.send_tcp node ~dst:packet.Packet.src ~src_port:t.port
+          ~dst_port:tcp_src
+          (Payload.Writer.finish writer);
+        (* Stream after a short setup delay. *)
+        Engine.schedule_after (Node.engine node) ~delay:0.05 (fun () ->
+            stream t ~dst:packet.Packet.src ~dst_port:video_port ~file ~index:0)
+    | Packet.Tcp _ | Packet.Udp _ | Packet.Raw -> ()
+
+  let start ?(port = control_port) node ~movie_frames () =
+    let t = { node; port; movie_frames; opened = 0; sent = 0 } in
+    Node.on_tcp node ~port (on_control t);
+    t
+
+  let streams_opened t = t.opened
+  let frames_sent t = t.sent
+end
+
+module Client = struct
+  type t = {
+    node : Node.t;
+    server : Netsim.Addr.t;
+    monitor : Netsim.Addr.t;
+    file : int;
+    video_port : int;
+    mutable received : int;
+    mutable shared : bool option;
+    mutable setup : setup option;
+  }
+
+  let send_play t =
+    let writer = Payload.Writer.create () in
+    Payload.Writer.u8 writer (Char.code 'P');
+    Payload.Writer.u32 writer t.file;
+    Payload.Writer.u32 writer t.video_port;
+    Node.send_tcp t.node ~dst:t.server ~src_port:(20000 + t.video_port)
+      ~dst_port:control_port
+      (Payload.Writer.finish writer)
+
+  (* Configure the local capture ASP: a packet on the tagged channel "ccfg"
+     carrying (stream host, stream port). Injected locally — it never
+     touches the wire. Deferred to the next event: this runs inside the
+     delivery of the monitor's reply, and the runtime finishes that
+     channel invocation (committing its state) before a new one may run. *)
+  let configure_capture t ~host ~port =
+    let writer = Payload.Writer.create () in
+    Payload.Writer.u32 writer host;
+    Payload.Writer.u32 writer port;
+    let packet =
+      Packet.udp ~chan_tag:"ccfg" ~src:(Node.addr t.node)
+        ~dst:(Node.addr t.node) ~src_port:0 ~dst_port:0
+        (Payload.Writer.finish writer)
+    in
+    Engine.schedule_after (Node.engine t.node) ~delay:0.0 (fun () ->
+        Node.receive t.node ~ifindex:0 ~l2_dst:None packet)
+
+  (* Monitor reply: u32 found, u32 host, u32 port, setup blob (may be
+     empty). The destination check matters: on a promiscuous node the
+     capture ASP delivers every frame on the segment, including replies
+     meant for other clients. *)
+  let on_query_reply t node (packet : Packet.t) =
+    let body = packet.Packet.body in
+    if
+      Netsim.Addr.equal packet.Packet.dst (Node.addr node)
+      && Payload.length body >= 12 && t.shared = None
+    then begin
+      let found = Payload.get_u32 body 0 in
+      if found = 1 then begin
+        let host = Payload.get_u32 body 4 in
+        let port = Payload.get_u32 body 8 in
+        t.setup <-
+          decode_setup
+            (Payload.sub body ~pos:12 ~len:(Payload.length body - 12));
+        t.shared <- Some true;
+        configure_capture t ~host ~port
+      end
+      else begin
+        t.shared <- Some false;
+        send_play t
+      end
+    end
+
+  (* Video packets delivered to our port (directly, or rewritten by the
+     capture ASP). SETUP replies come on TCP. *)
+  let on_video t node (packet : Packet.t) =
+    let body = packet.Packet.body in
+    (* Only frames addressed to this host count: a promiscuous node's ASP
+       delivers foreign frames too (readdressed when captured, untouched
+       otherwise), and the player must not count the latter. *)
+    if
+      Netsim.Addr.equal packet.Packet.dst (Node.addr node)
+      && Payload.length body >= 9
+      && Payload.get_u32 body 0 = t.file
+    then t.received <- t.received + 1
+
+  let on_control t node (packet : Packet.t) =
+    let body = packet.Packet.body in
+    if
+      Netsim.Addr.equal packet.Packet.dst (Node.addr node)
+      && Payload.length body >= 5
+      && Payload.get_u8 body 0 = Char.code 'S'
+    then
+      t.setup <-
+        decode_setup (Payload.sub body ~pos:5 ~len:(Payload.length body - 5))
+
+  let send_query t =
+    let writer = Payload.Writer.create () in
+    Payload.Writer.u32 writer t.file;
+    let packet =
+      Packet.udp ~chan_tag:"mquery" ~src:(Node.addr t.node) ~dst:t.monitor
+        ~src_port:(30000 + t.video_port) ~dst_port:query_port
+        (Payload.Writer.finish writer)
+    in
+    Node.originate t.node packet
+
+  let start ?(video_port = 7000) node ~server ~monitor ~file ~at () =
+    let t =
+      {
+        node;
+        server;
+        monitor;
+        file;
+        video_port;
+        received = 0;
+        shared = None;
+        setup = None;
+      }
+    in
+    Node.on_udp node ~port:(30000 + video_port) (on_query_reply t);
+    Node.on_udp node ~port:video_port (on_video t);
+    Node.on_tcp node ~port:(20000 + video_port) (on_control t);
+    Engine.schedule (Node.engine node) ~at (fun () -> send_query t);
+    (* No monitor answered (none deployed, or it knows nothing yet that it
+       is willing to say): fall back to a direct connection. *)
+    Engine.schedule (Node.engine node) ~at:(at +. 1.0) (fun () ->
+        if t.shared = None then begin
+          t.shared <- Some false;
+          send_play t
+        end);
+    t
+
+  let frames_received t = t.received
+  let used_existing t = t.shared
+  let setup_received t = t.setup
+end

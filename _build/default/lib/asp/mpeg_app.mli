@@ -1,0 +1,75 @@
+(** The distributed MPEG player of §3.3: a point-to-point video server and
+    its client.
+
+    Control runs over TCP port 554: a PLAY request (['P'], file id, video
+    port) answered by a SETUP reply (['S'], file id, setup blob describing
+    the GOP pattern, rate and length). Video frames then stream over UDP to
+    the client's chosen port: an MPEG-1-like IBBPBBPBB pattern at 24
+    frames/s (I = 12000, P = 4000, B = 1500 bytes).
+
+    The client is "extended" as in the paper: before connecting it asks the
+    monitor ASP whether an existing connection already carries the file
+    (see {!Mpeg_asp}); if so it captures that stream instead of opening a
+    new one. The server is entirely unmodified. *)
+
+val control_port : int
+val query_port : int  (** the monitor ASP's query channel *)
+
+(** Frame kinds of the GOP pattern. *)
+type frame_kind = I_frame | P_frame | B_frame
+
+val frame_size : frame_kind -> int
+
+(** The IBBPBBPBB group-of-pictures pattern. *)
+val gop_pattern : frame_kind array
+
+val frames_per_second : float
+
+(** Setup information as carried in the SETUP reply. *)
+type setup = { file_id : int; total_frames : int }
+
+val encode_setup : setup -> Netsim.Payload.t
+val decode_setup : Netsim.Payload.t -> setup option
+
+module Server : sig
+  type t
+
+  (** [start node ~movie_frames ()] serves PLAY requests; each opens a
+      unicast stream of [movie_frames] frames. *)
+  val start : ?port:int -> Netsim.Node.t -> movie_frames:int -> unit -> t
+
+  (** [streams_opened t] — how many point-to-point connections the server
+      had to serve (the §3.3 claim: stays at 1 with the ASPs). *)
+  val streams_opened : t -> int
+
+  val frames_sent : t -> int
+end
+
+module Client : sig
+  type t
+
+  (** [start node ~server ~monitor ~file ~at ()] begins the §3.3 client
+      logic at time [at]: query the monitor; on "existing connection"
+      configure the local capture ASP (which must already be installed on
+      the node, see {!Mpeg_asp.capture_program}); otherwise PLAY directly.
+
+      @param video_port where this client wants its video (default 7000) *)
+  val start :
+    ?video_port:int ->
+    Netsim.Node.t ->
+    server:Netsim.Addr.t ->
+    monitor:Netsim.Addr.t ->
+    file:int ->
+    at:float ->
+    unit ->
+    t
+
+  val frames_received : t -> int
+
+  (** [used_existing t] — [Some true] once the client decided to share an
+      existing stream, [Some false] for a direct connection, [None] before
+      the monitor answered. *)
+  val used_existing : t -> bool option
+
+  val setup_received : t -> setup option
+end

@@ -1,0 +1,105 @@
+let monitor_program ?(control_port = Mpeg_app.control_port)
+    ?(query_port = Mpeg_app.query_port) ~server () =
+  Printf.sprintf
+    {|-- MPEG connection monitor (paper 3.3).
+-- Watches the point-to-point video server's control traffic on the shared
+-- segment and remembers, per file, which client the video is being sent to
+-- and the setup information the server returned. Clients ask on the
+-- "mquery" channel whether a request can be filled by an existing
+-- connection.
+val videoServer : host = %s
+val controlPort : int = %d
+val queryPort : int = %d
+
+protostate (int, (host*int*blob)) hash_table = mkTable(64)
+
+-- PLAY requests (client -> server, 'P', file, video port) and TEARDOWN
+-- notifications (server -> client, 'T', file, port) share one packet
+-- shape; the command byte dispatches, as in the paper's Fig. 4.
+channel network(ps : (int, (host*int*blob)) hash_table, ss : int,
+                p : ip*tcp*char*int*int) is
+  let
+    val iph : ip = #1 p
+    val cmd : char = #3 p
+    val file : int = #4 p
+    val port : int = #5 p
+  in
+    (if cmd = 'P' andalso ipDst(iph) = videoServer
+        andalso tcpDst(#2 p) = controlPort then
+      tblSet(ps, file, (ipSrc(iph), port, stob("")))
+    else
+      if cmd = 'T' andalso ipSrc(iph) = videoServer
+          andalso tcpSrc(#2 p) = controlPort then
+        tblRemove(ps, file)
+      else ();
+    deliver(p);
+    (ps, ss))
+  end
+
+-- SETUP replies: server -> client, 'S', file, setup blob.
+channel network(ps : (int, (host*int*blob)) hash_table, ss : int,
+                p : ip*tcp*char*int*blob) is
+  let
+    val iph : ip = #1 p
+    val cmd : char = #3 p
+    val file : int = #4 p
+    val setup : blob = #5 p
+  in
+    (if cmd = 'S' andalso ipSrc(iph) = videoServer
+        andalso tcpSrc(#2 p) = controlPort then
+      let
+        val entry : host*int*blob = tblGet(ps, file, (0.0.0.0, 0, stob("")))
+      in
+        tblSet(ps, file, (#1 entry, #2 entry, setup))
+      end
+    else ();
+    deliver(p);
+    (ps, ss))
+  end
+
+-- Queries from extended clients: which connection serves this file?
+channel mquery(ps : (int, (host*int*blob)) hash_table, ss : int,
+               p : ip*udp*int) is
+  let
+    val iph : ip = #1 p
+    val udph : udp = #2 p
+    val file : int = #3 p
+    val entry : host*int*blob = tblGet(ps, file, (0.0.0.0, 0, stob("")))
+    val live : bool = blobLength(#3 entry) > 0
+    val reply_ip : ip = ipDestSet(ipSrcSet(iph, ipDst(iph)), ipSrc(iph))
+    val reply_udp : udp = mkUdp(queryPort, udpSrc(udph))
+  in
+    (if live then
+      OnRemote(network,
+        (reply_ip, reply_udp, 1, #1 entry, #2 entry, #3 entry))
+    else
+      OnRemote(network,
+        (reply_ip, reply_udp, 0, 0.0.0.0, 0, stob("")));
+    (ps, ss))
+  end
+|}
+    server control_port query_port
+
+let capture_program () =
+  {|-- MPEG stream capture (paper 3.3, client side).
+-- Once configured (via the local "ccfg" channel) with the address and port
+-- an existing video stream is being sent to, grab those packets off the
+-- shared segment and deliver them locally, readdressed to this host.
+protostate host*int = (0.0.0.0, 0)
+
+channel ccfg(ps : host*int, ss : int, p : ip*udp*host*int) is
+  (deliver(p); ((#3 p, #4 p), ss))
+
+channel network(ps : host*int, ss : int, p : ip*udp*blob) is
+  let
+    val iph : ip = #1 p
+    val udph : udp = #2 p
+    val body : blob = #3 p
+  in
+    if ipDst(iph) = #1 ps andalso udpDst(udph) = #2 ps
+       andalso not (ipDst(iph) = thisHost()) then
+      (deliver((ipDestSet(iph, thisHost()), udph, body)); (ps, ss))
+    else
+      (deliver(p); (ps, ss))
+  end
+|}

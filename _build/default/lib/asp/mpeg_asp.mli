@@ -1,0 +1,19 @@
+(** The two ASPs of the MPEG experiment (§3.3).
+
+    [monitor_program] runs on one machine of the client segment
+    (promiscuous): it watches control traffic to and from the video
+    server's TCP port, maintaining a table of open connections (file →
+    client, port, setup info), and answers queries on the user-defined
+    channel [mquery] — "the first ASP executes on any one of the machines
+    on the segment and maintains a list of all open connections to the
+    video server".
+
+    [capture_program] runs on each extended client: once configured via
+    the local [ccfg] channel, it "captures packets sent to the original
+    address and port and delivers them to the client" by rewriting the
+    destination to the local host. *)
+
+val monitor_program :
+  ?control_port:int -> ?query_port:int -> server:string -> unit -> string
+
+val capture_program : unit -> string

@@ -1,0 +1,102 @@
+module Topology = Netsim.Topology
+module Node = Netsim.Node
+module Runtime = Planp_runtime.Runtime
+
+type config = {
+  with_asps : bool;
+  backend : Planp_runtime.Backend.t;
+  movie_frames : int;
+  client_starts : float list;
+  duration : float;
+}
+
+let default_config ?(with_asps = true) ?(backend = Planp_jit.Backends.jit) () =
+  {
+    with_asps;
+    backend;
+    movie_frames = 240;
+    client_starts = [ 0.5; 3.0; 6.0 ];
+    duration = 20.0;
+  }
+
+type result = {
+  server_streams : int;
+  server_frames_sent : int;
+  client_frames : int list;
+  clients_shared : bool option list;
+  segment_video_bytes : int;
+}
+
+let server_addr_string = "10.6.0.1"
+let movie_file = 7
+
+let run config =
+  let topo = Topology.create () in
+  let server_node = Topology.add_host topo "video-server" server_addr_string in
+  let router = Topology.add_host topo "router" "10.6.0.254" in
+  let monitor_node = Topology.add_host topo "monitor" "10.7.0.50" in
+  ignore
+    (Topology.connect topo ~name:"backbone" ~bandwidth_bps:100e6
+       ~latency:0.0005 server_node router);
+  let segment =
+    Topology.segment topo ~name:"client-segment" ~bandwidth_bps:10e6
+      ~latency:0.0005 ()
+  in
+  ignore (Topology.attach topo segment router);
+  ignore (Topology.attach topo segment monitor_node);
+  let client_nodes =
+    List.mapi
+      (fun i _ ->
+        let node =
+          Topology.add_host topo
+            (Printf.sprintf "client%d" (i + 1))
+            (Printf.sprintf "10.7.0.%d" (10 + i))
+        in
+        ignore (Topology.attach topo segment node);
+        node)
+      config.client_starts
+  in
+  Topology.compute_routes topo;
+  (* Count video payload bytes the shared segment carries. *)
+  let video_bytes = ref 0 in
+  Netsim.Segment.set_tap segment (fun ~at:_ ~l2_dst:_ packet ->
+      match packet.Netsim.Packet.l4 with
+      | Netsim.Packet.Udp _
+        when Netsim.Payload.length packet.Netsim.Packet.body >= 9
+             && Netsim.Payload.get_u32 packet.Netsim.Packet.body 0 = movie_file
+        ->
+          video_bytes := !video_bytes + Netsim.Payload.length packet.Netsim.Packet.body
+      | Netsim.Packet.Udp _ | Netsim.Packet.Tcp _ | Netsim.Packet.Raw -> ());
+  let server = Mpeg_app.Server.start server_node ~movie_frames:config.movie_frames () in
+  if config.with_asps then begin
+    Node.set_promiscuous monitor_node true;
+    let monitor_rt = Runtime.attach monitor_node in
+    ignore
+      (Runtime.install_exn monitor_rt ~backend:config.backend ~name:"mpeg-monitor"
+         ~source:(Mpeg_asp.monitor_program ~server:server_addr_string ()) ());
+    List.iter
+      (fun node ->
+        Node.set_promiscuous node true;
+        let rt = Runtime.attach node in
+        ignore
+          (Runtime.install_exn rt ~backend:config.backend ~name:"mpeg-capture"
+             ~source:(Mpeg_asp.capture_program ()) ()))
+      client_nodes
+  end;
+  let clients =
+    List.map2
+      (fun node at ->
+        Mpeg_app.Client.start node
+          ~server:(Node.addr server_node)
+          ~monitor:(Node.addr monitor_node)
+          ~file:movie_file ~at ())
+      client_nodes config.client_starts
+  in
+  Topology.run_until topo ~stop:config.duration;
+  {
+    server_streams = Mpeg_app.Server.streams_opened server;
+    server_frames_sent = Mpeg_app.Server.frames_sent server;
+    client_frames = List.map Mpeg_app.Client.frames_received clients;
+    clients_shared = List.map Mpeg_app.Client.used_existing clients;
+    segment_video_bytes = !video_bytes;
+  }

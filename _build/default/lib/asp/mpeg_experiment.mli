@@ -1,0 +1,27 @@
+(** The point-to-point → multipoint MPEG experiment (§3.3).
+
+    Topology: video server —100 Mb link→ router —10 Mb shared segment→
+    {client 1, client 2, client 3, monitor host}. Clients request the same
+    movie at staggered times. With the ASPs deployed, only the first client
+    opens a server connection; later clients capture its stream off the
+    shared segment. Without them, every client opens its own stream. *)
+
+type config = {
+  with_asps : bool;
+  backend : Planp_runtime.Backend.t;
+  movie_frames : int;  (** 240 frames = 10 s at 24 fps *)
+  client_starts : float list;  (** request times of the clients *)
+  duration : float;
+}
+
+val default_config : ?with_asps:bool -> ?backend:Planp_runtime.Backend.t -> unit -> config
+
+type result = {
+  server_streams : int;  (** connections the server had to serve *)
+  server_frames_sent : int;
+  client_frames : int list;  (** per client, in [client_starts] order *)
+  clients_shared : bool option list;  (** which clients joined an existing stream *)
+  segment_video_bytes : int;  (** video payload carried by the segment *)
+}
+
+val run : config -> result

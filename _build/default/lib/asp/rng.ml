@@ -1,0 +1,61 @@
+type t = { mutable state : int64; mutable zipf_cache : (int * float * float array) option }
+
+let create ~seed =
+  let state = Int64.of_int (if seed = 0 then 0x9E3779B9 else seed) in
+  { state; zipf_cache = None }
+
+(* xorshift64* — fast, well-distributed, deterministic across platforms. *)
+let next rng =
+  let open Int64 in
+  let x = rng.state in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  rng.state <- x;
+  mul x 0x2545F4914F6CDD1DL
+
+let float rng =
+  let bits = Int64.shift_right_logical (next rng) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+let int rng bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  int_of_float (float rng *. float_of_int bound)
+
+let exponential rng ~mean =
+  let u = Float.max 1e-12 (float rng) in
+  -.mean *. log u
+
+let zipf rng ~n ~alpha =
+  let cumulative =
+    match rng.zipf_cache with
+    | Some (cached_n, cached_alpha, table) when cached_n = n && cached_alpha = alpha
+      ->
+        table
+    | Some _ | None ->
+        let table = Array.make n 0.0 in
+        let acc = ref 0.0 in
+        for rank = 1 to n do
+          acc := !acc +. (1.0 /. Float.pow (float_of_int rank) alpha);
+          table.(rank - 1) <- !acc
+        done;
+        let total = !acc in
+        Array.iteri (fun i v -> table.(i) <- v /. total) table;
+        rng.zipf_cache <- Some (n, alpha, table);
+        table
+  in
+  let u = float rng in
+  (* binary search for the first index with cumulative >= u *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cumulative.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo + 1
+
+let lognormal rng ~mu ~sigma =
+  (* Box-Muller on two uniforms. *)
+  let u1 = Float.max 1e-12 (float rng) in
+  let u2 = float rng in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  exp (mu +. (sigma *. z))

@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random numbers (the xorshift64-star generator).
+
+    Experiments must be reproducible run to run, so nothing in this library
+    touches [Random]; every workload generator owns a seeded [Rng.t]. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [int rng bound] is uniform in [0, bound). @raise Invalid_argument when
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float rng] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [exponential rng ~mean] samples an exponential distribution. *)
+val exponential : t -> mean:float -> float
+
+(** [zipf rng ~n ~alpha] samples ranks 1..n with probability ∝ 1/rank^alpha
+    (inverse-CDF over a precomputed table is the caller's job; this uses
+    rejection-free cumulative search and is O(log n)). *)
+val zipf : t -> n:int -> alpha:float -> int
+
+(** [lognormal rng ~mu ~sigma] — heavy-tailed sizes. *)
+val lognormal : t -> mu:float -> sigma:float -> float

@@ -1,0 +1,91 @@
+module Topology = Netsim.Topology
+module Node = Netsim.Node
+module Addr = Netsim.Addr
+module Packet = Netsim.Packet
+module Payload = Netsim.Payload
+module Engine = Netsim.Engine
+module Lang = Planp
+module Runtime = Planp_runtime.Runtime
+module Value = Planp_runtime.Value
+module Verifier = Planp_analysis.Verifier
+module Backends = Planp_jit.Backends
+
+type admission = Verified | Authenticated
+
+(* One runtime per node, keyed by node name (names are unique within a
+   topology; runtimes attach a hook so double-attach would shadow state). *)
+let runtimes : (string, Runtime.t) Hashtbl.t = Hashtbl.create 16
+
+let runtime_for node =
+  match Hashtbl.find_opt runtimes (Node.name node) with
+  | Some rt when Runtime.node rt == node -> rt
+  | Some _ | None ->
+      let rt = Runtime.attach node in
+      Hashtbl.replace runtimes (Node.name node) rt;
+      rt
+
+let runtime_of node = Hashtbl.find_opt runtimes (Node.name node)
+
+let load ?(backend = Planp_jit.Backends.jit) ?(admission = Verified)
+    ?(name = "asp") node ~source () =
+  let pre =
+    match admission with
+    | Verified -> Planp_analysis.Verifier.gate ()
+    | Authenticated -> Planp_analysis.Verifier.gate ~authenticated:true ()
+  in
+  match Runtime.install ~backend ~pre ~name (runtime_for node) ~source () with
+  | Ok program -> Ok program
+  | Error error -> Error (Runtime.error_to_string error)
+
+let load_exn ?backend ?admission ?name node ~source () =
+  match load ?backend ?admission ?name node ~source () with
+  | Ok program -> program
+  | Error message -> failwith message
+
+let deploy ?backend ?admission ?name nodes ~source () =
+  let rec go installed = function
+    | [] -> Ok (List.rev installed)
+    | node :: rest -> (
+        match load ?backend ?admission ?name node ~source () with
+        | Ok program -> go ((node, program) :: installed) rest
+        | Error message ->
+            List.iter
+              (fun (node, program) ->
+                match runtime_of node with
+                | Some rt -> Runtime.uninstall rt program
+                | None -> ())
+              installed;
+            Error
+              (Printf.sprintf "deploy failed on node %s: %s" (Node.name node)
+                 message))
+  in
+  go [] nodes
+
+let undeploy handles =
+  List.iter
+    (fun (node, program) ->
+      match runtime_of node with
+      | Some rt -> Runtime.uninstall rt program
+      | None -> ())
+    handles
+
+let check_source source =
+  Planp_runtime.Prims.install ();
+  match
+    try Ok (Planp.Parser.parse source) with
+    | Planp.Lexer.Error (message, loc) ->
+        Error (Printf.sprintf "%s at %s" message (Planp.Loc.to_string loc))
+    | Planp.Parser.Error (message, loc) ->
+        Error (Printf.sprintf "%s at %s" message (Planp.Loc.to_string loc))
+  with
+  | Error _ as error -> error
+  | Ok ast -> (
+      match Planp.Typecheck.check ~prims:Planp_runtime.Prim.type_lookup ast with
+      | Ok checked -> Ok checked
+      | Error type_error ->
+          Error (Format.asprintf "%a" Planp.Typecheck.pp_error type_error))
+
+let verify_source source =
+  match check_source source with
+  | Error _ as error -> error
+  | Ok checked -> Ok (Verifier.verify checked.Planp.Typecheck.program)

@@ -1,0 +1,1 @@
+lib/netsim/addr.ml: Format Hashtbl Int Printf String

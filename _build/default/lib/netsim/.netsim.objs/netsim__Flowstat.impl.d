@@ -1,0 +1,1 @@
+lib/netsim/flowstat.ml: Engine List Queue

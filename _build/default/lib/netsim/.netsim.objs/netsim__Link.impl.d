@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Engine Float Flowstat Packet

@@ -1,0 +1,1 @@
+lib/netsim/link.mli: Engine Flowstat Packet

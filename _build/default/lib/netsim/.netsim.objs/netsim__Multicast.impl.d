@@ -1,0 +1,1 @@
+lib/netsim/multicast.ml: Addr Hashtbl Int List Printf Set

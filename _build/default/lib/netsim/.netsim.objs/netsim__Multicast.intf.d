@@ -1,0 +1,1 @@
+lib/netsim/multicast.mli: Addr

@@ -1,0 +1,1 @@
+lib/netsim/node.ml: Addr Array Engine Float Hashtbl List Multicast Packet Printf Routing

@@ -1,0 +1,1 @@
+lib/netsim/node.mli: Addr Engine Multicast Packet Payload Routing

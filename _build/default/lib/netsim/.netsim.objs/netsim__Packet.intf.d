@@ -1,0 +1,1 @@
+lib/netsim/packet.mli: Addr Format Payload

@@ -1,0 +1,1 @@
+lib/netsim/payload.ml: Buffer Bytes Char Format Printf String

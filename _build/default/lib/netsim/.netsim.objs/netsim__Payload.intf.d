@@ -1,0 +1,1 @@
+lib/netsim/payload.mli: Format

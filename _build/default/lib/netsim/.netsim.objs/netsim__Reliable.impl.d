@@ -1,0 +1,1 @@
+lib/netsim/reliable.ml: Addr Char Engine Hashtbl Int List Node Packet Payload Queue

@@ -1,0 +1,1 @@
+lib/netsim/reliable.mli: Addr Node Payload

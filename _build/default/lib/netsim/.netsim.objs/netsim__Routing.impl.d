@@ -1,0 +1,1 @@
+lib/netsim/routing.ml: Addr Format Hashtbl List

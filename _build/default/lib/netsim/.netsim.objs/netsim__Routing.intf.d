@@ -1,0 +1,1 @@
+lib/netsim/routing.mli: Addr Format

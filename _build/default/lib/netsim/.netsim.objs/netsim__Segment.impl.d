@@ -1,0 +1,1 @@
+lib/netsim/segment.ml: Addr Array Engine Float Flowstat Packet

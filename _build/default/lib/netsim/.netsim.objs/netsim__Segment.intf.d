@@ -1,0 +1,1 @@
+lib/netsim/segment.mli: Addr Engine Flowstat Packet

@@ -1,0 +1,1 @@
+lib/netsim/summary.ml: Array Float Format Stdlib

@@ -1,0 +1,1 @@
+lib/netsim/summary.mli: Format

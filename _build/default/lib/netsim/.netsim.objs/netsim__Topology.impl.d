@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Addr Array Engine Flowstat Hashtbl Link List Multicast Node Printf Queue Routing Segment

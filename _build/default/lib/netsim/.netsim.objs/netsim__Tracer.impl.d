@@ -1,0 +1,1 @@
+lib/netsim/tracer.ml: Addr Buffer Format List Packet Queue Segment

@@ -1,0 +1,1 @@
+lib/netsim/tracer.mli: Addr Format Packet Segment

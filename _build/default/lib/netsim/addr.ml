@@ -1,0 +1,57 @@
+type t = int
+
+let of_octets a b c d =
+  let check octet =
+    if octet < 0 || octet > 255 then
+      invalid_arg (Printf.sprintf "Addr.of_octets: octet %d out of range" octet)
+  in
+  check a;
+  check b;
+  check c;
+  check d;
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let to_octets addr =
+  ((addr lsr 24) land 0xff, (addr lsr 16) land 0xff, (addr lsr 8) land 0xff,
+   addr land 0xff)
+
+let of_string_opt s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      match
+        (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c,
+         int_of_string_opt d)
+      with
+      | Some a, Some b, Some c, Some d
+        when a >= 0 && a <= 255 && b >= 0 && b <= 255 && c >= 0 && c <= 255
+             && d >= 0 && d <= 255 ->
+          Some (of_octets a b c d)
+      | _ -> None)
+  | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some addr -> addr
+  | None -> invalid_arg (Printf.sprintf "Addr.of_string: %S" s)
+
+let to_string addr =
+  let a, b, c, d = to_octets addr in
+  Printf.sprintf "%d.%d.%d.%d" a b c d
+
+let broadcast = of_octets 255 255 255 255
+let multicast_base = of_octets 224 0 0 0
+let multicast_limit = of_octets 239 255 255 255
+let is_multicast addr = addr >= multicast_base && addr <= multicast_limit
+
+let same_subnet ~mask_bits a b =
+  if mask_bits < 0 || mask_bits > 32 then
+    invalid_arg "Addr.same_subnet: mask_bits out of range";
+  if mask_bits = 0 then true
+  else
+    let mask = lnot ((1 lsl (32 - mask_bits)) - 1) land 0xffffffff in
+    a land mask = b land mask
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Int.compare a b
+let hash (addr : t) = Hashtbl.hash addr
+let pp fmt addr = Format.pp_print_string fmt (to_string addr)

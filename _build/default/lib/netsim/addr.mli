@@ -1,0 +1,41 @@
+(** IPv4-style 32-bit addresses.
+
+    Addresses are plain [int]s (0 .. 2^32-1) so they can be compared, hashed
+    and used as map keys without boxing. The dotted-quad notation used in
+    PLAN-P programs (e.g. [131.254.60.81]) parses to this representation. *)
+
+type t = int
+
+(** [of_string s] parses dotted-quad notation.
+    @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+(** [of_string_opt s] is [of_string] returning [None] on malformed input. *)
+val of_string_opt : string -> t option
+
+(** [to_string addr] renders dotted-quad notation. *)
+val to_string : t -> string
+
+(** [of_octets a b c d] builds [a.b.c.d].
+    @raise Invalid_argument if any octet is outside 0..255. *)
+val of_octets : int -> int -> int -> int -> t
+
+val to_octets : t -> int * int * int * int
+
+(** [broadcast] is 255.255.255.255, used for segment-local broadcast. *)
+val broadcast : t
+
+(** [multicast_base] is 224.0.0.0; [is_multicast addr] tests the class-D
+    range 224.0.0.0 .. 239.255.255.255. *)
+val multicast_base : t
+
+val is_multicast : t -> bool
+
+(** [same_subnet ~mask_bits a b] tests whether [a] and [b] share their top
+    [mask_bits] bits. *)
+val same_subnet : mask_bits:int -> t -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+type t = {
+  queue : (unit -> unit) Heap.t;
+  mutable clock : float;
+  mutable processed : int;
+}
+
+let create () = { queue = Heap.create (); clock = 0.0; processed = 0 }
+let now engine = engine.clock
+
+let schedule engine ~at thunk =
+  if at < engine.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %g is before now (%g)" at
+         engine.clock);
+  Heap.add engine.queue ~time:at thunk
+
+let schedule_after engine ~delay thunk =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  Heap.add engine.queue ~time:(engine.clock +. delay) thunk
+
+let default_limit = 100_000_000
+
+let step engine =
+  match Heap.pop engine.queue with
+  | None -> false
+  | Some (time, thunk) ->
+      engine.clock <- time;
+      engine.processed <- engine.processed + 1;
+      thunk ();
+      true
+
+let run ?(limit = default_limit) engine =
+  let fired = ref 0 in
+  while step engine do
+    incr fired;
+    if !fired > limit then invalid_arg "Engine.run: event limit exceeded"
+  done
+
+let run_until ?(limit = default_limit) engine ~stop =
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_time engine.queue with
+    | Some time when time <= stop ->
+        ignore (step engine);
+        incr fired;
+        if !fired > limit then invalid_arg "Engine.run_until: event limit exceeded"
+    | Some _ | None -> continue := false
+  done;
+  if stop > engine.clock then engine.clock <- stop
+
+let pending engine = Heap.size engine.queue
+let events_processed engine = engine.processed

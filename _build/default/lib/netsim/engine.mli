@@ -1,0 +1,35 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the simulated clock and an event queue; an event is an
+    arbitrary thunk scheduled at an absolute simulated time. All netsim
+    components (links, nodes, applications) share one engine. *)
+
+type t
+
+(** [create ()] is a fresh engine with the clock at [0.0]. *)
+val create : unit -> t
+
+(** [now engine] is the current simulated time in seconds. *)
+val now : t -> float
+
+(** [schedule engine ~at thunk] runs [thunk] when the clock reaches [at].
+    @raise Invalid_argument if [at] is in the past. *)
+val schedule : t -> at:float -> (unit -> unit) -> unit
+
+(** [schedule_after engine ~delay thunk] runs [thunk] after [delay] seconds. *)
+val schedule_after : t -> delay:float -> (unit -> unit) -> unit
+
+(** [run engine] processes events until the queue drains.
+    @raise Invalid_argument if more than [limit] events fire (default 100M),
+    which indicates a runaway simulation. *)
+val run : ?limit:int -> t -> unit
+
+(** [run_until engine ~stop] processes events with time [<= stop], then sets
+    the clock to [stop]. Events scheduled later stay queued. *)
+val run_until : ?limit:int -> t -> stop:float -> unit
+
+(** [pending engine] is the number of queued events. *)
+val pending : t -> int
+
+(** [events_processed engine] counts events executed since creation. *)
+val events_processed : t -> int

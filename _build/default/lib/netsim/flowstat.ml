@@ -1,0 +1,62 @@
+type sample = { at : float; bytes : int }
+
+type t = {
+  win : float;
+  samples : sample Queue.t;
+  mutable window_bytes : int;
+  mutable all_bytes : int;
+  mutable all_packets : int;
+}
+
+let create ?(window = 1.0) () =
+  if window <= 0.0 then invalid_arg "Flowstat.create: window must be positive";
+  {
+    win = window;
+    samples = Queue.create ();
+    window_bytes = 0;
+    all_bytes = 0;
+    all_packets = 0;
+  }
+
+let expire stat ~now =
+  let horizon = now -. stat.win in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt stat.samples with
+    | Some s when s.at < horizon ->
+        ignore (Queue.pop stat.samples);
+        stat.window_bytes <- stat.window_bytes - s.bytes
+    | Some _ | None -> continue := false
+  done
+
+let record stat ~now bytes =
+  expire stat ~now;
+  Queue.push { at = now; bytes } stat.samples;
+  stat.window_bytes <- stat.window_bytes + bytes;
+  stat.all_bytes <- stat.all_bytes + bytes;
+  stat.all_packets <- stat.all_packets + 1
+
+let rate_bps stat ~now =
+  expire stat ~now;
+  float_of_int (stat.window_bytes * 8) /. stat.win
+
+let total_bytes stat = stat.all_bytes
+let total_packets stat = stat.all_packets
+let window stat = stat.win
+
+module Series = struct
+  type s = { mutable acc : (float * float) list }
+
+  let attach engine stat ~period ~until =
+    if period <= 0.0 then invalid_arg "Flowstat.Series.attach: bad period";
+    let series = { acc = [] } in
+    let rec tick () =
+      let now = Engine.now engine in
+      series.acc <- (now, rate_bps stat ~now) :: series.acc;
+      if now +. period <= until then Engine.schedule_after engine ~delay:period tick
+    in
+    Engine.schedule_after engine ~delay:period tick;
+    series
+
+  let points series = List.rev series.acc
+end

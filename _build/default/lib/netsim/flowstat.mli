@@ -1,0 +1,41 @@
+(** Windowed traffic statistics.
+
+    A [Flowstat.t] records byte counts stamped with simulated time and
+    answers "how many bits/s flowed during the last [window] seconds?" —
+    the measurement the audio router ASP bases its adaptation on, and the
+    instrument benches use to plot bandwidth-vs-time series (Fig. 6). *)
+
+type t
+
+(** [create ~window ()] tracks a sliding window of [window] seconds
+    (default 1.0). *)
+val create : ?window:float -> unit -> t
+
+(** [record stat ~now bytes] accounts [bytes] at time [now]. *)
+val record : t -> now:float -> int -> unit
+
+(** [rate_bps stat ~now] is the carried rate over the window ending at
+    [now], in bits per second. *)
+val rate_bps : t -> now:float -> float
+
+(** [total_bytes stat] is the all-time byte count. *)
+val total_bytes : t -> int
+
+(** [total_packets stat] is the all-time record count. *)
+val total_packets : t -> int
+
+(** [window stat] is the configured window length. *)
+val window : t -> float
+
+(** Time series sampler: calls [rate_bps] on a fixed period and accumulates
+    [(time, bits-per-second)] points; used to regenerate figure series. *)
+module Series : sig
+  type s
+
+  (** [attach engine stat ~period ~until] samples [stat] every [period]
+      seconds until time [until]. *)
+  val attach : Engine.t -> t -> period:float -> until:float -> s
+
+  (** [points s] are the samples collected so far, oldest first. *)
+  val points : s -> (float * float) list
+end

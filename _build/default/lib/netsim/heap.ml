@@ -1,0 +1,76 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable store : 'a entry option array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { store = Array.make 16 None; len = 0; next_seq = 0 }
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let get heap i =
+  match heap.store.(i) with
+  | Some entry -> entry
+  | None -> invalid_arg "Heap.get: hole in heap"
+
+let grow heap =
+  let capacity = Array.length heap.store in
+  if heap.len = capacity then begin
+    let store = Array.make (2 * capacity) None in
+    Array.blit heap.store 0 store 0 capacity;
+    heap.store <- store
+  end
+
+let rec sift_up heap i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt (get heap i) (get heap parent) then begin
+      let tmp = heap.store.(i) in
+      heap.store.(i) <- heap.store.(parent);
+      heap.store.(parent) <- tmp;
+      sift_up heap parent
+    end
+  end
+
+let rec sift_down heap i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < heap.len && entry_lt (get heap left) (get heap !smallest) then
+    smallest := left;
+  if right < heap.len && entry_lt (get heap right) (get heap !smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = heap.store.(i) in
+    heap.store.(i) <- heap.store.(!smallest);
+    heap.store.(!smallest) <- tmp;
+    sift_down heap !smallest
+  end
+
+let add heap ~time value =
+  grow heap;
+  let seq = heap.next_seq in
+  heap.next_seq <- seq + 1;
+  heap.store.(heap.len) <- Some { time; seq; value };
+  heap.len <- heap.len + 1;
+  sift_up heap (heap.len - 1)
+
+let pop heap =
+  if heap.len = 0 then None
+  else begin
+    let root = get heap 0 in
+    heap.len <- heap.len - 1;
+    heap.store.(0) <- heap.store.(heap.len);
+    heap.store.(heap.len) <- None;
+    if heap.len > 0 then sift_down heap 0;
+    Some (root.time, root.value)
+  end
+
+let peek_time heap = if heap.len = 0 then None else Some (get heap 0).time
+let size heap = heap.len
+let is_empty heap = heap.len = 0
+
+let clear heap =
+  Array.fill heap.store 0 (Array.length heap.store) None;
+  heap.len <- 0

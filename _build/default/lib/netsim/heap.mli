@@ -1,0 +1,24 @@
+(** Binary min-heap keyed by [(time, seq)] used as the simulator event queue.
+
+    Entries with equal times are dequeued in insertion order, which makes
+    simulation runs deterministic. *)
+
+type 'a t
+
+(** [create ()] is an empty heap. *)
+val create : unit -> 'a t
+
+(** [add heap ~time value] inserts [value] with priority [time]. *)
+val add : 'a t -> time:float -> 'a -> unit
+
+(** [pop heap] removes and returns the minimum entry, or [None] if empty. *)
+val pop : 'a t -> (float * 'a) option
+
+(** [peek_time heap] is the time of the minimum entry without removing it. *)
+val peek_time : 'a t -> float option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [clear heap] removes all entries. *)
+val clear : 'a t -> unit

@@ -1,0 +1,91 @@
+type endpoint = A | B
+
+type direction = {
+  mutable busy_until : float;
+  mutable receiver : Packet.t -> unit;
+  dir_stat : Flowstat.t;
+  mutable dropped : int;
+}
+
+type t = {
+  link_name : string;
+  engine : Engine.t;
+  bandwidth : float;
+  latency : float;
+  queue_capacity : int;
+  a_to_b : direction;  (* transmits from A, delivers at B *)
+  b_to_a : direction;
+  mutable up : bool;
+}
+
+let other = function A -> B | B -> A
+
+let make_direction () =
+  {
+    busy_until = 0.0;
+    receiver = (fun _ -> ());
+    dir_stat = Flowstat.create ();
+    dropped = 0;
+  }
+
+let create ?(name = "link") ?(queue_capacity = 65536) engine ~bandwidth_bps
+    ~latency () =
+  if bandwidth_bps <= 0.0 then invalid_arg "Link.create: bandwidth must be positive";
+  if latency < 0.0 then invalid_arg "Link.create: negative latency";
+  {
+    link_name = name;
+    engine;
+    bandwidth = bandwidth_bps;
+    latency;
+    queue_capacity;
+    a_to_b = make_direction ();
+    b_to_a = make_direction ();
+    up = true;
+  }
+
+let name link = link.link_name
+let bandwidth_bps link = link.bandwidth
+let set_up link flag = link.up <- flag
+let is_up link = link.up
+
+(* The direction that transmits *from* the given endpoint. *)
+let tx_direction link = function A -> link.a_to_b | B -> link.b_to_a
+
+let set_receiver link endpoint f =
+  (* Packets arriving at [endpoint] travel on the direction transmitting
+     from the other end. *)
+  (tx_direction link (other endpoint)).receiver <- f
+
+let backlog_of direction ~now ~bandwidth =
+  if direction.busy_until <= now then 0
+  else int_of_float ((direction.busy_until -. now) *. bandwidth /. 8.0)
+
+let send link ~from packet =
+  let dir = tx_direction link from in
+  let now = Engine.now link.engine in
+  let size = Packet.wire_size packet in
+  let backlog = backlog_of dir ~now ~bandwidth:link.bandwidth in
+  if not link.up then begin
+    dir.dropped <- dir.dropped + 1;
+    false
+  end
+  else if backlog + size > link.queue_capacity then begin
+    dir.dropped <- dir.dropped + 1;
+    false
+  end
+  else begin
+    let start = Float.max now dir.busy_until in
+    let finish = start +. (float_of_int (size * 8) /. link.bandwidth) in
+    dir.busy_until <- finish;
+    Flowstat.record dir.dir_stat ~now:finish size;
+    Engine.schedule link.engine ~at:(finish +. link.latency) (fun () ->
+        dir.receiver packet);
+    true
+  end
+
+let backlog_bytes link endpoint =
+  let dir = tx_direction link endpoint in
+  backlog_of dir ~now:(Engine.now link.engine) ~bandwidth:link.bandwidth
+
+let stat link endpoint = (tx_direction link endpoint).dir_stat
+let drops link endpoint = (tx_direction link endpoint).dropped

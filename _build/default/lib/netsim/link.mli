@@ -1,0 +1,53 @@
+(** Point-to-point full-duplex links with finite bandwidth, propagation
+    latency and a drop-tail queue per direction.
+
+    The queue is modelled analytically: the backlog of a direction at time
+    [t] is [(busy_until - t) * bandwidth / 8] bytes; a packet whose wire size
+    would push the backlog past [queue_capacity] is dropped. This reproduces
+    drop-tail behaviour exactly for FIFO service without materializing the
+    queue. *)
+
+type t
+type endpoint = A | B
+
+(** [create engine ~bandwidth_bps ~latency ~queue_capacity ()] builds a link.
+    [queue_capacity] is in bytes (default 64 KiB). *)
+val create :
+  ?name:string ->
+  ?queue_capacity:int ->
+  Engine.t ->
+  bandwidth_bps:float ->
+  latency:float ->
+  unit ->
+  t
+
+val name : t -> string
+val bandwidth_bps : t -> float
+
+(** [set_up link flag] — a downed link drops everything offered to it
+    (fault injection: cable pull). Links start up. *)
+val set_up : t -> bool -> unit
+
+val is_up : t -> bool
+
+(** [set_receiver link endpoint f] registers the delivery callback for
+    packets arriving *at* [endpoint]. *)
+val set_receiver : t -> endpoint -> (Packet.t -> unit) -> unit
+
+(** [send link ~from packet] transmits [packet] from [from] toward the other
+    endpoint. Returns [false] if the packet was dropped (queue full). *)
+val send : t -> from:endpoint -> Packet.t -> bool
+
+(** [backlog_bytes link endpoint] is the current queue depth of the
+    direction transmitting *from* [endpoint]. *)
+val backlog_bytes : t -> endpoint -> int
+
+(** [stat link endpoint] is the carried-traffic statistic of the direction
+    transmitting *from* [endpoint]. *)
+val stat : t -> endpoint -> Flowstat.t
+
+(** [drops link endpoint] counts packets dropped in the direction
+    transmitting *from* [endpoint]. *)
+val drops : t -> endpoint -> int
+
+val other : endpoint -> endpoint

@@ -1,0 +1,39 @@
+module Addr_set = Set.Make (Int)
+
+type t = { groups : (Addr.t, Addr_set.t ref) Hashtbl.t }
+
+let create () = { groups = Hashtbl.create 8 }
+
+let check_group group =
+  if not (Addr.is_multicast group) then
+    invalid_arg
+      (Printf.sprintf "Multicast: %s is not a class-D address"
+         (Addr.to_string group))
+
+let join registry ~group member =
+  check_group group;
+  match Hashtbl.find_opt registry.groups group with
+  | Some set -> set := Addr_set.add member !set
+  | None -> Hashtbl.add registry.groups group (ref (Addr_set.singleton member))
+
+let leave registry ~group member =
+  check_group group;
+  match Hashtbl.find_opt registry.groups group with
+  | Some set ->
+      set := Addr_set.remove member !set;
+      if Addr_set.is_empty !set then Hashtbl.remove registry.groups group
+  | None -> ()
+
+let members registry ~group =
+  match Hashtbl.find_opt registry.groups group with
+  | Some set -> Addr_set.elements !set
+  | None -> []
+
+let is_member registry ~group member =
+  match Hashtbl.find_opt registry.groups group with
+  | Some set -> Addr_set.mem member !set
+  | None -> false
+
+let groups registry =
+  Hashtbl.fold (fun group _ acc -> group :: acc) registry.groups []
+  |> List.sort Addr.compare

@@ -1,0 +1,21 @@
+(** Network-wide multicast group membership.
+
+    A single registry is shared by every node of a topology (a simulator
+    stand-in for IGMP): senders address packets to a class-D group; routers
+    consult the registry to decide where to replicate. *)
+
+type t
+
+val create : unit -> t
+
+(** [join registry ~group member] adds host address [member] to [group].
+    @raise Invalid_argument if [group] is not a class-D address. *)
+val join : t -> group:Addr.t -> Addr.t -> unit
+
+val leave : t -> group:Addr.t -> Addr.t -> unit
+
+(** [members registry ~group] is the member list, sorted by address. *)
+val members : t -> group:Addr.t -> Addr.t list
+
+val is_member : t -> group:Addr.t -> Addr.t -> bool
+val groups : t -> Addr.t list

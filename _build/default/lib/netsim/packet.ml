@@ -1,0 +1,94 @@
+type proto = Proto_tcp | Proto_udp | Proto_raw
+
+type tcp_header = {
+  tcp_src : int;
+  tcp_dst : int;
+  tcp_seq : int;
+  tcp_ack : int;
+  tcp_syn : bool;
+  tcp_fin : bool;
+  tcp_is_ack : bool;
+}
+
+type udp_header = { udp_src : int; udp_dst : int }
+type l4 = Tcp of tcp_header | Udp of udp_header | Raw
+
+type t = {
+  uid : int;
+  src : Addr.t;
+  dst : Addr.t;
+  ttl : int;
+  l4 : l4;
+  body : Payload.t;
+  chan_tag : string option;
+}
+
+let uid_counter = ref 0
+
+let fresh_uid () =
+  incr uid_counter;
+  !uid_counter
+
+let make ?(ttl = 64) ?chan_tag ~src ~dst l4 body =
+  { uid = fresh_uid (); src; dst; ttl; l4; body; chan_tag }
+
+let udp ?ttl ?chan_tag ~src ~dst ~src_port ~dst_port body =
+  make ?ttl ?chan_tag ~src ~dst
+    (Udp { udp_src = src_port; udp_dst = dst_port })
+    body
+
+let tcp ?ttl ?chan_tag ?(seq = 0) ?(ack = 0) ?(syn = false) ?(fin = false)
+    ?(is_ack = false) ~src ~dst ~src_port ~dst_port body =
+  make ?ttl ?chan_tag ~src ~dst
+    (Tcp
+       {
+         tcp_src = src_port;
+         tcp_dst = dst_port;
+         tcp_seq = seq;
+         tcp_ack = ack;
+         tcp_syn = syn;
+         tcp_fin = fin;
+         tcp_is_ack = is_ack;
+       })
+    body
+
+let proto packet =
+  match packet.l4 with
+  | Tcp _ -> Proto_tcp
+  | Udp _ -> Proto_udp
+  | Raw -> Proto_raw
+
+let ip_header_size = 20
+let tcp_header_size = 20
+let udp_header_size = 8
+
+let wire_size packet =
+  let l4_size =
+    match packet.l4 with
+    | Tcp _ -> tcp_header_size
+    | Udp _ -> udp_header_size
+    | Raw -> 0
+  in
+  ip_header_size + l4_size + Payload.length packet.body
+
+let with_dst packet dst = { packet with dst }
+let with_src packet src = { packet with src }
+let with_body packet body = { packet with body }
+let with_l4 packet l4 = { packet with l4 }
+
+let decrement_ttl packet =
+  if packet.ttl <= 1 then None else Some { packet with ttl = packet.ttl - 1 }
+
+let clone packet = { packet with uid = fresh_uid () }
+
+let pp fmt packet =
+  let proto_name, sport, dport =
+    match packet.l4 with
+    | Tcp h -> ("tcp", h.tcp_src, h.tcp_dst)
+    | Udp h -> ("udp", h.udp_src, h.udp_dst)
+    | Raw -> ("raw", 0, 0)
+  in
+  Format.fprintf fmt "#%d %a:%d -> %a:%d %s len=%d ttl=%d" packet.uid Addr.pp
+    packet.src sport Addr.pp packet.dst dport proto_name
+    (Payload.length packet.body)
+    packet.ttl

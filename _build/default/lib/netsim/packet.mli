@@ -1,0 +1,87 @@
+(** Simulated network packets: an IP header, an optional transport header and
+    a payload.
+
+    Packets are immutable; rewriting (as PLAN-P's [ipDestSet] does) builds a
+    new packet sharing the payload. Each packet carries a unique [uid] for
+    tracing and an optional [chan_tag] naming the user-defined PLAN-P channel
+    it was sent on (the paper: "the packet is tagged for identification"). *)
+
+type proto = Proto_tcp | Proto_udp | Proto_raw
+
+type tcp_header = {
+  tcp_src : int;  (** source port *)
+  tcp_dst : int;  (** destination port *)
+  tcp_seq : int;
+  tcp_ack : int;
+  tcp_syn : bool;
+  tcp_fin : bool;
+  tcp_is_ack : bool;
+}
+
+type udp_header = { udp_src : int; udp_dst : int }
+type l4 = Tcp of tcp_header | Udp of udp_header | Raw
+
+type t = {
+  uid : int;  (** unique per construction, for tracing *)
+  src : Addr.t;
+  dst : Addr.t;
+  ttl : int;
+  l4 : l4;
+  body : Payload.t;
+  chan_tag : string option;
+}
+
+(** [make ~src ~dst l4 body] builds a packet with a fresh [uid] and default
+    TTL 64. *)
+val make :
+  ?ttl:int -> ?chan_tag:string -> src:Addr.t -> dst:Addr.t -> l4 -> Payload.t -> t
+
+(** [udp ~src ~dst ~src_port ~dst_port body] is a convenience constructor. *)
+val udp :
+  ?ttl:int ->
+  ?chan_tag:string ->
+  src:Addr.t ->
+  dst:Addr.t ->
+  src_port:int ->
+  dst_port:int ->
+  Payload.t ->
+  t
+
+(** [tcp ~src ~dst ~src_port ~dst_port body] builds a plain data segment;
+    use the optional flags for connection management. *)
+val tcp :
+  ?ttl:int ->
+  ?chan_tag:string ->
+  ?seq:int ->
+  ?ack:int ->
+  ?syn:bool ->
+  ?fin:bool ->
+  ?is_ack:bool ->
+  src:Addr.t ->
+  dst:Addr.t ->
+  src_port:int ->
+  dst_port:int ->
+  Payload.t ->
+  t
+
+val proto : t -> proto
+
+(** [wire_size packet] is the simulated on-the-wire size in bytes:
+    20 (IP) + 20 (TCP) or 8 (UDP) + payload length. *)
+val wire_size : t -> int
+
+(** [with_dst packet addr] / [with_src packet addr] rewrite an address,
+    keeping the uid (it is the same packet, redirected). *)
+val with_dst : t -> Addr.t -> t
+
+val with_src : t -> Addr.t -> t
+val with_body : t -> Payload.t -> t
+val with_l4 : t -> l4 -> t
+
+(** [decrement_ttl packet] is [None] when the TTL expires. *)
+val decrement_ttl : t -> t option
+
+(** [clone packet] duplicates with a fresh uid (for multicast replication). *)
+val clone : t -> t
+
+val pp : Format.formatter -> t -> unit

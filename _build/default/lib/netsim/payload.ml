@@ -1,0 +1,96 @@
+type t = string
+
+let empty = ""
+let of_string s = s
+let to_string p = p
+let of_bytes b = Bytes.to_string b
+let length = String.length
+
+let check p off width op =
+  if off < 0 || off + width > String.length p then
+    invalid_arg
+      (Printf.sprintf "Payload.%s: offset %d (width %d) out of bounds (len %d)"
+         op off width (String.length p))
+
+let get_u8 p off =
+  check p off 1 "get_u8";
+  Char.code p.[off]
+
+let get_u16 p off =
+  check p off 2 "get_u16";
+  (Char.code p.[off] lsl 8) lor Char.code p.[off + 1]
+
+let get_u32 p off =
+  check p off 4 "get_u32";
+  (Char.code p.[off] lsl 24)
+  lor (Char.code p.[off + 1] lsl 16)
+  lor (Char.code p.[off + 2] lsl 8)
+  lor Char.code p.[off + 3]
+
+let sub p ~pos ~len =
+  check p pos len "sub";
+  String.sub p pos len
+
+let concat parts = String.concat "" parts
+let equal = String.equal
+let fill len byte = String.make len (Char.chr (byte land 0xff))
+
+let pp fmt p =
+  let n = String.length p in
+  let shown = min n 16 in
+  Format.fprintf fmt "payload[%d:" n;
+  for i = 0 to shown - 1 do
+    Format.fprintf fmt " %02x" (Char.code p.[i])
+  done;
+  if shown < n then Format.fprintf fmt " ...";
+  Format.fprintf fmt "]"
+
+module Writer = struct
+  type w = Buffer.t
+
+  let create () = Buffer.create 64
+  let u8 w v = Buffer.add_char w (Char.chr (v land 0xff))
+
+  let u16 w v =
+    u8 w (v lsr 8);
+    u8 w v
+
+  let u32 w v =
+    u8 w (v lsr 24);
+    u8 w (v lsr 16);
+    u8 w (v lsr 8);
+    u8 w v
+
+  let string = Buffer.add_string
+  let raw w p = Buffer.add_string w p
+  let finish = Buffer.contents
+end
+
+module Reader = struct
+  type r = { data : t; mutable pos : int }
+
+  let create data = { data; pos = 0 }
+
+  let u8 r =
+    let v = get_u8 r.data r.pos in
+    r.pos <- r.pos + 1;
+    v
+
+  let u16 r =
+    let v = get_u16 r.data r.pos in
+    r.pos <- r.pos + 2;
+    v
+
+  let u32 r =
+    let v = get_u32 r.data r.pos in
+    r.pos <- r.pos + 4;
+    v
+
+  let string r len =
+    let s = sub r.data ~pos:r.pos ~len in
+    r.pos <- r.pos + len;
+    s
+
+  let remaining r = String.length r.data - r.pos
+  let rest r = string r (remaining r)
+end

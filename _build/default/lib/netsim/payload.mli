@@ -1,0 +1,68 @@
+(** Packet payloads: immutable byte strings with bounds-checked big-endian
+    accessors and cursor-style readers/writers.
+
+    Application data (audio frames, HTTP requests, MPEG frames) is serialized
+    into payloads so that PLAN-P blob primitives operate on real bytes, as in
+    the paper's kernel implementation. *)
+
+type t
+
+val empty : t
+val of_string : string -> t
+val to_string : t -> string
+val of_bytes : bytes -> t
+val length : t -> int
+
+(** [get_u8 payload off] reads one byte.
+    @raise Invalid_argument when out of bounds (all accessors). *)
+val get_u8 : t -> int -> int
+
+val get_u16 : t -> int -> int
+val get_u32 : t -> int -> int
+
+(** [sub payload ~pos ~len] extracts a slice. *)
+val sub : t -> pos:int -> len:int -> t
+
+val concat : t list -> t
+val equal : t -> t -> bool
+
+(** [fill len byte] is a payload of [len] copies of [byte]; used to model
+    opaque data of a given size. *)
+val fill : int -> int -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** Sequential writer. *)
+module Writer : sig
+  type w
+
+  val create : unit -> w
+  val u8 : w -> int -> unit
+  val u16 : w -> int -> unit
+  val u32 : w -> int -> unit
+  val string : w -> string -> unit
+
+  (** [raw w payload] appends an existing payload. *)
+  val raw : w -> t -> unit
+
+  val finish : w -> t
+end
+
+(** Sequential reader. *)
+module Reader : sig
+  type r
+
+  val create : t -> r
+  val u8 : r -> int
+  val u16 : r -> int
+  val u32 : r -> int
+
+  (** [string r len] reads [len] raw bytes. *)
+  val string : r -> int -> string
+
+  (** [remaining r] is the number of unread bytes. *)
+  val remaining : r -> int
+
+  (** [rest r] reads all remaining bytes as a payload. *)
+  val rest : r -> t
+end

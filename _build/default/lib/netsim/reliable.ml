@@ -1,0 +1,168 @@
+let data_tag = Char.code 'D'
+let ack_tag = Char.code 'A'
+
+module Sender = struct
+  type t = {
+    node : Node.t;
+    dst : Addr.t;
+    dst_port : int;
+    src_port : int;
+    window : int;
+    rto : float;
+    queue : Payload.t Queue.t;  (* not yet transmitted *)
+    inflight : (int, Payload.t) Hashtbl.t;  (* seq -> message *)
+    mutable next_seq : int;  (* next fresh sequence number *)
+    mutable base : int;  (* lowest unacknowledged seq *)
+    mutable retx : int;
+    mutable timer_armed : bool;
+  }
+
+  let encode_data seq payload =
+    let writer = Payload.Writer.create () in
+    Payload.Writer.u8 writer data_tag;
+    Payload.Writer.u32 writer seq;
+    Payload.Writer.raw writer payload;
+    Payload.Writer.finish writer
+
+  let transmit t seq payload =
+    Node.send_udp t.node ~dst:t.dst ~src_port:t.src_port ~dst_port:t.dst_port
+      (encode_data seq payload)
+
+  (* Move queued messages into the window and (re)arm the timer. *)
+  let rec pump t =
+    while Hashtbl.length t.inflight < t.window && not (Queue.is_empty t.queue) do
+      let payload = Queue.pop t.queue in
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      Hashtbl.replace t.inflight seq payload;
+      transmit t seq payload
+    done;
+    if (not t.timer_armed) && Hashtbl.length t.inflight > 0 then begin
+      t.timer_armed <- true;
+      Engine.schedule_after (Node.engine t.node) ~delay:t.rto (fun () ->
+          t.timer_armed <- false;
+          on_timeout t)
+    end
+
+  (* Go-back-N-ish: retransmit everything still in flight. *)
+  and on_timeout t =
+    if Hashtbl.length t.inflight > 0 then begin
+      let pending =
+        List.sort Int.compare
+          (Hashtbl.fold (fun seq _ acc -> seq :: acc) t.inflight [])
+      in
+      List.iter
+        (fun seq ->
+          t.retx <- t.retx + 1;
+          transmit t seq (Hashtbl.find t.inflight seq))
+        pending;
+      pump t
+    end
+
+  let on_ack t (packet : Packet.t) =
+    let body = packet.Packet.body in
+    if Payload.length body = 5 && Payload.get_u8 body 0 = ack_tag then begin
+      let cumulative = Payload.get_u32 body 1 in
+      if cumulative >= t.base then begin
+        for seq = t.base to cumulative do
+          Hashtbl.remove t.inflight seq
+        done;
+        t.base <- cumulative + 1;
+        pump t
+      end
+    end
+
+  let connect ?(window = 8) ?(rto = 0.2) node ~dst ~dst_port ~src_port () =
+    if window <= 0 then invalid_arg "Reliable.Sender.connect: window";
+    let t =
+      {
+        node;
+        dst;
+        dst_port;
+        src_port;
+        window;
+        rto;
+        queue = Queue.create ();
+        inflight = Hashtbl.create 16;
+        next_seq = 0;
+        base = 0;
+        retx = 0;
+        timer_armed = false;
+      }
+    in
+    Node.on_udp node ~port:src_port (fun _ packet -> on_ack t packet);
+    t
+
+  let send t payload =
+    Queue.push payload t.queue;
+    pump t
+
+  let unacked t = Hashtbl.length t.inflight + Queue.length t.queue
+  let retransmissions t = t.retx
+  let acked t = t.base - 1
+end
+
+module Receiver = struct
+  type t = {
+    node : Node.t;
+    port : int;
+    window : int;
+    on_message : Payload.t -> unit;
+    buffered : (int, Payload.t) Hashtbl.t;  (* out-of-order *)
+    mutable expected : int;  (* next in-order seq *)
+    mutable delivered_count : int;
+    mutable dup_count : int;
+  }
+
+  let send_ack t (packet : Packet.t) =
+    match packet.Packet.l4 with
+    | Packet.Udp { Packet.udp_src; _ } ->
+        let writer = Payload.Writer.create () in
+        Payload.Writer.u8 writer ack_tag;
+        Payload.Writer.u32 writer (t.expected - 1);
+        Node.send_udp t.node ~dst:packet.Packet.src ~src_port:t.port
+          ~dst_port:udp_src
+          (Payload.Writer.finish writer)
+    | Packet.Tcp _ | Packet.Raw -> ()
+
+  let on_data t (packet : Packet.t) =
+    let body = packet.Packet.body in
+    if Payload.length body >= 5 && Payload.get_u8 body 0 = data_tag then begin
+      let seq = Payload.get_u32 body 1 in
+      let payload = Payload.sub body ~pos:5 ~len:(Payload.length body - 5) in
+      if seq < t.expected || Hashtbl.mem t.buffered seq then
+        t.dup_count <- t.dup_count + 1
+      else if seq < t.expected + t.window then begin
+        Hashtbl.replace t.buffered seq payload;
+        while Hashtbl.mem t.buffered t.expected do
+          let message = Hashtbl.find t.buffered t.expected in
+          Hashtbl.remove t.buffered t.expected;
+          t.expected <- t.expected + 1;
+          t.delivered_count <- t.delivered_count + 1;
+          t.on_message message
+        done
+      end;
+      (* Ack whatever is in order so far (also re-acks duplicates, which is
+         what unblocks a sender whose acks were lost). *)
+      send_ack t packet
+    end
+
+  let listen ?(window = 64) node ~port ~on_message () =
+    let t =
+      {
+        node;
+        port;
+        window;
+        on_message;
+        buffered = Hashtbl.create 16;
+        expected = 0;
+        delivered_count = 0;
+        dup_count = 0;
+      }
+    in
+    Node.on_udp node ~port (fun _ packet -> on_data t packet);
+    t
+
+  let delivered t = t.delivered_count
+  let duplicates t = t.dup_count
+end

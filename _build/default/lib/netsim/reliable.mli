@@ -1,0 +1,62 @@
+(** A small reliable, ordered message stream over the simulator's UDP —
+    groundwork for the paper's §5 "better language support for TCP
+    connections".
+
+    Unidirectional, message-oriented: the sender numbers messages, keeps a
+    fixed window in flight, retransmits on timeout; the receiver delivers
+    in order exactly once and returns cumulative ACKs. Survives arbitrary
+    packet loss (e.g. {!Link.set_up} fault injection) as long as the link
+    eventually carries traffic again.
+
+    Wire format (UDP payloads): data = [u8 'D'; u32 seq; bytes],
+    ack = [u8 'A'; u32 cumulative]. *)
+
+module Sender : sig
+  type t
+
+  (** [connect node ~dst ~dst_port ~src_port ()] prepares a stream.
+
+      @param window messages in flight (default 8)
+      @param rto retransmission timeout, seconds (default 0.2) *)
+  val connect :
+    ?window:int ->
+    ?rto:float ->
+    Node.t ->
+    dst:Addr.t ->
+    dst_port:int ->
+    src_port:int ->
+    unit ->
+    t
+
+  (** [send t payload] enqueues one message. *)
+  val send : t -> Payload.t -> unit
+
+  (** [unacked t] — messages sent or queued but not yet acknowledged. *)
+  val unacked : t -> int
+
+  (** [retransmissions t] — timeout-triggered resends so far. *)
+  val retransmissions : t -> int
+
+  (** [acked t] — highest cumulative acknowledgement received. *)
+  val acked : t -> int
+end
+
+module Receiver : sig
+  type t
+
+  (** [listen node ~port ~on_message ()] delivers messages to
+      [on_message], in order, exactly once. *)
+  val listen :
+    ?window:int ->
+    Node.t ->
+    port:int ->
+    on_message:(Payload.t -> unit) ->
+    unit ->
+    t
+
+  (** [delivered t] — messages handed to [on_message]. *)
+  val delivered : t -> int
+
+  (** [duplicates t] — retransmitted copies discarded. *)
+  val duplicates : t -> int
+end

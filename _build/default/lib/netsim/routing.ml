@@ -1,0 +1,38 @@
+type route = { ifindex : int; next_hop : Addr.t option }
+
+type table = {
+  hosts : (Addr.t, route) Hashtbl.t;
+  mutable default : route option;
+}
+
+let create () = { hosts = Hashtbl.create 32; default = None }
+let add_host table dst route = Hashtbl.replace table.hosts dst route
+let remove_host table dst = Hashtbl.remove table.hosts dst
+let set_default table route = table.default <- route
+
+let lookup table dst =
+  match Hashtbl.find_opt table.hosts dst with
+  | Some route -> Some route
+  | None -> table.default
+
+let clear table =
+  Hashtbl.reset table.hosts;
+  table.default <- None
+
+let entries table = Hashtbl.fold (fun dst route acc -> (dst, route) :: acc) table.hosts []
+
+let pp fmt table =
+  let pp_route fmt { ifindex; next_hop } =
+    match next_hop with
+    | None -> Format.fprintf fmt "if%d (direct)" ifindex
+    | Some hop -> Format.fprintf fmt "if%d via %a" ifindex Addr.pp hop
+  in
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (dst, route) ->
+      Format.fprintf fmt "%a -> %a@," Addr.pp dst pp_route route)
+    (entries table);
+  (match table.default with
+  | Some route -> Format.fprintf fmt "default -> %a" pp_route route
+  | None -> ());
+  Format.fprintf fmt "@]"

@@ -1,0 +1,33 @@
+(** Per-node routing tables.
+
+    Tables hold host routes (exact destination address) plus an optional
+    default route. Topologies are small, so host routes computed by
+    {!Topology.compute_routes} cover every destination; the default route
+    supports gateway-style setups. *)
+
+type route = {
+  ifindex : int;  (** outgoing interface on the owning node *)
+  next_hop : Addr.t option;
+      (** link-level next hop for shared segments; [None] means "the
+          destination itself is on this medium" *)
+}
+
+type table
+
+val create : unit -> table
+
+(** [add_host table dst route] installs/replaces the host route for [dst]. *)
+val add_host : table -> Addr.t -> route -> unit
+
+val remove_host : table -> Addr.t -> unit
+val set_default : table -> route option -> unit
+
+(** [lookup table dst] prefers a host route, then the default route. *)
+val lookup : table -> Addr.t -> route option
+
+val clear : table -> unit
+
+(** [entries table] lists host routes in unspecified order. *)
+val entries : table -> (Addr.t * route) list
+
+val pp : Format.formatter -> table -> unit

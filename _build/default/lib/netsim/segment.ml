@@ -1,0 +1,85 @@
+type station = int
+
+type t = {
+  seg_uid : int;
+  seg_name : string;
+  engine : Engine.t;
+  bandwidth : float;
+  latency : float;
+  queue_capacity : int;
+  mutable busy_until : float;
+  mutable stations : (l2_dst:Addr.t option -> Packet.t -> unit) array;
+  seg_stat : Flowstat.t;
+  mutable dropped : int;
+  mutable tap : (at:float -> l2_dst:Addr.t option -> Packet.t -> unit) option;
+}
+
+let uid_counter = ref 0
+
+let create ?(name = "segment") ?(queue_capacity = 131072) engine ~bandwidth_bps
+    ~latency () =
+  if bandwidth_bps <= 0.0 then
+    invalid_arg "Segment.create: bandwidth must be positive";
+  if latency < 0.0 then invalid_arg "Segment.create: negative latency";
+  incr uid_counter;
+  {
+    seg_uid = !uid_counter;
+    seg_name = name;
+    engine;
+    bandwidth = bandwidth_bps;
+    latency;
+    queue_capacity;
+    busy_until = 0.0;
+    stations = [||];
+    seg_stat = Flowstat.create ();
+    dropped = 0;
+    tap = None;
+  }
+
+let name segment = segment.seg_name
+let uid segment = segment.seg_uid
+let bandwidth_bps segment = segment.bandwidth
+
+let attach segment f =
+  let station = Array.length segment.stations in
+  segment.stations <- Array.append segment.stations [| f |];
+  station
+
+let backlog_bytes segment =
+  let now = Engine.now segment.engine in
+  if segment.busy_until <= now then 0
+  else int_of_float ((segment.busy_until -. now) *. segment.bandwidth /. 8.0)
+
+let send segment ~from ~l2_dst packet =
+  if from < 0 || from >= Array.length segment.stations then
+    invalid_arg "Segment.send: unknown station";
+  let now = Engine.now segment.engine in
+  let size = Packet.wire_size packet in
+  if backlog_bytes segment + size > segment.queue_capacity then begin
+    segment.dropped <- segment.dropped + 1;
+    false
+  end
+  else begin
+    let start = Float.max now segment.busy_until in
+    let finish = start +. (float_of_int (size * 8) /. segment.bandwidth) in
+    segment.busy_until <- finish;
+    Flowstat.record segment.seg_stat ~now:finish size;
+    (match segment.tap with
+    | Some tap -> tap ~at:finish ~l2_dst packet
+    | None -> ());
+    Engine.schedule segment.engine ~at:(finish +. segment.latency) (fun () ->
+        Array.iteri
+          (fun station deliver ->
+            if station <> from then deliver ~l2_dst packet)
+          segment.stations);
+    true
+  end
+
+let stat segment = segment.seg_stat
+let set_tap segment f = segment.tap <- Some f
+
+let load_bps segment =
+  Flowstat.rate_bps segment.seg_stat ~now:(Engine.now segment.engine)
+
+let drops segment = segment.dropped
+let station_count segment = Array.length segment.stations

@@ -1,0 +1,53 @@
+(** Shared (Ethernet-like) segments.
+
+    A segment is a broadcast medium: every frame transmitted by one station
+    is delivered to all other stations after the serialization and
+    propagation delay. Frames carry an optional link-level destination
+    address; filtering (or promiscuous capture, as the MPEG client ASP
+    needs) is the receiver's business. The medium is half-duplex with one
+    shared transmitter modelled like a {!Link} direction. *)
+
+type t
+type station = int
+
+(** [create engine ~bandwidth_bps ~latency ()] builds a segment.
+    [queue_capacity] bounds the shared backlog in bytes (default 128 KiB). *)
+val create :
+  ?name:string ->
+  ?queue_capacity:int ->
+  Engine.t ->
+  bandwidth_bps:float ->
+  latency:float ->
+  unit ->
+  t
+
+val name : t -> string
+val bandwidth_bps : t -> float
+
+(** [uid segment] is unique across all segments ever created. *)
+val uid : t -> int
+
+(** [attach segment f] adds a station whose frames are delivered to [f] as
+    [f ~l2_dst packet]; [l2_dst = None] means link-level broadcast. *)
+val attach : t -> (l2_dst:Addr.t option -> Packet.t -> unit) -> station
+
+(** [send segment ~from ~l2_dst packet] transmits a frame from station
+    [from]; delivered to every *other* station. Returns [false] on drop. *)
+val send : t -> from:station -> l2_dst:Addr.t option -> Packet.t -> bool
+
+(** [stat segment] carries all traffic on the medium — what a router attached
+    to the segment observes when it "monitors the bandwidth of outgoing
+    links" (paper §3.1). *)
+val stat : t -> Flowstat.t
+
+(** [set_tap segment f] registers a passive sniffer called for every frame
+    the medium *carries* (after the drop decision), with the transmission
+    finish time — how the experiments measure per-flow wire bandwidth. *)
+val set_tap : t -> (at:float -> l2_dst:Addr.t option -> Packet.t -> unit) -> unit
+
+(** [load_bps segment] is the carried rate over the stat window, right now. *)
+val load_bps : t -> float
+
+val backlog_bytes : t -> int
+val drops : t -> int
+val station_count : t -> int

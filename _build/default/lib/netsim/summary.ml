@@ -1,0 +1,84 @@
+type t = {
+  mutable samples : float array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { samples = Array.make 64 0.0; len = 0; sorted = true }
+
+let add t value =
+  if t.len = Array.length t.samples then begin
+    let grown = Array.make (2 * t.len) 0.0 in
+    Array.blit t.samples 0 grown 0 t.len;
+    t.samples <- grown
+  end;
+  t.samples.(t.len) <- value;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+let count t = t.len
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.samples.(i)
+  done
+
+let merge ~into t = iter t (add into)
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let snapshot = Array.sub t.samples 0 t.len in
+    Array.sort Float.compare snapshot;
+    Array.blit snapshot 0 t.samples 0 t.len;
+    t.sorted <- true
+  end
+
+let mean t =
+  if t.len = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to t.len - 1 do
+      sum := !sum +. t.samples.(i)
+    done;
+    !sum /. float_of_int t.len
+  end
+
+let min t =
+  if t.len = 0 then 0.0
+  else begin
+    ensure_sorted t;
+    t.samples.(0)
+  end
+
+let max t =
+  if t.len = 0 then 0.0
+  else begin
+    ensure_sorted t;
+    t.samples.(t.len - 1)
+  end
+
+let percentile t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: p outside [0, 100]";
+  if t.len = 0 then 0.0
+  else begin
+    ensure_sorted t;
+    (* nearest rank *)
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.len)) in
+    t.samples.(Stdlib.max 0 (Stdlib.min (t.len - 1) (rank - 1)))
+  end
+
+let stddev t =
+  if t.len < 2 then 0.0
+  else begin
+    let m = mean t in
+    let acc = ref 0.0 in
+    for i = 0 to t.len - 1 do
+      let d = t.samples.(i) -. m in
+      acc := !acc +. (d *. d)
+    done;
+    sqrt (!acc /. float_of_int t.len)
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d mean=%.3f p50=%.3f p95=%.3f max=%.3f" (count t)
+    (mean t) (percentile t 50.0) (percentile t 95.0) (max t)

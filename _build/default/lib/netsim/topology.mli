@@ -1,0 +1,61 @@
+(** Network construction: nodes, links, segments, automatic routing.
+
+    A topology owns the simulation engine and the multicast registry.
+    [compute_routes] runs breadth-first shortest paths over the node graph
+    (links are edges; segments connect all attached stations pairwise) and
+    installs host routes on every node. *)
+
+type t
+
+val create : unit -> t
+val engine : t -> Engine.t
+val mcast : t -> Multicast.t
+
+(** [add_node topo ~name ~addr] creates a node attached to this topology.
+    @raise Invalid_argument on duplicate name or address. *)
+val add_node : t -> name:string -> addr:Addr.t -> Node.t
+
+(** [add_host topo name addr_string] is [add_node] with dotted-quad input. *)
+val add_host : t -> string -> string -> Node.t
+
+(** [connect topo a b] joins two nodes with a point-to-point link.
+    Bandwidth defaults to 10 Mb/s, latency to 1 ms. *)
+val connect :
+  ?name:string ->
+  ?bandwidth_bps:float ->
+  ?latency:float ->
+  ?queue_capacity:int ->
+  t ->
+  Node.t ->
+  Node.t ->
+  Link.t
+
+(** [segment topo ()] creates a shared segment (defaults as for links). *)
+val segment :
+  ?name:string ->
+  ?bandwidth_bps:float ->
+  ?latency:float ->
+  ?queue_capacity:int ->
+  t ->
+  unit ->
+  Segment.t
+
+(** [attach topo seg node] puts [node] on [seg]; returns the new interface
+    index on [node]. *)
+val attach : t -> Segment.t -> Node.t -> int
+
+(** [compute_routes topo] (re)fills every node's routing table. Call after
+    the topology is fully built. *)
+val compute_routes : t -> unit
+
+val nodes : t -> Node.t list
+
+(** [find topo name] looks a node up by name. @raise Not_found otherwise. *)
+val find : t -> string -> Node.t
+
+val find_by_addr : t -> Addr.t -> Node.t option
+
+(** [run topo] / [run_until topo ~stop] drive the engine. *)
+val run : ?limit:int -> t -> unit
+
+val run_until : ?limit:int -> t -> stop:float -> unit

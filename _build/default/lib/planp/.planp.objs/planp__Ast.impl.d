@@ -1,0 +1,1 @@
+lib/planp/ast.ml: Hashtbl List Loc Ptype String

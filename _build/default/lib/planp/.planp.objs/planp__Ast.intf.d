@@ -1,0 +1,1 @@
+lib/planp/ast.mli: Loc Ptype

@@ -1,0 +1,1 @@
+lib/planp/lexer.ml: Buffer List Loc Printf String Token

@@ -1,0 +1,1 @@
+lib/planp/lexer.mli: Loc Token

@@ -1,0 +1,1 @@
+lib/planp/loc.ml: Format

@@ -1,0 +1,1 @@
+lib/planp/parser.ml: Array Ast Lexer List Loc Printf Ptype Token

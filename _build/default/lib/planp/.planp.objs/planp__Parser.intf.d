@@ -1,0 +1,1 @@
+lib/planp/parser.mli: Ast Loc Ptype

@@ -1,0 +1,1 @@
+lib/planp/pretty.ml: Ast Buffer Format Printf Ptype String

@@ -1,0 +1,1 @@
+lib/planp/pretty.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/planp/prim_sig.ml: Hashtbl List Printf Ptype String

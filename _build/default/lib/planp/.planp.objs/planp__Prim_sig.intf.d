@@ -1,0 +1,1 @@
+lib/planp/prim_sig.mli: Ptype

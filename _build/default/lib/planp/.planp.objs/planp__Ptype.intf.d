@@ -1,0 +1,1 @@
+lib/planp/ptype.mli: Format

@@ -1,0 +1,1 @@
+lib/planp/token.mli: Format

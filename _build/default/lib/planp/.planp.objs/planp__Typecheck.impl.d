@@ -1,0 +1,1 @@
+lib/planp/typecheck.ml: Ast Format Hashtbl List Loc Prim_sig Printf Ptype String

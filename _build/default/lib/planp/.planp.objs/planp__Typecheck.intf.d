@@ -1,0 +1,1 @@
+lib/planp/typecheck.mli: Ast Format Loc Prim_sig Ptype

@@ -1,0 +1,12 @@
+(** Hand-written lexer for PLAN-P.
+
+    Comments: ["-- to end of line"] (as in the paper's listings) and
+    [(* ... *)] (nesting). Dotted-quad sequences of four integers lex as a
+    single [HOST] literal, so programs can write router addresses directly
+    (Fig. 2 of the paper). *)
+
+exception Error of string * Loc.t
+
+(** [tokenize source] lexes the whole input.
+    @raise Error on bad input. *)
+val tokenize : string -> (Token.t * Loc.t) list

@@ -1,0 +1,6 @@
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+let make ~line ~col = { line; col }
+let pp fmt { line; col } = Format.fprintf fmt "line %d, column %d" line col
+let to_string loc = Format.asprintf "%a" pp loc

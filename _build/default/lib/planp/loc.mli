@@ -1,0 +1,8 @@
+(** Source locations for error reporting. *)
+
+type t = { line : int; col : int }
+
+val dummy : t
+val make : line:int -> col:int -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

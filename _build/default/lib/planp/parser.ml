@@ -1,0 +1,451 @@
+exception Error of string * Loc.t
+
+type state = { tokens : (Token.t * Loc.t) array; mutable pos : int }
+
+let current st = fst st.tokens.(st.pos)
+let current_loc st = snd st.tokens.(st.pos)
+
+let fail st message =
+  raise
+    (Error
+       ( Printf.sprintf "%s (found %s)" message (Token.to_string (current st)),
+         current_loc st ))
+
+let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+
+let eat st token =
+  if current st = token then advance st
+  else fail st (Printf.sprintf "expected %s" (Token.to_string token))
+
+let eat_ident st =
+  match current st with
+  | Token.IDENT name ->
+      advance st;
+      name
+  | _ -> fail st "expected identifier"
+
+(* ---------- types ---------- *)
+
+let base_type = function
+  | "int" -> Some Ptype.Tint
+  | "bool" -> Some Ptype.Tbool
+  | "string" -> Some Ptype.Tstring
+  | "char" -> Some Ptype.Tchar
+  | "unit" -> Some Ptype.Tunit
+  | "host" -> Some Ptype.Thost
+  | "blob" -> Some Ptype.Tblob
+  | "ip" -> Some Ptype.Tip
+  | "tcp" -> Some Ptype.Ttcp
+  | "udp" -> Some Ptype.Tudp
+  | _ -> None
+
+let rec parse_type_expr st =
+  let first = parse_type_atom st in
+  if current st = Token.STAR then begin
+    let components = ref [ first ] in
+    while current st = Token.STAR do
+      advance st;
+      components := parse_type_atom st :: !components
+    done;
+    Ptype.Ttuple (List.rev !components)
+  end
+  else first
+
+and parse_type_atom st =
+  match current st with
+  | Token.IDENT name -> (
+      match base_type name with
+      | Some ty ->
+          advance st;
+          ty
+      | None -> fail st (Printf.sprintf "unknown type %s" name))
+  | Token.LPAREN ->
+      advance st;
+      let first = parse_type_expr st in
+      let result =
+        if current st = Token.COMMA then begin
+          advance st;
+          let second = parse_type_expr st in
+          eat st Token.RPAREN;
+          eat st Token.KW_hash_table;
+          Ptype.Thash (first, second)
+        end
+        else begin
+          eat st Token.RPAREN;
+          if current st = Token.KW_hash_table then
+            fail st "hash_table takes (key, value) type arguments"
+          else first
+        end
+      in
+      result
+  | _ -> fail st "expected a type"
+
+(* ---------- expressions ---------- *)
+
+let rec parse_expr_top st =
+  match current st with
+  | Token.KW_if -> parse_if st
+  | Token.KW_let -> parse_let st
+  | Token.KW_try -> parse_try st
+  | Token.KW_raise -> parse_raise st
+  | _ -> parse_or st
+
+and parse_if st =
+  let loc = current_loc st in
+  eat st Token.KW_if;
+  let cond = parse_expr_top st in
+  eat st Token.KW_then;
+  let then_branch = parse_expr_top st in
+  eat st Token.KW_else;
+  let else_branch = parse_expr_top st in
+  Ast.mk loc (Ast.If (cond, then_branch, else_branch))
+
+and parse_let st =
+  let loc = current_loc st in
+  eat st Token.KW_let;
+  let bindings = ref [] in
+  while current st = Token.KW_val do
+    advance st;
+    let bind_name = eat_ident st in
+    eat st Token.COLON;
+    let bind_type = parse_type_expr st in
+    eat st Token.EQ;
+    let bind_expr = parse_expr_top st in
+    bindings := { Ast.bind_name; bind_type; bind_expr } :: !bindings
+  done;
+  if !bindings = [] then fail st "let needs at least one 'val' binding";
+  eat st Token.KW_in;
+  let body = parse_expr_top st in
+  eat st Token.KW_end;
+  Ast.mk loc (Ast.Let (List.rev !bindings, body))
+
+and parse_try st =
+  let loc = current_loc st in
+  eat st Token.KW_try;
+  let body = parse_expr_top st in
+  eat st Token.KW_handle;
+  let parse_handler () =
+    let exn_name = eat_ident st in
+    eat st Token.DARROW;
+    let handler_body = parse_expr_top st in
+    (exn_name, handler_body)
+  in
+  let handlers = ref [ parse_handler () ] in
+  while current st = Token.COMMA do
+    advance st;
+    handlers := parse_handler () :: !handlers
+  done;
+  eat st Token.KW_end;
+  Ast.mk loc (Ast.Try (body, List.rev !handlers))
+
+and parse_raise st =
+  let loc = current_loc st in
+  eat st Token.KW_raise;
+  let exn_name = eat_ident st in
+  Ast.mk loc (Ast.Raise exn_name)
+
+and parse_or st =
+  let left = parse_and st in
+  if current st = Token.KW_orelse then begin
+    let loc = current_loc st in
+    advance st;
+    let right = parse_or st in
+    Ast.mk loc (Ast.Binop (Ast.Or, left, right))
+  end
+  else left
+
+and parse_and st =
+  let left = parse_cmp st in
+  if current st = Token.KW_andalso then begin
+    let loc = current_loc st in
+    advance st;
+    let right = parse_and st in
+    Ast.mk loc (Ast.Binop (Ast.And, left, right))
+  end
+  else left
+
+and parse_cmp st =
+  let left = parse_concat st in
+  let op =
+    match current st with
+    | Token.EQ -> Some Ast.Eq
+    | Token.NE -> Some Ast.Ne
+    | Token.LT -> Some Ast.Lt
+    | Token.GT -> Some Ast.Gt
+    | Token.LE -> Some Ast.Le
+    | Token.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+      let loc = current_loc st in
+      advance st;
+      let right = parse_concat st in
+      Ast.mk loc (Ast.Binop (op, left, right))
+  | None -> left
+
+and parse_concat st =
+  let left = parse_add st in
+  if current st = Token.CARET then begin
+    let loc = current_loc st in
+    advance st;
+    let right = parse_concat st in
+    Ast.mk loc (Ast.Binop (Ast.Concat, left, right))
+  end
+  else left
+
+and parse_add st =
+  let left = ref (parse_mul st) in
+  let continue = ref true in
+  while !continue do
+    match current st with
+    | Token.PLUS ->
+        let loc = current_loc st in
+        advance st;
+        left := Ast.mk loc (Ast.Binop (Ast.Add, !left, parse_mul st))
+    | Token.MINUS ->
+        let loc = current_loc st in
+        advance st;
+        left := Ast.mk loc (Ast.Binop (Ast.Sub, !left, parse_mul st))
+    | _ -> continue := false
+  done;
+  !left
+
+and parse_mul st =
+  let left = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match current st with
+    | Token.STAR ->
+        let loc = current_loc st in
+        advance st;
+        left := Ast.mk loc (Ast.Binop (Ast.Mul, !left, parse_unary st))
+    | Token.SLASH ->
+        let loc = current_loc st in
+        advance st;
+        left := Ast.mk loc (Ast.Binop (Ast.Div, !left, parse_unary st))
+    | Token.KW_mod ->
+        let loc = current_loc st in
+        advance st;
+        left := Ast.mk loc (Ast.Binop (Ast.Mod, !left, parse_unary st))
+    | _ -> continue := false
+  done;
+  !left
+
+and parse_unary st =
+  match current st with
+  | Token.KW_not ->
+      let loc = current_loc st in
+      advance st;
+      Ast.mk loc (Ast.Unop (Ast.Not, parse_unary st))
+  | Token.MINUS -> (
+      let loc = current_loc st in
+      advance st;
+      (* Fold negated integer literals so printing round-trips. *)
+      match parse_unary st with
+      | { Ast.desc = Ast.Int n; _ } -> Ast.mk loc (Ast.Int (-n))
+      | operand -> Ast.mk loc (Ast.Unop (Ast.Neg, operand)))
+  | _ -> parse_atom st
+
+and parse_atom st =
+  let loc = current_loc st in
+  match current st with
+  | Token.INT n ->
+      advance st;
+      Ast.mk loc (Ast.Int n)
+  | Token.STRING s ->
+      advance st;
+      Ast.mk loc (Ast.String s)
+  | Token.CHAR c ->
+      advance st;
+      Ast.mk loc (Ast.Char c)
+  | Token.HOST h ->
+      advance st;
+      Ast.mk loc (Ast.Host h)
+  | Token.KW_true ->
+      advance st;
+      Ast.mk loc (Ast.Bool true)
+  | Token.KW_false ->
+      advance st;
+      Ast.mk loc (Ast.Bool false)
+  | Token.PROJ n ->
+      advance st;
+      let operand = parse_atom st in
+      Ast.mk loc (Ast.Proj (n, operand))
+  | Token.KW_onremote ->
+      advance st;
+      eat st Token.LPAREN;
+      let chan = eat_ident st in
+      eat st Token.COMMA;
+      let packet = parse_expr_top st in
+      eat st Token.RPAREN;
+      Ast.mk loc (Ast.On_remote (chan, packet))
+  | Token.KW_onneighbor ->
+      advance st;
+      eat st Token.LPAREN;
+      let chan = eat_ident st in
+      eat st Token.COMMA;
+      let packet = parse_expr_top st in
+      eat st Token.RPAREN;
+      Ast.mk loc (Ast.On_neighbor (chan, packet))
+  | Token.IDENT name ->
+      advance st;
+      if current st = Token.LPAREN then begin
+        advance st;
+        let args =
+          if current st = Token.RPAREN then []
+          else begin
+            let args = ref [ parse_expr_top st ] in
+            while current st = Token.COMMA do
+              advance st;
+              args := parse_expr_top st :: !args
+            done;
+            List.rev !args
+          end
+        in
+        eat st Token.RPAREN;
+        Ast.mk loc (Ast.Call (name, args))
+      end
+      else Ast.mk loc (Ast.Var name)
+  | Token.LPAREN ->
+      advance st;
+      if current st = Token.RPAREN then begin
+        advance st;
+        Ast.mk loc Ast.Unit
+      end
+      else begin
+        let first = parse_expr_top st in
+        match current st with
+        | Token.COMMA ->
+            let components = ref [ first ] in
+            while current st = Token.COMMA do
+              advance st;
+              components := parse_expr_top st :: !components
+            done;
+            eat st Token.RPAREN;
+            Ast.mk loc (Ast.Tuple (List.rev !components))
+        | Token.SEMI ->
+            let parts = ref [ first ] in
+            while current st = Token.SEMI do
+              advance st;
+              parts := parse_expr_top st :: !parts
+            done;
+            eat st Token.RPAREN;
+            let rec build = function
+              | [ last ] -> last
+              | part :: rest -> Ast.mk part.Ast.loc (Ast.Seq (part, build rest))
+              | [] -> assert false
+            in
+            build (List.rev !parts)
+        | _ ->
+            eat st Token.RPAREN;
+            first
+      end
+  | _ -> fail st "expected an expression"
+
+(* ---------- declarations ---------- *)
+
+let parse_param st =
+  let name = eat_ident st in
+  eat st Token.COLON;
+  let ty = parse_type_expr st in
+  (name, ty)
+
+let parse_decl st =
+  let loc = current_loc st in
+  match current st with
+  | Token.KW_val ->
+      advance st;
+      let bind_name = eat_ident st in
+      eat st Token.COLON;
+      let bind_type = parse_type_expr st in
+      eat st Token.EQ;
+      let bind_expr = parse_expr_top st in
+      Ast.Dval ({ Ast.bind_name; bind_type; bind_expr }, loc)
+  | Token.KW_fun ->
+      advance st;
+      let fun_name = eat_ident st in
+      eat st Token.LPAREN;
+      let params =
+        if current st = Token.RPAREN then []
+        else begin
+          let params = ref [ parse_param st ] in
+          while current st = Token.COMMA do
+            advance st;
+            params := parse_param st :: !params
+          done;
+          List.rev !params
+        end
+      in
+      eat st Token.RPAREN;
+      eat st Token.COLON;
+      let ret_type = parse_type_expr st in
+      eat st Token.EQ;
+      let fun_body = parse_expr_top st in
+      Ast.Dfun { Ast.fun_name; params; ret_type; fun_body; fun_loc = loc }
+  | Token.KW_exception ->
+      advance st;
+      let name = eat_ident st in
+      Ast.Dexception (name, loc)
+  | Token.KW_protostate ->
+      advance st;
+      let ty = parse_type_expr st in
+      eat st Token.EQ;
+      let init = parse_expr_top st in
+      Ast.Dprotostate (ty, init, loc)
+  | Token.KW_channel ->
+      advance st;
+      let chan_name = eat_ident st in
+      eat st Token.LPAREN;
+      let ps_name, ps_type = parse_param st in
+      eat st Token.COMMA;
+      let ss_name, ss_type = parse_param st in
+      eat st Token.COMMA;
+      let pkt_name, pkt_type = parse_param st in
+      eat st Token.RPAREN;
+      let initstate =
+        if current st = Token.KW_initstate then begin
+          advance st;
+          Some (parse_expr_top st)
+        end
+        else None
+      in
+      eat st Token.KW_is;
+      let body = parse_expr_top st in
+      Ast.Dchannel
+        {
+          Ast.chan_name;
+          ps_name;
+          ps_type;
+          ss_name;
+          ss_type;
+          pkt_name;
+          pkt_type;
+          initstate;
+          body;
+          chan_loc = loc;
+        }
+  | _ -> fail st "expected a declaration (val, fun, exception, protostate, channel)"
+
+let make_state source =
+  { tokens = Array.of_list (Lexer.tokenize source); pos = 0 }
+
+let parse source =
+  let st = make_state source in
+  let decls = ref [] in
+  while current st <> Token.EOF do
+    decls := parse_decl st :: !decls
+  done;
+  List.rev !decls
+
+let parse_expr source =
+  let st = make_state source in
+  let expr = parse_expr_top st in
+  if current st <> Token.EOF then fail st "trailing input after expression";
+  expr
+
+let parse_type source =
+  let st = make_state source in
+  let ty = parse_type_expr st in
+  if current st <> Token.EOF then fail st "trailing input after type";
+  ty

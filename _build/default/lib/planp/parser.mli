@@ -1,0 +1,20 @@
+(** Recursive-descent parser for PLAN-P.
+
+    Expression grammar (loosest to tightest): [orelse] < [andalso] <
+    comparisons < [^] < [+ -] < [* / mod] < unary < atoms. [if], [let],
+    [try ... handle ... end] and [raise] parse at top level of an
+    expression; inside an operand they must be parenthesized. Parenthesized
+    forms: [()] unit, [(e)] grouping, [(e, e, ...)] tuples, [(e; e; ...)]
+    sequences. *)
+
+exception Error of string * Loc.t
+
+(** [parse source] lexes and parses a whole program.
+    @raise Error (or {!Lexer.Error}) on malformed input. *)
+val parse : string -> Ast.program
+
+(** [parse_expr source] parses a single expression (for tests/REPL). *)
+val parse_expr : string -> Ast.expr
+
+(** [parse_type source] parses a single type (for tests). *)
+val parse_type : string -> Ptype.t

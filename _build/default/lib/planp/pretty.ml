@@ -1,0 +1,145 @@
+let binop_symbol = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "mod"
+  | Ast.Eq -> "="
+  | Ast.Ne -> "<>"
+  | Ast.Lt -> "<"
+  | Ast.Gt -> ">"
+  | Ast.Le -> "<="
+  | Ast.Ge -> ">="
+  | Ast.And -> "andalso"
+  | Ast.Or -> "orelse"
+  | Ast.Concat -> "^"
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let host_string h =
+  Printf.sprintf "%d.%d.%d.%d" ((h lsr 24) land 0xff) ((h lsr 16) land 0xff)
+    ((h lsr 8) land 0xff) (h land 0xff)
+
+(* Everything except atoms prints fully parenthesized: correctness of the
+   round-trip beats prettiness for machine-generated output. *)
+let rec pp_expr fmt (expr : Ast.expr) =
+  match expr.Ast.desc with
+  | Ast.Int n -> if n < 0 then Format.fprintf fmt "(%d)" n else Format.pp_print_int fmt n
+  | Ast.Bool b -> Format.pp_print_bool fmt b
+  | Ast.String s -> Format.fprintf fmt "\"%s\"" (escape_string s)
+  | Ast.Char '\n' -> Format.pp_print_string fmt "'\\n'"
+  | Ast.Char '\t' -> Format.pp_print_string fmt "'\\t'"
+  | Ast.Char '\'' -> Format.pp_print_string fmt "'\\''"
+  | Ast.Char '\\' -> Format.pp_print_string fmt "'\\\\'"
+  | Ast.Char c -> Format.fprintf fmt "'%c'" c
+  | Ast.Unit -> Format.pp_print_string fmt "()"
+  | Ast.Host h -> Format.pp_print_string fmt (host_string h)
+  | Ast.Var name -> Format.pp_print_string fmt name
+  | Ast.Call (name, []) -> Format.fprintf fmt "%s()" name
+  | Ast.Call (name, args) ->
+      Format.fprintf fmt "@[<hov 2>%s(%a)@]" name
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ")
+           pp_expr)
+        args
+  | Ast.Tuple components ->
+      Format.fprintf fmt "@[<hov 1>(%a)@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ")
+           pp_expr)
+        components
+  | Ast.Proj (index, operand) ->
+      Format.fprintf fmt "#%d%a" index pp_atomized operand
+  | Ast.Let (bindings, body) ->
+      Format.fprintf fmt "@[<v>let@;<1 2>@[<v>%a@]@ in@;<1 2>%a@ end@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt "@ ")
+           pp_binding)
+        bindings pp_expr body
+  | Ast.If (cond, then_branch, else_branch) ->
+      Format.fprintf fmt
+        "@[<v>if %a then@;<1 2>%a@ else@;<1 2>%a@]" pp_operand cond pp_operand
+        then_branch pp_operand else_branch
+  | Ast.Binop (op, left, right) ->
+      Format.fprintf fmt "@[<hov>(%a %s %a)@]" pp_operand left (binop_symbol op)
+        pp_operand right
+  | Ast.Unop (Ast.Not, operand) ->
+      Format.fprintf fmt "(not %a)" pp_operand operand
+  | Ast.Unop (Ast.Neg, operand) -> Format.fprintf fmt "(- %a)" pp_operand operand
+  | Ast.Seq (left, right) ->
+      Format.fprintf fmt "@[<v 1>(%a;@ %a)@]" pp_expr left pp_expr right
+  | Ast.On_remote (chan, packet) ->
+      Format.fprintf fmt "@[<hov 2>OnRemote(%s,@ %a)@]" chan pp_expr packet
+  | Ast.On_neighbor (chan, packet) ->
+      Format.fprintf fmt "@[<hov 2>OnNeighbor(%s,@ %a)@]" chan pp_expr packet
+  | Ast.Raise exn_name -> Format.fprintf fmt "raise %s" exn_name
+  | Ast.Try (body, handlers) ->
+      Format.fprintf fmt "@[<v>try %a@ handle %a@ end@]" pp_operand body
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ")
+           (fun fmt (exn_name, handler) ->
+             Format.fprintf fmt "%s => %a" exn_name pp_operand handler))
+        handlers
+
+(* Operands of operators and delimited constructs: wrap the loose forms. *)
+and pp_operand fmt (expr : Ast.expr) =
+  match expr.Ast.desc with
+  | Ast.If _ | Ast.Let _ | Ast.Try _ | Ast.Raise _ ->
+      Format.fprintf fmt "(%a)" pp_expr expr
+  | _ -> pp_expr fmt expr
+
+(* Operand of # projection must be an atom. *)
+and pp_atomized fmt (expr : Ast.expr) =
+  match expr.Ast.desc with
+  | Ast.Var _ | Ast.Call _ | Ast.Int _ | Ast.Bool _ | Ast.String _ | Ast.Char _
+  | Ast.Unit | Ast.Host _ | Ast.Tuple _ | Ast.Proj _ ->
+      pp_expr fmt expr
+  | _ -> Format.fprintf fmt "(%a)" pp_expr expr
+
+and pp_binding fmt { Ast.bind_name; bind_type; bind_expr } =
+  Format.fprintf fmt "@[<hov 2>val %s : %a =@ %a@]" bind_name Ptype.pp bind_type
+    pp_expr bind_expr
+
+let pp_decl fmt (decl : Ast.decl) =
+  match decl with
+  | Ast.Dval (binding, _) -> pp_binding fmt binding
+  | Ast.Dfun { Ast.fun_name; params; ret_type; fun_body; _ } ->
+      Format.fprintf fmt "@[<v 2>fun %s(%a) : %a =@ %a@]" fun_name
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+           (fun fmt (name, ty) -> Format.fprintf fmt "%s : %a" name Ptype.pp ty))
+        params Ptype.pp ret_type pp_expr fun_body
+  | Ast.Dexception (name, _) -> Format.fprintf fmt "exception %s" name
+  | Ast.Dprotostate (ty, init, _) ->
+      Format.fprintf fmt "@[<hov 2>protostate %a =@ %a@]" Ptype.pp ty pp_expr init
+  | Ast.Dchannel chan ->
+      Format.fprintf fmt "@[<v 2>channel %s(%s : %a, %s : %a, %s : %a)%a is@ %a@]"
+        chan.Ast.chan_name chan.Ast.ps_name Ptype.pp chan.Ast.ps_type
+        chan.Ast.ss_name Ptype.pp chan.Ast.ss_type chan.Ast.pkt_name Ptype.pp
+        chan.Ast.pkt_type
+        (fun fmt init ->
+          match init with
+          | Some expr -> Format.fprintf fmt "@ initstate %a" pp_expr expr
+          | None -> ())
+        chan.Ast.initstate pp_expr chan.Ast.body
+
+let pp_program fmt program =
+  Format.fprintf fmt "@[<v>%a@]@."
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt "@ @ ")
+       pp_decl)
+    program
+
+let program_to_string program = Format.asprintf "%a" pp_program program
+let expr_to_string expr = Format.asprintf "%a" pp_expr expr

@@ -1,0 +1,10 @@
+(** Pretty-printer for PLAN-P programs.
+
+    Output re-parses to an equal AST (modulo locations); the round-trip is
+    checked by property tests. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_decl : Format.formatter -> Ast.decl -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string
+val expr_to_string : Ast.expr -> string

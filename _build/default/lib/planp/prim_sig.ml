@@ -1,0 +1,26 @@
+type type_fn = Ptype.t list -> (Ptype.t, string) result
+type lookup = string -> type_fn option
+
+let fixed expected result args =
+  if List.length args <> List.length expected then
+    Error
+      (Printf.sprintf "expected %d argument(s), got %d" (List.length expected)
+         (List.length args))
+  else if List.for_all2 Ptype.equal expected args then Ok result
+  else
+    Error
+      (Printf.sprintf "expected (%s), got (%s)"
+         (String.concat ", " (List.map Ptype.to_string expected))
+         (String.concat ", " (List.map Ptype.to_string args)))
+
+let arity n f args =
+  if List.length args <> n then
+    Error (Printf.sprintf "expected %d argument(s), got %d" n (List.length args))
+  else f args
+
+let empty_lookup _ = None
+
+let of_alist bindings =
+  let table = Hashtbl.create (List.length bindings) in
+  List.iter (fun (name, fn) -> Hashtbl.replace table name fn) bindings;
+  fun name -> Hashtbl.find_opt table name

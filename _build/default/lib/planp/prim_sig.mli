@@ -1,0 +1,28 @@
+(** Typing interface for PLAN-P primitives.
+
+    Following the paper (§2.3), each primitive is defined by two functions:
+    one computing its value and one computing "the return type of the
+    primitive given the types of its arguments". The front end only needs
+    the latter; the runtime registers both (see {!Planp_runtime.Prim}), and
+    the type checker receives a {!lookup} so the front end stays independent
+    of the runtime. *)
+
+(** A type function: argument types to result type, or an error message
+    explaining the mismatch. *)
+type type_fn = Ptype.t list -> (Ptype.t, string) result
+
+(** How the type checker resolves a primitive name. *)
+type lookup = string -> type_fn option
+
+(** {1 Combinators for writing type functions} *)
+
+(** [fixed args result] accepts exactly [args] and returns [result]. *)
+val fixed : Ptype.t list -> Ptype.t -> type_fn
+
+(** [arity n f] checks the argument count, then delegates. *)
+val arity : int -> type_fn -> type_fn
+
+val empty_lookup : lookup
+
+(** [of_alist bindings] builds a lookup from an association list. *)
+val of_alist : (string * type_fn) list -> lookup

@@ -1,0 +1,81 @@
+type t =
+  | Tint
+  | Tbool
+  | Tstring
+  | Tchar
+  | Tunit
+  | Thost
+  | Tblob
+  | Tip
+  | Ttcp
+  | Tudp
+  | Ttuple of t list
+  | Thash of t * t
+  | Thash_any
+
+let rec equal a b =
+  match (a, b) with
+  | Thash_any, (Thash _ | Thash_any) | Thash _, Thash_any -> true
+  | Tint, Tint
+  | Tbool, Tbool
+  | Tstring, Tstring
+  | Tchar, Tchar
+  | Tunit, Tunit
+  | Thost, Thost
+  | Tblob, Tblob
+  | Tip, Tip
+  | Ttcp, Ttcp
+  | Tudp, Tudp ->
+      true
+  | Ttuple xs, Ttuple ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Thash (ka, va), Thash (kb, vb) -> equal ka kb && equal va vb
+  | Thash_any, _ -> false
+  | ( ( Tint | Tbool | Tstring | Tchar | Tunit | Thost | Tblob | Tip | Ttcp
+      | Tudp | Ttuple _ | Thash _ ),
+      _ ) ->
+      false
+
+let rec pp fmt = function
+  | Tint -> Format.pp_print_string fmt "int"
+  | Tbool -> Format.pp_print_string fmt "bool"
+  | Tstring -> Format.pp_print_string fmt "string"
+  | Tchar -> Format.pp_print_string fmt "char"
+  | Tunit -> Format.pp_print_string fmt "unit"
+  | Thost -> Format.pp_print_string fmt "host"
+  | Tblob -> Format.pp_print_string fmt "blob"
+  | Tip -> Format.pp_print_string fmt "ip"
+  | Ttcp -> Format.pp_print_string fmt "tcp"
+  | Tudp -> Format.pp_print_string fmt "udp"
+  | Ttuple components ->
+      Format.fprintf fmt "%a"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "*")
+           pp_atom)
+        components
+  | Thash (key, value) ->
+      Format.fprintf fmt "(%a, %a) hash_table" pp key pp value
+  | Thash_any -> Format.pp_print_string fmt "hash_table"
+
+and pp_atom fmt ty =
+  match ty with
+  | Ttuple _ -> Format.fprintf fmt "(%a)" pp ty
+  | _ -> pp fmt ty
+
+let to_string ty = Format.asprintf "%a" pp ty
+
+let rec is_equality = function
+  | Tint | Tbool | Tstring | Tchar | Tunit | Thost -> true
+  | Tblob | Tip | Ttcp | Tudp | Thash _ | Thash_any -> false
+  | Ttuple components -> List.for_all is_equality components
+
+let is_packet = function
+  | Ttuple (Tip :: _) -> true
+  | Tint | Tbool | Tstring | Tchar | Tunit | Thost | Tblob | Tip | Ttcp | Tudp
+  | Ttuple _ | Thash _ | Thash_any ->
+      false
+
+let tuple components =
+  if List.length components < 2 then
+    invalid_arg "Ptype.tuple: needs at least two components";
+  Ttuple components

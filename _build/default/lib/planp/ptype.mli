@@ -1,0 +1,41 @@
+(** PLAN-P types.
+
+    The type language is deliberately small (it is a DSL): base types,
+    tuples, and hash tables. Packet types are tuples whose first component
+    is [ip] (e.g. [ip*tcp*blob]); the trailing components after the
+    transport header describe how the payload is decoded (see
+    {!Planp_runtime.Pkt_codec}). *)
+
+type t =
+  | Tint
+  | Tbool
+  | Tstring
+  | Tchar
+  | Tunit
+  | Thost  (** an IP address value *)
+  | Tblob  (** opaque payload bytes *)
+  | Tip  (** an IP header *)
+  | Ttcp  (** a TCP header *)
+  | Tudp  (** a UDP header *)
+  | Ttuple of t list  (** invariant: at least two components *)
+  | Thash of t * t  (** [(key, value) hash_table] *)
+  | Thash_any
+      (** internal: the result type of [mkTable], equal to every hash-table
+          type so the context (a binding or initstate annotation) fixes the
+          key/value types; never produced by the parser *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [is_equality ty] holds for types comparable with [=]/[<>]: every type
+    except [blob], headers and hash tables (and tuples containing them). *)
+val is_equality : t -> bool
+
+(** [is_packet ty] holds for types a channel can declare for its packet
+    parameter: a tuple starting with [ip]. *)
+val is_packet : t -> bool
+
+(** [tuple components] builds a tuple type.
+    @raise Invalid_argument with fewer than two components. *)
+val tuple : t list -> t

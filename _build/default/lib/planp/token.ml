@@ -1,0 +1,133 @@
+type t =
+  | INT of int
+  | STRING of string
+  | CHAR of char
+  | HOST of int
+  | IDENT of string
+  | PROJ of int
+  | KW_val
+  | KW_fun
+  | KW_channel
+  | KW_initstate
+  | KW_is
+  | KW_let
+  | KW_in
+  | KW_end
+  | KW_if
+  | KW_then
+  | KW_else
+  | KW_andalso
+  | KW_orelse
+  | KW_not
+  | KW_mod
+  | KW_true
+  | KW_false
+  | KW_raise
+  | KW_try
+  | KW_handle
+  | KW_exception
+  | KW_protostate
+  | KW_onremote
+  | KW_onneighbor
+  | KW_hash_table
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | COLON
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | CARET
+  | EQ
+  | NE
+  | LT
+  | GT
+  | LE
+  | GE
+  | DARROW
+  | EOF
+
+let keyword = function
+  | "val" -> Some KW_val
+  | "fun" -> Some KW_fun
+  | "channel" -> Some KW_channel
+  | "initstate" -> Some KW_initstate
+  | "is" -> Some KW_is
+  | "let" -> Some KW_let
+  | "in" -> Some KW_in
+  | "end" -> Some KW_end
+  | "if" -> Some KW_if
+  | "then" -> Some KW_then
+  | "else" -> Some KW_else
+  | "andalso" -> Some KW_andalso
+  | "orelse" -> Some KW_orelse
+  | "not" -> Some KW_not
+  | "mod" -> Some KW_mod
+  | "true" -> Some KW_true
+  | "false" -> Some KW_false
+  | "raise" -> Some KW_raise
+  | "try" -> Some KW_try
+  | "handle" -> Some KW_handle
+  | "exception" -> Some KW_exception
+  | "protostate" -> Some KW_protostate
+  | "OnRemote" -> Some KW_onremote
+  | "OnNeighbor" -> Some KW_onneighbor
+  | "hash_table" -> Some KW_hash_table
+  | _ -> None
+
+let to_string = function
+  | INT n -> string_of_int n
+  | STRING s -> Printf.sprintf "%S" s
+  | CHAR c -> Printf.sprintf "'%c'" c
+  | HOST h ->
+      Printf.sprintf "%d.%d.%d.%d" ((h lsr 24) land 0xff) ((h lsr 16) land 0xff)
+        ((h lsr 8) land 0xff) (h land 0xff)
+  | IDENT s -> s
+  | PROJ n -> "#" ^ string_of_int n
+  | KW_val -> "val"
+  | KW_fun -> "fun"
+  | KW_channel -> "channel"
+  | KW_initstate -> "initstate"
+  | KW_is -> "is"
+  | KW_let -> "let"
+  | KW_in -> "in"
+  | KW_end -> "end"
+  | KW_if -> "if"
+  | KW_then -> "then"
+  | KW_else -> "else"
+  | KW_andalso -> "andalso"
+  | KW_orelse -> "orelse"
+  | KW_not -> "not"
+  | KW_mod -> "mod"
+  | KW_true -> "true"
+  | KW_false -> "false"
+  | KW_raise -> "raise"
+  | KW_try -> "try"
+  | KW_handle -> "handle"
+  | KW_exception -> "exception"
+  | KW_protostate -> "protostate"
+  | KW_onremote -> "OnRemote"
+  | KW_onneighbor -> "OnNeighbor"
+  | KW_hash_table -> "hash_table"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | COLON -> ":"
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | CARET -> "^"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | GT -> ">"
+  | LE -> "<="
+  | GE -> ">="
+  | DARROW -> "=>"
+  | EOF -> "<eof>"
+
+let pp fmt token = Format.pp_print_string fmt (to_string token)

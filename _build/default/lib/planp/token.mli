@@ -1,0 +1,60 @@
+(** Lexical tokens of PLAN-P. *)
+
+type t =
+  | INT of int
+  | STRING of string
+  | CHAR of char
+  | HOST of int  (** dotted-quad literal, packed as in {!Netsim.Addr} *)
+  | IDENT of string
+  | PROJ of int  (** [#n] tuple projection *)
+  (* keywords *)
+  | KW_val
+  | KW_fun
+  | KW_channel
+  | KW_initstate
+  | KW_is
+  | KW_let
+  | KW_in
+  | KW_end
+  | KW_if
+  | KW_then
+  | KW_else
+  | KW_andalso
+  | KW_orelse
+  | KW_not
+  | KW_mod
+  | KW_true
+  | KW_false
+  | KW_raise
+  | KW_try
+  | KW_handle
+  | KW_exception
+  | KW_protostate
+  | KW_onremote
+  | KW_onneighbor
+  | KW_hash_table
+  (* punctuation / operators *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | COLON
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | CARET
+  | EQ
+  | NE
+  | LT
+  | GT
+  | LE
+  | GE
+  | DARROW  (** [=>] *)
+  | EOF
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [keyword ident] maps reserved identifiers to keyword tokens. *)
+val keyword : string -> t option

@@ -1,0 +1,40 @@
+(** The PLAN-P type checker.
+
+    Beyond ordinary checking, it enforces the DSL restrictions that make the
+    safety analyses of the paper possible:
+
+    - functions are non-recursive (a function may only call functions
+      declared before it), hence local termination by construction;
+    - channel packet types are tuples headed by [ip];
+    - overloads of one channel name share the protocol-state type and have
+      pairwise distinct packet types;
+    - [OnRemote]/[OnNeighbor] targets exist, and the packet expression
+      matches one of the target's declared packet types (any packet type for
+      the distinguished [network] channel, whose packets travel untagged);
+    - equality is restricted to equality types; sequencing discards only
+      [unit].
+
+    If no [protostate] declaration is present, all channels must declare a
+    protocol-state parameter of a defaultable type (not a hash table). *)
+
+(** Exception names every program may raise and handle without declaring
+    them: the built-in [DivByZero], [OutOfBounds], [BadChar], [BadAudio],
+    [BadImage]. *)
+val builtin_exceptions : string list
+
+type error = { message : string; loc : Loc.t }
+
+type checked = {
+  program : Ast.program;
+  proto_type : Ptype.t;  (** [Tunit] when there are no channels *)
+  proto_init : Ast.expr option;
+  globals : (string * Ptype.t) list;  (** top-level vals, declaration order *)
+  exceptions : string list;
+}
+
+val check : prims:Prim_sig.lookup -> Ast.program -> (checked, error) result
+
+(** [check_exn ~prims program] raises [Failure] with a rendered message. *)
+val check_exn : prims:Prim_sig.lookup -> Ast.program -> checked
+
+val pp_error : Format.formatter -> error -> unit

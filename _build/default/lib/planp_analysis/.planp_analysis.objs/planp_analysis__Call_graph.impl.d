@@ -1,0 +1,1 @@
+lib/planp_analysis/call_graph.ml: Hashtbl List Planp String

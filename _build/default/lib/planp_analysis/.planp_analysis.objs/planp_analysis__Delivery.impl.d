@@ -1,0 +1,1 @@
+lib/planp_analysis/delivery.ml: Call_graph Hashtbl List Planp Printf Set String

@@ -1,0 +1,1 @@
+lib/planp_analysis/delivery.mli: Hashtbl Planp

@@ -1,0 +1,1 @@
+lib/planp_analysis/duplication.ml: Array Call_graph Fun Hashtbl Int List Planp Printf String

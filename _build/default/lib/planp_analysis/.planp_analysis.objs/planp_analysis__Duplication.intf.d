@@ -1,0 +1,1 @@
+lib/planp_analysis/duplication.mli: Hashtbl Planp

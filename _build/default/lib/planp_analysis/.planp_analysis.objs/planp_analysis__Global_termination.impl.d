@@ -1,0 +1,1 @@
+lib/planp_analysis/global_termination.ml: Array Call_graph Hashtbl List Planp Printf String

@@ -1,0 +1,1 @@
+lib/planp_analysis/global_termination.mli: Planp

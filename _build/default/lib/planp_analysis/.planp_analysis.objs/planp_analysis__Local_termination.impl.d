@@ -1,0 +1,1 @@
+lib/planp_analysis/local_termination.ml: Call_graph Hashtbl Int List Planp Printf

@@ -1,0 +1,1 @@
+lib/planp_analysis/local_termination.mli: Planp

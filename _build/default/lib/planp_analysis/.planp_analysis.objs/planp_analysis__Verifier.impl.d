@@ -1,0 +1,1 @@
+lib/planp_analysis/verifier.ml: Delivery Duplication Format Global_termination List Local_termination Option Planp Printf

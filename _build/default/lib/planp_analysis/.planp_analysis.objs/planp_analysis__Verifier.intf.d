@@ -1,0 +1,1 @@
+lib/planp_analysis/verifier.mli: Delivery Duplication Format Global_termination Local_termination Planp

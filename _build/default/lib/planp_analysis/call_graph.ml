@@ -1,0 +1,75 @@
+module Ast = Planp.Ast
+
+type kind = Remote | Neighbor
+
+type emission = {
+  em_target : string;
+  em_kind : kind;
+  em_packet : Ast.expr;
+  em_loc : Planp.Loc.t;
+}
+
+let fun_bodies program =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Ast.Dfun f -> Hashtbl.replace table f.Ast.fun_name f
+      | Ast.Dval _ | Ast.Dexception _ | Ast.Dprotostate _ | Ast.Dchannel _ -> ())
+    program;
+  table
+
+let emissions ~funs expr =
+  (* Functions are non-recursive, so expansion terminates; visit each call
+     site rather than memoizing (programs are ~100 lines). *)
+  let acc = ref [] in
+  let rec walk (expr : Ast.expr) =
+    match expr.Ast.desc with
+    | Ast.Int _ | Ast.Bool _ | Ast.String _ | Ast.Char _ | Ast.Unit
+    | Ast.Host _ | Ast.Var _ | Ast.Raise _ ->
+        ()
+    | Ast.Call (name, args) ->
+        List.iter walk args;
+        (match Hashtbl.find_opt funs name with
+        | Some f -> walk f.Ast.fun_body
+        | None -> ())
+    | Ast.Tuple components -> List.iter walk components
+    | Ast.Proj (_, operand) | Ast.Unop (_, operand) -> walk operand
+    | Ast.Let (bindings, body) ->
+        List.iter (fun { Ast.bind_expr; _ } -> walk bind_expr) bindings;
+        walk body
+    | Ast.If (cond, then_branch, else_branch) ->
+        walk cond;
+        walk then_branch;
+        walk else_branch
+    | Ast.Binop (_, left, right) | Ast.Seq (left, right) ->
+        walk left;
+        walk right
+    | Ast.On_remote (chan, packet) ->
+        walk packet;
+        acc :=
+          { em_target = chan; em_kind = Remote; em_packet = packet;
+            em_loc = expr.Ast.loc }
+          :: !acc
+    | Ast.On_neighbor (chan, packet) ->
+        walk packet;
+        acc :=
+          { em_target = chan; em_kind = Neighbor; em_packet = packet;
+            em_loc = expr.Ast.loc }
+          :: !acc
+    | Ast.Try (body, handlers) ->
+        walk body;
+        List.iter (fun (_, handler) -> walk handler) handlers
+  in
+  walk expr;
+  List.rev !acc
+
+let channel_emissions program =
+  let funs = fun_bodies program in
+  List.map
+    (fun chan -> (chan, emissions ~funs chan.Ast.body))
+    (Ast.channels program)
+
+let targets_of program name =
+  List.filter
+    (fun chan -> String.equal chan.Ast.chan_name name)
+    (Ast.channels program)

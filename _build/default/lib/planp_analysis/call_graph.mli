@@ -1,0 +1,33 @@
+(** Emission structure of a program: which channels can send packets to
+    which, through [OnRemote]/[OnNeighbor], including emissions buried in
+    function bodies. The substrate of the global-termination and
+    duplication analyses. *)
+
+type kind = Remote | Neighbor
+
+type emission = {
+  em_target : string;  (** target channel name ([network] included) *)
+  em_kind : kind;
+  em_packet : Planp.Ast.expr;  (** the packet expression *)
+  em_loc : Planp.Loc.t;
+}
+
+(** [fun_bodies program] maps function names to bodies. *)
+val fun_bodies : Planp.Ast.program -> (string, Planp.Ast.fundef) Hashtbl.t
+
+(** [emissions expr ~funs] lists every emission that *may* execute when
+    [expr] runs (path-insensitive union), expanding user-function calls. *)
+val emissions :
+  funs:(string, Planp.Ast.fundef) Hashtbl.t ->
+  Planp.Ast.expr ->
+  emission list
+
+(** [channel_emissions program] pairs each channel with its possible
+    emissions. *)
+val channel_emissions :
+  Planp.Ast.program -> (Planp.Ast.channel * emission list) list
+
+(** [targets_of program name] lists the channels an emission to [name] can
+    reach: the overloads of [name], or every [network] channel when [name]
+    is the network channel. *)
+val targets_of : Planp.Ast.program -> string -> Planp.Ast.channel list

@@ -1,0 +1,138 @@
+module Ast = Planp.Ast
+
+type report = { ok : bool; failures : (string * string) list }
+
+module Names = Set.Make (String)
+
+(* Exceptions the partial primitives can raise (kept in sync with the
+   planp_runtime primitive library). *)
+let prim_exceptions = function
+  | "chr" -> [ "BadChar" ]
+  | "strget" | "substr" | "blobByte" | "blobU32" | "blobSub" ->
+      [ "OutOfBounds" ]
+  | "audioSeq" | "audioQuality" | "audioFrames" | "audioDegrade"
+  | "audioRestore" ->
+      [ "BadAudio" ]
+  | "imgWidth" | "imgHeight" | "imgDepth" | "imgBytes" | "imgDistill" ->
+      [ "BadImage" ]
+  | _ -> []
+
+let rec may_raise_set ~funs (expr : Ast.expr) =
+  match expr.Ast.desc with
+  | Ast.Int _ | Ast.Bool _ | Ast.String _ | Ast.Char _ | Ast.Unit | Ast.Host _
+  | Ast.Var _ ->
+      Names.empty
+  | Ast.Raise exn_name -> Names.singleton exn_name
+  | Ast.Call (name, args) ->
+      let from_args =
+        List.fold_left
+          (fun acc arg -> Names.union acc (may_raise_set ~funs arg))
+          Names.empty args
+      in
+      let own =
+        match Hashtbl.find_opt funs name with
+        | Some f -> may_raise_set ~funs f.Ast.fun_body
+        | None -> Names.of_list (prim_exceptions name)
+      in
+      Names.union from_args own
+  | Ast.Tuple components ->
+      List.fold_left
+        (fun acc component -> Names.union acc (may_raise_set ~funs component))
+        Names.empty components
+  | Ast.Proj (_, operand) | Ast.Unop (_, operand) -> may_raise_set ~funs operand
+  | Ast.Let (bindings, body) ->
+      List.fold_left
+        (fun acc { Ast.bind_expr; _ } ->
+          Names.union acc (may_raise_set ~funs bind_expr))
+        (may_raise_set ~funs body) bindings
+  | Ast.If (a, b, c) ->
+      Names.union (may_raise_set ~funs a)
+        (Names.union (may_raise_set ~funs b) (may_raise_set ~funs c))
+  | Ast.Binop ((Ast.Div | Ast.Mod), a, b) ->
+      let operands = Names.union (may_raise_set ~funs a) (may_raise_set ~funs b) in
+      (* Division by a nonzero literal cannot raise. *)
+      (match b.Ast.desc with
+      | Ast.Int n when n <> 0 -> operands
+      | _ -> Names.add "DivByZero" operands)
+  | Ast.Binop (_, a, b) | Ast.Seq (a, b) ->
+      Names.union (may_raise_set ~funs a) (may_raise_set ~funs b)
+  | Ast.On_remote (_, packet) | Ast.On_neighbor (_, packet) ->
+      may_raise_set ~funs packet
+  | Ast.Try (body, handlers) ->
+      let handled = Names.of_list (List.map fst handlers) in
+      let from_body = Names.diff (may_raise_set ~funs body) handled in
+      List.fold_left
+        (fun acc (_, handler) -> Names.union acc (may_raise_set ~funs handler))
+        from_body handlers
+
+let may_raise ~funs expr = Names.elements (may_raise_set ~funs expr)
+
+(* Handler-aware must-emit. [hmap] maps exception names in handler scope to
+   whether their handler (transitively) emits. *)
+let rec must_emit_in ~funs hmap (expr : Ast.expr) =
+  match expr.Ast.desc with
+  | Ast.Int _ | Ast.Bool _ | Ast.String _ | Ast.Char _ | Ast.Unit | Ast.Host _
+  | Ast.Var _ ->
+      false
+  | Ast.Raise exn_name -> (
+      match List.assoc_opt exn_name hmap with
+      | Some handler_emits -> handler_emits
+      | None -> false)
+  | Ast.On_remote _ | Ast.On_neighbor _ -> true
+  | Ast.Call ("deliver", _) -> true
+  | Ast.Call (name, args) -> (
+      List.exists (must_emit_in ~funs hmap) args
+      ||
+      match Hashtbl.find_opt funs name with
+      | Some f -> must_emit_in ~funs [] f.Ast.fun_body
+      | None -> false)
+  | Ast.Tuple components -> List.exists (must_emit_in ~funs hmap) components
+  | Ast.Proj (_, operand) | Ast.Unop (_, operand) ->
+      must_emit_in ~funs hmap operand
+  | Ast.Let (bindings, body) ->
+      List.exists
+        (fun { Ast.bind_expr; _ } -> must_emit_in ~funs hmap bind_expr)
+        bindings
+      || must_emit_in ~funs hmap body
+  | Ast.If (cond, then_branch, else_branch) ->
+      must_emit_in ~funs hmap cond
+      || (must_emit_in ~funs hmap then_branch
+         && must_emit_in ~funs hmap else_branch)
+  | Ast.Binop ((Ast.And | Ast.Or), left, _right) ->
+      (* The right operand may be skipped by short-circuiting. *)
+      must_emit_in ~funs hmap left
+  | Ast.Binop (_, left, right) ->
+      must_emit_in ~funs hmap left || must_emit_in ~funs hmap right
+  | Ast.Seq (left, right) ->
+      must_emit_in ~funs hmap left || must_emit_in ~funs hmap right
+  | Ast.Try (body, handlers) ->
+      let hmap' =
+        List.map
+          (fun (exn_name, handler) ->
+            (exn_name, must_emit_in ~funs hmap handler))
+          handlers
+        @ hmap
+      in
+      must_emit_in ~funs hmap' body
+
+let must_emit ~funs expr = must_emit_in ~funs [] expr
+
+let analyze program =
+  let funs = Call_graph.fun_bodies program in
+  let failures =
+    List.filter_map
+      (fun chan ->
+        let escaping = may_raise ~funs chan.Ast.body in
+        if escaping <> [] then
+          Some
+            ( chan.Ast.chan_name,
+              Printf.sprintf "exception(s) %s may escape"
+                (String.concat ", " escaping) )
+        else if not (must_emit ~funs chan.Ast.body) then
+          Some
+            ( chan.Ast.chan_name,
+              "some execution path neither forwards nor delivers the packet" )
+        else None)
+      (Ast.channels program)
+  in
+  { ok = failures = []; failures }

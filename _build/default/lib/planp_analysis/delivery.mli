@@ -1,0 +1,33 @@
+(** Guaranteed packet delivery (paper §2.1): assuming the network itself is
+    reliable, every packet a channel treats is forwarded or delivered.
+
+    Two obligations per channel:
+
+    - no PLAN-P exception can escape the body (user [raise]s and the
+      built-in exceptions of partial primitives — division, [chr],
+      bounds-checked accessors, audio decoding — must all be handled);
+    - every execution path performs at least one [OnRemote], [OnNeighbor]
+      or [deliver].
+
+    The must-emit analysis is handler-aware: a [raise] inside a [try] whose
+    handler emits counts as emitting. *)
+
+type report = {
+  ok : bool;
+  failures : (string * string) list;
+      (** (channel name, reason) for each failing channel *)
+}
+
+val analyze : Planp.Ast.program -> report
+
+(** [may_raise expr ~funs] is the set of exception names that can escape
+    [expr] (exposed for tests). *)
+val may_raise :
+  funs:(string, Planp.Ast.fundef) Hashtbl.t ->
+  Planp.Ast.expr ->
+  string list
+
+(** [must_emit expr ~funs] — every path emits or delivers (exposed for
+    tests). *)
+val must_emit :
+  funs:(string, Planp.Ast.fundef) Hashtbl.t -> Planp.Ast.expr -> bool

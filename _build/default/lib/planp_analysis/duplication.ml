@@ -1,0 +1,142 @@
+module Ast = Planp.Ast
+
+type report = {
+  ok : bool;
+  reason : string option;
+  copies : (string * bool) list;
+  iterations : int;
+}
+
+(* Maximum number of packets emitted along any single execution path.
+   [hmap] gives, for each exception with a handler in scope, the emission
+   count of its handler. *)
+let rec max_in ~funs hmap (expr : Ast.expr) =
+  match expr.Ast.desc with
+  | Ast.Int _ | Ast.Bool _ | Ast.String _ | Ast.Char _ | Ast.Unit | Ast.Host _
+  | Ast.Var _ ->
+      0
+  | Ast.Raise exn_name -> (
+      match List.assoc_opt exn_name hmap with Some count -> count | None -> 0)
+  | Ast.On_remote (_, packet) -> 1 + max_in ~funs hmap packet
+  | Ast.On_neighbor (_, packet) ->
+      (* Replicated on every neighbor link: at least two copies. *)
+      2 + max_in ~funs hmap packet
+  | Ast.Call (name, args) -> (
+      let from_args =
+        List.fold_left (fun acc arg -> acc + max_in ~funs hmap arg) 0 args
+      in
+      from_args
+      +
+      match Hashtbl.find_opt funs name with
+      | Some f -> max_in ~funs [] f.Ast.fun_body
+      | None -> 0)
+  | Ast.Tuple components ->
+      List.fold_left
+        (fun acc component -> acc + max_in ~funs hmap component)
+        0 components
+  | Ast.Proj (_, operand) | Ast.Unop (_, operand) -> max_in ~funs hmap operand
+  | Ast.Let (bindings, body) ->
+      List.fold_left
+        (fun acc { Ast.bind_expr; _ } -> acc + max_in ~funs hmap bind_expr)
+        (max_in ~funs hmap body) bindings
+  | Ast.If (cond, then_branch, else_branch) ->
+      max_in ~funs hmap cond
+      + Int.max (max_in ~funs hmap then_branch) (max_in ~funs hmap else_branch)
+  | Ast.Binop (_, left, right) | Ast.Seq (left, right) ->
+      max_in ~funs hmap left + max_in ~funs hmap right
+  | Ast.Try (body, handlers) ->
+      let hmap' =
+        List.map
+          (fun (exn_name, handler) -> (exn_name, max_in ~funs hmap handler))
+          handlers
+        @ hmap
+      in
+      max_in ~funs hmap' body
+
+let max_emissions ~funs expr = max_in ~funs [] expr
+
+let analyze program =
+  let funs = Call_graph.fun_bodies program in
+  let chans = Array.of_list (Ast.channels program) in
+  let chan_count = Array.length chans in
+  let emissions =
+    Array.map (fun chan -> Call_graph.emissions ~funs chan.Ast.body) chans
+  in
+  let per_path = Array.map (fun chan -> max_emissions ~funs chan.Ast.body) chans in
+  let indices_of_name name =
+    List.filter
+      (fun i -> String.equal chans.(i).Ast.chan_name name)
+      (List.init chan_count Fun.id)
+  in
+  (* Boolean fix-point: copies.(i) = per-path bound >= 2, or emits to a
+     copying channel. *)
+  let copies = Array.map (fun bound -> bound >= 2) per_path in
+  let iterations = ref 0 in
+  let changed = ref true in
+  while !changed do
+    incr iterations;
+    changed := false;
+    for i = 0 to chan_count - 1 do
+      if not copies.(i) then
+        let flips =
+          List.exists
+            (fun emission ->
+              List.exists
+                (fun j -> copies.(j))
+                (indices_of_name emission.Call_graph.em_target))
+            emissions.(i)
+        in
+        if flips then begin
+          copies.(i) <- true;
+          changed := true
+        end
+    done
+  done;
+  (* A copying channel on an emission-graph cycle multiplies packets each
+     time around: exponential. Detect with a DFS from every channel. *)
+  let adjacency =
+    Array.map
+      (fun ems ->
+        List.concat_map
+          (fun emission -> indices_of_name emission.Call_graph.em_target)
+          ems)
+      emissions
+  in
+  let on_cycle i =
+    (* Is [i] reachable from itself? *)
+    let visited = Array.make chan_count false in
+    let rec reachable current =
+      List.exists
+        (fun next ->
+          next = i
+          ||
+          if visited.(next) then false
+          else begin
+            visited.(next) <- true;
+            reachable next
+          end)
+        adjacency.(current)
+    in
+    reachable i
+  in
+  let offender = ref None in
+  for i = 0 to chan_count - 1 do
+    if !offender = None && copies.(i) && on_cycle i then offender := Some i
+  done;
+  let copies_list =
+    List.init chan_count (fun i -> (chans.(i).Ast.chan_name, copies.(i)))
+  in
+  match !offender with
+  | Some i ->
+      {
+        ok = false;
+        reason =
+          Some
+            (Printf.sprintf
+               "channel %s duplicates packets and lies on an emission cycle \
+                (potentially exponential duplication)"
+               chans.(i).Ast.chan_name);
+        copies = copies_list;
+        iterations = !iterations;
+      }
+  | None -> { ok = true; reason = None; copies = copies_list; iterations = !iterations }

@@ -1,0 +1,24 @@
+(** Safe (linear) packet duplication (paper §2.1), "proved using a standard
+    fix-point induction".
+
+    Per channel, a path-sensitive count bounds how many packets one
+    invocation can emit ([OnNeighbor] counts as 2: it replicates onto every
+    neighbor link). The fix-point then propagates a boolean [copies] flag:
+    a channel copies if some path emits two or more packets, or emits to a
+    copying channel. Duplication is exponential — and the program rejected —
+    exactly when a copying channel lies on a cycle of the channel emission
+    graph; acyclic copying is a bounded tree. The number of fix-point
+    iterations (paper: at most [2^c]) is reported. *)
+
+type report = {
+  ok : bool;
+  reason : string option;
+  copies : (string * bool) list;  (** per-channel copying flag *)
+  iterations : int;
+}
+
+val analyze : Planp.Ast.program -> report
+
+(** [max_emissions ~funs expr] — the per-path emission bound (for tests). *)
+val max_emissions :
+  funs:(string, Planp.Ast.fundef) Hashtbl.t -> Planp.Ast.expr -> int

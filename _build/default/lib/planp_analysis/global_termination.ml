@@ -1,0 +1,352 @@
+module Ast = Planp.Ast
+
+type verdict = Proved | Rejected of string
+
+type report = {
+  verdict : verdict;
+  states_explored : int;
+  transitions : int;
+}
+
+(* Abstract addresses, symbolic in the incoming packet's header. *)
+type haddr =
+  | Sym_dst  (* the incoming packet's destination *)
+  | Sym_src  (* the incoming packet's source *)
+  | Lit of int
+  | This  (* the executing node *)
+  | Top
+
+(* Abstract values an expression can denote, as far as headers travel. *)
+type aval =
+  | Apkt  (* the channel's packet parameter *)
+  | Aip of haddr * haddr  (* an ip header: (src, dst) *)
+  | Ahost of haddr
+  | Aother
+
+(* Path conditions on the incoming packet's destination, harvested from
+   [ipDst(iph) = <literal>] tests: a gateway that only rewrites packets
+   addressed to its virtual address cannot re-rewrite the rewritten ones. *)
+type guard = Must_be of int | Must_not_be of int
+
+(* An emission template: how the emitted packet's header relates to the
+   incoming one, and under which destination guards the emission runs. *)
+type template = {
+  t_target : string;
+  t_kind : Call_graph.kind;
+  t_dst : haddr;
+  t_src : haddr;
+  t_guards : guard list;
+}
+
+let rec abstract_expr funs env (expr : Ast.expr) : aval =
+  match expr.Ast.desc with
+  | Ast.Host h -> Ahost (Lit h)
+  | Ast.Var name -> (
+      match List.assoc_opt name env with Some v -> v | None -> Aother)
+  | Ast.Proj (1, operand) -> (
+      match abstract_expr funs env operand with
+      | Apkt -> Aip (Sym_src, Sym_dst)
+      | Aip _ | Ahost _ | Aother -> Aother)
+  | Ast.Proj (_, _) -> Aother
+  | Ast.Call ("thisHost", []) -> Ahost This
+  | Ast.Call ("ipSrc", [ arg ]) -> (
+      match abstract_expr funs env arg with
+      | Aip (src, _) -> Ahost src
+      | Apkt | Ahost _ | Aother -> Ahost Top)
+  | Ast.Call ("ipDst", [ arg ]) -> (
+      match abstract_expr funs env arg with
+      | Aip (_, dst) -> Ahost dst
+      | Apkt | Ahost _ | Aother -> Ahost Top)
+  | Ast.Call ("ipDestSet", [ ip; host ]) -> (
+      let new_dst =
+        match abstract_expr funs env host with Ahost h -> h | _ -> Top
+      in
+      match abstract_expr funs env ip with
+      | Aip (src, _) -> Aip (src, new_dst)
+      | Apkt | Ahost _ | Aother -> Aip (Top, new_dst))
+  | Ast.Call ("ipSrcSet", [ ip; host ]) -> (
+      let new_src =
+        match abstract_expr funs env host with Ahost h -> h | _ -> Top
+      in
+      match abstract_expr funs env ip with
+      | Aip (_, dst) -> Aip (new_src, dst)
+      | Apkt | Ahost _ | Aother -> Aip (new_src, Top))
+  | Ast.Call (name, args) -> (
+      match Hashtbl.find_opt funs name with
+      | Some f when List.length f.Ast.params = List.length args ->
+          let bound =
+            List.map2
+              (fun (param, _ty) arg -> (param, abstract_expr funs env arg))
+              f.Ast.params args
+          in
+          abstract_expr funs (bound @ env) f.Ast.fun_body
+      | Some _ | None -> Aother)
+  | Ast.Let (bindings, body) ->
+      let env =
+        List.fold_left
+          (fun env { Ast.bind_name; bind_expr; _ } ->
+            (bind_name, abstract_expr funs env bind_expr) :: env)
+          env bindings
+      in
+      abstract_expr funs env body
+  | Ast.If (_, then_branch, else_branch) ->
+      let a = abstract_expr funs env then_branch in
+      let b = abstract_expr funs env else_branch in
+      if a = b then a else Aother
+  | Ast.Tuple _ | Ast.Int _ | Ast.Bool _ | Ast.String _ | Ast.Char _
+  | Ast.Unit | Ast.Binop _ | Ast.Unop _ | Ast.Seq _ | Ast.On_remote _
+  | Ast.On_neighbor _ | Ast.Raise _ | Ast.Try _ ->
+      Aother
+
+(* Header of an emitted packet expression. *)
+let packet_header funs env (packet : Ast.expr) =
+  match packet.Ast.desc with
+  | Ast.Tuple (ip :: _) -> (
+      match abstract_expr funs env ip with
+      | Aip (src, dst) -> (src, dst)
+      | Apkt | Ahost _ | Aother -> (Top, Top))
+  | _ -> (
+      match abstract_expr funs env packet with
+      | Apkt -> (Sym_src, Sym_dst) (* forwarding the packet unchanged *)
+      | Aip (src, dst) -> (src, dst)
+      | Ahost _ | Aother -> (Top, Top))
+
+(* Harvest destination guards from a condition: [ipDst(iph) = literal]
+   tests (either operand order), combined through andalso/orelse/not. The
+   result is (guards known to hold in the then branch, guards known to hold
+   in the else branch). *)
+let rec dst_guards funs env (cond : Ast.expr) =
+  match cond.Ast.desc with
+  | Ast.Binop (op, left, right) when op = Ast.Eq || op = Ast.Ne -> (
+      let classify e =
+        match abstract_expr funs env e with
+        | Ahost Sym_dst -> `Dst
+        | Ahost (Lit a) -> `Lit a
+        | Apkt | Aip _ | Ahost _ | Aother -> `Other
+      in
+      let lit =
+        match (classify left, classify right) with
+        | `Dst, `Lit a | `Lit a, `Dst -> Some a
+        | _ -> None
+      in
+      match lit with
+      | Some a when op = Ast.Eq -> ([ Must_be a ], [ Must_not_be a ])
+      | Some a -> ([ Must_not_be a ], [ Must_be a ])
+      | None -> ([], []))
+  | Ast.Binop (Ast.And, left, right) ->
+      (* Both conjuncts hold in the then branch; either may have failed in
+         the else branch. *)
+      let then_l, _ = dst_guards funs env left in
+      let then_r, _ = dst_guards funs env right in
+      (then_l @ then_r, [])
+  | Ast.Binop (Ast.Or, left, right) ->
+      let _, else_l = dst_guards funs env left in
+      let _, else_r = dst_guards funs env right in
+      ([], else_l @ else_r)
+  | Ast.Unop (Ast.Not, operand) ->
+      let then_g, else_g = dst_guards funs env operand in
+      (else_g, then_g)
+  | _ -> ([], [])
+
+(* Collect emission templates of a channel body, keeping abstract bindings
+   and destination guards in scope while walking. *)
+let templates_of_channel ?(global_env = []) funs (chan : Ast.channel) =
+  let acc = ref [] in
+  let rec walk env guards (expr : Ast.expr) =
+    match expr.Ast.desc with
+    | Ast.Int _ | Ast.Bool _ | Ast.String _ | Ast.Char _ | Ast.Unit
+    | Ast.Host _ | Ast.Var _ | Ast.Raise _ ->
+        ()
+    | Ast.Call (name, args) -> (
+        List.iter (walk env guards) args;
+        match Hashtbl.find_opt funs name with
+        | Some f when List.length f.Ast.params = List.length args ->
+            let bound =
+              List.map2
+                (fun (param, _ty) arg -> (param, abstract_expr funs env arg))
+                f.Ast.params args
+            in
+            walk (bound @ env) guards f.Ast.fun_body
+        | Some _ | None -> ())
+    | Ast.Tuple components -> List.iter (walk env guards) components
+    | Ast.Proj (_, operand) | Ast.Unop (_, operand) -> walk env guards operand
+    | Ast.Let (bindings, body) ->
+        let env =
+          List.fold_left
+            (fun env { Ast.bind_name; bind_expr; _ } ->
+              walk env guards bind_expr;
+              (bind_name, abstract_expr funs env bind_expr) :: env)
+            env bindings
+        in
+        walk env guards body
+    | Ast.If (cond, then_branch, else_branch) ->
+        walk env guards cond;
+        let then_guards, else_guards = dst_guards funs env cond in
+        walk env (then_guards @ guards) then_branch;
+        walk env (else_guards @ guards) else_branch
+    | Ast.Binop (_, a, b) | Ast.Seq (a, b) ->
+        walk env guards a;
+        walk env guards b
+    | Ast.On_remote (target, packet) ->
+        walk env guards packet;
+        let t_src, t_dst = packet_header funs env packet in
+        acc :=
+          { t_target = target; t_kind = Call_graph.Remote; t_src; t_dst;
+            t_guards = guards }
+          :: !acc
+    | Ast.On_neighbor (target, packet) ->
+        walk env guards packet;
+        let t_src, t_dst = packet_header funs env packet in
+        acc :=
+          { t_target = target; t_kind = Call_graph.Neighbor; t_src; t_dst;
+            t_guards = guards }
+          :: !acc
+    | Ast.Try (body, handlers) ->
+        walk env guards body;
+        List.iter (fun (_, handler) -> walk env guards handler) handlers
+  in
+  walk ((chan.Ast.pkt_name, Apkt) :: global_env) [] chan.Ast.body;
+  List.rev !acc
+
+(* Concrete-side addresses of explored states. *)
+type caddr = C_dst0 | C_src0 | C_lit of int | C_this | C_top
+
+let subst ~src ~dst = function
+  | Sym_dst -> dst
+  | Sym_src -> src
+  | Lit a -> C_lit a
+  | This -> C_this
+  | Top -> C_top
+
+let caddr_name = function
+  | C_dst0 -> "the original destination"
+  | C_src0 -> "the original source"
+  | C_lit a ->
+      Printf.sprintf "%d.%d.%d.%d" ((a lsr 24) land 0xff) ((a lsr 16) land 0xff)
+        ((a lsr 8) land 0xff) (a land 0xff)
+  | C_this -> "this node"
+  | C_top -> "an unknown address"
+
+type state = { st_chan : int; st_src : caddr; st_dst : caddr }
+
+(* Can a packet whose (abstract) destination is [dst] satisfy the guard?
+   Symbolic destinations can be anything; only literal-vs-literal conflicts
+   are definite. *)
+let guard_feasible dst = function
+  | Must_be a -> (
+      match dst with C_lit b -> a = b | C_dst0 | C_src0 | C_this | C_top -> true)
+  | Must_not_be a -> (
+      match dst with C_lit b -> a <> b | C_dst0 | C_src0 | C_this | C_top -> true)
+
+exception Reject of string
+
+(* A cycle is benign iff all its edges are OnRemote and all its states share
+   one routable destination: then every hop strictly approaches that
+   destination under acyclic routing. *)
+let classify_cycle ~kinds ~dsts ~chan_name =
+  let all_remote = List.for_all (fun k -> k = Call_graph.Remote) kinds in
+  let routable = function C_dst0 | C_src0 | C_lit _ -> true | C_this | C_top -> false in
+  let single_routable_dst =
+    match dsts with
+    | [] -> true
+    | d :: rest -> routable d && List.for_all (fun x -> x = d) rest
+  in
+  if not all_remote then
+    raise
+      (Reject
+         (Printf.sprintf "potential flooding loop through channel %s" chan_name))
+  else if not single_routable_dst then
+    let shown =
+      match dsts with d :: _ -> caddr_name d | [] -> "an unknown address"
+    in
+    raise
+      (Reject
+         (Printf.sprintf
+            "potential packet cycle through channel %s (destination %s does \
+             not stay fixed along the cycle)"
+            chan_name shown))
+
+let analyze program =
+  let funs = Call_graph.fun_bodies program in
+  (* Global values abstract once (no packet in scope, so Apkt never arises
+     in their initializers). *)
+  let global_env =
+    List.fold_left
+      (fun env decl ->
+        match decl with
+        | Ast.Dval ({ Ast.bind_name; bind_expr; _ }, _) ->
+            (bind_name, abstract_expr funs env bind_expr) :: env
+        | Ast.Dfun _ | Ast.Dexception _ | Ast.Dprotostate _ | Ast.Dchannel _ ->
+            env)
+      [] program
+  in
+  let chans = Array.of_list (Ast.channels program) in
+  let chan_count = Array.length chans in
+  let templates = Array.map (templates_of_channel ~global_env funs) chans in
+  let indices_of_name name =
+    let matching = ref [] in
+    for i = chan_count - 1 downto 0 do
+      if String.equal chans.(i).Ast.chan_name name then matching := i :: !matching
+    done;
+    !matching
+  in
+  let states_explored = ref 0 in
+  let transitions = ref 0 in
+  let visited = Hashtbl.create 64 in
+  (* stack: (state, kind-of-edge-that-entered-it) list, most recent first. *)
+  let rec explore stack state =
+    if not (Hashtbl.mem visited state) then begin
+      Hashtbl.add visited state ();
+      incr states_explored;
+      List.iter
+        (fun template ->
+          if List.for_all (guard_feasible state.st_dst) template.t_guards then begin
+          incr transitions;
+          let next_src = subst ~src:state.st_src ~dst:state.st_dst template.t_src in
+          let next_dst = subst ~src:state.st_src ~dst:state.st_dst template.t_dst in
+          if next_dst = C_top then
+            raise
+              (Reject
+                 (Printf.sprintf
+                    "channel %s emits to a destination the analysis cannot resolve"
+                    chans.(state.st_chan).Ast.chan_name));
+          List.iter
+            (fun target_index ->
+              let next =
+                { st_chan = target_index; st_src = next_src; st_dst = next_dst }
+              in
+              (* Scan the stack for [next]; collect the cycle's edge kinds
+                 and state destinations on the way. The closing edge and the
+                 entering edges of states above [next] form the cycle. *)
+              let rec scan kinds dsts = function
+                | [] -> None
+                | (st, entering) :: rest ->
+                    if st = next then Some (kinds, st.st_dst :: dsts)
+                    else scan (entering :: kinds) (st.st_dst :: dsts) rest
+              in
+              match scan [ template.t_kind ] [ next_dst ] stack with
+              | Some (kinds, dsts) ->
+                  classify_cycle ~kinds ~dsts
+                    ~chan_name:chans.(next.st_chan).Ast.chan_name
+              | None -> explore ((next, template.t_kind) :: stack) next)
+            (indices_of_name template.t_target)
+          end)
+        templates.(state.st_chan)
+    end
+  in
+  try
+    for i = 0 to chan_count - 1 do
+      let init = { st_chan = i; st_src = C_src0; st_dst = C_dst0 } in
+      explore [ (init, Call_graph.Remote) ] init
+    done;
+    {
+      verdict = Proved;
+      states_explored = !states_explored;
+      transitions = !transitions;
+    }
+  with Reject reason ->
+    {
+      verdict = Rejected reason;
+      states_explored = !states_explored;
+      transitions = !transitions;
+    }

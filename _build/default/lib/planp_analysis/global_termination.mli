@@ -1,0 +1,27 @@
+(** Global termination (paper §2.1): prove packets cannot cycle in the
+    network, assuming IP routing tables are acyclic.
+
+    The analysis abstracts a travelling packet as a state
+    [(channel, source, destination)] with addresses drawn from
+    {original-dst, original-src, literal, this-node, unknown} and explores
+    the state graph induced by the program's emissions ("exhaustive state
+    exploration", with the paper's [r·d·2^d] bound reported as
+    [states_explored]).
+
+    A cycle in the state graph is benign when every edge is [OnRemote] and
+    every state shares one concrete destination: under acyclic routing each
+    hop strictly approaches that destination, so the recursion bottoms out.
+    Any other cycle — flooding ([OnNeighbor]), destination ping-pong, or
+    self-addressed loops — is rejected, as is any emission whose
+    destination cannot be resolved ([unknown]). Conservative by design;
+    the paper's escape hatch for legitimate rejects is authentication. *)
+
+type verdict = Proved | Rejected of string
+
+type report = {
+  verdict : verdict;
+  states_explored : int;
+  transitions : int;
+}
+
+val analyze : Planp.Ast.program -> report

@@ -1,0 +1,86 @@
+module Ast = Planp.Ast
+
+type report = {
+  ok : bool;
+  reason : string option;
+  function_count : int;
+  max_call_depth : int;
+}
+
+(* Collect the user functions called from an expression (direct calls only). *)
+let direct_calls funs expr =
+  let acc = ref [] in
+  let rec walk (expr : Ast.expr) =
+    match expr.Ast.desc with
+    | Ast.Call (name, args) ->
+        List.iter walk args;
+        if Hashtbl.mem funs name then acc := name :: !acc
+    | Ast.Int _ | Ast.Bool _ | Ast.String _ | Ast.Char _ | Ast.Unit
+    | Ast.Host _ | Ast.Var _ | Ast.Raise _ ->
+        ()
+    | Ast.Tuple components -> List.iter walk components
+    | Ast.Proj (_, operand) | Ast.Unop (_, operand) -> walk operand
+    | Ast.Let (bindings, body) ->
+        List.iter (fun { Ast.bind_expr; _ } -> walk bind_expr) bindings;
+        walk body
+    | Ast.If (a, b, c) ->
+        walk a;
+        walk b;
+        walk c
+    | Ast.Binop (_, a, b) | Ast.Seq (a, b) ->
+        walk a;
+        walk b
+    | Ast.On_remote (_, packet) | Ast.On_neighbor (_, packet) -> walk packet
+    | Ast.Try (body, handlers) ->
+        walk body;
+        List.iter (fun (_, handler) -> walk handler) handlers
+  in
+  walk expr;
+  !acc
+
+exception Cycle of string
+
+let analyze program =
+  let funs = Call_graph.fun_bodies program in
+  let function_count = Hashtbl.length funs in
+  (* Depth-first search over the function call graph; White/Grey/Black
+     coloring detects cycles, and the recursion returns call depth. *)
+  let color = Hashtbl.create 16 in
+  let rec depth_of name =
+    match Hashtbl.find_opt color name with
+    | Some `Done depth -> depth
+    | Some `Active -> raise (Cycle name)
+    | None -> (
+        match Hashtbl.find_opt funs name with
+        | None -> 0 (* primitive *)
+        | Some f ->
+            Hashtbl.replace color name `Active;
+            let callees = direct_calls funs f.Ast.fun_body in
+            let depth =
+              1 + List.fold_left (fun acc callee -> Int.max acc (depth_of callee)) 0 callees
+            in
+            Hashtbl.replace color name (`Done depth);
+            depth)
+  in
+  try
+    let max_call_depth =
+      Hashtbl.fold (fun name _ acc -> Int.max acc (depth_of name)) funs 0
+    in
+    let body_depth =
+      List.fold_left
+        (fun acc chan ->
+          List.fold_left
+            (fun acc callee -> Int.max acc (depth_of callee))
+            acc
+            (direct_calls funs chan.Ast.body))
+        0 (Ast.channels program)
+    in
+    { ok = true; reason = None; function_count;
+      max_call_depth = Int.max max_call_depth body_depth }
+  with Cycle name ->
+    {
+      ok = false;
+      reason = Some (Printf.sprintf "function %s is (mutually) recursive" name);
+      function_count;
+      max_call_depth = 0;
+    }

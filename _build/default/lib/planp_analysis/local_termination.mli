@@ -1,0 +1,17 @@
+(** Local termination (paper §2.1): "PLAN-P programs, by construction, are
+    guaranteed to locally terminate. This is a direct result of restricting
+    the language to not allow recursion or unbounded loops."
+
+    The language has no loop construct and the type checker scopes functions
+    so they cannot see themselves; this analysis independently re-validates
+    both facts (defence in depth — e.g. against hand-built ASTs) and reports
+    the function call-graph depth. *)
+
+type report = {
+  ok : bool;
+  reason : string option;  (** populated when [ok = false] *)
+  function_count : int;
+  max_call_depth : int;  (** longest chain of nested user-function calls *)
+}
+
+val analyze : Planp.Ast.program -> report

@@ -1,0 +1,1 @@
+lib/planp_jit/backends.ml: Bytecomp Fold List Planp_runtime Specialize String Unix

@@ -1,0 +1,1 @@
+lib/planp_jit/backends.mli: Planp Planp_runtime

@@ -1,0 +1,1 @@
+lib/planp_jit/bytecode.ml: Array Format List Planp Planp_runtime Printf String

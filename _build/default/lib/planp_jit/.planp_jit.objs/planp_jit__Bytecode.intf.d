@@ -1,0 +1,1 @@
+lib/planp_jit/bytecode.mli: Format Planp Planp_runtime

@@ -1,0 +1,1 @@
+lib/planp_jit/bytecomp.ml: Array Bytecode Hashtbl List Planp Planp_runtime Printf Vm

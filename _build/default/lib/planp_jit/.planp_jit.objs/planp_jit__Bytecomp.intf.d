@@ -1,0 +1,1 @@
+lib/planp_jit/bytecomp.mli: Bytecode Planp Planp_runtime

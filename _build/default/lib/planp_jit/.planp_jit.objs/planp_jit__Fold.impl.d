@@ -1,0 +1,1 @@
+lib/planp_jit/fold.ml: Char Int List Option Planp Planp_runtime String

@@ -1,0 +1,1 @@
+lib/planp_jit/fold.mli: Planp Planp_runtime

@@ -1,0 +1,1 @@
+lib/planp_jit/specialize.ml: Array Hashtbl Int List Planp Planp_runtime Printf

@@ -1,0 +1,1 @@
+lib/planp_jit/specialize.mli: Planp Planp_runtime

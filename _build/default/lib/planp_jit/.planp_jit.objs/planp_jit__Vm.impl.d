@@ -1,0 +1,1 @@
+lib/planp_jit/vm.ml: Array Bytecode Int List Option Planp Planp_runtime

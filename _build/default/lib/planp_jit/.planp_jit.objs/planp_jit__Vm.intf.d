@@ -1,0 +1,1 @@
+lib/planp_jit/vm.mli: Bytecode Planp_runtime

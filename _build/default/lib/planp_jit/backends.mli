@@ -1,0 +1,27 @@
+(** Backend selection and code-generation timing. *)
+
+(** [all ()] is [interp; jit; bytecode]. *)
+val all : unit -> Planp_runtime.Backend.t list
+
+val interp : Planp_runtime.Backend.t
+
+(** The full JIT: compile-time constant folding ({!Fold}) followed by
+    run-time specialization ({!Specialize}) — both halves of the paper's
+    partial evaluation. *)
+val jit : Planp_runtime.Backend.t
+
+(** Specialization without the folding pass, for the ablation bench. *)
+val jit_nofold : Planp_runtime.Backend.t
+
+val bytecode : Planp_runtime.Backend.t
+val by_name : string -> Planp_runtime.Backend.t option
+
+(** [codegen_time_ms backend checked ~globals ~repeats] compiles the program
+    [repeats] times and returns the mean wall-clock milliseconds per
+    compilation — the measurement of the paper's Fig. 3. *)
+val codegen_time_ms :
+  Planp_runtime.Backend.t ->
+  Planp.Typecheck.checked ->
+  globals:(string * Planp_runtime.Value.t) list ->
+  repeats:int ->
+  float

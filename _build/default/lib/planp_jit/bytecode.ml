@@ -1,0 +1,86 @@
+type instr =
+  | Const of Planp_runtime.Value.t
+  | Load of int
+  | Store of int
+  | Pop
+  | Jump of int
+  | Jump_if_false of int
+  | Make_tuple of int
+  | Get_field of int
+  | Call_prim of int * int
+  | Call_fun of int * int
+  | Bin of Planp.Ast.binop
+  | Not_op
+  | Neg_op
+  | Emit of Planp_runtime.World.target * string
+  | Raise_exn of string
+  | Push_try of (string * int) list
+  | Pop_try
+  | Return
+
+type func = {
+  fn_name : string;
+  code : instr array;
+  n_locals : int;
+  n_params : int;
+}
+
+type unit_ = {
+  funcs : func array;
+  pool : Planp_runtime.Prim.prim array;
+}
+
+let binop_name = function
+  | Planp.Ast.Add -> "add"
+  | Planp.Ast.Sub -> "sub"
+  | Planp.Ast.Mul -> "mul"
+  | Planp.Ast.Div -> "div"
+  | Planp.Ast.Mod -> "mod"
+  | Planp.Ast.Eq -> "eq"
+  | Planp.Ast.Ne -> "ne"
+  | Planp.Ast.Lt -> "lt"
+  | Planp.Ast.Gt -> "gt"
+  | Planp.Ast.Le -> "le"
+  | Planp.Ast.Ge -> "ge"
+  | Planp.Ast.And -> "and"
+  | Planp.Ast.Or -> "or"
+  | Planp.Ast.Concat -> "concat"
+
+let pp_instr fmt = function
+  | Const value ->
+      Format.fprintf fmt "const %s" (Planp_runtime.Value.to_string value)
+  | Load slot -> Format.fprintf fmt "load %d" slot
+  | Store slot -> Format.fprintf fmt "store %d" slot
+  | Pop -> Format.pp_print_string fmt "pop"
+  | Jump target -> Format.fprintf fmt "jump %d" target
+  | Jump_if_false target -> Format.fprintf fmt "jump_if_false %d" target
+  | Make_tuple n -> Format.fprintf fmt "make_tuple %d" n
+  | Get_field i -> Format.fprintf fmt "get_field %d" i
+  | Call_prim (pool, argc) -> Format.fprintf fmt "call_prim %d/%d" pool argc
+  | Call_fun (index, argc) -> Format.fprintf fmt "call_fun %d/%d" index argc
+  | Bin op -> Format.fprintf fmt "bin %s" (binop_name op)
+  | Not_op -> Format.pp_print_string fmt "not"
+  | Neg_op -> Format.pp_print_string fmt "neg"
+  | Emit (Planp_runtime.World.Remote, chan) ->
+      Format.fprintf fmt "emit_remote %s" chan
+  | Emit (Planp_runtime.World.Neighbor, chan) ->
+      Format.fprintf fmt "emit_neighbor %s" chan
+  | Raise_exn name -> Format.fprintf fmt "raise %s" name
+  | Push_try handlers ->
+      Format.fprintf fmt "push_try [%s]"
+        (String.concat "; "
+           (List.map
+              (fun (exn_name, target) -> Printf.sprintf "%s->%d" exn_name target)
+              handlers))
+  | Pop_try -> Format.pp_print_string fmt "pop_try"
+  | Return -> Format.pp_print_string fmt "return"
+
+let pp_func fmt func =
+  Format.fprintf fmt "@[<v 2>%s (params=%d locals=%d):" func.fn_name
+    func.n_params func.n_locals;
+  Array.iteri
+    (fun i instr -> Format.fprintf fmt "@,%4d: %a" i pp_instr instr)
+    func.code;
+  Format.fprintf fmt "@]"
+
+let disassemble func = Format.asprintf "%a" pp_func func

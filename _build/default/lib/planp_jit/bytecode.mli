@@ -1,0 +1,47 @@
+(** Stack bytecode for PLAN-P — the mobile-code baseline.
+
+    The paper compares its JIT against Java bytecode compiled with Harissa;
+    this instruction set plays the JVM's role: a compact, portable,
+    *interpreted* representation. Primitives are resolved once into a
+    constant pool (as a JVM resolves its constant pool), but each execution
+    still pays instruction dispatch, operand-stack traffic and jump
+    decoding — the costs specialization removes. *)
+
+type instr =
+  | Const of Planp_runtime.Value.t
+  | Load of int  (** push local slot *)
+  | Store of int  (** pop into local slot *)
+  | Pop
+  | Jump of int  (** absolute instruction index *)
+  | Jump_if_false of int  (** pop a bool, jump when false *)
+  | Make_tuple of int  (** pop n, push tuple *)
+  | Get_field of int  (** 0-based tuple projection *)
+  | Call_prim of int * int  (** constant-pool index, arg count *)
+  | Call_fun of int * int  (** function index, arg count *)
+  | Bin of Planp.Ast.binop  (** strict operators only (not andalso/orelse) *)
+  | Not_op
+  | Neg_op
+  | Emit of Planp_runtime.World.target * string  (** pop packet, push unit *)
+  | Raise_exn of string
+  | Push_try of (string * int) list  (** handler table: (exception, target) *)
+  | Pop_try
+  | Return
+
+type func = {
+  fn_name : string;
+  code : instr array;
+  n_locals : int;
+  n_params : int;  (** parameters occupy locals [0 .. n_params-1] *)
+}
+
+type unit_ = {
+  funcs : func array;
+  pool : Planp_runtime.Prim.prim array;  (** resolved primitive pool *)
+}
+
+val pp_instr : Format.formatter -> instr -> unit
+val pp_func : Format.formatter -> func -> unit
+
+(** [disassemble func] renders one instruction per line (for tests and the
+    [planpc --dump-bytecode] CLI). *)
+val disassemble : func -> string

@@ -1,0 +1,28 @@
+(** AST → bytecode compiler.
+
+    Emits one {!Bytecode.func} per user function plus one per channel
+    (channels are functions of three parameters returning the state pair).
+    Globals are embedded as constants; primitives are interned into the
+    unit's constant pool. *)
+
+type compiled_unit = {
+  unit_ : Bytecode.unit_;
+  channel_fns : (Planp.Ast.channel * int) list;
+      (** function index of each channel body *)
+}
+
+val compile_program :
+  Planp.Typecheck.checked ->
+  globals:(string * Planp_runtime.Value.t) list ->
+  compiled_unit
+
+(** The bytecode interpreter as a runtime backend. *)
+val backend : Planp_runtime.Backend.t
+
+(** [compile_expr ~globals ~params expr] builds a single-function unit (for
+    tests and microbenchmarks); run it with {!Vm.call} at [fn = 0]. *)
+val compile_expr :
+  globals:(string * Planp_runtime.Value.t) list ->
+  params:string list ->
+  Planp.Ast.expr ->
+  Bytecode.unit_

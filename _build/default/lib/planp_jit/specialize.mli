@@ -1,0 +1,39 @@
+(** The "JIT": run-time specialization of the interpreter with respect to a
+    program.
+
+    The paper derives its JIT by partially evaluating the PLAN-P
+    interpreter (written in C) with Tempo, assembling machine-code
+    templates at run time. This module is the OCaml analogue of that
+    derivation: each case of [Planp_runtime.Interp.eval] is turned into a
+    compile-time function that returns a *closure template*; compiling a
+    program assembles the templates once, resolving
+
+    - variable names to integer frame slots,
+    - primitive names to their registered implementations,
+    - global values to embedded constants,
+    - operator dispatch to specialized closures,
+
+    so none of that work remains on the per-packet path. Compilation time
+    is what Fig. 3 of the paper measures. *)
+
+(** Compiled code: evaluates in a frame of slot-resolved locals. *)
+type code
+
+(** [compile_program checked ~globals] compiles every channel; this is the
+    unit of work timed by the Fig. 3 bench. *)
+val backend : Planp_runtime.Backend.t
+
+(** [compile_expr ~globals ~params expr] compiles a standalone expression
+    with the given parameter frame layout (exposed for tests and the
+    microbenchmarks). *)
+val compile_expr :
+  globals:(string * Planp_runtime.Value.t) list ->
+  params:string list ->
+  Planp.Ast.expr ->
+  code
+
+(** [run code world args] executes compiled code with [args] bound to the
+    declared parameters. *)
+val run :
+  code -> Planp_runtime.World.t -> Planp_runtime.Value.t list ->
+  Planp_runtime.Value.t

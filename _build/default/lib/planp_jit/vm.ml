@@ -1,0 +1,133 @@
+module Value = Planp_runtime.Value
+module Prim = Planp_runtime.Prim
+
+type try_frame = { handlers : (string * int) list; saved_sp : int }
+
+let rec call unit_ ~fn world args =
+  let func = unit_.Bytecode.funcs.(fn) in
+  let locals = Array.make (Int.max func.Bytecode.n_locals 1) Value.Vunit in
+  List.iteri
+    (fun i value ->
+      if i < func.Bytecode.n_params then locals.(i) <- value
+      else raise (Value.Runtime_error "vm: too many arguments"))
+    args;
+  let stack = ref (Array.make 32 Value.Vunit) in
+  let sp = ref 0 in
+  let push value =
+    if !sp = Array.length !stack then begin
+      let grown = Array.make (2 * Array.length !stack) Value.Vunit in
+      Array.blit !stack 0 grown 0 !sp;
+      stack := grown
+    end;
+    !stack.(!sp) <- value;
+    incr sp
+  in
+  let pop () =
+    if !sp = 0 then raise (Value.Runtime_error "vm: stack underflow");
+    decr sp;
+    !stack.(!sp)
+  in
+  let pop_n n =
+    let values = ref [] in
+    for _ = 1 to n do
+      values := pop () :: !values
+    done;
+    !values
+  in
+  let tries = ref [] in
+  let pc = ref 0 in
+  let result = ref None in
+  let code = func.Bytecode.code in
+  (* Route a PLAN-P exception to the innermost matching handler, or
+     re-raise to the calling frame. *)
+  let handle_raise exn_name original =
+    let rec unwind = function
+      | [] -> raise original
+      | frame :: rest -> (
+          match List.assoc_opt exn_name frame.handlers with
+          | Some target ->
+              tries := rest;
+              sp := frame.saved_sp;
+              pc := target
+          | None -> unwind rest)
+    in
+    unwind !tries
+  in
+  while Option.is_none !result do
+    if !pc < 0 || !pc >= Array.length code then
+      raise (Value.Runtime_error "vm: program counter out of range");
+    let instr = code.(!pc) in
+    incr pc;
+    try
+      match instr with
+      | Bytecode.Const value -> push value
+      | Bytecode.Load slot -> push locals.(slot)
+      | Bytecode.Store slot -> locals.(slot) <- pop ()
+      | Bytecode.Pop -> ignore (pop ())
+      | Bytecode.Jump target -> pc := target
+      | Bytecode.Jump_if_false target ->
+          if not (Value.as_bool (pop ())) then pc := target
+      | Bytecode.Make_tuple n -> push (Value.Vtuple (pop_n n))
+      | Bytecode.Get_field i -> (
+          match pop () with
+          | Value.Vtuple components when i < List.length components ->
+              push (List.nth components i)
+          | value -> Value.type_error ~expected:"tuple" value)
+      | Bytecode.Call_prim (pool_index, argc) ->
+          let prim = unit_.Bytecode.pool.(pool_index) in
+          push (prim.Prim.impl world (pop_n argc))
+      | Bytecode.Call_fun (index, argc) ->
+          push (call unit_ ~fn:index world (pop_n argc))
+      | Bytecode.Bin op -> (
+          let right = pop () in
+          let left = pop () in
+          match op with
+          | Planp.Ast.Add ->
+              push (Value.Vint (Value.as_int left + Value.as_int right))
+          | Planp.Ast.Sub ->
+              push (Value.Vint (Value.as_int left - Value.as_int right))
+          | Planp.Ast.Mul ->
+              push (Value.Vint (Value.as_int left * Value.as_int right))
+          | Planp.Ast.Div ->
+              let divisor = Value.as_int right in
+              if divisor = 0 then raise (Value.Planp_raise "DivByZero")
+              else push (Value.Vint (Value.as_int left / divisor))
+          | Planp.Ast.Mod ->
+              let divisor = Value.as_int right in
+              if divisor = 0 then raise (Value.Planp_raise "DivByZero")
+              else push (Value.Vint (Value.as_int left mod divisor))
+          | Planp.Ast.Eq -> push (Value.Vbool (Value.equal left right))
+          | Planp.Ast.Ne -> push (Value.Vbool (not (Value.equal left right)))
+          | Planp.Ast.Lt ->
+              push (Value.Vbool (Value.compare_values left right < 0))
+          | Planp.Ast.Gt ->
+              push (Value.Vbool (Value.compare_values left right > 0))
+          | Planp.Ast.Le ->
+              push (Value.Vbool (Value.compare_values left right <= 0))
+          | Planp.Ast.Ge ->
+              push (Value.Vbool (Value.compare_values left right >= 0))
+          | Planp.Ast.Concat ->
+              push
+                (Value.Vstring (Value.as_string left ^ Value.as_string right))
+          | Planp.Ast.And | Planp.Ast.Or ->
+              raise (Value.Runtime_error "vm: short-circuit op in Bin"))
+      | Bytecode.Not_op -> push (Value.Vbool (not (Value.as_bool (pop ()))))
+      | Bytecode.Neg_op -> push (Value.Vint (-Value.as_int (pop ())))
+      | Bytecode.Emit (target, chan) ->
+          world.Planp_runtime.World.emit target ~chan (pop ());
+          push Value.Vunit
+      | Bytecode.Raise_exn exn_name ->
+          raise (Value.Planp_raise exn_name)
+      | Bytecode.Push_try handlers ->
+          tries := { handlers; saved_sp = !sp } :: !tries
+      | Bytecode.Pop_try -> (
+          match !tries with
+          | _ :: rest -> tries := rest
+          | [] -> raise (Value.Runtime_error "vm: pop_try on empty try stack"))
+      | Bytecode.Return -> result := Some (pop ())
+    with Value.Planp_raise exn_name as original ->
+      handle_raise exn_name original
+  done;
+  match !result with
+  | Some value -> value
+  | None -> raise (Value.Runtime_error "vm: no result")

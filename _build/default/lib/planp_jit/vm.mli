@@ -1,0 +1,18 @@
+(** The bytecode virtual machine.
+
+    A straightforward threaded loop over {!Bytecode.instr} with an operand
+    stack, per-frame locals, and a try stack for PLAN-P exceptions.
+    Deliberately *not* specialized: it is the baseline the JIT is measured
+    against. *)
+
+(** [call unit_ ~fn world args] runs function [fn] of the unit with [args]
+    in its parameter slots and returns the value left on the stack.
+    @raise Value.Planp_raise on uncaught PLAN-P exceptions.
+    @raise Value.Runtime_error on stack/code inconsistencies (compiler
+    bugs). *)
+val call :
+  Bytecode.unit_ ->
+  fn:int ->
+  Planp_runtime.World.t ->
+  Planp_runtime.Value.t list ->
+  Planp_runtime.Value.t

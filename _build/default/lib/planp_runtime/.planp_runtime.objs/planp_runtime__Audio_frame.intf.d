@@ -1,0 +1,1 @@
+lib/planp_runtime/audio_frame.mli: Format Netsim

@@ -1,0 +1,1 @@
+lib/planp_runtime/backend.ml: Planp Value World

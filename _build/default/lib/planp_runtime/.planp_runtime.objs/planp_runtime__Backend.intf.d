@@ -1,0 +1,1 @@
+lib/planp_runtime/backend.mli: Planp Value World

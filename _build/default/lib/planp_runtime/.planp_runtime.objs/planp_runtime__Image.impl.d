@@ -1,0 +1,1 @@
+lib/planp_runtime/image.ml: Array Char Format Int Netsim

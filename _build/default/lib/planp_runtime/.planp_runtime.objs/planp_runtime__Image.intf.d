@@ -1,0 +1,1 @@
+lib/planp_runtime/image.mli: Format Netsim

@@ -1,0 +1,1 @@
+lib/planp_runtime/interp.ml: Backend Hashtbl List Map Planp Prim Printf String Value World

@@ -1,0 +1,1 @@
+lib/planp_runtime/interp.mli: Backend Map Planp Value World

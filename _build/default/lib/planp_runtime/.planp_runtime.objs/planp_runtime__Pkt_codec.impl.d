@@ -1,0 +1,1 @@
+lib/planp_runtime/pkt_codec.ml: Char List Netsim Option Planp String Value

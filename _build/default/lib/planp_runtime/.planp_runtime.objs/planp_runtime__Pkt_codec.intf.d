@@ -1,0 +1,1 @@
+lib/planp_runtime/pkt_codec.mli: Netsim Planp Value

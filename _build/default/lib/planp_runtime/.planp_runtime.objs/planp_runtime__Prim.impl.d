@@ -1,0 +1,1 @@
+lib/planp_runtime/prim.ml: Hashtbl List Option Planp Printf String Value World

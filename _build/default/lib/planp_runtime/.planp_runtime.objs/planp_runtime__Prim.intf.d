@@ -1,0 +1,1 @@
+lib/planp_runtime/prim.mli: Planp Value World

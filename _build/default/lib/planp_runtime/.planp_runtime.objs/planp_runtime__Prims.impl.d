@@ -1,0 +1,1 @@
+lib/planp_runtime/prims.ml: Prims_audio Prims_core Prims_env Prims_image Prims_net Prims_table

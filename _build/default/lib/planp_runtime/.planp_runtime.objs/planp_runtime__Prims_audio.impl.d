@@ -1,0 +1,1 @@
+lib/planp_runtime/prims_audio.ml: Audio_frame List Netsim Planp Prim Value

@@ -1,0 +1,1 @@
+lib/planp_runtime/prims_core.ml: Char Int List Netsim Planp Prim Printf String Value World

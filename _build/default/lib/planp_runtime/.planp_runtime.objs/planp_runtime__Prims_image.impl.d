@@ -1,0 +1,1 @@
+lib/planp_runtime/prims_image.ml: Image List Option Planp Prim Value

@@ -1,0 +1,1 @@
+lib/planp_runtime/prims_table.mli:

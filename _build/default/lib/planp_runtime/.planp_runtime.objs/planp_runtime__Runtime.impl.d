@@ -1,0 +1,1 @@
+lib/planp_runtime/runtime.ml: Backend Buffer Format Interp List Netsim Option Pkt_codec Planp Prim Prims Printf String Value World

@@ -1,0 +1,1 @@
+lib/planp_runtime/runtime.mli: Backend Netsim Planp Value

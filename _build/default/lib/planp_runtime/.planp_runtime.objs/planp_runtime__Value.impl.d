@@ -1,0 +1,1 @@
+lib/planp_runtime/value.ml: Char Format Hashtbl Int List Netsim Planp Printf String

@@ -1,0 +1,1 @@
+lib/planp_runtime/value.mli: Format Hashtbl Netsim Planp

@@ -1,0 +1,160 @@
+module Payload = Netsim.Payload
+
+type quality = Stereo16 | Mono16 | Mono8
+
+let quality_code = function Stereo16 -> 0 | Mono16 -> 1 | Mono8 -> 2
+
+let quality_of_code = function
+  | 0 -> Some Stereo16
+  | 1 -> Some Mono16
+  | 2 -> Some Mono8
+  | _ -> None
+
+let degraded_from a b = quality_code a >= quality_code b
+
+type t = { seq : int; quality : quality; samples : int array }
+
+let frame_count t =
+  match t.quality with
+  | Stereo16 -> Array.length t.samples / 2
+  | Mono16 | Mono8 -> Array.length t.samples
+
+let bytes_per_frame = function Stereo16 -> 4 | Mono16 -> 2 | Mono8 -> 1
+
+let clamp16 v = if v > 32767 then 32767 else if v < -32768 then -32768 else v
+let clamp8 v = if v > 127 then 127 else if v < -128 then -128 else v
+
+let encode t =
+  let writer = Payload.Writer.create () in
+  Payload.Writer.u32 writer t.seq;
+  Payload.Writer.u8 writer (quality_code t.quality);
+  Payload.Writer.u16 writer (frame_count t);
+  (match t.quality with
+  | Stereo16 | Mono16 ->
+      Array.iter
+        (fun sample -> Payload.Writer.u16 writer (clamp16 sample land 0xffff))
+        t.samples
+  | Mono8 ->
+      Array.iter
+        (fun sample -> Payload.Writer.u8 writer (clamp8 sample land 0xff))
+        t.samples);
+  Payload.Writer.finish writer
+
+let sign16 raw = if raw land 0x8000 <> 0 then raw - 0x10000 else raw
+let sign8 raw = if raw land 0x80 <> 0 then raw - 0x100 else raw
+
+let decode payload =
+  if Payload.length payload < 7 then None
+  else
+    let reader = Payload.Reader.create payload in
+    let seq = Payload.Reader.u32 reader in
+    let code = Payload.Reader.u8 reader in
+    let frames = Payload.Reader.u16 reader in
+    match quality_of_code code with
+    | None -> None
+    | Some quality ->
+        let sample_count =
+          match quality with Stereo16 -> 2 * frames | Mono16 | Mono8 -> frames
+        in
+        let expected_bytes =
+          match quality with
+          | Stereo16 | Mono16 -> 2 * sample_count
+          | Mono8 -> sample_count
+        in
+        if Payload.Reader.remaining reader <> expected_bytes then None
+        else begin
+          let samples = Array.make sample_count 0 in
+          (match quality with
+          | Stereo16 | Mono16 ->
+              for i = 0 to sample_count - 1 do
+                samples.(i) <- sign16 (Payload.Reader.u16 reader)
+              done
+          | Mono8 ->
+              for i = 0 to sample_count - 1 do
+                samples.(i) <- sign8 (Payload.Reader.u8 reader)
+              done);
+          Some { seq; quality; samples }
+        end
+
+let to_mono16 t =
+  match t.quality with
+  | Stereo16 ->
+      let frames = frame_count t in
+      let mono = Array.make frames 0 in
+      for i = 0 to frames - 1 do
+        mono.(i) <- (t.samples.(2 * i) + t.samples.((2 * i) + 1)) / 2
+      done;
+      { t with quality = Mono16; samples = mono }
+  | Mono16 -> t
+  | Mono8 ->
+      { t with quality = Mono16; samples = Array.map (fun s -> s lsl 8) t.samples }
+
+let to_mono8 t =
+  let mono = to_mono16 t in
+  match t.quality with
+  | Mono8 -> t
+  | Stereo16 | Mono16 ->
+      {
+        mono with
+        quality = Mono8;
+        samples = Array.map (fun s -> clamp8 (s asr 8)) mono.samples;
+      }
+
+let degrade t target =
+  if not (degraded_from target t.quality) then t
+  else
+    match target with
+    | Stereo16 -> t
+    | Mono16 -> to_mono16 t
+    | Mono8 -> to_mono8 t
+
+let restore t =
+  match t.quality with
+  | Stereo16 -> t
+  | Mono16 | Mono8 ->
+      let mono = to_mono16 t in
+      let frames = Array.length mono.samples in
+      let stereo = Array.make (2 * frames) 0 in
+      for i = 0 to frames - 1 do
+        stereo.(2 * i) <- mono.samples.(i);
+        stereo.((2 * i) + 1) <- mono.samples.(i)
+      done;
+      { t with quality = Stereo16; samples = stereo }
+
+(* Integer sine-ish oscillator: a second-order resonator would drift in
+   integer arithmetic, so use a triangle wave with a slow wobble — fully
+   deterministic and exercises the full 16-bit range. *)
+let synth ~seq ~frames ~phase =
+  let samples = Array.make (2 * frames) 0 in
+  for i = 0 to frames - 1 do
+    let x = (phase + i) mod 200 in
+    let tri = if x < 100 then (x * 600) - 30000 else ((200 - x) * 600) - 30000 in
+    let wobble = ((phase + i) mod 37) * 100 in
+    samples.(2 * i) <- clamp16 (tri + wobble);
+    samples.((2 * i) + 1) <- clamp16 (tri - wobble)
+  done;
+  { seq; quality = Stereo16; samples }
+
+let rms_error a b =
+  let ra = restore a and rb = restore b in
+  let n = Int.min (Array.length ra.samples) (Array.length rb.samples) in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = float_of_int (ra.samples.(i) - rb.samples.(i)) in
+      acc := !acc +. (d *. d)
+    done;
+    sqrt (!acc /. float_of_int n)
+  end
+
+let equal a b = a.seq = b.seq && a.quality = b.quality && a.samples = b.samples
+
+let quality_name = function
+  | Stereo16 -> "16-bit stereo"
+  | Mono16 -> "16-bit mono"
+  | Mono8 -> "8-bit mono"
+
+let pp fmt t =
+  Format.fprintf fmt "<audio seq=%d %s frames=%d>" t.seq (quality_name t.quality)
+    (frame_count t)

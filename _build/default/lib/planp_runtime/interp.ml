@@ -1,0 +1,164 @@
+module Ast = Planp.Ast
+module Env = Map.Make (String)
+
+type ctx = {
+  world : World.t;
+  funs : (string, Ast.fundef) Hashtbl.t;
+  base : Value.t Env.t;
+}
+
+let make_ctx ~world ~funs ~globals =
+  let fun_table = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace fun_table f.Ast.fun_name f) funs;
+  let base =
+    List.fold_left (fun env (name, value) -> Env.add name value env) Env.empty
+      globals
+  in
+  { world; funs = fun_table; base }
+
+let lookup env name =
+  match Env.find_opt name env with
+  | Some value -> value
+  | None ->
+      raise (Value.Runtime_error (Printf.sprintf "unbound variable %s" name))
+
+let arith op a b =
+  let a = Value.as_int a and b = Value.as_int b in
+  match op with
+  | Ast.Add -> Value.Vint (a + b)
+  | Ast.Sub -> Value.Vint (a - b)
+  | Ast.Mul -> Value.Vint (a * b)
+  | Ast.Div ->
+      if b = 0 then raise (Value.Planp_raise "DivByZero") else Value.Vint (a / b)
+  | Ast.Mod ->
+      if b = 0 then raise (Value.Planp_raise "DivByZero")
+      else Value.Vint (a mod b)
+  | _ -> assert false
+
+let rec eval ctx env (expr : Ast.expr) =
+  match expr.Ast.desc with
+  | Ast.Int n -> Value.Vint n
+  | Ast.Bool b -> Value.Vbool b
+  | Ast.String s -> Value.Vstring s
+  | Ast.Char c -> Value.Vchar c
+  | Ast.Unit -> Value.Vunit
+  | Ast.Host h -> Value.Vhost h
+  | Ast.Var name -> lookup env name
+  | Ast.Call (name, args) ->
+      let arg_values = List.map (eval ctx env) args in
+      apply ctx name arg_values
+  | Ast.Tuple components -> Value.Vtuple (List.map (eval ctx env) components)
+  | Ast.Proj (index, operand) -> (
+      match eval ctx env operand with
+      | Value.Vtuple components when index >= 1 && index <= List.length components
+        ->
+          List.nth components (index - 1)
+      | value -> Value.type_error ~expected:"tuple" value)
+  | Ast.Let (bindings, body) ->
+      let env =
+        List.fold_left
+          (fun env { Ast.bind_name; bind_expr; _ } ->
+            Env.add bind_name (eval ctx env bind_expr) env)
+          env bindings
+      in
+      eval ctx env body
+  | Ast.If (cond, then_branch, else_branch) ->
+      if Value.as_bool (eval ctx env cond) then eval ctx env then_branch
+      else eval ctx env else_branch
+  | Ast.Binop (Ast.And, left, right) ->
+      if Value.as_bool (eval ctx env left) then eval ctx env right
+      else Value.Vbool false
+  | Ast.Binop (Ast.Or, left, right) ->
+      if Value.as_bool (eval ctx env left) then Value.Vbool true
+      else eval ctx env right
+  | Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod) as op), l, r)
+    ->
+      arith op (eval ctx env l) (eval ctx env r)
+  | Ast.Binop (Ast.Eq, l, r) ->
+      Value.Vbool (Value.equal (eval ctx env l) (eval ctx env r))
+  | Ast.Binop (Ast.Ne, l, r) ->
+      Value.Vbool (not (Value.equal (eval ctx env l) (eval ctx env r)))
+  | Ast.Binop (Ast.Lt, l, r) ->
+      Value.Vbool (Value.compare_values (eval ctx env l) (eval ctx env r) < 0)
+  | Ast.Binop (Ast.Gt, l, r) ->
+      Value.Vbool (Value.compare_values (eval ctx env l) (eval ctx env r) > 0)
+  | Ast.Binop (Ast.Le, l, r) ->
+      Value.Vbool (Value.compare_values (eval ctx env l) (eval ctx env r) <= 0)
+  | Ast.Binop (Ast.Ge, l, r) ->
+      Value.Vbool (Value.compare_values (eval ctx env l) (eval ctx env r) >= 0)
+  | Ast.Binop (Ast.Concat, l, r) ->
+      Value.Vstring
+        (Value.as_string (eval ctx env l) ^ Value.as_string (eval ctx env r))
+  | Ast.Unop (Ast.Not, operand) ->
+      Value.Vbool (not (Value.as_bool (eval ctx env operand)))
+  | Ast.Unop (Ast.Neg, operand) ->
+      Value.Vint (-Value.as_int (eval ctx env operand))
+  | Ast.Seq (left, right) ->
+      let _unit = eval ctx env left in
+      eval ctx env right
+  | Ast.On_remote (chan, packet) ->
+      ctx.world.World.emit World.Remote ~chan (eval ctx env packet);
+      Value.Vunit
+  | Ast.On_neighbor (chan, packet) ->
+      ctx.world.World.emit World.Neighbor ~chan (eval ctx env packet);
+      Value.Vunit
+  | Ast.Raise exn_name -> raise (Value.Planp_raise exn_name)
+  | Ast.Try (body, handlers) -> (
+      try eval ctx env body
+      with Value.Planp_raise exn_name as original -> (
+        match List.assoc_opt exn_name handlers with
+        | Some handler -> eval ctx env handler
+        | None -> raise original))
+
+and apply ctx name arg_values =
+  match Hashtbl.find_opt ctx.funs name with
+  | Some { Ast.params; fun_body; _ } ->
+      let env =
+        List.fold_left2
+          (fun env (param, _ty) value -> Env.add param value env)
+          ctx.base params arg_values
+      in
+      eval ctx env fun_body
+  | None ->
+      let prim = Prim.find_exn name in
+      prim.Prim.impl ctx.world arg_values
+
+let eval_const ~world ~globals expr =
+  let ctx = make_ctx ~world ~funs:[] ~globals in
+  eval ctx ctx.base expr
+
+let backend =
+  {
+    Backend.backend_name = "interp";
+    compile =
+      (fun checked ~globals ->
+        let funs =
+          List.filter_map
+            (function Ast.Dfun f -> Some f | _ -> None)
+            checked.Planp.Typecheck.program
+        in
+        (* The function table and global environment are per-program, not
+           per-packet; only the world changes between invocations. *)
+        let template =
+          let world, _, _ = World.dummy () in
+          make_ctx ~world ~funs ~globals
+        in
+        List.map
+          (fun chan ->
+            let exec world ~ps ~ss ~pkt =
+              let ctx = { template with world } in
+              let env =
+                ctx.base
+                |> Env.add chan.Ast.ps_name ps
+                |> Env.add chan.Ast.ss_name ss
+                |> Env.add chan.Ast.pkt_name pkt
+              in
+              match eval ctx env chan.Ast.body with
+              | Value.Vtuple [ ps'; ss' ] -> (ps', ss')
+              | value ->
+                  Value.type_error ~expected:"(protocol, channel) state pair"
+                    value
+            in
+            (chan, exec))
+          (Ast.channels checked.Planp.Typecheck.program));
+  }

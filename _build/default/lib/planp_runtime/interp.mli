@@ -1,0 +1,32 @@
+(** The PLAN-P tree-walking interpreter — the reference semantics.
+
+    The JIT of the paper is *derived from* this interpreter by
+    specialization; [Planp_jit.Specialize] mirrors this module case by case,
+    moving the AST traversal to compile time. When changing evaluation
+    rules here, change them there. *)
+
+module Env : Map.S with type key = string
+
+(** Evaluation context: the world, the program's functions, and the global
+    value environment. *)
+type ctx
+
+val make_ctx :
+  world:World.t ->
+  funs:Planp.Ast.fundef list ->
+  globals:(string * Value.t) list ->
+  ctx
+
+(** [eval ctx env expr] evaluates under local bindings [env] (on top of the
+    context's globals).
+    @raise Value.Planp_raise on uncaught PLAN-P exceptions.
+    @raise Value.Runtime_error on internal errors. *)
+val eval : ctx -> Value.t Env.t -> Planp.Ast.expr -> Value.t
+
+(** [eval_const ~world ~globals expr] evaluates an initializer (no local
+    bindings, no functions). *)
+val eval_const :
+  world:World.t -> globals:(string * Value.t) list -> Planp.Ast.expr -> Value.t
+
+(** The interpreter as a backend (re-walks the AST on every packet). *)
+val backend : Backend.t

@@ -1,0 +1,149 @@
+module Ptype = Planp.Ptype
+module Packet = Netsim.Packet
+module Payload = Netsim.Payload
+
+let split_type = function
+  | Ptype.Ttuple (Ptype.Tip :: rest) ->
+      let transport, payload =
+        match rest with
+        | Ptype.Ttcp :: payload -> (`Tcp, payload)
+        | Ptype.Tudp :: payload -> (`Udp, payload)
+        | payload -> (`Any, payload)
+      in
+      Some (transport, payload)
+  | _ -> None
+
+let scalar_width = function
+  | Ptype.Tchar | Ptype.Tbool -> Some 1
+  | Ptype.Tint | Ptype.Thost -> Some 4
+  | _ -> None
+
+let rec payload_layout_ok = function
+  | [] -> true
+  | [ Ptype.Tblob ] -> true
+  | [ Ptype.Tstring ] -> true
+  | component :: rest ->
+      (match scalar_width component with
+      | Some _ -> true
+      | None -> Ptype.equal component Ptype.Tstring)
+      && payload_layout_ok rest
+
+let layout_ok pkt_type =
+  match split_type pkt_type with
+  | Some (_, payload) -> payload_layout_ok payload
+  | None -> false
+
+(* Decode the packet body against the payload component types. Returns the
+   component values, or None if the body does not match exactly. *)
+let decode_payload components body =
+  let len = Payload.length body in
+  let rec go components pos acc =
+    match components with
+    | [] -> if pos = len then Some (List.rev acc) else None
+    | Ptype.Tblob :: [] ->
+        Some (List.rev (Value.Vblob (Payload.sub body ~pos ~len:(len - pos)) :: acc))
+    | Ptype.Tblob :: _ -> None
+    | Ptype.Tchar :: rest ->
+        if pos + 1 > len then None
+        else
+          go rest (pos + 1)
+            (Value.Vchar (Char.chr (Payload.get_u8 body pos)) :: acc)
+    | Ptype.Tbool :: rest ->
+        if pos + 1 > len then None
+        else
+          let byte = Payload.get_u8 body pos in
+          if byte > 1 then None
+          else go rest (pos + 1) (Value.Vbool (byte = 1) :: acc)
+    | Ptype.Tint :: rest ->
+        if pos + 4 > len then None
+        else
+          (* sign-extend from 32 bits *)
+          let raw = Payload.get_u32 body pos in
+          let n = if raw land 0x80000000 <> 0 then raw - (1 lsl 32) else raw in
+          go rest (pos + 4) (Value.Vint n :: acc)
+    | Ptype.Thost :: rest ->
+        if pos + 4 > len then None
+        else go rest (pos + 4) (Value.Vhost (Payload.get_u32 body pos) :: acc)
+    | Ptype.Tstring :: rest ->
+        if pos + 2 > len then None
+        else
+          let slen = Payload.get_u16 body pos in
+          if pos + 2 + slen > len then None
+          else
+            let s = Payload.to_string (Payload.sub body ~pos:(pos + 2) ~len:slen) in
+            go rest (pos + 2 + slen) (Value.Vstring s :: acc)
+    | ( Ptype.Tunit | Ptype.Tip | Ptype.Ttcp | Ptype.Tudp | Ptype.Ttuple _
+      | Ptype.Thash _ | Ptype.Thash_any )
+      :: _ ->
+        None
+  in
+  go components 0 []
+
+let ip_view_of (packet : Packet.t) =
+  {
+    Value.vsrc = packet.Packet.src;
+    vdst = packet.Packet.dst;
+    vttl = packet.Packet.ttl;
+  }
+
+let decode pkt_type (packet : Packet.t) =
+  match split_type pkt_type with
+  | None -> None
+  | Some (transport, payload_components) -> (
+      let transport_value =
+        match (transport, packet.Packet.l4) with
+        | `Tcp, Packet.Tcp header -> Some [ Value.Vtcp header ]
+        | `Udp, Packet.Udp header -> Some [ Value.Vudp header ]
+        | `Any, _ -> Some []
+        | (`Tcp | `Udp), _ -> None
+      in
+      match transport_value with
+      | None -> None
+      | Some transport_values -> (
+          match decode_payload payload_components packet.Packet.body with
+          | None -> None
+          | Some payload_values ->
+              Some
+                (Value.Vtuple
+                   ((Value.Vip (ip_view_of packet) :: transport_values)
+                   @ payload_values))))
+
+let matches pkt_type packet = Option.is_some (decode pkt_type packet)
+
+let encode_payload components =
+  let writer = Payload.Writer.create () in
+  List.iter
+    (fun component ->
+      match component with
+      | Value.Vchar c -> Payload.Writer.u8 writer (Char.code c)
+      | Value.Vbool b -> Payload.Writer.u8 writer (if b then 1 else 0)
+      | Value.Vint n -> Payload.Writer.u32 writer (n land 0xffffffff)
+      | Value.Vhost h -> Payload.Writer.u32 writer h
+      | Value.Vstring s ->
+          if String.length s > 0xffff then
+            raise (Value.Runtime_error "string too long for packet payload");
+          Payload.Writer.u16 writer (String.length s);
+          Payload.Writer.string writer s
+      | Value.Vblob payload -> Payload.Writer.raw writer payload
+      | Value.Vunit | Value.Vip _ | Value.Vtcp _ | Value.Vudp _
+      | Value.Vtuple _ | Value.Vtable _ ->
+          Value.type_error ~expected:"payload component" component)
+    components;
+  Payload.Writer.finish writer
+
+let encode ~chan value =
+  match Value.as_tuple value with
+  | Value.Vip ip :: rest ->
+      let l4, payload_components =
+        match rest with
+        | Value.Vtcp header :: payload -> (Packet.Tcp header, payload)
+        | Value.Vudp header :: payload -> (Packet.Udp header, payload)
+        | payload -> (Packet.Raw, payload)
+      in
+      let chan_tag =
+        if String.equal chan Planp.Ast.network_channel then None else Some chan
+      in
+      Packet.make ~ttl:ip.Value.vttl ?chan_tag ~src:ip.Value.vsrc
+        ~dst:ip.Value.vdst l4
+        (encode_payload payload_components)
+  | _ -> raise (Value.Runtime_error "packet value must start with an ip header")

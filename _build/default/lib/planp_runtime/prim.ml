@@ -1,0 +1,28 @@
+type impl = World.t -> Value.t list -> Value.t
+
+type prim = {
+  prim_name : string;
+  type_fn : Planp.Prim_sig.type_fn;
+  impl : impl;
+  pure : bool;
+}
+
+let registry : (string, prim) Hashtbl.t = Hashtbl.create 64
+let register prim = Hashtbl.replace registry prim.prim_name prim
+let find name = Hashtbl.find_opt registry name
+
+let find_exn name =
+  match find name with
+  | Some prim -> prim
+  | None ->
+      raise
+        (Value.Runtime_error (Printf.sprintf "unregistered primitive %s" name))
+
+let type_lookup name =
+  Option.map (fun prim -> prim.type_fn) (Hashtbl.find_opt registry name)
+
+let names () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry []
+  |> List.sort String.compare
+
+let count () = Hashtbl.length registry

@@ -1,0 +1,33 @@
+(** The primitive registry.
+
+    As in the paper (§2.3), "extending the interpreter with a new primitive
+    involves defining two C functions. One function performs the calculation
+    of the primitive, while the second computes the return type of the
+    primitive given the types of its arguments." Here the two functions are
+    [impl] and [type_fn]; every backend (interpreter, JIT, bytecode VM)
+    executes primitives through this one registry, so a registration extends
+    all three at once. *)
+
+type impl = World.t -> Value.t list -> Value.t
+
+type prim = {
+  prim_name : string;
+  type_fn : Planp.Prim_sig.type_fn;
+  impl : impl;
+  pure : bool;
+      (** pure primitives may run outside a packet context (global values) *)
+}
+
+(** [register prim] adds or replaces a primitive. *)
+val register : prim -> unit
+
+val find : string -> prim option
+val find_exn : string -> prim
+
+(** [type_lookup] feeds {!Planp.Typecheck.check}. *)
+val type_lookup : Planp.Prim_sig.lookup
+
+(** [names ()] lists registered primitives, sorted. *)
+val names : unit -> string list
+
+val count : unit -> int

@@ -1,0 +1,12 @@
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    Prims_core.install ();
+    Prims_net.install ();
+    Prims_table.install ();
+    Prims_env.install ();
+    Prims_audio.install ();
+    Prims_image.install ()
+  end

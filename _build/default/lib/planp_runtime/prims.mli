@@ -1,0 +1,6 @@
+(** One-call installation of the complete primitive library.
+
+    [install ()] is idempotent and must run before type checking or
+    executing programs; {!Runtime.install} and the CLI call it for you. *)
+
+val install : unit -> unit

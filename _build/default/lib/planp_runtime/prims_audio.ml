@@ -1,0 +1,49 @@
+module Ptype = Planp.Ptype
+module Sig = Planp.Prim_sig
+
+let frame_of_blob value =
+  match Audio_frame.decode (Value.as_blob value) with
+  | Some frame -> frame
+  | None -> raise (Value.Planp_raise "BadAudio")
+
+let pure prim_name expected result impl =
+  {
+    Prim.prim_name;
+    type_fn = Sig.fixed expected result;
+    impl = (fun _world args -> impl args);
+    pure = true;
+  }
+
+let arg1 = function
+  | [ a ] -> a
+  | _ -> raise (Value.Runtime_error "expected 1 argument")
+
+let arg2 = function
+  | [ a; b ] -> (a, b)
+  | _ -> raise (Value.Runtime_error "expected 2 arguments")
+
+let install () =
+  List.iter Prim.register
+    [
+      pure "audioSeq" [ Ptype.Tblob ] Ptype.Tint (fun args ->
+          Value.Vint (frame_of_blob (arg1 args)).Audio_frame.seq);
+      pure "audioQuality" [ Ptype.Tblob ] Ptype.Tint (fun args ->
+          Value.Vint
+            (Audio_frame.quality_code
+               (frame_of_blob (arg1 args)).Audio_frame.quality));
+      pure "audioFrames" [ Ptype.Tblob ] Ptype.Tint (fun args ->
+          Value.Vint (Audio_frame.frame_count (frame_of_blob (arg1 args))));
+      pure "audioBytes" [ Ptype.Tblob ] Ptype.Tint (fun args ->
+          Value.Vint (Netsim.Payload.length (Value.as_blob (arg1 args))));
+      pure "audioDegrade" [ Ptype.Tblob; Ptype.Tint ] Ptype.Tblob (fun args ->
+          let blob, level = arg2 args in
+          match Audio_frame.quality_of_code (Value.as_int level) with
+          | None -> raise (Value.Planp_raise "BadAudio")
+          | Some quality ->
+              Value.Vblob
+                (Audio_frame.encode
+                   (Audio_frame.degrade (frame_of_blob blob) quality)));
+      pure "audioRestore" [ Ptype.Tblob ] Ptype.Tblob (fun args ->
+          Value.Vblob
+            (Audio_frame.encode (Audio_frame.restore (frame_of_blob (arg1 args)))));
+    ]

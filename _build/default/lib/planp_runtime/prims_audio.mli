@@ -1,0 +1,7 @@
+(** Audio primitives over {!Audio_frame} blobs: [audioSeq], [audioQuality],
+    [audioFrames], [audioDegrade], [audioRestore], [audioBytes].
+
+    Blobs that do not decode as audio frames raise the PLAN-P exception
+    [BadAudio]. Installed by {!Prims.install}. *)
+
+val install : unit -> unit

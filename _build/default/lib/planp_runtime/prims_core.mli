@@ -1,0 +1,5 @@
+(** Core primitives: printing, conversions, string/char/int utilities.
+
+    Installed by {!Prims.install}. *)
+
+val install : unit -> unit

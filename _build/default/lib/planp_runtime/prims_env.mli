@@ -1,0 +1,6 @@
+(** Node-environment primitives: [linkLoad], [linkCapacity] (kB/s, the
+    paper's Fig. 6 units), [thisIface], [timeMs].
+
+    Installed by {!Prims.install}. *)
+
+val install : unit -> unit

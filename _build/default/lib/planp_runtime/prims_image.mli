@@ -1,0 +1,8 @@
+(** Image primitives over {!Image} blobs: [imgWidth], [imgHeight],
+    [imgDepth], [imgBytes], [imgDistill], [isImage].
+
+    Blobs that do not decode as images raise the built-in PLAN-P exception
+    [BadImage] (except [isImage], which tests). Installed by
+    {!Prims.install}. *)
+
+val install : unit -> unit

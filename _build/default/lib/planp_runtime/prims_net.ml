@@ -1,0 +1,101 @@
+module Ptype = Planp.Ptype
+module Sig = Planp.Prim_sig
+module Packet = Netsim.Packet
+
+let pure prim_name expected result impl =
+  {
+    Prim.prim_name;
+    type_fn = Sig.fixed expected result;
+    impl = (fun _world args -> impl args);
+    pure = true;
+  }
+
+let arg1 = function
+  | [ a ] -> a
+  | _ -> raise (Value.Runtime_error "expected 1 argument")
+
+let arg2 = function
+  | [ a; b ] -> (a, b)
+  | _ -> raise (Value.Runtime_error "expected 2 arguments")
+
+(* deliver takes any packet-shaped tuple; its type function validates that. *)
+let deliver_type_fn = function
+  | [ ty ] when Ptype.is_packet ty -> Ok Ptype.Tunit
+  | [ ty ] -> Error (Printf.sprintf "expected a packet tuple, got %s" (Ptype.to_string ty))
+  | args -> Error (Printf.sprintf "expected 1 argument, got %d" (List.length args))
+
+let install () =
+  List.iter Prim.register
+    [
+      pure "ipSrc" [ Ptype.Tip ] Ptype.Thost (fun args ->
+          Value.Vhost (Value.as_ip (arg1 args)).Value.vsrc);
+      pure "ipDst" [ Ptype.Tip ] Ptype.Thost (fun args ->
+          Value.Vhost (Value.as_ip (arg1 args)).Value.vdst);
+      pure "ipTtl" [ Ptype.Tip ] Ptype.Tint (fun args ->
+          Value.Vint (Value.as_ip (arg1 args)).Value.vttl);
+      pure "ipSrcSet" [ Ptype.Tip; Ptype.Thost ] Ptype.Tip (fun args ->
+          let ip, host = arg2 args in
+          Value.Vip { (Value.as_ip ip) with Value.vsrc = Value.as_host host });
+      pure "ipDestSet" [ Ptype.Tip; Ptype.Thost ] Ptype.Tip (fun args ->
+          let ip, host = arg2 args in
+          Value.Vip { (Value.as_ip ip) with Value.vdst = Value.as_host host });
+      pure "tcpSrc" [ Ptype.Ttcp ] Ptype.Tint (fun args ->
+          Value.Vint (Value.as_tcp (arg1 args)).Packet.tcp_src);
+      pure "tcpDst" [ Ptype.Ttcp ] Ptype.Tint (fun args ->
+          Value.Vint (Value.as_tcp (arg1 args)).Packet.tcp_dst);
+      pure "tcpSeq" [ Ptype.Ttcp ] Ptype.Tint (fun args ->
+          Value.Vint (Value.as_tcp (arg1 args)).Packet.tcp_seq);
+      pure "tcpAck" [ Ptype.Ttcp ] Ptype.Tint (fun args ->
+          Value.Vint (Value.as_tcp (arg1 args)).Packet.tcp_ack);
+      pure "tcpSyn" [ Ptype.Ttcp ] Ptype.Tbool (fun args ->
+          Value.Vbool (Value.as_tcp (arg1 args)).Packet.tcp_syn);
+      pure "tcpFin" [ Ptype.Ttcp ] Ptype.Tbool (fun args ->
+          Value.Vbool (Value.as_tcp (arg1 args)).Packet.tcp_fin);
+      pure "tcpIsAck" [ Ptype.Ttcp ] Ptype.Tbool (fun args ->
+          Value.Vbool (Value.as_tcp (arg1 args)).Packet.tcp_is_ack);
+      pure "tcpSrcSet" [ Ptype.Ttcp; Ptype.Tint ] Ptype.Ttcp (fun args ->
+          let tcp, port = arg2 args in
+          Value.Vtcp
+            { (Value.as_tcp tcp) with Packet.tcp_src = Value.as_int port });
+      pure "tcpDstSet" [ Ptype.Ttcp; Ptype.Tint ] Ptype.Ttcp (fun args ->
+          let tcp, port = arg2 args in
+          Value.Vtcp
+            { (Value.as_tcp tcp) with Packet.tcp_dst = Value.as_int port });
+      pure "udpSrc" [ Ptype.Tudp ] Ptype.Tint (fun args ->
+          Value.Vint (Value.as_udp (arg1 args)).Packet.udp_src);
+      pure "udpDst" [ Ptype.Tudp ] Ptype.Tint (fun args ->
+          Value.Vint (Value.as_udp (arg1 args)).Packet.udp_dst);
+      pure "udpSrcSet" [ Ptype.Tudp; Ptype.Tint ] Ptype.Tudp (fun args ->
+          let udp, port = arg2 args in
+          Value.Vudp
+            { (Value.as_udp udp) with Packet.udp_src = Value.as_int port });
+      pure "udpDstSet" [ Ptype.Tudp; Ptype.Tint ] Ptype.Tudp (fun args ->
+          let udp, port = arg2 args in
+          Value.Vudp
+            { (Value.as_udp udp) with Packet.udp_dst = Value.as_int port });
+      pure "mkUdp" [ Ptype.Tint; Ptype.Tint ] Ptype.Tudp (fun args ->
+          let src, dst = arg2 args in
+          Value.Vudp
+            { Packet.udp_src = Value.as_int src; udp_dst = Value.as_int dst });
+      pure "isMulticast" [ Ptype.Thost ] Ptype.Tbool (fun args ->
+          Value.Vbool (Netsim.Addr.is_multicast (Value.as_host (arg1 args))));
+      (* The packed 32-bit value of an address, for hashing-style load
+         balancing decisions. *)
+      pure "hostBits" [ Ptype.Thost ] Ptype.Tint (fun args ->
+          Value.Vint (Value.as_host (arg1 args)));
+      {
+        Prim.prim_name = "thisHost";
+        type_fn = Sig.fixed [] Ptype.Thost;
+        impl = (fun world _args -> Value.Vhost (world.World.node_addr ()));
+        pure = false;
+      };
+      {
+        Prim.prim_name = "deliver";
+        type_fn = deliver_type_fn;
+        impl =
+          (fun world args ->
+            world.World.deliver (arg1 args);
+            Value.Vunit);
+        pure = false;
+      };
+    ]

@@ -1,0 +1,5 @@
+(** Network primitives: header accessors/updaters and local delivery.
+
+    Installed by {!Prims.install}. *)
+
+val install : unit -> unit

@@ -1,0 +1,156 @@
+module Ptype = Planp.Ptype
+module Sig = Planp.Prim_sig
+
+let table_key_value = function
+  | Ptype.Thash (key, value) -> Some (key, value)
+  | _ -> None
+
+(* tblGet(table, key, default) : value *)
+let get_type_fn = function
+  | [ table_ty; key_ty; default_ty ] -> (
+      match table_key_value table_ty with
+      | Some (key, value) ->
+          if not (Ptype.equal key key_ty) then
+            Error
+              (Printf.sprintf "key type %s does not match table key %s"
+                 (Ptype.to_string key_ty) (Ptype.to_string key))
+          else if not (Ptype.equal value default_ty) then
+            Error
+              (Printf.sprintf "default type %s does not match table value %s"
+                 (Ptype.to_string default_ty)
+                 (Ptype.to_string value))
+          else Ok value
+      | None ->
+          Error (Printf.sprintf "not a hash table: %s" (Ptype.to_string table_ty)))
+  | args -> Error (Printf.sprintf "expected 3 arguments, got %d" (List.length args))
+
+(* tblSet(table, key, value) : unit *)
+let set_type_fn = function
+  | [ table_ty; key_ty; value_ty ] -> (
+      match table_key_value table_ty with
+      | Some (key, value) ->
+          if not (Ptype.equal key key_ty) then
+            Error
+              (Printf.sprintf "key type %s does not match table key %s"
+                 (Ptype.to_string key_ty) (Ptype.to_string key))
+          else if not (Ptype.equal value value_ty) then
+            Error
+              (Printf.sprintf "value type %s does not match table value %s"
+                 (Ptype.to_string value_ty)
+                 (Ptype.to_string value))
+          else Ok Ptype.Tunit
+      | None ->
+          Error (Printf.sprintf "not a hash table: %s" (Ptype.to_string table_ty)))
+  | args -> Error (Printf.sprintf "expected 3 arguments, got %d" (List.length args))
+
+(* tblMem(table, key) : bool / tblRemove(table, key) : unit *)
+let key_only_type_fn result = function
+  | [ table_ty; key_ty ] -> (
+      match table_key_value table_ty with
+      | Some (key, _) ->
+          if Ptype.equal key key_ty then Ok result
+          else
+            Error
+              (Printf.sprintf "key type %s does not match table key %s"
+                 (Ptype.to_string key_ty) (Ptype.to_string key))
+      | None ->
+          Error (Printf.sprintf "not a hash table: %s" (Ptype.to_string table_ty)))
+  | args -> Error (Printf.sprintf "expected 2 arguments, got %d" (List.length args))
+
+let table_only_type_fn result = function
+  | [ table_ty ] -> (
+      match table_key_value table_ty with
+      | Some _ -> Ok result
+      | None ->
+          Error (Printf.sprintf "not a hash table: %s" (Ptype.to_string table_ty)))
+  | args -> Error (Printf.sprintf "expected 1 argument, got %d" (List.length args))
+
+let mk_type_fn = function
+  | [ Ptype.Tint ] -> Ok Ptype.Thash_any
+  | [ other ] -> Error (Printf.sprintf "expected int size, got %s" (Ptype.to_string other))
+  | args -> Error (Printf.sprintf "expected 1 argument, got %d" (List.length args))
+
+let arg2 = function
+  | [ a; b ] -> (a, b)
+  | _ -> raise (Value.Runtime_error "expected 2 arguments")
+
+let arg3 = function
+  | [ a; b; c ] -> (a, b, c)
+  | _ -> raise (Value.Runtime_error "expected 3 arguments")
+
+let install () =
+  List.iter Prim.register
+    [
+      {
+        Prim.prim_name = "mkTable";
+        type_fn = mk_type_fn;
+        impl =
+          (fun _world args ->
+            match args with
+            | [ size ] -> Value.Vtable (Hashtbl.create (Int.max 1 (Value.as_int size)))
+            | _ -> raise (Value.Runtime_error "mkTable: expected 1 argument"));
+        pure = true;
+      };
+      {
+        Prim.prim_name = "tblGet";
+        type_fn = get_type_fn;
+        impl =
+          (fun _world args ->
+            let table, key, default = arg3 args in
+            match Hashtbl.find_opt (Value.as_table table) key with
+            | Some value -> value
+            | None -> default);
+        pure = true;
+      };
+      {
+        Prim.prim_name = "tblSet";
+        type_fn = set_type_fn;
+        impl =
+          (fun _world args ->
+            let table, key, value = arg3 args in
+            Hashtbl.replace (Value.as_table table) key value;
+            Value.Vunit);
+        pure = true;
+      };
+      {
+        Prim.prim_name = "tblMem";
+        type_fn = key_only_type_fn Ptype.Tbool;
+        impl =
+          (fun _world args ->
+            let table, key = arg2 args in
+            Value.Vbool (Hashtbl.mem (Value.as_table table) key));
+        pure = true;
+      };
+      {
+        Prim.prim_name = "tblRemove";
+        type_fn = key_only_type_fn Ptype.Tunit;
+        impl =
+          (fun _world args ->
+            let table, key = arg2 args in
+            Hashtbl.remove (Value.as_table table) key;
+            Value.Vunit);
+        pure = true;
+      };
+      {
+        Prim.prim_name = "tblSize";
+        type_fn = table_only_type_fn Ptype.Tint;
+        impl =
+          (fun _world args ->
+            match args with
+            | [ table ] -> Value.Vint (Hashtbl.length (Value.as_table table))
+            | _ -> raise (Value.Runtime_error "tblSize: expected 1 argument"));
+        pure = true;
+      };
+      {
+        Prim.prim_name = "tblClear";
+        type_fn = table_only_type_fn Ptype.Tunit;
+        impl =
+          (fun _world args ->
+            match args with
+            | [ table ] ->
+                Hashtbl.reset (Value.as_table table);
+                Value.Vunit
+            | _ -> raise (Value.Runtime_error "tblClear: expected 1 argument"));
+        pure = true;
+      };
+    ]

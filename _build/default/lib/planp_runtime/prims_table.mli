@@ -1,0 +1,6 @@
+(** Hash-table primitives ([mkTable], [tblGet], [tblSet], ...).
+
+    Tables are mutable and keyed by equality-type values; the type functions
+    reject non-equality key types. Installed by {!Prims.install}. *)
+
+val install : unit -> unit

@@ -1,0 +1,106 @@
+type ip_view = { vsrc : int; vdst : int; vttl : int }
+
+type t =
+  | Vint of int
+  | Vbool of bool
+  | Vstring of string
+  | Vchar of char
+  | Vunit
+  | Vhost of int
+  | Vblob of Netsim.Payload.t
+  | Vip of ip_view
+  | Vtcp of Netsim.Packet.tcp_header
+  | Vudp of Netsim.Packet.udp_header
+  | Vtuple of t list
+  | Vtable of (t, t) Hashtbl.t
+
+exception Planp_raise of string
+exception Runtime_error of string
+
+let rec equal a b =
+  match (a, b) with
+  | Vint x, Vint y -> x = y
+  | Vbool x, Vbool y -> x = y
+  | Vstring x, Vstring y -> String.equal x y
+  | Vchar x, Vchar y -> x = y
+  | Vunit, Vunit -> true
+  | Vhost x, Vhost y -> x = y
+  | Vblob x, Vblob y -> Netsim.Payload.equal x y
+  | Vip x, Vip y -> x = y
+  | Vtcp x, Vtcp y -> x = y
+  | Vudp x, Vudp y -> x = y
+  | Vtuple xs, Vtuple ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Vtable x, Vtable y -> x == y
+  | ( ( Vint _ | Vbool _ | Vstring _ | Vchar _ | Vunit | Vhost _ | Vblob _
+      | Vip _ | Vtcp _ | Vudp _ | Vtuple _ | Vtable _ ),
+      _ ) ->
+      false
+
+let compare_values a b =
+  match (a, b) with
+  | Vint x, Vint y -> Int.compare x y
+  | Vchar x, Vchar y -> Char.compare x y
+  | Vstring x, Vstring y -> String.compare x y
+  | _ -> raise (Runtime_error "values are not orderable")
+
+let rec default_of (ty : Planp.Ptype.t) =
+  match ty with
+  | Planp.Ptype.Tint -> Vint 0
+  | Planp.Ptype.Tbool -> Vbool false
+  | Planp.Ptype.Tstring -> Vstring ""
+  | Planp.Ptype.Tchar -> Vchar '\000'
+  | Planp.Ptype.Tunit -> Vunit
+  | Planp.Ptype.Thost -> Vhost 0
+  | Planp.Ptype.Ttuple components -> Vtuple (List.map default_of components)
+  | Planp.Ptype.Tblob | Planp.Ptype.Tip | Planp.Ptype.Ttcp | Planp.Ptype.Tudp
+  | Planp.Ptype.Thash _ | Planp.Ptype.Thash_any ->
+      raise
+        (Runtime_error
+           (Printf.sprintf "no default value for type %s"
+              (Planp.Ptype.to_string ty)))
+
+let host_string h =
+  Printf.sprintf "%d.%d.%d.%d" ((h lsr 24) land 0xff) ((h lsr 16) land 0xff)
+    ((h lsr 8) land 0xff) (h land 0xff)
+
+let rec to_string = function
+  | Vint n -> string_of_int n
+  | Vbool b -> string_of_bool b
+  | Vstring s -> s
+  | Vchar c -> String.make 1 c
+  | Vunit -> "()"
+  | Vhost h -> host_string h
+  | Vblob payload ->
+      Printf.sprintf "<blob:%d>" (Netsim.Payload.length payload)
+  | Vip { vsrc; vdst; vttl } ->
+      Printf.sprintf "<ip %s->%s ttl=%d>" (host_string vsrc) (host_string vdst)
+        vttl
+  | Vtcp h ->
+      Printf.sprintf "<tcp %d->%d>" h.Netsim.Packet.tcp_src
+        h.Netsim.Packet.tcp_dst
+  | Vudp h ->
+      Printf.sprintf "<udp %d->%d>" h.Netsim.Packet.udp_src
+        h.Netsim.Packet.udp_dst
+  | Vtuple components ->
+      "(" ^ String.concat ", " (List.map to_string components) ^ ")"
+  | Vtable table -> Printf.sprintf "<table:%d>" (Hashtbl.length table)
+
+let pp fmt value = Format.pp_print_string fmt (to_string value)
+
+let type_error ~expected value =
+  raise
+    (Runtime_error
+       (Printf.sprintf "expected %s, got %s" expected (to_string value)))
+
+let as_int = function Vint n -> n | v -> type_error ~expected:"int" v
+let as_bool = function Vbool b -> b | v -> type_error ~expected:"bool" v
+let as_string = function Vstring s -> s | v -> type_error ~expected:"string" v
+let as_char = function Vchar c -> c | v -> type_error ~expected:"char" v
+let as_host = function Vhost h -> h | v -> type_error ~expected:"host" v
+let as_blob = function Vblob b -> b | v -> type_error ~expected:"blob" v
+let as_ip = function Vip h -> h | v -> type_error ~expected:"ip" v
+let as_tcp = function Vtcp h -> h | v -> type_error ~expected:"tcp" v
+let as_udp = function Vudp h -> h | v -> type_error ~expected:"udp" v
+let as_tuple = function Vtuple t -> t | v -> type_error ~expected:"tuple" v
+let as_table = function Vtable t -> t | v -> type_error ~expected:"hash_table" v

@@ -1,0 +1,60 @@
+(** Runtime values of PLAN-P programs. *)
+
+(** A decoded IP header. [vttl] travels with the value so an ASP forwarding
+    a packet preserves its remaining lifetime. *)
+type ip_view = { vsrc : int; vdst : int; vttl : int }
+
+type t =
+  | Vint of int
+  | Vbool of bool
+  | Vstring of string
+  | Vchar of char
+  | Vunit
+  | Vhost of int
+  | Vblob of Netsim.Payload.t
+  | Vip of ip_view
+  | Vtcp of Netsim.Packet.tcp_header
+  | Vudp of Netsim.Packet.udp_header
+  | Vtuple of t list
+  | Vtable of (t, t) Hashtbl.t
+      (** mutable, shared by reference through state threading *)
+
+(** Raised by the PLAN-P [raise] construct; carries the exception name. *)
+exception Planp_raise of string
+
+(** Raised on internal inconsistencies (a bug if it escapes after a program
+    type checked). *)
+exception Runtime_error of string
+
+(** [equal a b] is structural equality; hash tables compare by identity.
+    The type checker restricts [=] to equality types, where this agrees
+    with mathematical equality. *)
+val equal : t -> t -> bool
+
+(** [compare_values a b] orders ints, chars and strings; other types raise
+    {!Runtime_error} (excluded by the type checker). *)
+val compare_values : t -> t -> int
+
+(** [default_of ty] is the zero value used when no initializer is given.
+    @raise Runtime_error for non-defaultable types. *)
+val default_of : Planp.Ptype.t -> t
+
+(** [type_error ~expected value] raises a descriptive {!Runtime_error}. *)
+val type_error : expected:string -> t -> 'a
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Checked projections} — raise {!Runtime_error} on the wrong shape. *)
+
+val as_int : t -> int
+val as_bool : t -> bool
+val as_string : t -> string
+val as_char : t -> char
+val as_host : t -> int
+val as_blob : t -> Netsim.Payload.t
+val as_ip : t -> ip_view
+val as_tcp : t -> Netsim.Packet.tcp_header
+val as_udp : t -> Netsim.Packet.udp_header
+val as_tuple : t -> t list
+val as_table : t -> (t, t) Hashtbl.t

@@ -1,0 +1,33 @@
+type target = Remote | Neighbor
+
+type t = {
+  now : unit -> float;
+  node_addr : unit -> int;
+  iface_load_bps : int -> float;
+  iface_capacity_bps : int -> float;
+  incoming_iface : int;
+  emit : target -> chan:string -> Value.t -> unit;
+  deliver : Value.t -> unit;
+  print : string -> unit;
+}
+
+let dummy () =
+  let prints = ref [] in
+  let emissions = ref [] in
+  let world =
+    {
+      now = (fun () -> 0.0);
+      node_addr = (fun () -> 0);
+      iface_load_bps = (fun _ -> 0.0);
+      iface_capacity_bps = (fun _ -> 0.0);
+      incoming_iface = -1;
+      emit =
+        (fun target ~chan value ->
+          emissions := (target, chan, value) :: !emissions);
+      deliver = (fun _ -> ());
+      print = (fun s -> prints := s :: !prints);
+    }
+  in
+  ( world,
+    (fun () -> List.rev !prints),
+    fun () -> List.rev !emissions )

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Asp List Option Planp Planp_analysis Planp_runtime String

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Asp Extnet Filename Fun List Netsim Option Planp Sys

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Extnet Filename Hashtbl List Netsim Planp_jit Planp_runtime Printf String

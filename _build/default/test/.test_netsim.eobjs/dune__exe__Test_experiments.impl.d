@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Asp Extnet Float List Netsim Planp_jit Planp_runtime

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Asp Extnet Float List Netsim Option Planp_runtime Printf

@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Array Asp Buffer Hashtbl List Netsim Option Planp Planp_jit Planp_runtime Printf String

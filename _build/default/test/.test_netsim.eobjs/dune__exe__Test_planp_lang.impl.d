@@ -1,0 +1,1 @@
+test/test_planp_lang.ml: Alcotest Asp Format Fun List Option Planp Planp_runtime Printf String

@@ -1,0 +1,1 @@
+test/test_planp_runtime.ml: Alcotest Char Hashtbl List Netsim Option Planp Planp_runtime

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Asp Bytes Char Extnet Float List Netsim Planp Planp_analysis Planp_jit Planp_runtime Printf QCheck QCheck_alcotest String

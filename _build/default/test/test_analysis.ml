@@ -1,0 +1,347 @@
+(* Tests for the safety verifier (paper §2.1): local/global termination,
+   guaranteed delivery, safe duplication. *)
+
+module Ast = Planp.Ast
+module Parser = Planp.Parser
+module Local = Planp_analysis.Local_termination
+module Global = Planp_analysis.Global_termination
+module Delivery = Planp_analysis.Delivery
+module Duplication = Planp_analysis.Duplication
+module Verifier = Planp_analysis.Verifier
+module Call_graph = Planp_analysis.Call_graph
+
+let () = Planp_runtime.Prims.install ()
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let parse = Parser.parse
+
+let forwarder =
+  parse
+    "channel network(ps : int, ss : int, p : ip*tcp*blob) is\n\
+     (OnRemote(network, p); (ps, ss))"
+
+let flood =
+  parse
+    "channel flood(ps : unit, ss : unit, p : ip*blob) is\n\
+     (OnNeighbor(flood, p); (ps, ss))"
+
+let guarded_gateway =
+  parse
+    (Asp.Http_asp.gateway_program ~vip:"10.3.0.100"
+       ~servers:("10.3.0.1", "10.3.0.2") ())
+
+let unguarded_rewriter =
+  parse
+    "channel network(ps : int, ss : int, p : ip*tcp*blob) is\n\
+     if ps mod 2 = 0 then\n\
+       (OnRemote(network, (ipDestSet(#1 p, 10.0.0.1), #2 p, #3 p)); (ps + 1, ss))\n\
+     else\n\
+       (OnRemote(network, (ipDestSet(#1 p, 10.0.0.2), #2 p, #3 p)); (ps + 1, ss))"
+
+(* ---------- call graph ---------- *)
+
+let call_graph_finds_emissions () =
+  let emissions = Call_graph.channel_emissions guarded_gateway in
+  match emissions with
+  | [ (_, ems) ] ->
+      check "four OnRemote sites" 4 (List.length ems);
+      checkb "all target network" true
+        (List.for_all
+           (fun e -> e.Call_graph.em_target = "network")
+           ems)
+  | _ -> Alcotest.fail "one channel expected"
+
+let call_graph_expands_functions () =
+  let program =
+    parse
+      "fun fwd(q : ip*tcp*blob) : unit = OnRemote(network, q)\n\
+       channel network(ps : int, ss : int, p : ip*tcp*blob) is (fwd(p); (ps, ss))"
+  in
+  match Call_graph.channel_emissions program with
+  | [ (_, [ emission ]) ] ->
+      checkb "found through function" true
+        (emission.Call_graph.em_target = "network")
+  | _ -> Alcotest.fail "emission inside function not found"
+
+(* ---------- local termination ---------- *)
+
+let local_ok () =
+  let report = Local.analyze guarded_gateway in
+  checkb "ok" true report.Local.ok;
+  check "functions" 1 report.Local.function_count;
+  check "depth" 1 report.Local.max_call_depth
+
+let local_depth () =
+  let program =
+    parse
+      "fun a(n : int) : int = n + 1\n\
+       fun b(n : int) : int = a(a(n))\n\
+       fun c(n : int) : int = b(n) + a(n)\n\
+       val x : int = c(1)"
+  in
+  let report = Local.analyze program in
+  checkb "ok" true report.Local.ok;
+  check "depth 3" 3 report.Local.max_call_depth
+
+let local_detects_handmade_recursion () =
+  (* The parser+type checker cannot produce recursion, but a hand-built AST
+     can; the analysis is defence in depth. *)
+  let loc = Planp.Loc.dummy in
+  let body = Ast.mk loc (Ast.Call ("f", [ Ast.mk loc (Ast.Int 1) ])) in
+  let program =
+    [ Ast.Dfun
+        { Ast.fun_name = "f"; params = [ ("n", Planp.Ptype.Tint) ];
+          ret_type = Planp.Ptype.Tint; fun_body = body; fun_loc = loc } ]
+  in
+  let report = Local.analyze program in
+  checkb "recursion caught" false report.Local.ok
+
+(* ---------- global termination ---------- *)
+
+let global_accepts_forwarder () =
+  match (Global.analyze forwarder).Global.verdict with
+  | Global.Proved -> ()
+  | Global.Rejected reason -> Alcotest.failf "rejected forwarder: %s" reason
+
+let global_accepts_guarded_gateway () =
+  match (Global.analyze guarded_gateway).Global.verdict with
+  | Global.Proved -> ()
+  | Global.Rejected reason -> Alcotest.failf "rejected gateway: %s" reason
+
+let global_rejects_unguarded_rewriter () =
+  match (Global.analyze unguarded_rewriter).Global.verdict with
+  | Global.Rejected _ -> ()
+  | Global.Proved -> Alcotest.fail "unguarded destination ping-pong accepted"
+
+let global_rejects_flood () =
+  match (Global.analyze flood).Global.verdict with
+  | Global.Rejected _ -> ()
+  | Global.Proved -> Alcotest.fail "flooding loop accepted"
+
+let global_rejects_unknown_destination () =
+  let program =
+    parse
+      "channel network(ps : host, ss : int, p : ip*tcp*blob) is\n\
+       (OnRemote(network, (ipDestSet(#1 p, ps), #2 p, #3 p)); (ps, ss))"
+  in
+  (* destination comes from mutable protocol state: unresolvable *)
+  match (Global.analyze program).Global.verdict with
+  | Global.Rejected _ -> ()
+  | Global.Proved -> Alcotest.fail "unknown destination accepted"
+
+let global_counts_states () =
+  let report = Global.analyze guarded_gateway in
+  checkb "states explored" true (report.Global.states_explored >= 1);
+  checkb "transitions" true (report.Global.transitions >= 1)
+
+let global_accepts_reply_swap () =
+  (* Reply to sender: dst := original source. Terminates: the reply's
+     processing can only re-reply toward a fixed destination. *)
+  let program =
+    parse
+      "channel network(ps : int, ss : int, p : ip*udp*blob) is\n\
+       (OnRemote(network, (ipDestSet(ipSrcSet(#1 p, ipDst(#1 p)), ipSrc(#1 p)), #2 p, #3 p));\n\
+        (ps, ss))"
+  in
+  (* src<->dst swap forever = dst alternates between S0 and D0: a cycle with
+     changing destination — correctly rejected as a potential ping-pong. *)
+  match (Global.analyze program).Global.verdict with
+  | Global.Rejected _ -> ()
+  | Global.Proved -> Alcotest.fail "infinite reply ping-pong accepted"
+
+(* ---------- delivery ---------- *)
+
+let funs_of program = Call_graph.fun_bodies program
+
+let delivery_ok_cases () =
+  checkb "forwarder" true (Delivery.analyze forwarder).Delivery.ok;
+  checkb "gateway" true (Delivery.analyze guarded_gateway).Delivery.ok;
+  checkb "audio router" true
+    (Delivery.analyze (parse (Asp.Audio_asp.router_program ~iface:1 ()))).Delivery.ok;
+  checkb "mpeg monitor" true
+    (Delivery.analyze (parse (Asp.Mpeg_asp.monitor_program ~server:"10.0.0.1" ()))).Delivery.ok
+
+let delivery_missing_branch () =
+  let program =
+    parse
+      "channel network(ps : int, ss : int, p : ip*tcp*blob) is\n\
+       if tcpDst(#2 p) = 80 then (OnRemote(network, p); (ps, ss)) else (ps, ss)"
+  in
+  let report = Delivery.analyze program in
+  checkb "rejected" false report.Delivery.ok;
+  check "one failure" 1 (List.length report.Delivery.failures)
+
+let delivery_escaping_exception () =
+  let program =
+    parse
+      "exception E\n\
+       channel network(ps : int, ss : int, p : ip*tcp*blob) is\n\
+       (if tcpDst(#2 p) = 80 then raise E else ();\n\
+        OnRemote(network, p); (ps, ss))"
+  in
+  checkb "escape rejected" false (Delivery.analyze program).Delivery.ok
+
+let delivery_handler_aware () =
+  (* raise inside try whose handler emits: every path still delivers *)
+  let program =
+    parse
+      "exception E\n\
+       channel network(ps : int, ss : int, p : ip*tcp*blob) is\n\
+       try (if tcpDst(#2 p) = 80 then raise E else OnRemote(network, p); (ps, ss))\n\
+       handle E => (deliver(p); (ps, ss)) end"
+  in
+  checkb "handler emission counts" true (Delivery.analyze program).Delivery.ok
+
+let delivery_div_literal () =
+  let funs = funs_of [] in
+  Alcotest.(check (list string))
+    "literal divisor raises nothing" []
+    (Delivery.may_raise ~funs (Parser.parse_expr "x mod 2"));
+  Alcotest.(check (list string))
+    "variable divisor may raise" [ "DivByZero" ]
+    (Delivery.may_raise ~funs (Parser.parse_expr "x mod y"))
+
+let delivery_must_emit_through_functions () =
+  let program =
+    parse
+      "fun fwd(q : ip*tcp*blob) : unit = OnRemote(network, q)\n\
+       channel network(ps : int, ss : int, p : ip*tcp*blob) is (fwd(p); (ps, ss))"
+  in
+  checkb "function emission" true (Delivery.analyze program).Delivery.ok
+
+(* ---------- duplication ---------- *)
+
+let dup_single_ok () =
+  checkb "forwarder linear" true (Duplication.analyze forwarder).Duplication.ok
+
+let dup_acyclic_double_ok () =
+  (* Two emissions per path, but the targets emit nothing: a bounded tree. *)
+  let program =
+    parse
+      "channel sink(ps : int, ss : int, p : ip*udp*blob) is (deliver(p); (ps, ss))\n\
+       channel network(ps : int, ss : int, p : ip*udp*blob) is\n\
+       (OnRemote(sink, p); OnRemote(sink, p); (ps, ss))"
+  in
+  let report = Duplication.analyze program in
+  checkb "copies flagged" true (List.assoc "network" report.Duplication.copies);
+  checkb "but acyclic is safe" true report.Duplication.ok
+
+let dup_cyclic_copy_rejected () =
+  let program =
+    parse
+      "channel network(ps : int, ss : int, p : ip*udp*blob) is\n\
+       (OnRemote(network, p); OnRemote(network, p); (ps, ss))"
+  in
+  checkb "exponential rejected" false (Duplication.analyze program).Duplication.ok
+
+let dup_onneighbor_counts_double () =
+  let funs = funs_of [] in
+  check "OnNeighbor weighs 2" 2
+    (Duplication.max_emissions ~funs (Parser.parse_expr "OnNeighbor(network, p)"));
+  check "branches take max" 1
+    (Duplication.max_emissions ~funs
+       (Parser.parse_expr
+          "if b then OnRemote(network, p) else OnRemote(network, q)"))
+
+let dup_flood_rejected () =
+  let report = Duplication.analyze flood in
+  checkb "flood rejected" false report.Duplication.ok;
+  checkb "iterations reported" true (report.Duplication.iterations >= 1)
+
+(* ---------- combined verifier ---------- *)
+
+let verifier_passes_bundled_asps () =
+  List.iter
+    (fun (name, source) ->
+      let report = Verifier.verify (parse source) in
+      if not (Verifier.passes report) then
+        Alcotest.failf "%s failed: %s" name
+          (Option.value ~default:"?" (Verifier.first_failure report)))
+    [
+      ("audio router", Asp.Audio_asp.router_program ~iface:1 ());
+      ("audio client", Asp.Audio_asp.client_program ());
+      ( "http gateway",
+        Asp.Http_asp.gateway_program ~vip:"10.3.0.100"
+          ~servers:("10.3.0.1", "10.3.0.2") () );
+      ("mpeg monitor", Asp.Mpeg_asp.monitor_program ~server:"10.6.0.1" ());
+      ("mpeg capture", Asp.Mpeg_asp.capture_program ());
+    ]
+
+let verifier_gate () =
+  let checked source =
+    Planp.Typecheck.check_exn ~prims:Planp_runtime.Prim.type_lookup (parse source)
+  in
+  let flood_source =
+    "channel flood(ps : unit, ss : unit, p : ip*blob) is\n\
+     (OnNeighbor(flood, p); (ps, ss))"
+  in
+  (match Verifier.gate () (checked flood_source) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "gate admitted the flood");
+  match Verifier.gate ~authenticated:true () (checked flood_source) with
+  | Ok () -> ()
+  | Error message -> Alcotest.failf "authenticated bypass failed: %s" message
+
+let verifier_first_failure_order () =
+  let report = Verifier.verify flood in
+  match Verifier.first_failure report with
+  | Some message ->
+      checkb "mentions termination or flooding" true
+        (String.length message > 0)
+  | None -> Alcotest.fail "flood must fail"
+
+let () =
+  Alcotest.run "planp-analysis"
+    [
+      ( "call-graph",
+        [
+          Alcotest.test_case "finds emissions" `Quick call_graph_finds_emissions;
+          Alcotest.test_case "expands functions" `Quick call_graph_expands_functions;
+        ] );
+      ( "local-termination",
+        [
+          Alcotest.test_case "ok" `Quick local_ok;
+          Alcotest.test_case "depth" `Quick local_depth;
+          Alcotest.test_case "hand-made recursion" `Quick
+            local_detects_handmade_recursion;
+        ] );
+      ( "global-termination",
+        [
+          Alcotest.test_case "accepts forwarder" `Quick global_accepts_forwarder;
+          Alcotest.test_case "accepts guarded gateway" `Quick
+            global_accepts_guarded_gateway;
+          Alcotest.test_case "rejects unguarded rewriter" `Quick
+            global_rejects_unguarded_rewriter;
+          Alcotest.test_case "rejects flood" `Quick global_rejects_flood;
+          Alcotest.test_case "rejects unknown destination" `Quick
+            global_rejects_unknown_destination;
+          Alcotest.test_case "counts states" `Quick global_counts_states;
+          Alcotest.test_case "reply ping-pong" `Quick global_accepts_reply_swap;
+        ] );
+      ( "delivery",
+        [
+          Alcotest.test_case "ok cases" `Quick delivery_ok_cases;
+          Alcotest.test_case "missing branch" `Quick delivery_missing_branch;
+          Alcotest.test_case "escaping exception" `Quick delivery_escaping_exception;
+          Alcotest.test_case "handler aware" `Quick delivery_handler_aware;
+          Alcotest.test_case "literal divisor" `Quick delivery_div_literal;
+          Alcotest.test_case "through functions" `Quick
+            delivery_must_emit_through_functions;
+        ] );
+      ( "duplication",
+        [
+          Alcotest.test_case "single ok" `Quick dup_single_ok;
+          Alcotest.test_case "acyclic double ok" `Quick dup_acyclic_double_ok;
+          Alcotest.test_case "cyclic copy rejected" `Quick dup_cyclic_copy_rejected;
+          Alcotest.test_case "OnNeighbor counts double" `Quick
+            dup_onneighbor_counts_double;
+          Alcotest.test_case "flood rejected" `Quick dup_flood_rejected;
+        ] );
+      ( "verifier",
+        [
+          Alcotest.test_case "passes bundled ASPs" `Quick verifier_passes_bundled_asps;
+          Alcotest.test_case "gate" `Quick verifier_gate;
+          Alcotest.test_case "first failure" `Quick verifier_first_failure_order;
+        ] );
+    ]

@@ -1,0 +1,153 @@
+(* End-to-end tests of the planpc command-line tool (the binary itself,
+   run as a subprocess — dune declares the dependency). *)
+
+let planpc = "../bin/planpc.exe"
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length haystack
+    && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+(* Run planpc with [args]; returns (exit code, combined output). *)
+let run args =
+  let out_file = Filename.temp_file "planpc" ".out" in
+  let command =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote planpc)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out_file)
+  in
+  let code = Sys.command command in
+  let ic = open_in_bin out_file in
+  let output = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out_file;
+  (code, output)
+
+let write_program source =
+  let path = Filename.temp_file "prog" ".planp" in
+  let oc = open_out path in
+  output_string oc source;
+  close_out oc;
+  path
+
+let forwarder =
+  "channel network(ps : int, ss : int, p : ip*tcp*blob) is\n\
+   (OnRemote(network, p); (ps, ss))"
+
+let flood =
+  "channel flood(ps : unit, ss : unit, p : ip*blob) is\n\
+   (OnNeighbor(flood, p); (ps, ss))"
+
+let cli_check_ok () =
+  let path = write_program forwarder in
+  let code, output = run [ "check"; path ] in
+  Sys.remove path;
+  check "exit 0" 0 code;
+  checkb "reports OK" true (contains output "OK");
+  checkb "reports channels" true (contains output "1 channel(s)")
+
+let cli_check_bad () =
+  let path = write_program "val x : int = true" in
+  let code, output = run [ "check"; path ] in
+  Sys.remove path;
+  checkb "nonzero exit" true (code <> 0);
+  checkb "mentions the type error" true (contains output "expected int")
+
+let cli_verify_pass_and_fail () =
+  let good = write_program forwarder in
+  let code, output = run [ "verify"; good ] in
+  Sys.remove good;
+  check "good exits 0" 0 code;
+  checkb "all proved" true (contains output "PROVED");
+  let bad = write_program flood in
+  let code, output = run [ "verify"; bad ] in
+  Sys.remove bad;
+  check "rejected exits 2" 2 code;
+  checkb "names the flooding loop" true (contains output "flooding")
+
+let cli_ast_reparses () =
+  let path = write_program forwarder in
+  let code, output = run [ "ast"; path ] in
+  Sys.remove path;
+  check "exit 0" 0 code;
+  (* the dump must itself be a valid program *)
+  let reparsed = Planp.Parser.parse output in
+  check "one decl" 1 (List.length reparsed)
+
+let cli_bytecode () =
+  let path = write_program forwarder in
+  let code, output = run [ "bytecode"; path ] in
+  Sys.remove path;
+  check "exit 0" 0 code;
+  checkb "has emit" true (contains output "emit_remote network");
+  checkb "has return" true (contains output "return")
+
+let cli_time () =
+  let path = write_program forwarder in
+  let code, output = run [ "time"; path ] in
+  Sys.remove path;
+  check "exit 0" 0 code;
+  checkb "mentions jit" true (contains output "jit");
+  checkb "mentions ms" true (contains output "ms")
+
+let cli_prims () =
+  let code, output = run [ "prims" ] in
+  check "exit 0" 0 code;
+  List.iter
+    (fun prim -> checkb prim true (contains output prim))
+    [ "ipDestSet"; "audioDegrade"; "imgDistill"; "tblGet"; "linkLoad" ]
+
+let cli_simulate () =
+  let path = write_program forwarder in
+  let code, output = run [ "simulate"; path; "--packets"; "5" ] in
+  Sys.remove path;
+  check "exit 0" 0 code;
+  checkb "tcp treated" true (contains output "packets treated by the program: 5");
+  checkb "receiver got everything" true (contains output "tcp: 5   udp: 5")
+
+let cli_simulate_backend () =
+  let path = write_program forwarder in
+  let code, output = run [ "simulate"; path; "--backend"; "interp"; "-n"; "3" ] in
+  Sys.remove path;
+  check "exit 0" 0 code;
+  checkb "interp backend named" true (contains output "interp backend")
+
+let cli_fold () =
+  let path =
+    write_program
+      "val base : int = 40\nval answer : int = base + 2\n\
+       channel network(ps : int, ss : int, p : ip*tcp*blob) is\n\
+       (OnRemote(network, p); (ps + answer, ss))"
+  in
+  let code, output = run [ "fold"; path ] in
+  Sys.remove path;
+  check "exit 0" 0 code;
+  checkb "constant inlined into the channel" true (contains output "ps + 42")
+
+let cli_missing_file () =
+  let code, _ = run [ "check"; "/nonexistent.planp" ] in
+  checkb "nonzero exit" true (code <> 0)
+
+let () =
+  Alcotest.run "planpc-cli"
+    [
+      ( "planpc",
+        [
+          Alcotest.test_case "check ok" `Quick cli_check_ok;
+          Alcotest.test_case "check bad" `Quick cli_check_bad;
+          Alcotest.test_case "verify pass and fail" `Quick cli_verify_pass_and_fail;
+          Alcotest.test_case "ast reparses" `Quick cli_ast_reparses;
+          Alcotest.test_case "bytecode" `Quick cli_bytecode;
+          Alcotest.test_case "time" `Quick cli_time;
+          Alcotest.test_case "prims" `Quick cli_prims;
+          Alcotest.test_case "simulate" `Quick cli_simulate;
+          Alcotest.test_case "simulate backend" `Quick cli_simulate_backend;
+          Alcotest.test_case "fold" `Quick cli_fold;
+          Alcotest.test_case "missing file" `Quick cli_missing_file;
+        ] );
+    ]

@@ -1,0 +1,402 @@
+(* Tests for the implemented §5 future-work extensions: load-balancing
+   strategies, cluster fault tolerance, and image distillation. *)
+
+module Image = Planp_runtime.Image
+module Value = Planp_runtime.Value
+module Node = Netsim.Node
+module Topology = Netsim.Topology
+module Payload = Netsim.Payload
+
+let () = Planp_runtime.Prims.install ()
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ---------- load-balancing strategies ---------- *)
+
+let strategies_verify () =
+  List.iter
+    (fun strategy ->
+      let source =
+        Asp.Http_asp.gateway_program ~strategy ~vip:"10.3.0.100"
+          ~servers:("10.3.0.1", "10.3.0.2") ()
+      in
+      match Extnet.verify_source source with
+      | Ok report ->
+          checkb
+            (Asp.Http_asp.strategy_name strategy ^ " proved")
+            true
+            (Extnet.Verifier.passes report)
+      | Error message -> Alcotest.fail message)
+    [ Asp.Http_asp.Modulo; Asp.Http_asp.Source_hash; Asp.Http_asp.Weighted (3, 1) ]
+
+(* Drive a strategy gateway with requests from several client addresses,
+   return the (server0, server1) request split. *)
+let strategy_split strategy clients_requests =
+  let topo = Topology.create () in
+  let gw = Topology.add_host topo "gw" "10.3.0.254" in
+  let s0 = Topology.add_host topo "s0" "10.3.0.1" in
+  let s1 = Topology.add_host topo "s1" "10.3.0.2" in
+  let seg = Topology.segment topo ~bandwidth_bps:100e6 () in
+  ignore (Topology.attach topo seg gw);
+  ignore (Topology.attach topo seg s0);
+  ignore (Topology.attach topo seg s1);
+  let clients =
+    List.init 4 (fun i ->
+        let c = Topology.add_host topo (Printf.sprintf "c%d" i)
+            (Printf.sprintf "10.4.%d.1" i) in
+        ignore (Topology.connect topo gw c);
+        c)
+  in
+  Topology.compute_routes topo;
+  let vip = Netsim.Addr.of_string "10.3.0.100" in
+  List.iter
+    (fun c ->
+      Netsim.Routing.set_default (Node.routing c)
+        (Some { Netsim.Routing.ifindex = 0; next_hop = Some (Node.addr gw) }))
+    clients;
+  ignore
+    (Extnet.load_exn gw
+       ~source:
+         (Asp.Http_asp.gateway_program ~strategy ~vip:"10.3.0.100"
+            ~servers:("10.3.0.1", "10.3.0.2") ())
+       ());
+  let hits0 = ref 0 and hits1 = ref 0 in
+  Node.on_tcp s0 ~port:80 (fun _ _ -> incr hits0);
+  Node.on_tcp s1 ~port:80 (fun _ _ -> incr hits1);
+  List.iteri
+    (fun ci requests ->
+      let client = List.nth clients ci in
+      for r = 1 to requests do
+        Node.send_tcp client ~dst:vip ~src_port:(1000 + r) ~dst_port:80
+          (Payload.of_string "GET")
+      done)
+    clients_requests;
+  Topology.run topo;
+  (!hits0, !hits1)
+
+let source_hash_affinity () =
+  (* With source hashing, all requests of one client land on one server. *)
+  let h0, h1 = strategy_split Asp.Http_asp.Source_hash [ 10; 0; 0; 0 ] in
+  checkb "all on one server" true ((h0 = 10 && h1 = 0) || (h0 = 0 && h1 = 10))
+
+let weighted_split () =
+  let h0, h1 = strategy_split (Asp.Http_asp.Weighted (3, 1)) [ 4; 4; 4; 4 ] in
+  (* 16 fresh connections at weights 3:1 -> 12 / 4 *)
+  check "server0 weighted share" 12 h0;
+  check "server1 weighted share" 4 h1
+
+(* ---------- fault tolerance ---------- *)
+
+let failover_verifies () =
+  match
+    Extnet.verify_source
+      (Asp.Http_asp.failover_gateway_program ~vip:"10.3.0.100"
+         ~servers:("10.3.0.1", "10.3.0.2") ())
+  with
+  | Ok report -> checkb "proved" true (Extnet.Verifier.passes report)
+  | Error message -> Alcotest.fail message
+
+let failover_keeps_serving () =
+  let config =
+    { (Asp.Http_ft.default_config ()) with
+      Asp.Http_ft.duration = 20.0; kill_at = 8.0; workers = 16 }
+  in
+  let ft = Asp.Http_ft.run config in
+  let plain = Asp.Http_ft.run { config with Asp.Http_ft.failover = false } in
+  checkb "healthy phases comparable" true
+    (Float.abs
+       (ft.Asp.Http_ft.before_kill_rate -. plain.Asp.Http_ft.before_kill_rate)
+     /. ft.Asp.Http_ft.before_kill_rate
+    < 0.15);
+  checkb "failover keeps most throughput" true
+    (ft.Asp.Http_ft.after_kill_rate > 0.5 *. ft.Asp.Http_ft.before_kill_rate);
+  checkb "plain gateway collapses" true
+    (plain.Asp.Http_ft.after_kill_rate < 0.2 *. plain.Asp.Http_ft.before_kill_rate);
+  check "one health transition" 1 ft.Asp.Http_ft.monitor_transitions;
+  checkb "failover causes fewer client retries" true
+    (ft.Asp.Http_ft.stalled_retries < plain.Asp.Http_ft.stalled_retries)
+
+let failover_recovery () =
+  let config =
+    { (Asp.Http_ft.default_config ()) with
+      Asp.Http_ft.duration = 24.0; kill_at = 6.0; recover_at = Some 12.0;
+      workers = 16 }
+  in
+  let r = Asp.Http_ft.run config in
+  (* down + up = two transitions, and both servers end up having served *)
+  check "two transitions" 2 r.Asp.Http_ft.monitor_transitions;
+  let s0, s1 = r.Asp.Http_ft.server_loads in
+  checkb "server0 served before and after" true (s0 > 0);
+  checkb "server1 carried the outage" true (s1 > s0)
+
+(* ---------- image distillation ---------- *)
+
+let image_roundtrip () =
+  List.iter
+    (fun (w, h) ->
+      let image = Image.synth ~width:w ~height:h ~seed:3 in
+      match Image.decode (Image.encode image) with
+      | Some decoded -> checkb "roundtrip" true (Image.equal image decoded)
+      | None -> Alcotest.fail "decode failed")
+    [ (1, 1); (3, 5); (64, 64); (17, 9) ]
+
+let image_roundtrip_low_depth () =
+  let image = Image.distill (Image.synth ~width:32 ~height:32 ~seed:9) in
+  check "depth halved" 4 image.Image.depth;
+  (match Image.decode (Image.encode image) with
+  | Some decoded -> checkb "4-bit roundtrip" true (Image.equal image decoded)
+  | None -> Alcotest.fail "decode failed");
+  let image2 = Image.distill image in
+  check "depth floor" 2 image2.Image.depth;
+  match Image.decode (Image.encode image2) with
+  | Some decoded -> checkb "2-bit roundtrip" true (Image.equal image2 decoded)
+  | None -> Alcotest.fail "decode failed"
+
+let image_distill_shrinks () =
+  let image = Image.synth ~width:64 ~height:64 ~seed:1 in
+  let d1 = Image.distill image in
+  let d2 = Image.distill d1 in
+  check "half width" 32 d1.Image.width;
+  check "half depth" 4 d1.Image.depth;
+  checkb "size shrinks a lot" true
+    (Image.encoded_size d1 * 7 < Image.encoded_size image);
+  checkb "second step shrinks again" true
+    (Image.encoded_size d2 * 3 < Image.encoded_size d1);
+  (* distillation loses fidelity monotonically *)
+  let e1 = Image.rms_error image d1 and e2 = Image.rms_error image d2 in
+  checkb "losses grow" true (e2 > e1 && e1 > 0.0);
+  (* fully distilled fixpoint *)
+  let tiny = Image.distill_n image 20 in
+  checkb "fixpoint" true (Image.equal tiny (Image.distill tiny))
+
+let image_rejects_junk () =
+  checkb "junk" true (Option.is_none (Image.decode (Payload.of_string "JUNK")));
+  checkb "truncated" true
+    (Option.is_none
+       (Image.decode
+          (Payload.sub
+             (Image.encode (Image.synth ~width:8 ~height:8 ~seed:0))
+             ~pos:0 ~len:20)))
+
+let image_prims () =
+  let world, _, _ = Planp_runtime.World.dummy () in
+  let eval name args = (Planp_runtime.Prim.find_exn name).Planp_runtime.Prim.impl world args in
+  let blob = Value.Vblob (Image.encode (Image.synth ~width:16 ~height:8 ~seed:2)) in
+  check "imgWidth" 16 (Value.as_int (eval "imgWidth" [ blob ]));
+  check "imgHeight" 8 (Value.as_int (eval "imgHeight" [ blob ]));
+  check "imgDepth" 8 (Value.as_int (eval "imgDepth" [ blob ]));
+  checkb "isImage" true (Value.as_bool (eval "isImage" [ blob ]));
+  checkb "isImage junk" false
+    (Value.as_bool (eval "isImage" [ Value.Vblob (Payload.of_string "no") ]));
+  let distilled = eval "imgDistill" [ blob; Value.Vint 1 ] in
+  check "distilled width" 8 (Value.as_int (eval "imgWidth" [ distilled ]));
+  Alcotest.check_raises "bad image" (Value.Planp_raise "BadImage") (fun () ->
+      ignore (eval "imgWidth" [ Value.Vblob (Payload.of_string "no") ]))
+
+let image_asp_verifies () =
+  match Extnet.verify_source (Asp.Image_asp.router_program ~slow_iface:1 ()) with
+  | Ok report -> checkb "proved" true (Extnet.Verifier.passes report)
+  | Error message -> Alcotest.fail message
+
+let image_experiment_shape () =
+  let distilled = Asp.Image_asp.run_experiment ~count:8 ~distill:true () in
+  let raw = Asp.Image_asp.run_experiment ~count:8 ~distill:false () in
+  check "all arrive distilled" 8 distilled.Asp.Image_asp.images;
+  check "all arrive raw" 8 raw.Asp.Image_asp.images;
+  checkb "distillation cuts latency by >3x" true
+    (raw.Asp.Image_asp.latency_s > 3.0 *. distilled.Asp.Image_asp.latency_s);
+  checkb "distillation cuts bytes by >10x" true
+    (raw.Asp.Image_asp.bytes_per_image
+    > 10.0 *. distilled.Asp.Image_asp.bytes_per_image);
+  checkb "fidelity cost is real but bounded" true
+    (distilled.Asp.Image_asp.fidelity_rms > 0.0
+    && distilled.Asp.Image_asp.fidelity_rms < 128.0);
+  checkb "raw is lossless" true (raw.Asp.Image_asp.fidelity_rms = 0.0)
+
+let image_adapts_to_capacity () =
+  let slow = Asp.Image_asp.run_experiment ~count:4 ~link_bps:128e3 ~distill:true () in
+  let mid = Asp.Image_asp.run_experiment ~count:4 ~link_bps:512e3 ~distill:true () in
+  let fast = Asp.Image_asp.run_experiment ~count:4 ~link_bps:2e6 ~distill:true () in
+  checkb "slower link, smaller images" true
+    (slow.Asp.Image_asp.bytes_per_image < mid.Asp.Image_asp.bytes_per_image);
+  checkb "fast link passes through" true
+    (fast.Asp.Image_asp.fidelity_rms = 0.0)
+
+(* ---------- self-delivery and capacity plumbing ---------- *)
+
+let forward_to_self_delivers () =
+  let engine = Netsim.Engine.create () in
+  let node = Node.create engine ~name:"n" ~addr:(Netsim.Addr.of_string "10.0.0.1") in
+  ignore (Node.add_iface node ~name:"if0" (fun ~l2_dst:_ _ -> true));
+  let got = ref 0 in
+  Node.on_udp node ~port:9 (fun _ _ -> incr got);
+  Node.forward node ~ifindex:0
+    (Netsim.Packet.udp ~src:(Node.addr node) ~dst:(Node.addr node) ~src_port:9
+       ~dst_port:9 Payload.empty);
+  check "delivered locally" 1 !got
+
+let capacity_visible_to_asp () =
+  let topo = Topology.create () in
+  let a = Topology.add_host topo "a" "10.0.0.1" in
+  let b = Topology.add_host topo "b" "10.0.0.2" in
+  ignore (Topology.connect topo ~bandwidth_bps:2e6 a b);
+  Topology.compute_routes topo;
+  (* 2 Mb/s = 250 kB/s as seen by linkCapacity *)
+  Alcotest.(check (float 1.0)) "capacity" 2e6 (Node.iface_capacity_bps a 0);
+  let rt = Planp_runtime.Runtime.attach a in
+  ignore
+    (Planp_runtime.Runtime.install_exn rt
+       ~source:
+         "channel network(ps : int, ss : int, p : ip*udp*blob) is\n\
+          (deliver(p); (linkCapacity(thisIface()), ss))"
+       ());
+  Planp_runtime.Runtime.inject ~ifindex:0 rt
+    (Netsim.Packet.udp ~src:1 ~dst:2 ~src_port:1 ~dst_port:2 Payload.empty);
+  let program = List.hd (Planp_runtime.Runtime.installed_programs rt) in
+  checkb "kB/s via primitive" true
+    (Value.equal (Value.Vint 250) (Planp_runtime.Runtime.proto_state program))
+
+(* ---------- resource bound (the paper's rejected alternative) ---------- *)
+
+let resource_bound_kills_cycles_and_legitimate_paths () =
+  (* A 4-router chain, each running the forwarder under a resource bound
+     of 2: the packet dies mid-path even though the program is verified --
+     exactly the "unintended program termination" the paper warns about. *)
+  let build bound =
+    let topo = Topology.create () in
+    let a = Topology.add_host topo "a" "10.0.0.1" in
+    let r1 = Topology.add_host topo "r1" "10.0.0.2" in
+    let r2 = Topology.add_host topo "r2" "10.0.0.3" in
+    let r3 = Topology.add_host topo "r3" "10.0.0.4" in
+    let b = Topology.add_host topo "b" "10.0.0.5" in
+    ignore (Topology.connect topo a r1);
+    ignore (Topology.connect topo r1 r2);
+    ignore (Topology.connect topo r2 r3);
+    ignore (Topology.connect topo r3 b);
+    Topology.compute_routes topo;
+    let source =
+      "channel network(ps : int, ss : int, p : ip*udp*blob) is\n\
+       (OnRemote(network, p); (ps, ss))"
+    in
+    List.iter
+      (fun router ->
+        let rt = Planp_runtime.Runtime.attach ?resource_bound:bound router in
+        ignore (Planp_runtime.Runtime.install_exn rt ~source ()))
+      [ r1; r2; r3 ];
+    let got = ref 0 in
+    Node.on_udp b ~port:7 (fun _ _ -> incr got);
+    Node.send_udp a ~dst:(Node.addr b) ~src_port:7 ~dst_port:7 Payload.empty;
+    Topology.run topo;
+    !got
+  in
+  check "no bound: delivered across 3 ASP hops" 1 (build None);
+  check "bound 8: still delivered" 1 (build (Some 8));
+  check "bound 2: legitimate packet killed" 0 (build (Some 2))
+
+(* ---------- deployment ---------- *)
+
+let deploy_and_undeploy () =
+  let topo = Topology.create () in
+  let r1 = Topology.add_host topo "r1" "10.0.0.1" in
+  let r2 = Topology.add_host topo "r2" "10.0.0.2" in
+  ignore (Topology.connect topo r1 r2);
+  Topology.compute_routes topo;
+  let source =
+    "channel network(ps : int, ss : int, p : ip*udp*blob) is (deliver(p); (ps + 1, ss))"
+  in
+  (match Extnet.deploy [ r1; r2 ] ~source () with
+  | Ok handles ->
+      check "two installs" 2 (List.length handles);
+      List.iter
+        (fun node ->
+          match Extnet.runtime_of node with
+          | Some rt ->
+              check
+                ("program present on " ^ Node.name node)
+                1
+                (List.length (Planp_runtime.Runtime.installed_programs rt))
+          | None -> Alcotest.fail "runtime missing")
+        [ r1; r2 ];
+      Extnet.undeploy handles;
+      List.iter
+        (fun node ->
+          match Extnet.runtime_of node with
+          | Some rt ->
+              check "removed" 0
+                (List.length (Planp_runtime.Runtime.installed_programs rt))
+          | None -> Alcotest.fail "runtime missing")
+        [ r1; r2 ]
+  | Error message -> Alcotest.fail message)
+
+let deploy_is_atomic () =
+  let topo = Topology.create () in
+  let r1 = Topology.add_host topo "ra1" "10.1.0.1" in
+  let r2 = Topology.add_host topo "ra2" "10.1.0.2" in
+  ignore (Topology.connect topo r1 r2);
+  Topology.compute_routes topo;
+  (* An unverifiable program: deploy must refuse and leave nothing behind. *)
+  let flood =
+    "channel flood(ps : unit, ss : unit, p : ip*blob) is (OnNeighbor(flood, p); (ps, ss))"
+  in
+  (match Extnet.deploy [ r1; r2 ] ~source:flood () with
+  | Ok _ -> Alcotest.fail "flood deployed"
+  | Error _ -> ());
+  List.iter
+    (fun node ->
+      match Extnet.runtime_of node with
+      | Some rt ->
+          check "nothing left" 0
+            (List.length (Planp_runtime.Runtime.installed_programs rt))
+      | None -> () (* runtime may not even have been created *))
+    [ r1; r2 ];
+  (* The authenticated path does deploy it. *)
+  match Extnet.deploy ~admission:Extnet.Authenticated [ r1; r2 ] ~source:flood () with
+  | Ok handles ->
+      check "authenticated deploy" 2 (List.length handles);
+      Extnet.undeploy handles
+  | Error message -> Alcotest.fail message
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "strategies",
+        [
+          Alcotest.test_case "all verify" `Quick strategies_verify;
+          Alcotest.test_case "source-hash affinity" `Quick source_hash_affinity;
+          Alcotest.test_case "weighted split" `Quick weighted_split;
+        ] );
+      ( "fault-tolerance",
+        [
+          Alcotest.test_case "failover ASP verifies" `Quick failover_verifies;
+          Alcotest.test_case "failover keeps serving" `Slow failover_keeps_serving;
+          Alcotest.test_case "recovery" `Slow failover_recovery;
+        ] );
+      ( "images",
+        [
+          Alcotest.test_case "roundtrip" `Quick image_roundtrip;
+          Alcotest.test_case "low-depth roundtrip" `Quick image_roundtrip_low_depth;
+          Alcotest.test_case "distill shrinks" `Quick image_distill_shrinks;
+          Alcotest.test_case "rejects junk" `Quick image_rejects_junk;
+          Alcotest.test_case "primitives" `Quick image_prims;
+          Alcotest.test_case "ASP verifies" `Quick image_asp_verifies;
+          Alcotest.test_case "experiment shape" `Slow image_experiment_shape;
+          Alcotest.test_case "adapts to capacity" `Slow image_adapts_to_capacity;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "forward to self delivers" `Quick
+            forward_to_self_delivers;
+          Alcotest.test_case "capacity visible to ASP" `Quick
+            capacity_visible_to_asp;
+        ] );
+      ( "resource-bound",
+        [
+          Alcotest.test_case "kills cycles and legitimate paths" `Quick
+            resource_bound_kills_cycles_and_legitimate_paths;
+        ] );
+      ( "deployment",
+        [
+          Alcotest.test_case "deploy/undeploy" `Quick deploy_and_undeploy;
+          Alcotest.test_case "atomicity + authentication" `Quick deploy_is_atomic;
+        ] );
+    ]

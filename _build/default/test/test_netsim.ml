@@ -1,0 +1,761 @@
+(* Unit tests for the network simulator substrate. *)
+
+module Heap = Netsim.Heap
+module Engine = Netsim.Engine
+module Addr = Netsim.Addr
+module Payload = Netsim.Payload
+module Packet = Netsim.Packet
+module Flowstat = Netsim.Flowstat
+module Link = Netsim.Link
+module Segment = Netsim.Segment
+module Node = Netsim.Node
+module Routing = Netsim.Routing
+module Topology = Netsim.Topology
+module Multicast = Netsim.Multicast
+
+let check = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* ---------- heap ---------- *)
+
+let heap_orders_by_time () =
+  let heap = Heap.create () in
+  List.iter (fun t -> Heap.add heap ~time:t t) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop heap with
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.0)))
+    "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] (List.rev !order)
+
+let heap_fifo_on_ties () =
+  let heap = Heap.create () in
+  List.iter (fun v -> Heap.add heap ~time:1.0 v) [ "a"; "b"; "c" ];
+  let next () = snd (Option.get (Heap.pop heap)) in
+  checks "first" "a" (next ());
+  checks "second" "b" (next ());
+  checks "third" "c" (next ())
+
+let heap_grows () =
+  let heap = Heap.create () in
+  for i = 1000 downto 1 do
+    Heap.add heap ~time:(float_of_int i) i
+  done;
+  check "size" 1000 (Heap.size heap);
+  let first = Option.get (Heap.pop heap) in
+  check "min" 1 (snd first);
+  Heap.clear heap;
+  checkb "empty after clear" true (Heap.is_empty heap)
+
+let heap_peek () =
+  let heap = Heap.create () in
+  Alcotest.(check (option (float 0.0))) "empty" None (Heap.peek_time heap);
+  Heap.add heap ~time:7.0 ();
+  Alcotest.(check (option (float 0.0))) "peek" (Some 7.0) (Heap.peek_time heap);
+  check "size unchanged by peek" 1 (Heap.size heap)
+
+(* ---------- engine ---------- *)
+
+let engine_runs_in_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  Engine.schedule engine ~at:2.0 (fun () -> log := 2 :: !log);
+  Engine.schedule engine ~at:1.0 (fun () -> log := 1 :: !log);
+  Engine.schedule engine ~at:3.0 (fun () -> log := 3 :: !log);
+  Engine.run engine;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+  checkf "clock at last event" 3.0 (Engine.now engine)
+
+let engine_run_until () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule engine ~at:1.0 (fun () -> incr fired);
+  Engine.schedule engine ~at:5.0 (fun () -> incr fired);
+  Engine.run_until engine ~stop:2.0;
+  check "only first" 1 !fired;
+  checkf "clock moved to stop" 2.0 (Engine.now engine);
+  check "second still queued" 1 (Engine.pending engine)
+
+let engine_rejects_past () =
+  let engine = Engine.create () in
+  Engine.schedule engine ~at:5.0 (fun () -> ());
+  Engine.run engine;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule: time 1 is before now (5)")
+    (fun () -> Engine.schedule engine ~at:1.0 (fun () -> ()))
+
+let engine_nested_scheduling () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 10 then Engine.schedule_after engine ~delay:0.5 tick
+  in
+  Engine.schedule engine ~at:0.0 tick;
+  Engine.run engine;
+  check "all ticks" 10 !count;
+  checkf "final clock" 4.5 (Engine.now engine)
+
+(* ---------- addr ---------- *)
+
+let addr_roundtrip () =
+  List.iter
+    (fun s -> checks s s (Addr.to_string (Addr.of_string s)))
+    [ "0.0.0.0"; "131.254.60.81"; "255.255.255.255"; "10.0.0.1" ]
+
+let addr_rejects_bad () =
+  List.iter
+    (fun s ->
+      checkb s true (Option.is_none (Addr.of_string_opt s)))
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "a.b.c.d"; "1..2.3" ]
+
+let addr_multicast_range () =
+  checkb "224.0.0.0" true (Addr.is_multicast (Addr.of_string "224.0.0.0"));
+  checkb "239.255.255.255" true (Addr.is_multicast (Addr.of_string "239.255.255.255"));
+  checkb "223.255.255.255" false (Addr.is_multicast (Addr.of_string "223.255.255.255"));
+  checkb "240.0.0.0" false (Addr.is_multicast (Addr.of_string "240.0.0.0"))
+
+let addr_subnets () =
+  let a = Addr.of_string "10.1.2.3" and b = Addr.of_string "10.1.9.9" in
+  checkb "/16 same" true (Addr.same_subnet ~mask_bits:16 a b);
+  checkb "/24 differs" false (Addr.same_subnet ~mask_bits:24 a b);
+  checkb "/0 always" true (Addr.same_subnet ~mask_bits:0 a b)
+
+(* ---------- payload ---------- *)
+
+let payload_accessors () =
+  let p = Payload.of_string "\x01\x02\x03\x04" in
+  check "u8" 1 (Payload.get_u8 p 0);
+  check "u16" 0x0102 (Payload.get_u16 p 0);
+  check "u32" 0x01020304 (Payload.get_u32 p 0);
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Payload.get_u32: offset 1 (width 4) out of bounds (len 4)")
+    (fun () -> ignore (Payload.get_u32 p 1))
+
+let payload_writer_reader () =
+  let w = Payload.Writer.create () in
+  Payload.Writer.u8 w 7;
+  Payload.Writer.u16 w 600;
+  Payload.Writer.u32 w 123456;
+  Payload.Writer.string w "xyz";
+  let p = Payload.Writer.finish w in
+  check "length" 10 (Payload.length p);
+  let r = Payload.Reader.create p in
+  check "u8" 7 (Payload.Reader.u8 r);
+  check "u16" 600 (Payload.Reader.u16 r);
+  check "u32" 123456 (Payload.Reader.u32 r);
+  checks "string" "xyz" (Payload.Reader.string r 3);
+  check "remaining" 0 (Payload.Reader.remaining r)
+
+let payload_sub_concat () =
+  let p = Payload.of_string "hello world" in
+  let sub = Payload.sub p ~pos:6 ~len:5 in
+  checks "sub" "world" (Payload.to_string sub);
+  checks "concat" "worldhello world"
+    (Payload.to_string (Payload.concat [ sub; p ]));
+  check "fill" 3 (Payload.length (Payload.fill 3 0xFF));
+  check "fill byte" 0xFF (Payload.get_u8 (Payload.fill 3 0xFF) 2)
+
+(* ---------- packet ---------- *)
+
+let packet_wire_size () =
+  let body = Payload.fill 100 0 in
+  let src = Addr.of_string "1.1.1.1" and dst = Addr.of_string "2.2.2.2" in
+  check "tcp" (20 + 20 + 100)
+    (Packet.wire_size (Packet.tcp ~src ~dst ~src_port:1 ~dst_port:2 body));
+  check "udp" (20 + 8 + 100)
+    (Packet.wire_size (Packet.udp ~src ~dst ~src_port:1 ~dst_port:2 body));
+  check "raw" (20 + 100) (Packet.wire_size (Packet.make ~src ~dst Packet.Raw body))
+
+let packet_ttl () =
+  let src = Addr.of_string "1.1.1.1" and dst = Addr.of_string "2.2.2.2" in
+  let p = Packet.udp ~ttl:2 ~src ~dst ~src_port:1 ~dst_port:2 Payload.empty in
+  let p1 = Option.get (Packet.decrement_ttl p) in
+  check "ttl decremented" 1 p1.Packet.ttl;
+  checkb "expires" true (Option.is_none (Packet.decrement_ttl p1))
+
+let packet_rewrite_keeps_uid () =
+  let src = Addr.of_string "1.1.1.1" and dst = Addr.of_string "2.2.2.2" in
+  let p = Packet.udp ~src ~dst ~src_port:1 ~dst_port:2 Payload.empty in
+  let p' = Packet.with_dst p (Addr.of_string "3.3.3.3") in
+  check "same uid" p.Packet.uid p'.Packet.uid;
+  let clone = Packet.clone p in
+  checkb "clone differs" true (clone.Packet.uid <> p.Packet.uid)
+
+(* ---------- flowstat ---------- *)
+
+let flowstat_window () =
+  let stat = Flowstat.create ~window:1.0 () in
+  Flowstat.record stat ~now:0.0 1000;
+  Flowstat.record stat ~now:0.5 1000;
+  checkf "both in window" (16000.0) (Flowstat.rate_bps stat ~now:0.9);
+  (* at t=1.4 the first sample (t=0) has left the window *)
+  checkf "one expired" 8000.0 (Flowstat.rate_bps stat ~now:1.4);
+  checkf "all expired" 0.0 (Flowstat.rate_bps stat ~now:3.0);
+  check "totals unaffected" 2000 (Flowstat.total_bytes stat);
+  check "packets" 2 (Flowstat.total_packets stat)
+
+let flowstat_series () =
+  let engine = Engine.create () in
+  let stat = Flowstat.create ~window:1.0 () in
+  let series = Flowstat.Series.attach engine stat ~period:1.0 ~until:3.0 in
+  Engine.schedule engine ~at:0.5 (fun () -> Flowstat.record stat ~now:0.5 125);
+  Engine.run_until engine ~stop:3.5;
+  match Flowstat.Series.points series with
+  | [ (t1, r1); (_, r2); (_, r3) ] ->
+      checkf "t1" 1.0 t1;
+      checkf "r1 = 1000 bps" 1000.0 r1;
+      checkf "r2 expired" 0.0 r2;
+      checkf "r3 expired" 0.0 r3
+  | points -> Alcotest.failf "expected 3 points, got %d" (List.length points)
+
+(* ---------- link ---------- *)
+
+let link_timing () =
+  let engine = Engine.create () in
+  (* 8 kb/s: a 100-byte packet (+28 header = 128B) serializes in 0.128 s. *)
+  let link = Link.create engine ~bandwidth_bps:8000.0 ~latency:0.1 () in
+  let arrival = ref 0.0 in
+  Link.set_receiver link Link.B (fun _ -> arrival := Engine.now engine);
+  let src = Addr.of_string "1.1.1.1" and dst = Addr.of_string "2.2.2.2" in
+  let p = Packet.udp ~src ~dst ~src_port:1 ~dst_port:2 (Payload.fill 100 0) in
+  checkb "sent" true (Link.send link ~from:Link.A p);
+  Engine.run engine;
+  checkf "serialization + latency" 0.228 !arrival
+
+let link_queue_drop () =
+  let engine = Engine.create () in
+  let link =
+    Link.create ~queue_capacity:300 engine ~bandwidth_bps:8000.0 ~latency:0.0 ()
+  in
+  let src = Addr.of_string "1.1.1.1" and dst = Addr.of_string "2.2.2.2" in
+  let send () =
+    Link.send link ~from:Link.A
+      (Packet.udp ~src ~dst ~src_port:1 ~dst_port:2 (Payload.fill 100 0))
+  in
+  checkb "1st fits" true (send ());
+  checkb "2nd fits" true (send ());
+  checkb "3rd dropped" false (send ());
+  check "drop counted" 1 (Link.drops link Link.A);
+  checkb "backlog positive" true (Link.backlog_bytes link Link.A > 0)
+
+let link_full_duplex () =
+  let engine = Engine.create () in
+  let link = Link.create engine ~bandwidth_bps:1e6 ~latency:0.001 () in
+  let got_a = ref 0 and got_b = ref 0 in
+  Link.set_receiver link Link.A (fun _ -> incr got_a);
+  Link.set_receiver link Link.B (fun _ -> incr got_b);
+  let src = Addr.of_string "1.1.1.1" and dst = Addr.of_string "2.2.2.2" in
+  let p () = Packet.udp ~src ~dst ~src_port:1 ~dst_port:2 Payload.empty in
+  ignore (Link.send link ~from:Link.A (p ()));
+  ignore (Link.send link ~from:Link.B (p ()));
+  Engine.run engine;
+  check "B received" 1 !got_b;
+  check "A received" 1 !got_a
+
+(* ---------- segment ---------- *)
+
+let segment_broadcasts () =
+  let engine = Engine.create () in
+  let seg = Segment.create engine ~bandwidth_bps:1e6 ~latency:0.001 () in
+  let got = Array.make 3 0 in
+  let stations =
+    Array.init 3 (fun i ->
+        Segment.attach seg (fun ~l2_dst:_ _ -> got.(i) <- got.(i) + 1))
+  in
+  let src = Addr.of_string "1.1.1.1" and dst = Addr.of_string "2.2.2.2" in
+  ignore
+    (Segment.send seg ~from:stations.(0) ~l2_dst:None
+       (Packet.udp ~src ~dst ~src_port:1 ~dst_port:2 Payload.empty));
+  Engine.run engine;
+  check "sender excluded" 0 got.(0);
+  check "station 1" 1 got.(1);
+  check "station 2" 1 got.(2);
+  check "stations" 3 (Segment.station_count seg)
+
+let segment_tap_sees_carried_only () =
+  let engine = Engine.create () in
+  let seg =
+    Segment.create ~queue_capacity:200 engine ~bandwidth_bps:8000.0
+      ~latency:0.0 ()
+  in
+  let s0 = Segment.attach seg (fun ~l2_dst:_ _ -> ()) in
+  ignore (Segment.attach seg (fun ~l2_dst:_ _ -> ()));
+  let tapped = ref 0 in
+  Segment.set_tap seg (fun ~at:_ ~l2_dst:_ _ -> incr tapped);
+  let src = Addr.of_string "1.1.1.1" and dst = Addr.of_string "2.2.2.2" in
+  let send () =
+    Segment.send seg ~from:s0 ~l2_dst:None
+      (Packet.udp ~src ~dst ~src_port:1 ~dst_port:2 (Payload.fill 100 0))
+  in
+  ignore (send ());
+  ignore (send ());
+  (* second one dropped: only 1 tap *)
+  check "tap counts carried" 1 !tapped;
+  check "drop" 1 (Segment.drops seg)
+
+(* ---------- node + topology ---------- *)
+
+let make_pair () =
+  let topo = Topology.create () in
+  let a = Topology.add_host topo "a" "10.0.0.1" in
+  let b = Topology.add_host topo "b" "10.0.0.2" in
+  ignore (Topology.connect topo a b);
+  Topology.compute_routes topo;
+  (topo, a, b)
+
+let node_delivers_by_port () =
+  let topo, a, b = make_pair () in
+  let got_udp = ref 0 and got_tcp = ref 0 in
+  Node.on_udp b ~port:53 (fun _ _ -> incr got_udp);
+  Node.on_tcp b ~port:80 (fun _ _ -> incr got_tcp);
+  Node.send_udp a ~dst:(Node.addr b) ~src_port:999 ~dst_port:53 Payload.empty;
+  Node.send_tcp a ~dst:(Node.addr b) ~src_port:999 ~dst_port:80 Payload.empty;
+  Node.send_udp a ~dst:(Node.addr b) ~src_port:999 ~dst_port:54 Payload.empty;
+  Topology.run topo;
+  check "udp" 1 !got_udp;
+  check "tcp" 1 !got_tcp;
+  check "unclaimed counted" 1 (Node.counters b).Node.dropped_unclaimed
+
+let node_default_handler () =
+  let topo, a, b = make_pair () in
+  let got = ref 0 in
+  Node.on_tcp_default b (fun _ _ -> incr got);
+  Node.on_tcp b ~port:80 (fun _ _ -> ());
+  Node.send_tcp a ~dst:(Node.addr b) ~src_port:1 ~dst_port:12345 Payload.empty;
+  Node.send_tcp a ~dst:(Node.addr b) ~src_port:1 ~dst_port:80 Payload.empty;
+  Topology.run topo;
+  check "default only for unbound port" 1 !got
+
+let forwarding_chain () =
+  let topo = Topology.create () in
+  let a = Topology.add_host topo "a" "10.0.0.1" in
+  let r1 = Topology.add_host topo "r1" "10.0.0.2" in
+  let r2 = Topology.add_host topo "r2" "10.0.0.3" in
+  let b = Topology.add_host topo "b" "10.0.0.4" in
+  ignore (Topology.connect topo a r1);
+  ignore (Topology.connect topo r1 r2);
+  ignore (Topology.connect topo r2 b);
+  Topology.compute_routes topo;
+  let got = ref None in
+  Node.on_udp b ~port:7 (fun _ p -> got := Some p);
+  Node.send_udp a ~dst:(Node.addr b) ~src_port:7 ~dst_port:7 Payload.empty;
+  Topology.run topo;
+  (match !got with
+  | Some p -> check "ttl decremented twice" 62 p.Packet.ttl
+  | None -> Alcotest.fail "not delivered");
+  check "r1 forwarded" 1 (Node.counters r1).Node.forwarded;
+  check "r2 forwarded" 1 (Node.counters r2).Node.forwarded
+
+let ttl_expiry_drops () =
+  let topo = Topology.create () in
+  let a = Topology.add_host topo "a" "10.0.0.1" in
+  let r = Topology.add_host topo "r" "10.0.0.2" in
+  let b = Topology.add_host topo "b" "10.0.0.3" in
+  ignore (Topology.connect topo a r);
+  ignore (Topology.connect topo r b);
+  Topology.compute_routes topo;
+  let got = ref 0 in
+  Node.on_udp b ~port:7 (fun _ _ -> incr got);
+  Node.originate a
+    (Packet.udp ~ttl:1 ~src:(Node.addr a) ~dst:(Node.addr b) ~src_port:7
+       ~dst_port:7 Payload.empty);
+  Topology.run topo;
+  check "dropped at router" 0 !got;
+  check "ttl drop counted" 1 (Node.counters r).Node.dropped_ttl
+
+let segment_l2_filter_and_promisc () =
+  let topo = Topology.create () in
+  let a = Topology.add_host topo "a" "10.0.0.1" in
+  let b = Topology.add_host topo "b" "10.0.0.2" in
+  let c = Topology.add_host topo "c" "10.0.0.3" in
+  let seg = Topology.segment topo () in
+  ignore (Topology.attach topo seg a);
+  ignore (Topology.attach topo seg b);
+  ignore (Topology.attach topo seg c);
+  Topology.compute_routes topo;
+  let seen_by_c = ref 0 in
+  Node.set_promiscuous c true;
+  Node.set_hook c (fun node ~ifindex ~l2_dst packet ->
+      incr seen_by_c;
+      Node.default_process node ~ifindex ~l2_dst packet);
+  let got_b = ref 0 in
+  Node.on_udp b ~port:7 (fun _ _ -> incr got_b);
+  Node.send_udp a ~dst:(Node.addr b) ~src_port:7 ~dst_port:7 Payload.empty;
+  Topology.run topo;
+  check "b received" 1 !got_b;
+  check "c sniffed the frame" 1 !seen_by_c;
+  (* c's default processing filters the foreign frame *)
+  check "c filtered it" 1 (Node.counters c).Node.dropped_filtered
+
+let multicast_delivery_through_router () =
+  let topo = Topology.create () in
+  let source = Topology.add_host topo "src" "10.0.0.1" in
+  let router = Topology.add_host topo "r" "10.0.0.2" in
+  let m1 = Topology.add_host topo "m1" "10.0.1.1" in
+  let m2 = Topology.add_host topo "m2" "10.0.1.2" in
+  let outsider = Topology.add_host topo "x" "10.0.1.3" in
+  ignore (Topology.connect topo source router);
+  let seg = Topology.segment topo () in
+  ignore (Topology.attach topo seg router);
+  ignore (Topology.attach topo seg m1);
+  ignore (Topology.attach topo seg m2);
+  ignore (Topology.attach topo seg outsider);
+  Topology.compute_routes topo;
+  let group = Addr.of_string "224.1.1.1" in
+  Node.join_group m1 group;
+  Node.join_group m2 group;
+  let got = Array.make 3 0 in
+  Node.on_udp m1 ~port:7 (fun _ _ -> got.(0) <- got.(0) + 1);
+  Node.on_udp m2 ~port:7 (fun _ _ -> got.(1) <- got.(1) + 1);
+  Node.on_udp outsider ~port:7 (fun _ _ -> got.(2) <- got.(2) + 1);
+  Node.send_udp source ~dst:group ~src_port:7 ~dst_port:7 Payload.empty;
+  Topology.run topo;
+  check "member 1" 1 got.(0);
+  check "member 2" 1 got.(1);
+  check "outsider filtered" 0 got.(2)
+
+let cpu_cost_serializes () =
+  let topo, a, b = make_pair () in
+  Node.set_processing_cost b 0.1;
+  let timestamps = ref [] in
+  Node.on_udp b ~port:7 (fun node _ ->
+      timestamps := Engine.now (Node.engine node) :: !timestamps);
+  for _ = 1 to 3 do
+    Node.send_udp a ~dst:(Node.addr b) ~src_port:7 ~dst_port:7 Payload.empty
+  done;
+  Topology.run topo;
+  match List.rev !timestamps with
+  | [ t1; t2; t3 ] ->
+      checkb "spaced by cpu cost" true (t2 -. t1 > 0.099 && t3 -. t2 > 0.099)
+  | l -> Alcotest.failf "expected 3 deliveries, got %d" (List.length l)
+
+let routing_default_route () =
+  let table = Routing.create () in
+  let dst = Addr.of_string "9.9.9.9" in
+  checkb "miss" true (Option.is_none (Routing.lookup table dst));
+  Routing.set_default table (Some { Routing.ifindex = 1; next_hop = None });
+  (match Routing.lookup table dst with
+  | Some { Routing.ifindex; _ } -> check "default used" 1 ifindex
+  | None -> Alcotest.fail "default not used");
+  Routing.add_host table dst { Routing.ifindex = 2; next_hop = None };
+  match Routing.lookup table dst with
+  | Some { Routing.ifindex; _ } -> check "host route wins" 2 ifindex
+  | None -> Alcotest.fail "host route missing"
+
+let multicast_registry () =
+  let registry = Multicast.create () in
+  let group = Addr.of_string "224.0.0.9" in
+  let a = Addr.of_string "1.1.1.1" and b = Addr.of_string "2.2.2.2" in
+  Multicast.join registry ~group a;
+  Multicast.join registry ~group b;
+  Multicast.join registry ~group a;
+  check "members deduped" 2 (List.length (Multicast.members registry ~group));
+  Multicast.leave registry ~group a;
+  checkb "a gone" false (Multicast.is_member registry ~group a);
+  Multicast.leave registry ~group b;
+  check "group removed" 0 (List.length (Multicast.groups registry));
+  Alcotest.check_raises "non class-D"
+    (Invalid_argument "Multicast: 10.0.0.1 is not a class-D address")
+    (fun () -> Multicast.join registry ~group:(Addr.of_string "10.0.0.1") a)
+
+(* ---------- tracer ---------- *)
+
+let tracer_captures_segment () =
+  let topo = Topology.create () in
+  let a = Topology.add_host topo "a" "10.0.0.1" in
+  let b = Topology.add_host topo "b" "10.0.0.2" in
+  let seg = Topology.segment topo () in
+  ignore (Topology.attach topo seg a);
+  ignore (Topology.attach topo seg b);
+  Topology.compute_routes topo;
+  let tracer = Netsim.Tracer.on_segment seg () in
+  Node.on_udp b ~port:53 (fun _ _ -> ());
+  Node.send_udp a ~dst:(Node.addr b) ~src_port:1111 ~dst_port:53 (Payload.fill 10 0);
+  Node.send_tcp a ~dst:(Node.addr b) ~src_port:2222 ~dst_port:80 Payload.empty;
+  Topology.run topo;
+  check "two records" 2 (Netsim.Tracer.count tracer);
+  check "one udp to 53" 1
+    (List.length (Netsim.Tracer.filter tracer ~f:(Netsim.Tracer.udp_to_port 53)));
+  check "udp bytes" 38
+    (Netsim.Tracer.bytes tracer ~f:(Netsim.Tracer.udp_to_port 53));
+  check "between a and b" 2
+    (List.length
+       (Netsim.Tracer.filter tracer
+          ~f:(Netsim.Tracer.between (Node.addr a) (Node.addr b))));
+  let dump = Netsim.Tracer.dump tracer in
+  checkb "dump mentions port 53" true
+    (let rec has i =
+       i + 3 <= String.length dump && (String.sub dump i 3 = ":53" || has (i + 1))
+     in
+     has 0);
+  Netsim.Tracer.clear tracer;
+  check "cleared" 0 (Netsim.Tracer.count tracer)
+
+let tracer_caps_records () =
+  let tracer = Netsim.Tracer.create ~limit:3 () in
+  for i = 1 to 5 do
+    Netsim.Tracer.record_packet tracer ~at:(float_of_int i) ~l2_dst:None
+      (Packet.udp ~src:1 ~dst:2 ~src_port:i ~dst_port:9 Payload.empty)
+  done;
+  check "capped" 3 (Netsim.Tracer.count tracer);
+  check "evictions" 2 (Netsim.Tracer.dropped tracer);
+  match Netsim.Tracer.records tracer with
+  | first :: _ -> check "oldest kept is #3" 3 first.Netsim.Tracer.src_port
+  | [] -> Alcotest.fail "no records"
+
+(* ---------- link failure ---------- *)
+
+let link_failure_and_recovery () =
+  let topo = Topology.create () in
+  let a = Topology.add_host topo "a" "10.0.0.1" in
+  let b = Topology.add_host topo "b" "10.0.0.2" in
+  let link = Topology.connect topo a b in
+  Topology.compute_routes topo;
+  let got = ref 0 in
+  Node.on_udp b ~port:7 (fun _ _ -> incr got);
+  let send () =
+    Node.send_udp a ~dst:(Node.addr b) ~src_port:7 ~dst_port:7 Payload.empty
+  in
+  send ();
+  Topology.run topo;
+  check "up: delivered" 1 !got;
+  Netsim.Link.set_up link false;
+  checkb "reports down" false (Netsim.Link.is_up link);
+  send ();
+  Topology.run topo;
+  check "down: dropped" 1 !got;
+  check "drop counted" 1 (Netsim.Link.drops link Netsim.Link.A);
+  Netsim.Link.set_up link true;
+  send ();
+  Topology.run topo;
+  check "recovered" 2 !got
+
+(* ---------- summary ---------- *)
+
+let summary_statistics () =
+  let s = Netsim.Summary.create () in
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Netsim.Summary.mean s);
+  List.iter (Netsim.Summary.add s) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  check "count" 5 (Netsim.Summary.count s);
+  checkf "mean" 3.0 (Netsim.Summary.mean s);
+  checkf "min" 1.0 (Netsim.Summary.min s);
+  checkf "max" 5.0 (Netsim.Summary.max s);
+  checkf "p50" 3.0 (Netsim.Summary.percentile s 50.0);
+  checkf "p100" 5.0 (Netsim.Summary.percentile s 100.0);
+  checkf "p1" 1.0 (Netsim.Summary.percentile s 1.0);
+  (* adding after a sorted query must still work *)
+  Netsim.Summary.add s 10.0;
+  checkf "max after add" 10.0 (Netsim.Summary.max s);
+  Alcotest.check_raises "bad percentile"
+    (Invalid_argument "Summary.percentile: p outside [0, 100]") (fun () ->
+      ignore (Netsim.Summary.percentile s 150.0))
+
+let summary_merge () =
+  let a = Netsim.Summary.create () and b = Netsim.Summary.create () in
+  List.iter (Netsim.Summary.add a) [ 1.0; 2.0 ];
+  List.iter (Netsim.Summary.add b) [ 3.0; 4.0 ];
+  Netsim.Summary.merge ~into:a b;
+  check "merged count" 4 (Netsim.Summary.count a);
+  checkf "merged mean" 2.5 (Netsim.Summary.mean a)
+
+(* ---------- reliable transport ---------- *)
+
+let reliable_in_order_delivery () =
+  let topo = Topology.create () in
+  let a = Topology.add_host topo "a" "10.0.0.1" in
+  let b = Topology.add_host topo "b" "10.0.0.2" in
+  ignore (Topology.connect topo a b);
+  Topology.compute_routes topo;
+  let received = ref [] in
+  let _rx =
+    Netsim.Reliable.Receiver.listen b ~port:7000
+      ~on_message:(fun m -> received := Payload.to_string m :: !received)
+      ()
+  in
+  let tx =
+    Netsim.Reliable.Sender.connect a ~dst:(Node.addr b) ~dst_port:7000
+      ~src_port:7001 ()
+  in
+  for i = 1 to 50 do
+    Netsim.Reliable.Sender.send tx (Payload.of_string (string_of_int i))
+  done;
+  Topology.run topo;
+  Alcotest.(check (list string))
+    "all in order"
+    (List.init 50 (fun i -> string_of_int (i + 1)))
+    (List.rev !received);
+  check "all acked" 49 (Netsim.Reliable.Sender.acked tx);
+  check "nothing unacked" 0 (Netsim.Reliable.Sender.unacked tx);
+  check "no retransmissions on a clean link" 0
+    (Netsim.Reliable.Sender.retransmissions tx)
+
+let reliable_survives_outage () =
+  let topo = Topology.create () in
+  let a = Topology.add_host topo "a" "10.0.0.1" in
+  let b = Topology.add_host topo "b" "10.0.0.2" in
+  let link = Topology.connect topo a b in
+  Topology.compute_routes topo;
+  let received = ref 0 in
+  let rx =
+    Netsim.Reliable.Receiver.listen b ~port:7000
+      ~on_message:(fun _ -> incr received)
+      ()
+  in
+  let tx =
+    Netsim.Reliable.Sender.connect a ~dst:(Node.addr b) ~dst_port:7000
+      ~src_port:7001 ()
+  in
+  let engine = Topology.engine topo in
+  (* Send a burst, cut the cable mid-flight, restore it later. *)
+  Engine.schedule engine ~at:0.0 (fun () ->
+      for i = 1 to 40 do
+        Netsim.Reliable.Sender.send tx (Payload.of_string (string_of_int i))
+      done);
+  Engine.schedule engine ~at:0.001 (fun () -> Netsim.Link.set_up link false);
+  Engine.schedule engine ~at:1.5 (fun () -> Netsim.Link.set_up link true);
+  Topology.run_until topo ~stop:30.0;
+  check "all 40 delivered" 40 !received;
+  check "exactly once" 40 (Netsim.Reliable.Receiver.delivered rx);
+  checkb "outage forced retransmissions" true
+    (Netsim.Reliable.Sender.retransmissions tx > 0);
+  check "all acked" 39 (Netsim.Reliable.Sender.acked tx)
+
+let reliable_dedups () =
+  (* Lose only ACKs: the receiver sees duplicates and must drop them. *)
+  let topo = Topology.create () in
+  let a = Topology.add_host topo "a" "10.0.0.1" in
+  let b = Topology.add_host topo "b" "10.0.0.2" in
+  ignore (Topology.connect topo a b);
+  Topology.compute_routes topo;
+  (* Swallow the first ACK by hooking b's... simpler: hook a to drop the
+     first ACK it would receive. *)
+  let dropped_one = ref false in
+  Node.set_hook a (fun node ~ifindex ~l2_dst packet ->
+      match packet.Packet.l4 with
+      | Packet.Udp _ when not !dropped_one ->
+          dropped_one := true (* swallow *)
+      | _ -> Node.default_process node ~ifindex ~l2_dst packet);
+  let received = ref 0 in
+  let rx =
+    Netsim.Reliable.Receiver.listen b ~port:7000
+      ~on_message:(fun _ -> incr received)
+      ()
+  in
+  let tx =
+    Netsim.Reliable.Sender.connect a ~dst:(Node.addr b) ~dst_port:7000
+      ~src_port:7001 ()
+  in
+  Netsim.Reliable.Sender.send tx (Payload.of_string "only");
+  Topology.run_until topo ~stop:10.0;
+  check "delivered once" 1 !received;
+  checkb "duplicate discarded" true (Netsim.Reliable.Receiver.duplicates rx > 0)
+
+let topology_rejects_duplicates () =
+  let topo = Topology.create () in
+  ignore (Topology.add_host topo "a" "10.0.0.1");
+  Alcotest.check_raises "dup name"
+    (Invalid_argument "Topology.add_node: duplicate name a") (fun () ->
+      ignore (Topology.add_host topo "a" "10.0.0.2"));
+  Alcotest.check_raises "dup addr"
+    (Invalid_argument "Topology.add_node: duplicate address 10.0.0.1")
+    (fun () -> ignore (Topology.add_host topo "b" "10.0.0.1"))
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "orders by time" `Quick heap_orders_by_time;
+          Alcotest.test_case "fifo on ties" `Quick heap_fifo_on_ties;
+          Alcotest.test_case "grows" `Quick heap_grows;
+          Alcotest.test_case "peek" `Quick heap_peek;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick engine_runs_in_order;
+          Alcotest.test_case "run_until" `Quick engine_run_until;
+          Alcotest.test_case "rejects past" `Quick engine_rejects_past;
+          Alcotest.test_case "nested scheduling" `Quick engine_nested_scheduling;
+        ] );
+      ( "addr",
+        [
+          Alcotest.test_case "roundtrip" `Quick addr_roundtrip;
+          Alcotest.test_case "rejects bad" `Quick addr_rejects_bad;
+          Alcotest.test_case "multicast range" `Quick addr_multicast_range;
+          Alcotest.test_case "subnets" `Quick addr_subnets;
+        ] );
+      ( "payload",
+        [
+          Alcotest.test_case "accessors" `Quick payload_accessors;
+          Alcotest.test_case "writer/reader" `Quick payload_writer_reader;
+          Alcotest.test_case "sub/concat/fill" `Quick payload_sub_concat;
+        ] );
+      ( "packet",
+        [
+          Alcotest.test_case "wire size" `Quick packet_wire_size;
+          Alcotest.test_case "ttl" `Quick packet_ttl;
+          Alcotest.test_case "rewrite keeps uid" `Quick packet_rewrite_keeps_uid;
+        ] );
+      ( "flowstat",
+        [
+          Alcotest.test_case "window" `Quick flowstat_window;
+          Alcotest.test_case "series" `Quick flowstat_series;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "timing" `Quick link_timing;
+          Alcotest.test_case "queue drop" `Quick link_queue_drop;
+          Alcotest.test_case "full duplex" `Quick link_full_duplex;
+        ] );
+      ( "segment",
+        [
+          Alcotest.test_case "broadcasts" `Quick segment_broadcasts;
+          Alcotest.test_case "tap sees carried only" `Quick
+            segment_tap_sees_carried_only;
+        ] );
+      ( "node",
+        [
+          Alcotest.test_case "delivers by port" `Quick node_delivers_by_port;
+          Alcotest.test_case "default handler" `Quick node_default_handler;
+          Alcotest.test_case "forwarding chain" `Quick forwarding_chain;
+          Alcotest.test_case "ttl expiry" `Quick ttl_expiry_drops;
+          Alcotest.test_case "l2 filter + promiscuous" `Quick
+            segment_l2_filter_and_promisc;
+          Alcotest.test_case "multicast via router" `Quick
+            multicast_delivery_through_router;
+          Alcotest.test_case "cpu cost serializes" `Quick cpu_cost_serializes;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "default route" `Quick routing_default_route;
+          Alcotest.test_case "multicast registry" `Quick multicast_registry;
+          Alcotest.test_case "topology rejects duplicates" `Quick
+            topology_rejects_duplicates;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "captures segment" `Quick tracer_captures_segment;
+          Alcotest.test_case "caps records" `Quick tracer_caps_records;
+        ] );
+      ( "faults",
+        [ Alcotest.test_case "link failure and recovery" `Quick
+            link_failure_and_recovery ] );
+      ( "summary",
+        [
+          Alcotest.test_case "statistics" `Quick summary_statistics;
+          Alcotest.test_case "merge" `Quick summary_merge;
+        ] );
+      ( "reliable",
+        [
+          Alcotest.test_case "in-order delivery" `Quick reliable_in_order_delivery;
+          Alcotest.test_case "survives outage" `Quick reliable_survives_outage;
+          Alcotest.test_case "dedups on lost acks" `Quick reliable_dedups;
+        ] );
+    ]
