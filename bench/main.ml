@@ -5,11 +5,14 @@
                                             backends verify)
      dune exec bench/main.exe -- fig8    -- one artifact
      dune exec bench/main.exe -- all --quick   -- shortened runs
+     dune exec bench/main.exe -- fig6 --metrics-out m.json
+                                         -- also dump the metrics registry
 
    Each section prints the measured data next to the shape the paper
    reports; EXPERIMENTS.md records a full comparison. *)
 
 let quick = ref false
+let metrics_out = ref None
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -593,20 +596,36 @@ let all () =
   verify ();
   ext ()
 
+(* The metrics sidecar: everything the instrumented layers accumulated
+   while the sections ran, as one deterministic JSON document next to the
+   printed tables. *)
+let write_metrics_sidecar () =
+  match !metrics_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out_bin path in
+      output_string oc (Obs.Registry.to_json_string Obs.Registry.default);
+      close_out oc;
+      Printf.printf "\nwrote metrics JSON to %s\n" path
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let rec parse = function
+    | [] -> []
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--metrics-out" :: path :: rest ->
+        metrics_out := Some path;
+        parse rest
+    | "--metrics-out" :: [] ->
+        prerr_endline "--metrics-out needs a FILE argument";
+        exit 1
+    | arg :: rest -> arg :: parse rest
   in
+  let args = parse args in
   Planp_runtime.Prims.install ();
-  match args with
+  (match args with
   | [] | [ "all" ] -> all ()
   | sections ->
       List.iter
@@ -624,4 +643,5 @@ let () =
                 "unknown section %s (expected fig3|fig6|fig7|fig8|mpeg|backends|verify|ext|all)\n"
                 other;
               exit 1)
-        sections
+        sections);
+  write_metrics_sidecar ()

@@ -6,6 +6,8 @@
      ast    FILE     dump the parsed program (pretty-printed PLAN-P)
      bytecode FILE   dump the compiled bytecode
      time   FILE     measure code-generation time per backend (Fig. 3)
+     run    FILE     run on a traced topology, export metrics/timeline
+     stats  FILE     run and print the metrics registry
      prims           list registered primitives *)
 
 let read_file path =
@@ -14,6 +16,15 @@ let read_file path =
   let content = really_input_string ic n in
   close_in ic;
   content
+
+let write_file path contents =
+  match open_out_bin path with
+  | oc ->
+      output_string oc contents;
+      close_out oc
+  | exception Sys_error message ->
+      prerr_endline ("planpc: " ^ message);
+      exit 1
 
 let or_die = function
   | Ok value -> value
@@ -187,6 +198,124 @@ let simulate_cmd =
        ~doc:"Run the program on a simulated router and inject test traffic")
     Term.(const run $ file_arg $ packets_arg $ backend_arg)
 
+(* Shared by [run] and [stats]: alice --link-- router --segment-- bob with
+   the program on the router and a tracer capturing the segment, so every
+   delivered frame also lands in the timeline. Deterministic: same source
+   and packet count always produce the same registry contents. *)
+let run_scenario ~source ~backend ~packets =
+  let topo = Extnet.Topology.create () in
+  let a = Extnet.Topology.add_host topo "alice" "10.0.0.1" in
+  let router = Extnet.Topology.add_host topo "router" "10.0.0.254" in
+  let b = Extnet.Topology.add_host topo "bob" "10.0.0.2" in
+  ignore (Extnet.Topology.connect ~name:"uplink" topo a router);
+  let segment = Extnet.Topology.segment ~name:"lan" topo () in
+  ignore (Extnet.Topology.attach topo segment router);
+  ignore (Extnet.Topology.attach topo segment b);
+  Extnet.Topology.compute_routes topo;
+  let tracer = Extnet.Tracer.on_segment segment () in
+  ignore
+    (or_die
+       (Extnet.load ~backend ~admission:Extnet.Authenticated router ~source ()));
+  let tcp_seen = ref 0 and udp_seen = ref 0 in
+  Extnet.Node.on_tcp_default b (fun _ _ -> incr tcp_seen);
+  Extnet.Node.on_udp_default b (fun _ _ -> incr udp_seen);
+  let start_snapshot = Obs.Registry.snapshot Obs.Registry.default in
+  for i = 1 to packets do
+    Extnet.Node.send_tcp a ~dst:(Extnet.Node.addr b) ~src_port:(3000 + i)
+      ~dst_port:(if i mod 4 = 0 then 8080 else 80)
+      (Extnet.Payload.of_string "payload");
+    Extnet.Node.send_udp a ~dst:(Extnet.Node.addr b) ~src_port:(4000 + i)
+      ~dst_port:(if i mod 3 = 0 then 7 else 53)
+      (Extnet.Payload.of_string "payload")
+  done;
+  Extnet.Topology.run topo;
+  (topo, tracer, start_snapshot, !tcp_seen, !udp_seen)
+
+let backend_of_name backend_name =
+  match Planp_jit.Backends.by_name backend_name with
+  | Some backend -> backend
+  | None ->
+      prerr_endline ("planpc: unknown backend " ^ backend_name);
+      exit 1
+
+let packets_flag =
+  Arg.(
+    value & opt int 20
+    & info [ "packets"; "n" ] ~doc:"Packets of each kind to inject")
+
+let backend_flag =
+  Arg.(value & opt string "jit" & info [ "backend" ] ~doc:"interp | jit | bytecode")
+
+let out_flag names doc =
+  Arg.(value & opt (some string) None & info names ~docv:"FILE" ~doc)
+
+let run_cmd =
+  let run path packets backend_name metrics_out metrics_csv timeline_out =
+    let backend = backend_of_name backend_name in
+    let topo, tracer, start_snapshot, tcp_seen, udp_seen =
+      run_scenario ~source:(read_file path) ~backend ~packets
+    in
+    Printf.printf "--- run (%s backend) ---\n" backend_name;
+    Printf.printf "receiver (bob): tcp %d   udp %d (of %d each sent)\n" tcp_seen
+      udp_seen packets;
+    Printf.printf "tracer: %d frame(s) captured, %d evicted\n"
+      (Extnet.Tracer.count tracer)
+      (Extnet.Tracer.dropped tracer);
+    let registry = Obs.Registry.default in
+    Option.iter
+      (fun file ->
+        write_file file (Obs.Registry.to_json_string registry);
+        Printf.printf "wrote metrics JSON to %s\n" file)
+      metrics_out;
+    Option.iter
+      (fun file ->
+        write_file file (Obs.Registry.to_csv_string registry);
+        Printf.printf "wrote metrics CSV to %s\n" file)
+      metrics_csv;
+    Option.iter
+      (fun file ->
+        let now = Extnet.Engine.now (Extnet.Topology.engine topo) in
+        let events =
+          Obs.Timeline.merge
+            [
+              [ Obs.Timeline.of_snapshot ~at:0.0 start_snapshot ];
+              Extnet.Tracer.to_events tracer;
+              [ Obs.Timeline.of_snapshot ~at:now (Obs.Registry.snapshot registry) ];
+            ]
+        in
+        write_file file (Obs.Timeline.to_json_string events);
+        Printf.printf "wrote timeline (%d event(s)) to %s\n" (List.length events)
+          file)
+      timeline_out
+  in
+  let metrics_out = out_flag [ "metrics-out" ] "Write the metrics registry as JSON to $(docv)" in
+  let metrics_csv = out_flag [ "metrics-csv" ] "Write the metrics registry as CSV to $(docv)" in
+  let timeline_out =
+    out_flag [ "timeline-out" ]
+      "Write the merged trace + metrics timeline as JSON to $(docv)"
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run the program on a traced topology and export observability data")
+    Term.(
+      const run $ file_arg $ packets_flag $ backend_flag $ metrics_out
+      $ metrics_csv $ timeline_out)
+
+let stats_cmd =
+  let run path packets backend_name =
+    let backend = backend_of_name backend_name in
+    let _topo, _tracer, _start, _tcp, _udp =
+      run_scenario ~source:(read_file path) ~backend ~packets
+    in
+    Obs.Registry.pp Format.std_formatter Obs.Registry.default;
+    Format.pp_print_flush Format.std_formatter ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run the program on a traced topology and print every metric")
+    Term.(const run $ file_arg $ packets_flag $ backend_flag)
+
 let prims_cmd =
   let run () =
     Planp_runtime.Prims.install ();
@@ -200,6 +329,6 @@ let main =
     (Cmd.info "planpc" ~version:"1.0"
        ~doc:"PLAN-P checker, verifier and compiler driver")
     [ check_cmd; verify_cmd; ast_cmd; fold_cmd; bytecode_cmd; time_cmd;
-      simulate_cmd; prims_cmd ]
+      simulate_cmd; run_cmd; stats_cmd; prims_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -125,6 +125,18 @@ let run config =
   let silent_periods, silent_frames =
     Audio_app.Client.silent_periods audio_client ~frames_expected:frames_sent
   in
+  let labels = [ ("experiment", "audio") ] in
+  List.iter
+    (fun (name, value) ->
+      Obs.Registry.set (Obs.Registry.gauge ~labels name) (float_of_int value))
+    [
+      ("asp.summary.frames_sent", frames_sent);
+      ("asp.summary.frames_received",
+       Audio_app.Client.frames_received audio_client);
+      ("asp.summary.silent_periods", silent_periods);
+      ("asp.summary.silent_frames", silent_frames);
+      ("asp.summary.segment_drops", Netsim.Segment.drops segment);
+    ];
   {
     series =
       List.map

@@ -187,6 +187,20 @@ let run_point config setup ~workers =
           Netsim.Summary.merge ~into:all_times (Http_app.Client.response_times app)
       | None -> ())
     client_apps;
+  let labels =
+    [
+      ("experiment", "http");
+      ("setup", setup_name setup);
+      ("workers", string_of_int workers);
+    ]
+  in
+  List.iter
+    (fun (name, value) -> Obs.Registry.set (Obs.Registry.gauge ~labels name) value)
+    [
+      ("asp.summary.replies_per_s", float_of_int completed /. measured);
+      ("asp.summary.p95_response_ms",
+       Netsim.Summary.percentile all_times 95.0 *. 1000.0);
+    ];
   {
     workers;
     replies_per_s = float_of_int completed /. measured;

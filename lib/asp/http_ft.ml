@@ -207,6 +207,17 @@ let run config =
   let total = completed () in
   let healthy_window = config.kill_at -. 2.0 in
   let degraded_window = config.duration -. config.kill_at in
+  let labels = [ ("experiment", "http_ft") ] in
+  List.iter
+    (fun (name, value) -> Obs.Registry.set (Obs.Registry.gauge ~labels name) value)
+    [
+      ("asp.summary.before_kill_rate", float_of_int !at_kill /. healthy_window);
+      ("asp.summary.after_kill_rate",
+       float_of_int (total - !at_kill) /. degraded_window);
+      ("asp.summary.stalled_retries",
+       float_of_int
+         (List.fold_left (fun acc app -> acc + Http_app.Client.retries app) 0 apps));
+    ];
   {
     before_kill_rate = float_of_int !at_kill /. healthy_window;
     after_kill_rate = float_of_int (total - !at_kill) /. degraded_window;

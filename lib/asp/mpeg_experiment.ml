@@ -93,6 +93,15 @@ let run config =
       client_nodes config.client_starts
   in
   Topology.run_until topo ~stop:config.duration;
+  let labels = [ ("experiment", "mpeg") ] in
+  List.iter
+    (fun (name, value) ->
+      Obs.Registry.set (Obs.Registry.gauge ~labels name) (float_of_int value))
+    [
+      ("asp.summary.server_streams", Mpeg_app.Server.streams_opened server);
+      ("asp.summary.server_frames_sent", Mpeg_app.Server.frames_sent server);
+      ("asp.summary.segment_video_bytes", !video_bytes);
+    ];
   {
     server_streams = Mpeg_app.Server.streams_opened server;
     server_frames_sent = Mpeg_app.Server.frames_sent server;

@@ -21,6 +21,9 @@ module Addr = Netsim.Addr
 module Packet = Netsim.Packet
 module Payload = Netsim.Payload
 module Engine = Netsim.Engine
+module Segment = Netsim.Segment
+module Tracer = Netsim.Tracer
+module Obs = Obs
 module Lang = Planp
 module Runtime = Planp_runtime.Runtime
 module Value = Planp_runtime.Value

@@ -2,9 +2,42 @@ type t = {
   queue : (unit -> unit) Heap.t;
   mutable clock : float;
   mutable processed : int;
+  mutable heap_max : int;
+  mutable wall_spent : float; (* cpu seconds inside run/run_until *)
+  m_events : Obs.Registry.counter;
 }
 
-let create () = { queue = Heap.create (); clock = 0.0; processed = 0 }
+let create () =
+  let engine =
+    {
+      queue = Heap.create ();
+      clock = 0.0;
+      processed = 0;
+      heap_max = 0;
+      wall_spent = 0.0;
+      m_events =
+        Obs.Registry.counter ~help:"events executed" "netsim.engine.events";
+    }
+  in
+  (* Callback gauges cost nothing per event; they sample at snapshot time. *)
+  Obs.Registry.set_fn
+    (Obs.Registry.gauge ~help:"current simulated time (s)"
+       "netsim.engine.sim_time_s")
+    (fun () -> engine.clock);
+  Obs.Registry.set_fn
+    (Obs.Registry.gauge ~help:"events still queued" "netsim.engine.pending")
+    (fun () -> float_of_int (Heap.size engine.queue));
+  Obs.Registry.set_fn
+    (Obs.Registry.gauge ~help:"peak event-queue depth"
+       "netsim.engine.heap_depth_max")
+    (fun () -> float_of_int engine.heap_max);
+  Obs.Registry.set_fn
+    (Obs.Registry.gauge ~volatile:true
+       ~help:"cpu seconds spent inside run/run_until"
+       "netsim.engine.wall_cpu_s")
+    (fun () -> engine.wall_spent);
+  engine
+
 let now engine = engine.clock
 
 let schedule engine ~at thunk =
@@ -12,11 +45,13 @@ let schedule engine ~at thunk =
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %g is before now (%g)" at
          engine.clock);
-  Heap.add engine.queue ~time:at thunk
+  Heap.add engine.queue ~time:at thunk;
+  let depth = Heap.size engine.queue in
+  if depth > engine.heap_max then engine.heap_max <- depth
 
 let schedule_after engine ~delay thunk =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
-  Heap.add engine.queue ~time:(engine.clock +. delay) thunk
+  schedule engine ~at:(engine.clock +. delay) thunk
 
 let default_limit = 100_000_000
 
@@ -26,17 +61,21 @@ let step engine =
   | Some (time, thunk) ->
       engine.clock <- time;
       engine.processed <- engine.processed + 1;
+      Obs.Registry.incr engine.m_events;
       thunk ();
       true
 
 let run ?(limit = default_limit) engine =
+  let started = Sys.time () in
   let fired = ref 0 in
   while step engine do
     incr fired;
     if !fired > limit then invalid_arg "Engine.run: event limit exceeded"
-  done
+  done;
+  engine.wall_spent <- engine.wall_spent +. (Sys.time () -. started)
 
 let run_until ?(limit = default_limit) engine ~stop =
+  let started = Sys.time () in
   let fired = ref 0 in
   let continue = ref true in
   while !continue do
@@ -47,7 +86,10 @@ let run_until ?(limit = default_limit) engine ~stop =
         if !fired > limit then invalid_arg "Engine.run_until: event limit exceeded"
     | Some _ | None -> continue := false
   done;
-  if stop > engine.clock then engine.clock <- stop
+  if stop > engine.clock then engine.clock <- stop;
+  engine.wall_spent <- engine.wall_spent +. (Sys.time () -. started)
 
 let pending engine = Heap.size engine.queue
 let events_processed engine = engine.processed
+let max_heap_depth engine = engine.heap_max
+let wall_cpu_seconds engine = engine.wall_spent

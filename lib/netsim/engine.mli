@@ -33,3 +33,13 @@ val pending : t -> int
 
 (** [events_processed engine] counts events executed since creation. *)
 val events_processed : t -> int
+
+(** [max_heap_depth engine] is the peak event-queue depth seen so far —
+    mirrored by the [netsim.engine.heap_depth_max] gauge. *)
+val max_heap_depth : t -> int
+
+(** [wall_cpu_seconds engine] is cpu time spent inside [run]/[run_until].
+    Exported as the *volatile* [netsim.engine.wall_cpu_s] gauge: it never
+    appears in deterministic exports and never influences simulation
+    behavior. *)
+val wall_cpu_seconds : t -> float

@@ -5,6 +5,10 @@ type direction = {
   mutable receiver : Packet.t -> unit;
   dir_stat : Flowstat.t;
   mutable dropped : int;
+  m_packets : Obs.Registry.counter;
+  m_bytes : Obs.Registry.counter;
+  m_drops : Obs.Registry.counter;
+  m_backlog : Obs.Registry.histogram;
 }
 
 type t = {
@@ -20,12 +24,26 @@ type t = {
 
 let other = function A -> B | B -> A
 
-let make_direction () =
+let make_direction ~link_name ~dir =
+  let labels = [ ("link", link_name); ("dir", dir) ] in
   {
     busy_until = 0.0;
     receiver = (fun _ -> ());
     dir_stat = Flowstat.create ();
     dropped = 0;
+    m_packets =
+      Obs.Registry.counter ~labels ~help:"packets transmitted"
+        "netsim.link.tx_packets";
+    m_bytes =
+      Obs.Registry.counter ~labels ~help:"wire bytes transmitted"
+        "netsim.link.tx_bytes";
+    m_drops =
+      Obs.Registry.counter ~labels ~help:"packets dropped (down or full queue)"
+        "netsim.link.drops";
+    m_backlog =
+      Obs.Registry.histogram ~labels
+        ~help:"queue occupancy (bytes) sampled at each send"
+        "netsim.link.backlog_bytes";
   }
 
 let create ?(name = "link") ?(queue_capacity = 65536) engine ~bandwidth_bps
@@ -38,8 +56,8 @@ let create ?(name = "link") ?(queue_capacity = 65536) engine ~bandwidth_bps
     bandwidth = bandwidth_bps;
     latency;
     queue_capacity;
-    a_to_b = make_direction ();
-    b_to_a = make_direction ();
+    a_to_b = make_direction ~link_name:name ~dir:"a_to_b";
+    b_to_a = make_direction ~link_name:name ~dir:"b_to_a";
     up = true;
   }
 
@@ -67,10 +85,12 @@ let send link ~from packet =
   let backlog = backlog_of dir ~now ~bandwidth:link.bandwidth in
   if not link.up then begin
     dir.dropped <- dir.dropped + 1;
+    Obs.Registry.incr dir.m_drops;
     false
   end
   else if backlog + size > link.queue_capacity then begin
     dir.dropped <- dir.dropped + 1;
+    Obs.Registry.incr dir.m_drops;
     false
   end
   else begin
@@ -78,6 +98,9 @@ let send link ~from packet =
     let finish = start +. (float_of_int (size * 8) /. link.bandwidth) in
     dir.busy_until <- finish;
     Flowstat.record dir.dir_stat ~now:finish size;
+    Obs.Registry.incr dir.m_packets;
+    Obs.Registry.add dir.m_bytes size;
+    Obs.Registry.observe dir.m_backlog (float_of_int backlog);
     Engine.schedule link.engine ~at:(finish +. link.latency) (fun () ->
         dir.receiver packet);
     true

@@ -10,6 +10,51 @@ type counters = {
   mutable dropped_tx : int;
 }
 
+(* Obs mirrors of [counters], plus hook invocations (which the plain
+   counters never tracked). Drops share one family, split by reason. *)
+type obs_counters = {
+  o_frames_in : Obs.Registry.counter;
+  o_delivered : Obs.Registry.counter;
+  o_forwarded : Obs.Registry.counter;
+  o_originated : Obs.Registry.counter;
+  o_hook : Obs.Registry.counter;
+  o_drop_ttl : Obs.Registry.counter;
+  o_drop_no_route : Obs.Registry.counter;
+  o_drop_filtered : Obs.Registry.counter;
+  o_drop_unclaimed : Obs.Registry.counter;
+  o_drop_tx : Obs.Registry.counter;
+}
+
+let make_obs_counters ~node_name =
+  let labels = [ ("node", node_name) ] in
+  let drop reason =
+    Obs.Registry.counter
+      ~labels:(("reason", reason) :: labels)
+      ~help:"frames dropped, by reason" "netsim.node.drops"
+  in
+  {
+    o_frames_in =
+      Obs.Registry.counter ~labels ~help:"frames received"
+        "netsim.node.frames_in";
+    o_delivered =
+      Obs.Registry.counter ~labels ~help:"frames delivered to an application"
+        "netsim.node.delivered";
+    o_forwarded =
+      Obs.Registry.counter ~labels ~help:"frames forwarded"
+        "netsim.node.forwarded";
+    o_originated =
+      Obs.Registry.counter ~labels ~help:"packets originated locally"
+        "netsim.node.originated";
+    o_hook =
+      Obs.Registry.counter ~labels ~help:"processing-hook invocations"
+        "netsim.node.hook_invocations";
+    o_drop_ttl = drop "ttl";
+    o_drop_no_route = drop "no_route";
+    o_drop_filtered = drop "filtered";
+    o_drop_unclaimed = drop "unclaimed";
+    o_drop_tx = drop "tx";
+  }
+
 type iface = {
   if_name : string;
   if_send : l2_dst:Addr.t option -> Packet.t -> bool;
@@ -31,6 +76,7 @@ type t = {
   mutable tcp_default : (t -> Packet.t -> unit) option;
   mutable mcast : Multicast.t option;
   stats : counters;
+  obs : obs_counters;
   mutable cpu_cost : float;
   mutable cpu_busy_until : float;
   mutable cpu_queue : int;
@@ -64,6 +110,7 @@ let create engine ~name ~addr =
         dropped_unclaimed = 0;
         dropped_tx = 0;
       };
+    obs = make_obs_counters ~node_name:name;
     cpu_cost = 0.0;
     cpu_busy_until = 0.0;
     cpu_queue = 0;
@@ -103,8 +150,10 @@ let set_iface_capacity node ifindex bps = (iface node ifindex).if_capacity <- bp
 let iface_capacity_bps node ifindex = (iface node ifindex).if_capacity
 
 let transmit node ~ifindex ~l2_dst packet =
-  if not ((iface node ifindex).if_send ~l2_dst packet) then
-    node.stats.dropped_tx <- node.stats.dropped_tx + 1
+  if not ((iface node ifindex).if_send ~l2_dst packet) then begin
+    node.stats.dropped_tx <- node.stats.dropped_tx + 1;
+    Obs.Registry.incr node.obs.o_drop_tx
+  end
 
 let is_group_member node group =
   match node.mcast with
@@ -130,15 +179,20 @@ let deliver_local node packet =
   match handler with
   | Some f ->
       node.stats.delivered <- node.stats.delivered + 1;
+      Obs.Registry.incr node.obs.o_delivered;
       f node packet
-  | None -> node.stats.dropped_unclaimed <- node.stats.dropped_unclaimed + 1
+  | None ->
+      node.stats.dropped_unclaimed <- node.stats.dropped_unclaimed + 1;
+      Obs.Registry.incr node.obs.o_drop_unclaimed
 
 (* Replicate a multicast packet toward every member, one copy per distinct
    outgoing interface, skipping the interface it arrived on. *)
 let multicast_out node ~in_ifindex packet =
   let group = packet.Packet.dst in
   match node.mcast with
-  | None -> node.stats.dropped_no_route <- node.stats.dropped_no_route + 1
+  | None ->
+      node.stats.dropped_no_route <- node.stats.dropped_no_route + 1;
+      Obs.Registry.incr node.obs.o_drop_no_route
   | Some registry ->
       let out_ifaces = Hashtbl.create 4 in
       List.iter
@@ -163,9 +217,12 @@ let forward node ~ifindex packet =
     deliver_local node packet
   else
   match Packet.decrement_ttl packet with
-  | None -> node.stats.dropped_ttl <- node.stats.dropped_ttl + 1
+  | None ->
+      node.stats.dropped_ttl <- node.stats.dropped_ttl + 1;
+      Obs.Registry.incr node.obs.o_drop_ttl
   | Some packet ->
       node.stats.forwarded <- node.stats.forwarded + 1;
+      Obs.Registry.incr node.obs.o_forwarded;
       if Addr.is_multicast packet.Packet.dst then begin
         multicast_out node ~in_ifindex:ifindex packet;
         if is_group_member node packet.Packet.dst then deliver_local node packet
@@ -179,7 +236,9 @@ let forward node ~ifindex packet =
               | None -> Some packet.Packet.dst
             in
             transmit node ~ifindex:out ~l2_dst packet
-        | None -> node.stats.dropped_no_route <- node.stats.dropped_no_route + 1
+        | None ->
+            node.stats.dropped_no_route <- node.stats.dropped_no_route + 1;
+            Obs.Registry.incr node.obs.o_drop_no_route
       end
 
 let ip_input node ~ifindex packet =
@@ -203,18 +262,27 @@ let l2_accepts node l2_dst =
 
 let default_process node ~ifindex ~l2_dst packet =
   if l2_accepts node l2_dst then ip_input node ~ifindex packet
-  else node.stats.dropped_filtered <- node.stats.dropped_filtered + 1
+  else begin
+    node.stats.dropped_filtered <- node.stats.dropped_filtered + 1;
+    Obs.Registry.incr node.obs.o_drop_filtered
+  end
 
 let receive_now node ~ifindex ~l2_dst packet =
   match node.hook with
   | Some hook ->
-      if node.promisc || l2_accepts node l2_dst then
+      if node.promisc || l2_accepts node l2_dst then begin
+        Obs.Registry.incr node.obs.o_hook;
         hook node ~ifindex ~l2_dst packet
-      else node.stats.dropped_filtered <- node.stats.dropped_filtered + 1
+      end
+      else begin
+        node.stats.dropped_filtered <- node.stats.dropped_filtered + 1;
+        Obs.Registry.incr node.obs.o_drop_filtered
+      end
   | None -> default_process node ~ifindex ~l2_dst packet
 
 let receive node ~ifindex ~l2_dst packet =
   node.stats.frames_in <- node.stats.frames_in + 1;
+  Obs.Registry.incr node.obs.o_frames_in;
   if node.cpu_cost <= 0.0 then receive_now node ~ifindex ~l2_dst packet
   else begin
     (* Serial CPU: frames are processed [cpu_cost] apart, FIFO. *)
@@ -236,6 +304,7 @@ let cpu_backlog node = node.cpu_queue
 
 let originate node packet =
   node.stats.originated <- node.stats.originated + 1;
+  Obs.Registry.incr node.obs.o_originated;
   let dst = packet.Packet.dst in
   if Addr.equal dst node.node_addr then deliver_local node packet
   else if Addr.is_multicast dst then begin
@@ -249,7 +318,9 @@ let originate node packet =
           match next_hop with Some hop -> Some hop | None -> Some dst
         in
         transmit node ~ifindex ~l2_dst packet
-    | None -> node.stats.dropped_no_route <- node.stats.dropped_no_route + 1
+    | None ->
+        node.stats.dropped_no_route <- node.stats.dropped_no_route + 1;
+        Obs.Registry.incr node.obs.o_drop_no_route
   end
 
 let set_hook node hook = node.hook <- Some hook

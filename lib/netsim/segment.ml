@@ -12,6 +12,10 @@ type t = {
   seg_stat : Flowstat.t;
   mutable dropped : int;
   mutable tap : (at:float -> l2_dst:Addr.t option -> Packet.t -> unit) option;
+  m_frames : Obs.Registry.counter;
+  m_bytes : Obs.Registry.counter;
+  m_drops : Obs.Registry.counter;
+  m_backlog : Obs.Registry.histogram;
 }
 
 let uid_counter = ref 0
@@ -22,6 +26,7 @@ let create ?(name = "segment") ?(queue_capacity = 131072) engine ~bandwidth_bps
     invalid_arg "Segment.create: bandwidth must be positive";
   if latency < 0.0 then invalid_arg "Segment.create: negative latency";
   incr uid_counter;
+  let labels = [ ("segment", name) ] in
   {
     seg_uid = !uid_counter;
     seg_name = name;
@@ -34,6 +39,19 @@ let create ?(name = "segment") ?(queue_capacity = 131072) engine ~bandwidth_bps
     seg_stat = Flowstat.create ();
     dropped = 0;
     tap = None;
+    m_frames =
+      Obs.Registry.counter ~labels ~help:"frames carried"
+        "netsim.segment.frames";
+    m_bytes =
+      Obs.Registry.counter ~labels ~help:"wire bytes carried"
+        "netsim.segment.bytes";
+    m_drops =
+      Obs.Registry.counter ~labels ~help:"frames dropped (full queue)"
+        "netsim.segment.drops";
+    m_backlog =
+      Obs.Registry.histogram ~labels
+        ~help:"queue occupancy (bytes) sampled at each send"
+        "netsim.segment.backlog_bytes";
   }
 
 let name segment = segment.seg_name
@@ -55,8 +73,10 @@ let send segment ~from ~l2_dst packet =
     invalid_arg "Segment.send: unknown station";
   let now = Engine.now segment.engine in
   let size = Packet.wire_size packet in
-  if backlog_bytes segment + size > segment.queue_capacity then begin
+  let backlog = backlog_bytes segment in
+  if backlog + size > segment.queue_capacity then begin
     segment.dropped <- segment.dropped + 1;
+    Obs.Registry.incr segment.m_drops;
     false
   end
   else begin
@@ -64,6 +84,9 @@ let send segment ~from ~l2_dst packet =
     let finish = start +. (float_of_int (size * 8) /. segment.bandwidth) in
     segment.busy_until <- finish;
     Flowstat.record segment.seg_stat ~now:finish size;
+    Obs.Registry.incr segment.m_frames;
+    Obs.Registry.add segment.m_bytes size;
+    Obs.Registry.observe segment.m_backlog (float_of_int backlog);
     (match segment.tap with
     | Some tap -> tap ~at:finish ~l2_dst packet
     | None -> ());

@@ -93,6 +93,33 @@ let pp_record fmt record =
       Format.fprintf fmt " via %a" Addr.pp l2
   | Some _ | None -> ()
 
+let record_event record =
+  let fields =
+    [
+      ("src", Obs.Json.String (Addr.to_string record.src));
+      ("dst", Obs.Json.String (Addr.to_string record.dst));
+      ("proto", Obs.Json.String (proto_name record.proto));
+      ("src_port", Obs.Json.Int record.src_port);
+      ("dst_port", Obs.Json.Int record.dst_port);
+      ("size", Obs.Json.Int record.size);
+      ("uid", Obs.Json.Int record.uid);
+    ]
+  in
+  let fields =
+    match record.chan_tag with
+    | Some tag -> fields @ [ ("chan", Obs.Json.String tag) ]
+    | None -> fields
+  in
+  let fields =
+    match record.l2_dst with
+    | Some l2 when not (Addr.equal l2 record.dst) ->
+        fields @ [ ("l2_dst", Obs.Json.String (Addr.to_string l2)) ]
+    | Some _ | None -> fields
+  in
+  Obs.Timeline.event ~at:record.at ~source:"tracer" ~kind:"packet" fields
+
+let to_events t = List.map record_event (records t)
+
 let dump t =
   let buffer = Buffer.create 1024 in
   let fmt = Format.formatter_of_buffer buffer in

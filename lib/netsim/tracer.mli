@@ -60,3 +60,9 @@ val pp_record : Format.formatter -> record -> unit
 
 (** [dump t] — all records, one line each. *)
 val dump : t -> string
+
+(** [to_events t] — the capture as timeline events ([source:"tracer"],
+    [kind:"packet"]), ready to {!Obs.Timeline.merge} with metric
+    snapshots. Only the records still held are exported: if the cap
+    evicted old records ([dropped t] > 0), the timeline starts late. *)
+val to_events : t -> Obs.Timeline.event list

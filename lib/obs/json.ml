@@ -1,0 +1,75 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buffer s =
+  Buffer.add_char buffer '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"'
+
+(* One fixed rendering per double, so identical runs export identical bytes.
+   Integral doubles print with a trailing ".0" to stay floats on re-read. *)
+let float_repr f =
+  if Float.is_nan f then "null"
+  else if f = Float.infinity then "\"inf\""
+  else if f = Float.neg_infinity then "\"-inf\""
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let rec write ~indent buffer json =
+  let pad n = Buffer.add_string buffer (String.make n ' ') in
+  match json with
+  | Null -> Buffer.add_string buffer "null"
+  | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+  | Int n -> Buffer.add_string buffer (string_of_int n)
+  | Float f -> Buffer.add_string buffer (float_repr f)
+  | String s -> escape buffer s
+  | List [] -> Buffer.add_string buffer "[]"
+  | List items ->
+      Buffer.add_string buffer "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buffer ",\n";
+          pad (indent + 2);
+          write ~indent:(indent + 2) buffer item)
+        items;
+      Buffer.add_char buffer '\n';
+      pad indent;
+      Buffer.add_char buffer ']'
+  | Obj [] -> Buffer.add_string buffer "{}"
+  | Obj fields ->
+      Buffer.add_string buffer "{\n";
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_string buffer ",\n";
+          pad (indent + 2);
+          escape buffer key;
+          Buffer.add_string buffer ": ";
+          write ~indent:(indent + 2) buffer value)
+        fields;
+      Buffer.add_char buffer '\n';
+      pad indent;
+      Buffer.add_char buffer '}'
+
+let to_string json =
+  let buffer = Buffer.create 1024 in
+  write ~indent:0 buffer json;
+  Buffer.add_char buffer '\n';
+  Buffer.contents buffer

@@ -1,0 +1,25 @@
+(** A minimal JSON document tree with a deterministic printer.
+
+    The observability exporters hand-roll their JSON through this module so
+    that two identical simulation runs produce byte-identical files: field
+    order is whatever the caller built, floats render through one fixed
+    format ({!float_repr}), and the printer never consults locale or
+    wall-clock state. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [float_repr f] is the canonical rendering used for [Float]: integral
+    doubles as ["x.0"], others as [%.9g]; NaN renders as [null], infinities
+    as quoted strings. *)
+val float_repr : float -> string
+
+(** [to_string json] renders with two-space indentation and a trailing
+    newline. *)
+val to_string : t -> string

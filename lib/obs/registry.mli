@@ -1,0 +1,124 @@
+(** The metrics registry: named, labelled counters, gauges and log-scale
+    histograms with deterministic JSON/CSV export.
+
+    Instrumented components create their handles once (at component
+    construction or program compile time) with get-or-create semantics: two
+    calls with the same name and label set return handles on the same
+    underlying cell, so identically-named components aggregate. Updates
+    through a handle are a single flag test plus a store — and no-ops when
+    the owning registry is disabled, which is what keeps instrumentation
+    affordable on the simulator's per-packet hot paths.
+
+    Exports are deterministic: entries sort by name then canonical label
+    order, floats render through {!Json.float_repr}, and metrics registered
+    as [~volatile:true] (wall-clock timings and anything else that differs
+    between identical runs) are excluded unless explicitly requested. Two
+    runs of the same seeded scenario therefore export byte-identical
+    documents. *)
+
+type t
+(** A registry. Most callers use {!default}; tests create their own. *)
+
+type labels = (string * string) list
+(** Label sets are canonicalized (sorted by key) on registration. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry every built-in instrumentation point uses. *)
+
+val set_enabled : t -> bool -> unit
+(** [set_enabled t false] turns every update through this registry's
+    handles into a no-op (creation and reads still work). Default: on. *)
+
+val enabled : t -> bool
+
+val reset : t -> unit
+(** Drops every metric. Handles created before the reset keep updating
+    their orphaned cells invisibly — re-create components (and thereby
+    their handles) after a reset, as the determinism tests do. *)
+
+(** {1 Counters} — monotonically increasing integers. *)
+
+type counter
+
+val counter : ?registry:t -> ?labels:labels -> ?help:string -> string -> counter
+(** Get-or-create. @raise Invalid_argument if the name+labels pair already
+    names a metric of another kind. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+(** @raise Invalid_argument on negative increments. *)
+
+val count : counter -> int
+
+(** {1 Gauges} — last-set floats, or sampled callbacks. *)
+
+type gauge
+
+val gauge :
+  ?registry:t ->
+  ?labels:labels ->
+  ?help:string ->
+  ?volatile:bool ->
+  string ->
+  gauge
+(** [~volatile:true] marks a gauge whose value is not reproducible across
+    identical runs (wall-clock time); exporters skip it by default. *)
+
+val set : gauge -> float -> unit
+
+val set_fn : gauge -> (unit -> float) -> unit
+(** Replaces the stored value with a callback sampled at snapshot time —
+    zero cost between snapshots, ideal for "current depth" style values. *)
+
+val gauge_value : gauge -> float
+
+(** {1 Histograms} — log-scale (powers of two) bucketed distributions,
+    sized for latencies in seconds or queue depths in bytes. *)
+
+type histogram
+
+val histogram : ?registry:t -> ?labels:labels -> ?help:string -> string -> histogram
+val observe : histogram -> float -> unit
+val observations : histogram -> int
+
+val bucket_of : float -> int
+(** The slot an observation lands in: 0 for v <= 0, ascending powers of
+    two after that, last slot for overflow. Exposed for tests. *)
+
+val bucket_upper_bound : int -> float
+(** Inclusive upper bound of a slot; [infinity] for the overflow slot. *)
+
+(** {1 Snapshots and exports} *)
+
+type sample =
+  | Scounter of int
+  | Sgauge of float
+  | Shistogram of {
+      hs_count : int;
+      hs_sum : float;
+      hs_buckets : (float * int) list;  (** (upper bound, count), sparse *)
+    }
+
+type entry = { e_name : string; e_labels : labels; e_sample : sample }
+
+type snapshot = entry list
+(** Sorted by name, then canonical labels. *)
+
+val snapshot : ?include_volatile:bool -> t -> snapshot
+val snapshot_json : snapshot -> Json.t
+
+val to_json : ?include_volatile:bool -> t -> Json.t
+(** The full metrics document: [{"format": "planp-metrics/1", "metrics":
+    [...]}]. *)
+
+val to_json_string : ?include_volatile:bool -> t -> string
+val to_csv_string : ?include_volatile:bool -> t -> string
+
+val pp : ?include_volatile:bool -> Format.formatter -> t -> unit
+(** One metric per line, for [planpc stats]. *)
+
+val labels_to_string : labels -> string
+(** Canonical ["k=v,k2=v2"] rendering (exposed for exporters and tests). *)

@@ -1,0 +1,41 @@
+type event = {
+  at : float;
+  source : string;
+  kind : string;
+  fields : (string * Json.t) list;
+}
+
+let event ~at ~source ~kind fields = { at; source; kind; fields }
+
+(* Stable by construction: List.stable_sort keeps the producer's order for
+   equal-time events, which mirrors the engine's own tie-break rule. *)
+let merge streams =
+  List.stable_sort
+    (fun a b -> Float.compare a.at b.at)
+    (List.concat streams)
+
+let of_snapshot ~at snapshot =
+  {
+    at;
+    source = "metrics";
+    kind = "snapshot";
+    fields = [ ("metrics", Registry.snapshot_json snapshot) ];
+  }
+
+let event_json e =
+  Json.Obj
+    ([
+       ("at", Json.Float e.at);
+       ("source", Json.String e.source);
+       ("kind", Json.String e.kind);
+     ]
+    @ e.fields)
+
+let to_json events =
+  Json.Obj
+    [
+      ("format", Json.String "planp-timeline/1");
+      ("events", Json.List (List.map event_json events));
+    ]
+
+let to_json_string events = Json.to_string (to_json events)

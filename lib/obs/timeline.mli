@@ -1,0 +1,29 @@
+(** The merged timeline: packet-level trace records interleaved with
+    metric snapshots on one simulated-time axis.
+
+    Producers (the netsim [Tracer], experiment drivers, the CLI) each
+    contribute a list of events; {!merge} sorts them stably by time, so
+    equal-time events keep producer order — the same tie-break rule as the
+    simulation engine itself. *)
+
+type event = {
+  at : float;  (** simulated time, seconds *)
+  source : string;  (** producer, e.g. ["tracer"] or ["metrics"] *)
+  kind : string;  (** event class within the producer, e.g. ["packet"] *)
+  fields : (string * Json.t) list;  (** producer-specific payload *)
+}
+
+val event :
+  at:float -> source:string -> kind:string -> (string * Json.t) list -> event
+
+val merge : event list list -> event list
+(** Stable merge of several producers' streams into one time-ordered list. *)
+
+val of_snapshot : at:float -> Registry.snapshot -> event
+(** Wraps a registry snapshot as a ["metrics"/"snapshot"] event, embedding
+    the full metric list at that instant. *)
+
+val to_json : event list -> Json.t
+(** [{"format": "planp-timeline/1", "events": [...]}]. *)
+
+val to_json_string : event list -> string

@@ -267,14 +267,34 @@ let backend =
     compile =
       (fun checked ~globals ->
         let { unit_; channel_fns } = compile_program checked ~globals in
+        let labels = [ ("backend", "bytecode") ] in
+        let m_packets =
+          Obs.Registry.counter ~labels ~help:"packets executed"
+            "planp.exec.packets"
+        in
+        let m_instrs =
+          Obs.Registry.counter ~labels ~help:"VM instructions dispatched"
+            "planp.vm.instrs"
+        in
+        let m_prims =
+          Obs.Registry.counter ~labels ~help:"primitive invocations"
+            "planp.vm.prim_calls"
+        in
         List.map
           (fun (chan, fn) ->
             let exec world ~ps ~ss ~pkt =
-              match Vm.call unit_ ~fn world [ ps; ss; pkt ] with
-              | Value.Vtuple [ ps'; ss' ] -> (ps', ss')
-              | value ->
-                  Value.type_error ~expected:"(protocol, channel) state pair"
-                    value
+              let instrs0 = !Vm.instrs_executed and prims0 = !Vm.prim_calls in
+              Fun.protect
+                ~finally:(fun () ->
+                  Obs.Registry.incr m_packets;
+                  Obs.Registry.add m_instrs (!Vm.instrs_executed - instrs0);
+                  Obs.Registry.add m_prims (!Vm.prim_calls - prims0))
+                (fun () ->
+                  match Vm.call unit_ ~fn world [ ps; ss; pkt ] with
+                  | Value.Vtuple [ ps'; ss' ] -> (ps', ss')
+                  | value ->
+                      Value.type_error
+                        ~expected:"(protocol, channel) state pair" value)
             in
             (chan, exec))
           channel_fns);

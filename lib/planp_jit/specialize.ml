@@ -231,8 +231,21 @@ let backend =
       (fun checked ~globals ->
         let program = checked.Planp.Typecheck.program in
         let global_bindings, funs = compile_unit program ~globals in
+        (* Only a per-packet counter here: specialized code must stay at
+           native speed, so no per-step accounting (paper 2.4). *)
+        let m_packets =
+          Obs.Registry.counter
+            ~labels:[ ("backend", "jit") ]
+            ~help:"packets executed" "planp.exec.packets"
+        in
         List.map
-          (fun chan -> (chan, compile_channel ~global_bindings ~funs chan))
+          (fun chan ->
+            let exec = compile_channel ~global_bindings ~funs chan in
+            let exec world ~ps ~ss ~pkt =
+              Obs.Registry.incr m_packets;
+              exec world ~ps ~ss ~pkt
+            in
+            (chan, exec))
           (Ast.channels program));
   }
 

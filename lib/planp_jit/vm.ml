@@ -3,6 +3,11 @@ module Prim = Planp_runtime.Prim
 
 type try_frame = { handlers : (string * int) list; saved_sp : int }
 
+(* Profiling cells, mirroring Planp_runtime.Interp: bare increments in the
+   dispatch loop, read as per-packet deltas by the bytecode backend. *)
+let instrs_executed = ref 0
+let prim_calls = ref 0
+
 let rec call unit_ ~fn world args =
   let func = unit_.Bytecode.funcs.(fn) in
   let locals = Array.make (Int.max func.Bytecode.n_locals 1) Value.Vunit in
@@ -58,6 +63,7 @@ let rec call unit_ ~fn world args =
       raise (Value.Runtime_error "vm: program counter out of range");
     let instr = code.(!pc) in
     incr pc;
+    incr instrs_executed;
     try
       match instr with
       | Bytecode.Const value -> push value
@@ -75,6 +81,7 @@ let rec call unit_ ~fn world args =
           | value -> Value.type_error ~expected:"tuple" value)
       | Bytecode.Call_prim (pool_index, argc) ->
           let prim = unit_.Bytecode.pool.(pool_index) in
+          incr prim_calls;
           push (prim.Prim.impl world (pop_n argc))
       | Bytecode.Call_fun (index, argc) ->
           push (call unit_ ~fn:index world (pop_n argc))

@@ -16,3 +16,10 @@ val call :
   Planp_runtime.World.t ->
   Planp_runtime.Value.t list ->
   Planp_runtime.Value.t
+
+(** Process-wide profiling cells: instructions dispatched and primitives
+    invoked since start-up. The bytecode backend reads per-packet deltas of
+    these into [planp.vm.instrs] / [planp.vm.prim_calls]. *)
+val instrs_executed : int ref
+
+val prim_calls : int ref

@@ -1,6 +1,12 @@
 module Ast = Planp.Ast
 module Env = Map.Make (String)
 
+(* Profiling cells: bare int refs so the per-step cost stays one increment
+   even with observability on; the backend's exec wrapper reads the deltas
+   into the registry once per packet. *)
+let eval_steps = ref 0
+let prim_calls = ref 0
+
 type ctx = {
   world : World.t;
   funs : (string, Ast.fundef) Hashtbl.t;
@@ -36,6 +42,7 @@ let arith op a b =
   | _ -> assert false
 
 let rec eval ctx env (expr : Ast.expr) =
+  incr eval_steps;
   match expr.Ast.desc with
   | Ast.Int n -> Value.Vint n
   | Ast.Bool b -> Value.Vbool b
@@ -121,6 +128,7 @@ and apply ctx name arg_values =
       eval ctx env fun_body
   | None ->
       let prim = Prim.find_exn name in
+      incr prim_calls;
       prim.Prim.impl ctx.world arg_values
 
 let eval_const ~world ~globals expr =
@@ -143,6 +151,19 @@ let backend =
           let world, _, _ = World.dummy () in
           make_ctx ~world ~funs ~globals
         in
+        let labels = [ ("backend", "interp") ] in
+        let m_packets =
+          Obs.Registry.counter ~labels ~help:"packets executed"
+            "planp.exec.packets"
+        in
+        let m_steps =
+          Obs.Registry.counter ~labels ~help:"AST nodes evaluated"
+            "planp.interp.eval_steps"
+        in
+        let m_prims =
+          Obs.Registry.counter ~labels ~help:"primitive invocations"
+            "planp.interp.prim_calls"
+        in
         List.map
           (fun chan ->
             let exec world ~ps ~ss ~pkt =
@@ -153,11 +174,18 @@ let backend =
                 |> Env.add chan.Ast.ss_name ss
                 |> Env.add chan.Ast.pkt_name pkt
               in
-              match eval ctx env chan.Ast.body with
-              | Value.Vtuple [ ps'; ss' ] -> (ps', ss')
-              | value ->
-                  Value.type_error ~expected:"(protocol, channel) state pair"
-                    value
+              let steps0 = !eval_steps and prims0 = !prim_calls in
+              Fun.protect
+                ~finally:(fun () ->
+                  Obs.Registry.incr m_packets;
+                  Obs.Registry.add m_steps (!eval_steps - steps0);
+                  Obs.Registry.add m_prims (!prim_calls - prims0))
+                (fun () ->
+                  match eval ctx env chan.Ast.body with
+                  | Value.Vtuple [ ps'; ss' ] -> (ps', ss')
+                  | value ->
+                      Value.type_error
+                        ~expected:"(protocol, channel) state pair" value)
             in
             (chan, exec))
           (Ast.channels checked.Planp.Typecheck.program));

@@ -30,3 +30,11 @@ val eval_const :
 
 (** The interpreter as a backend (re-walks the AST on every packet). *)
 val backend : Backend.t
+
+(** Process-wide profiling cells: AST nodes evaluated and primitives
+    invoked since start-up, by any caller of [eval]. The backend's
+    per-packet wrapper reads deltas of these into the
+    [planp.interp.eval_steps] / [planp.interp.prim_calls] counters. *)
+val eval_steps : int ref
+
+val prim_calls : int ref

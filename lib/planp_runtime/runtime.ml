@@ -25,6 +25,9 @@ type t = {
   rt_node : Node.t;
   mutable programs : program list;  (* installation order *)
   rt_stats : stats;
+  m_handled : Obs.Registry.counter;
+  m_fallthrough : Obs.Registry.counter;
+  m_errors : Obs.Registry.counter;
   out : Buffer.t;
   resource_bound : int option;
 }
@@ -151,6 +154,7 @@ let process t ~ifindex ~l2_dst packet =
   match dispatch t packet with
   | None ->
       t.rt_stats.fallthrough <- t.rt_stats.fallthrough + 1;
+      Obs.Registry.incr t.m_fallthrough;
       Node.default_process t.rt_node ~ifindex ~l2_dst packet
   | Some (program, slot, pkt_value) -> (
       let world = make_world t ~ifindex in
@@ -161,8 +165,11 @@ let process t ~ifindex ~l2_dst packet =
         program.proto <- ps';
         slot.chan_state <- ss';
         slot.hits <- slot.hits + 1;
-        t.rt_stats.handled <- t.rt_stats.handled + 1
-      with Value.Planp_raise _ -> t.rt_stats.errors <- t.rt_stats.errors + 1)
+        t.rt_stats.handled <- t.rt_stats.handled + 1;
+        Obs.Registry.incr t.m_handled
+      with Value.Planp_raise _ ->
+        t.rt_stats.errors <- t.rt_stats.errors + 1;
+        Obs.Registry.incr t.m_errors)
 
 let attach ?resource_bound rt_node =
   Prims.install ();
@@ -170,11 +177,21 @@ let attach ?resource_bound rt_node =
   | Some bound when bound <= 0 ->
       invalid_arg "Runtime.attach: resource_bound must be positive"
   | Some _ | None -> ());
+  let labels = [ ("node", Node.name rt_node) ] in
   let t =
     {
       rt_node;
       programs = [];
       rt_stats = { handled = 0; fallthrough = 0; errors = 0 };
+      m_handled =
+        Obs.Registry.counter ~labels ~help:"packets treated by an ASP"
+          "planp.runtime.handled";
+      m_fallthrough =
+        Obs.Registry.counter ~labels ~help:"packets left to standard IP"
+          "planp.runtime.fallthrough";
+      m_errors =
+        Obs.Registry.counter ~labels ~help:"uncaught PLAN-P exceptions"
+          "planp.runtime.errors";
       out = Buffer.create 256;
       resource_bound;
     }

@@ -133,6 +133,54 @@ let cli_missing_file () =
   let code, _ = run [ "check"; "/nonexistent.planp" ] in
   checkb "nonzero exit" true (code <> 0)
 
+let read_and_remove path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  contents
+
+let cli_stats () =
+  let path = write_program forwarder in
+  let code, output = run [ "stats"; path; "-n"; "5" ] in
+  Sys.remove path;
+  check "exit 0" 0 code;
+  checkb "engine events metric" true (contains output "netsim.engine.events");
+  checkb "link metric" true (contains output "netsim.link.tx_packets");
+  checkb "node metric with label" true
+    (contains output "netsim.node.delivered{node=bob}");
+  checkb "runtime metric" true (contains output "planp.runtime.handled")
+
+let cli_run_metrics_deterministic () =
+  let path = write_program forwarder in
+  let m1 = Filename.temp_file "metrics" ".json" in
+  let m2 = Filename.temp_file "metrics" ".json" in
+  let code1, output = run [ "run"; path; "--metrics-out"; m1 ] in
+  let code2, _ = run [ "run"; path; "--metrics-out"; m2 ] in
+  Sys.remove path;
+  check "first exit 0" 0 code1;
+  check "second exit 0" 0 code2;
+  checkb "mentions receiver" true (contains output "receiver (bob)");
+  let j1 = read_and_remove m1 and j2 = read_and_remove m2 in
+  checkb "two identical runs export byte-identical JSON" true (j1 = j2);
+  checkb "format header" true (contains j1 "planp-metrics/1");
+  List.iter
+    (fun family ->
+      checkb (family ^ " present") true (contains j1 family))
+    [ "netsim.engine."; "netsim.link."; "netsim.segment."; "netsim.node.";
+      "planp.runtime."; "planp.exec.packets" ]
+
+let cli_run_timeline () =
+  let path = write_program forwarder in
+  let out = Filename.temp_file "timeline" ".json" in
+  let code, _ = run [ "run"; path; "-n"; "3"; "--timeline-out"; out ] in
+  Sys.remove path;
+  check "exit 0" 0 code;
+  let json = read_and_remove out in
+  checkb "format header" true (contains json "planp-timeline/1");
+  checkb "tracer events present" true (contains json "\"source\": \"tracer\"");
+  checkb "metric snapshots present" true (contains json "\"source\": \"metrics\"")
+
 let () =
   Alcotest.run "planpc-cli"
     [
@@ -149,5 +197,9 @@ let () =
           Alcotest.test_case "simulate backend" `Quick cli_simulate_backend;
           Alcotest.test_case "fold" `Quick cli_fold;
           Alcotest.test_case "missing file" `Quick cli_missing_file;
+          Alcotest.test_case "stats" `Quick cli_stats;
+          Alcotest.test_case "run metrics deterministic" `Quick
+            cli_run_metrics_deterministic;
+          Alcotest.test_case "run timeline" `Quick cli_run_timeline;
         ] );
     ]

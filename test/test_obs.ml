@@ -1,0 +1,283 @@
+(* The observability layer: registry semantics, export determinism, and
+   the merged timeline. Everything here uses private registries so the
+   process-wide [Obs.Registry.default] (fed by the simulator) stays out of
+   the assertions — except the determinism test, which drives two full
+   simulated runs against [default] the way the CLI does. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+let checkf = Alcotest.(check (float 1e-9))
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length haystack
+    && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+(* --- counters ----------------------------------------------------- *)
+
+let counter_get_or_create () =
+  let registry = Obs.Registry.create () in
+  let c1 = Obs.Registry.counter ~registry "requests" in
+  let c2 = Obs.Registry.counter ~registry "requests" in
+  Obs.Registry.incr c1;
+  Obs.Registry.add c2 2;
+  (* Same name, same labels: both handles hit one cell. *)
+  check "aggregated" 3 (Obs.Registry.count c1);
+  check "same cell" 3 (Obs.Registry.count c2)
+
+let counter_labels_distinguish () =
+  let registry = Obs.Registry.create () in
+  let a = Obs.Registry.counter ~registry ~labels:[ ("node", "a") ] "hits" in
+  let b = Obs.Registry.counter ~registry ~labels:[ ("node", "b") ] "hits" in
+  Obs.Registry.incr a;
+  check "a independent" 1 (Obs.Registry.count a);
+  check "b independent" 0 (Obs.Registry.count b)
+
+let counter_label_order_canonical () =
+  let registry = Obs.Registry.create () in
+  let x =
+    Obs.Registry.counter ~registry ~labels:[ ("b", "2"); ("a", "1") ] "m"
+  in
+  let y =
+    Obs.Registry.counter ~registry ~labels:[ ("a", "1"); ("b", "2") ] "m"
+  in
+  Obs.Registry.incr x;
+  (* Label order never matters: both orderings canonicalize to one cell. *)
+  check "canonicalized to one cell" 1 (Obs.Registry.count y);
+  checks "canonical rendering" "a=1,b=2"
+    (Obs.Registry.labels_to_string [ ("b", "2"); ("a", "1") ])
+
+let counter_rejects_negative () =
+  let registry = Obs.Registry.create () in
+  let c = Obs.Registry.counter ~registry "mono" in
+  checkb "negative add raises" true
+    (try
+       Obs.Registry.add c (-1);
+       false
+     with Invalid_argument _ -> true)
+
+let kind_mismatch_raises () =
+  let registry = Obs.Registry.create () in
+  ignore (Obs.Registry.counter ~registry "dual");
+  checkb "same name as gauge raises" true
+    (try
+       ignore (Obs.Registry.gauge ~registry "dual");
+       false
+     with Invalid_argument _ -> true)
+
+(* --- gauges -------------------------------------------------------- *)
+
+let gauge_set_and_callback () =
+  let registry = Obs.Registry.create () in
+  let g = Obs.Registry.gauge ~registry "depth" in
+  Obs.Registry.set g 7.0;
+  checkf "stored" 7.0 (Obs.Registry.gauge_value g);
+  let current = ref 3.0 in
+  Obs.Registry.set_fn g (fun () -> !current);
+  current := 11.0;
+  (* Callback gauges sample at read time, not at set_fn time. *)
+  checkf "sampled late" 11.0 (Obs.Registry.gauge_value g)
+
+let volatile_excluded_from_exports () =
+  let registry = Obs.Registry.create () in
+  let w = Obs.Registry.gauge ~registry ~volatile:true "wall_s" in
+  let s = Obs.Registry.gauge ~registry "sim_s" in
+  Obs.Registry.set w 1.23;
+  Obs.Registry.set s 4.56;
+  let default = Obs.Registry.to_json_string registry in
+  checkb "volatile hidden by default" false (contains default "wall_s");
+  checkb "stable gauge exported" true (contains default "sim_s");
+  let full = Obs.Registry.to_json_string ~include_volatile:true registry in
+  checkb "volatile on request" true (contains full "wall_s")
+
+(* --- histograms ----------------------------------------------------- *)
+
+let histogram_buckets () =
+  (* The log-scale invariant: slots are half-open powers-of-two ranges
+     [2^(e-1), 2^e), so every value sits at or above the previous slot's
+     bound and strictly below its own. *)
+  List.iter
+    (fun v ->
+      let slot = Obs.Registry.bucket_of v in
+      let upper = Obs.Registry.bucket_upper_bound slot in
+      checkb (Printf.sprintf "%g within bound %g" v upper) true (v <= upper);
+      if slot > 0 && v > 0.0 then
+        checkb
+          (Printf.sprintf "%g at or above previous bound" v)
+          true
+          (v >= Obs.Registry.bucket_upper_bound (slot - 1)))
+    [ 1e-9; 0.001; 0.5; 1.0; 1.5; 2.0; 3.0; 1024.0; 1e9 ];
+  check "nonpositive to slot zero" 0 (Obs.Registry.bucket_of (-4.0));
+  check "zero to slot zero" 0 (Obs.Registry.bucket_of 0.0);
+  (* A power of two opens a new slot: 2.0 sits with 3.0 in [2, 4), not
+     with 1.5 in [1, 2). *)
+  check "same slot for [2, 4)" (Obs.Registry.bucket_of 2.0)
+    (Obs.Registry.bucket_of 3.0);
+  checkb "1.5 and 2.0 in different slots" true
+    (Obs.Registry.bucket_of 1.5 <> Obs.Registry.bucket_of 2.0)
+
+let histogram_observe_and_export () =
+  let registry = Obs.Registry.create () in
+  let h = Obs.Registry.histogram ~registry "lat" in
+  List.iter (Obs.Registry.observe h) [ 0.5; 0.5; 3.0 ];
+  check "observations" 3 (Obs.Registry.observations h);
+  match Obs.Registry.snapshot registry with
+  | [ { Obs.Registry.e_sample =
+          Obs.Registry.Shistogram { hs_count; hs_sum; hs_buckets };
+        _ } ] ->
+      check "count" 3 hs_count;
+      checkf "sum" 4.0 hs_sum;
+      (* Sparse buckets: only touched slots appear. *)
+      check "two occupied buckets" 2 (List.length hs_buckets);
+      checkb "0.5 bucket has two" true
+        (List.exists (fun (_, n) -> n = 2) hs_buckets)
+  | _ -> Alcotest.fail "expected exactly one histogram entry"
+
+(* --- enable/disable and reset --------------------------------------- *)
+
+let disabled_updates_are_noops () =
+  let registry = Obs.Registry.create () in
+  let c = Obs.Registry.counter ~registry "c" in
+  Obs.Registry.set_enabled registry false;
+  Obs.Registry.incr c;
+  check "no count while disabled" 0 (Obs.Registry.count c);
+  Obs.Registry.set_enabled registry true;
+  Obs.Registry.incr c;
+  check "counts again" 1 (Obs.Registry.count c)
+
+let reset_drops_metrics () =
+  let registry = Obs.Registry.create () in
+  let c = Obs.Registry.counter ~registry "gone" in
+  Obs.Registry.incr c;
+  Obs.Registry.reset registry;
+  check "empty snapshot" 0 (List.length (Obs.Registry.snapshot registry));
+  (* Re-created handles start fresh. *)
+  let c' = Obs.Registry.counter ~registry "gone" in
+  check "fresh cell" 0 (Obs.Registry.count c')
+
+(* --- exports --------------------------------------------------------- *)
+
+let snapshot_sorted () =
+  let registry = Obs.Registry.create () in
+  ignore (Obs.Registry.counter ~registry "zz");
+  ignore (Obs.Registry.counter ~registry "aa");
+  ignore (Obs.Registry.counter ~registry ~labels:[ ("x", "2") ] "mm");
+  ignore (Obs.Registry.counter ~registry ~labels:[ ("x", "1") ] "mm");
+  let names =
+    List.map
+      (fun e ->
+        e.Obs.Registry.e_name
+        ^ Obs.Registry.labels_to_string e.Obs.Registry.e_labels)
+      (Obs.Registry.snapshot registry)
+  in
+  Alcotest.(check (list string))
+    "sorted by name then labels"
+    [ "aa"; "mmx=1"; "mmx=2"; "zz" ]
+    names
+
+let csv_rows () =
+  let registry = Obs.Registry.create () in
+  let c = Obs.Registry.counter ~registry ~labels:[ ("node", "a") ] "hits" in
+  Obs.Registry.incr c;
+  let h = Obs.Registry.histogram ~registry "lat" in
+  Obs.Registry.observe h 1.5;
+  let csv = Obs.Registry.to_csv_string registry in
+  checkb "header" true (contains csv "name,labels,type,field,value");
+  checkb "counter row" true (contains csv "hits,node=a,counter,value,1");
+  checkb "histogram count row" true (contains csv "lat,,histogram,count,1");
+  checkb "histogram bucket row" true (contains csv "lat,,histogram,le_2.0,1")
+
+let json_float_repr () =
+  checks "integral" "2.0" (Obs.Json.float_repr 2.0);
+  checks "nan is null" "null" (Obs.Json.float_repr Float.nan);
+  checks "fractional stable" "0.1" (Obs.Json.float_repr 0.1)
+
+(* --- timeline -------------------------------------------------------- *)
+
+let timeline_merge_stable () =
+  let ev at source = Obs.Timeline.event ~at ~source ~kind:"k" [] in
+  let merged =
+    Obs.Timeline.merge
+      [ [ ev 1.0 "first"; ev 2.0 "first" ]; [ ev 1.0 "second"; ev 1.5 "second" ] ]
+  in
+  Alcotest.(check (list string))
+    "time-ordered, producer order on ties"
+    [ "first"; "second"; "second"; "first" ]
+    (List.map (fun e -> e.Obs.Timeline.source) merged)
+
+let timeline_json () =
+  let registry = Obs.Registry.create () in
+  let c = Obs.Registry.counter ~registry "events" in
+  Obs.Registry.incr c;
+  let events =
+    [ Obs.Timeline.of_snapshot ~at:0.25 (Obs.Registry.snapshot registry) ]
+  in
+  let json = Obs.Timeline.to_json_string events in
+  checkb "format" true (contains json "planp-timeline/1");
+  checkb "snapshot embedded" true (contains json "\"events\"");
+  checkb "time" true (contains json "0.25")
+
+(* --- determinism over a full simulated run --------------------------- *)
+
+(* The same seeded scenario twice, with a registry reset and fresh
+   components in between, must export byte-identical JSON — the property
+   the CLI's --metrics-out relies on. *)
+let run_once () =
+  Obs.Registry.reset Obs.Registry.default;
+  let topo = Netsim.Topology.create () in
+  let a = Netsim.Topology.add_host topo "a" "10.0.0.1" in
+  let r = Netsim.Topology.add_host topo "r" "10.0.0.254" in
+  let b = Netsim.Topology.add_host topo "b" "10.0.0.2" in
+  ignore (Netsim.Topology.connect ~name:"ar" topo a r);
+  ignore (Netsim.Topology.connect ~name:"rb" topo r b);
+  Netsim.Topology.compute_routes topo;
+  for i = 1 to 10 do
+    Netsim.Node.send_udp a ~dst:(Netsim.Node.addr b) ~src_port:(4000 + i)
+      ~dst_port:53
+      (Netsim.Payload.of_string "probe")
+  done;
+  Netsim.Topology.run topo;
+  Obs.Registry.to_json_string Obs.Registry.default
+
+let export_deterministic () =
+  let first = run_once () in
+  let second = run_once () in
+  checks "byte-identical across identical runs" first second;
+  checkb "covers the engine" true (contains first "netsim.engine.events");
+  checkb "covers links" true (contains first "netsim.link.tx_packets");
+  checkb "covers nodes" true (contains first "netsim.node.delivered")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter get-or-create" `Quick counter_get_or_create;
+          Alcotest.test_case "labels distinguish" `Quick counter_labels_distinguish;
+          Alcotest.test_case "label order canonical" `Quick
+            counter_label_order_canonical;
+          Alcotest.test_case "counter rejects negative" `Quick
+            counter_rejects_negative;
+          Alcotest.test_case "kind mismatch raises" `Quick kind_mismatch_raises;
+          Alcotest.test_case "gauge set and callback" `Quick gauge_set_and_callback;
+          Alcotest.test_case "volatile excluded" `Quick
+            volatile_excluded_from_exports;
+          Alcotest.test_case "histogram buckets" `Quick histogram_buckets;
+          Alcotest.test_case "histogram export" `Quick histogram_observe_and_export;
+          Alcotest.test_case "disabled is a no-op" `Quick disabled_updates_are_noops;
+          Alcotest.test_case "reset drops metrics" `Quick reset_drops_metrics;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "snapshot sorted" `Quick snapshot_sorted;
+          Alcotest.test_case "csv rows" `Quick csv_rows;
+          Alcotest.test_case "float repr" `Quick json_float_repr;
+          Alcotest.test_case "timeline merge stable" `Quick timeline_merge_stable;
+          Alcotest.test_case "timeline json" `Quick timeline_json;
+          Alcotest.test_case "deterministic run export" `Quick export_deterministic;
+        ] );
+    ]

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Documentation checks:
+#   1. every lib/* subtree is listed in README.md's architecture map;
+#   2. the odoc docs build cleanly (skipped when odoc is not installed,
+#      as in the minimal CI image).
+# Run from the repository root: sh tools/check_docs.sh
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+
+for dir in lib/*/; do
+    name="lib/${dir#lib/}"
+    name="${name%/}"
+    if ! grep -q "\`$name\`" README.md; then
+        echo "check_docs: $name is missing from README.md's architecture map" >&2
+        status=1
+    fi
+done
+
+if command -v odoc >/dev/null 2>&1; then
+    if ! dune build @doc; then
+        echo "check_docs: dune build @doc failed" >&2
+        status=1
+    fi
+else
+    echo "check_docs: odoc not installed, skipping dune build @doc"
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "check_docs: OK"
+fi
+exit "$status"
