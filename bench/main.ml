@@ -13,9 +13,17 @@
 
 let quick = ref false
 let metrics_out = ref None
+let json_out = ref None
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* The machine-readable mirror of the printed tables: each section records
+   its headline numbers under its own key; --json-out writes them as one
+   document ("planp-bench/1").  Only the sections that actually ran
+   appear. *)
+let summary : (string * Obs.Json.t) list ref = ref []
+let record key json = summary := !summary @ [ (key, json) ]
 
 (* ------------------------------------------------------------------ *)
 (* The five bundled ASPs -- the same set as the paper's Fig. 3.        *)
@@ -90,6 +98,7 @@ let fig3 () =
     "%-30s %7s %11s | %12s %12s %12s\n" "program" "lines" "paper-lines"
     "jit (ms)" "bytecode(ms)" "interp (ms)";
   let open Bechamel in
+  let rows = ref [] in
   List.iter
     (fun (name, source, paper_lines) ->
       let checked = checked_of source in
@@ -117,8 +126,22 @@ let fig3 () =
       in
       Printf.printf "%-30s %7d %11d | %12.4f %12.4f %12.4f\n" name
         (Planp.Ast.line_count source)
-        paper_lines (ms "jit") (ms "bytecode") (ms "interp"))
+        paper_lines (ms "jit") (ms "bytecode") (ms "interp");
+      rows :=
+        !rows
+        @ [
+            Obs.Json.Obj
+              [
+                ("program", Obs.Json.String name);
+                ("lines", Obs.Json.Int (Planp.Ast.line_count source));
+                ("paper_lines", Obs.Json.Int paper_lines);
+                ("jit_ms", Obs.Json.Float (ms "jit"));
+                ("bytecode_ms", Obs.Json.Float (ms "bytecode"));
+                ("interp_ms", Obs.Json.Float (ms "interp"));
+              ];
+          ])
     (bundled_asps ());
+  record "fig3" (Obs.Json.Obj [ ("codegen", Obs.Json.List !rows) ]);
   Printf.printf
     "\npaper (Tempo-generated JIT on a 170 MHz Ultra-1): 6.1 .. 33.9 ms,\n\
      growing with program size; the shape to check is codegen time scaling\n\
@@ -153,6 +176,27 @@ let fig6 () =
     result.Asp.Audio_experiment.frames_sent
     result.Asp.Audio_experiment.frames_received
     result.Asp.Audio_experiment.segment_drops;
+  record "fig6"
+    (Obs.Json.Obj
+       [
+         ("frames_sent", Obs.Json.Int result.Asp.Audio_experiment.frames_sent);
+         ( "frames_received",
+           Obs.Json.Int result.Asp.Audio_experiment.frames_received );
+         ( "segment_drops",
+           Obs.Json.Int result.Asp.Audio_experiment.segment_drops );
+         ( "silent_periods",
+           Obs.Json.Int result.Asp.Audio_experiment.silent_periods );
+         ("wire_16bit_stereo_frames", Obs.Json.Int s16);
+         ("wire_16bit_mono_frames", Obs.Json.Int m16);
+         ("wire_8bit_mono_frames", Obs.Json.Int m8);
+         ( "series",
+           Obs.Json.List
+             (List.map
+                (fun (t, kbps) ->
+                  Obs.Json.Obj
+                    [ ("t_s", Obs.Json.Float t); ("kbps", Obs.Json.Float kbps) ])
+                result.Asp.Audio_experiment.series) );
+       ]);
   Printf.printf
     "\npaper: 176 kB/s (16-bit stereo) with no load; heavy load at 100 s ->\n\
      immediate drop to 44 kB/s (8-bit mono); medium load at 220 s ->\n\
@@ -173,6 +217,7 @@ let fig7 () =
     "with adaptation" "without adaptation";
   Printf.printf "%-20s | %-13s %-14s | %-13s %-14s\n" "" "silent periods"
     "frames lost" "silent periods" "frames lost";
+  let load_rows = ref [] in
   List.iter
     (fun (label, load) ->
       let run adapt =
@@ -185,13 +230,30 @@ let fig7 () =
       in
       let with_adaptation = run true in
       let without = run false in
+      let lost (r : Asp.Audio_experiment.result) =
+        r.Asp.Audio_experiment.frames_sent
+        - r.Asp.Audio_experiment.frames_received
+      in
       Printf.printf "%-20s | %13d %14d | %13d %14d\n" label
         with_adaptation.Asp.Audio_experiment.silent_periods
-        (with_adaptation.Asp.Audio_experiment.frames_sent
-        - with_adaptation.Asp.Audio_experiment.frames_received)
-        without.Asp.Audio_experiment.silent_periods
-        (without.Asp.Audio_experiment.frames_sent
-        - without.Asp.Audio_experiment.frames_received))
+        (lost with_adaptation)
+        without.Asp.Audio_experiment.silent_periods (lost without);
+      load_rows :=
+        !load_rows
+        @ [
+            Obs.Json.Obj
+              [
+                ("load", Obs.Json.String label);
+                ("load_kbps", Obs.Json.Float load);
+                ( "adapted_silent_periods",
+                  Obs.Json.Int with_adaptation.Asp.Audio_experiment.silent_periods
+                );
+                ("adapted_frames_lost", Obs.Json.Int (lost with_adaptation));
+                ( "unadapted_silent_periods",
+                  Obs.Json.Int without.Asp.Audio_experiment.silent_periods );
+                ("unadapted_frames_lost", Obs.Json.Int (lost without));
+              ];
+          ])
     loads;
   Printf.printf
     "\npaper: adaptation reduces the number of gaps in audio playback;\n\
@@ -202,6 +264,7 @@ let fig7 () =
   Printf.printf "\npolicy ablation (heavy load, %gs):\n" duration;
   Printf.printf "  %-34s %8s %8s %14s\n" "policy (mono16/mono8 thresholds)"
     "periods" "lost" "mean kB/s";
+  let policy_rows = ref [] in
   List.iter
     (fun (label, policy) ->
       let result =
@@ -224,7 +287,22 @@ let fig7 () =
         result.Asp.Audio_experiment.silent_periods
         (result.Asp.Audio_experiment.frames_sent
         - result.Asp.Audio_experiment.frames_received)
-        mean_rate)
+        mean_rate;
+      policy_rows :=
+        !policy_rows
+        @ [
+            Obs.Json.Obj
+              [
+                ("policy", Obs.Json.String label);
+                ( "silent_periods",
+                  Obs.Json.Int result.Asp.Audio_experiment.silent_periods );
+                ( "frames_lost",
+                  Obs.Json.Int
+                    (result.Asp.Audio_experiment.frames_sent
+                    - result.Asp.Audio_experiment.frames_received) );
+                ("mean_kbps", Obs.Json.Float mean_rate);
+              ];
+          ])
     [
       ("conservative (800/1000)",
         { Asp.Audio_asp.mono16_above = 800; mono8_above = 1000 });
@@ -233,7 +311,13 @@ let fig7 () =
         { Asp.Audio_asp.mono16_above = 1150; mono8_above = 1245 });
       ("complacent (1250/1400)",
         { Asp.Audio_asp.mono16_above = 1250; mono8_above = 1400 });
-    ]
+    ];
+  record "fig7"
+    (Obs.Json.Obj
+       [
+         ("loads", Obs.Json.List !load_rows);
+         ("policy_ablation", Obs.Json.List !policy_rows);
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 8 -- HTTP cluster throughput                                   *)
@@ -301,7 +385,21 @@ let fig8 () =
   Printf.printf
     "  ablation: interpreted ASP gateway saturates at %.0f replies/s -- the\n\
      JIT is what makes the ASP viable (paper 2.2).\n"
-    interp_point.Asp.Http_experiment.replies_per_s
+    interp_point.Asp.Http_experiment.replies_per_s;
+  record "fig8"
+    (Obs.Json.Obj
+       [
+         ( "peak_replies_per_s",
+           Obs.Json.Obj
+             (List.map
+                (fun (label, peak) -> (label, Obs.Json.Float peak))
+                peaks) );
+         ("gateway_vs_single", Obs.Json.Float (peak "b" /. peak "a"));
+         ("gateway_vs_native", Obs.Json.Float (peak "b" /. peak "c"));
+         ("gateway_vs_disjoint", Obs.Json.Float (peak "b" /. peak "d"));
+         ( "interp_ablation_replies_per_s",
+           Obs.Json.Float interp_point.Asp.Http_experiment.replies_per_s );
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* 3.3 -- point-to-point to multipoint MPEG                            *)
@@ -325,9 +423,30 @@ let mpeg () =
          (List.map string_of_int r.Asp.Mpeg_experiment.client_frames))
       (r.Asp.Mpeg_experiment.segment_video_bytes / 1024)
   in
-  show "with ASPs" (Asp.Mpeg_experiment.run config);
-  show "baseline"
-    (Asp.Mpeg_experiment.run { config with Asp.Mpeg_experiment.with_asps = false });
+  let json_of (r : Asp.Mpeg_experiment.result) =
+    Obs.Json.Obj
+      [
+        ("connections", Obs.Json.Int r.Asp.Mpeg_experiment.server_streams);
+        ( "server_frames",
+          Obs.Json.Int r.Asp.Mpeg_experiment.server_frames_sent );
+        ( "client_frames",
+          Obs.Json.List
+            (List.map
+               (fun n -> Obs.Json.Int n)
+               r.Asp.Mpeg_experiment.client_frames) );
+        ( "segment_video_bytes",
+          Obs.Json.Int r.Asp.Mpeg_experiment.segment_video_bytes );
+      ]
+  in
+  let with_asps = Asp.Mpeg_experiment.run config in
+  let baseline =
+    Asp.Mpeg_experiment.run { config with Asp.Mpeg_experiment.with_asps = false }
+  in
+  show "with ASPs" with_asps;
+  show "baseline" baseline;
+  record "mpeg"
+    (Obs.Json.Obj
+       [ ("with_asps", json_of with_asps); ("baseline", json_of baseline) ]);
   Printf.printf
     "\npaper 3.3: with the monitor and capture ASPs, one point-to-point\n\
      connection serves every client on the segment; the server is not\n\
@@ -423,6 +542,17 @@ let backends () =
       Printf.printf "%-12s %12.1f %13.2fx\n" name (ns name)
         (ns name /. ns "native"))
     [ "native"; "jit"; "jit-nofold"; "bytecode"; "interp" ];
+  record "backends"
+    (Obs.Json.Obj
+       (List.map
+          (fun name ->
+            ( name,
+              Obs.Json.Obj
+                [
+                  ("ns_per_packet", Obs.Json.Float (ns name));
+                  ("vs_native", Obs.Json.Float (ns name /. ns "native"));
+                ] ))
+          [ "native"; "jit"; "jit-nofold"; "bytecode"; "interp" ]));
   Printf.printf
     "\npaper 2.4: the JIT-compiled ASP matches built-in C and is about\n\
      2x faster than Java bytecode (Harissa); the interpreter is the\n\
@@ -437,6 +567,7 @@ let verify () =
   section "Verifier -- safety analyses over the bundled ASPs";
   Printf.printf "%-30s %-8s %8s %8s %10s\n" "program" "verdict" "states"
     "transit." "fix-iters";
+  let verdict_rows = ref [] in
   List.iter
     (fun (name, source, _) ->
       let program = Planp.Parser.parse source in
@@ -448,8 +579,27 @@ let verify () =
         report.Planp_analysis.Verifier.global_termination
           .Planp_analysis.Global_termination.transitions
         report.Planp_analysis.Verifier.duplication
-          .Planp_analysis.Duplication.iterations)
+          .Planp_analysis.Duplication.iterations;
+      verdict_rows :=
+        !verdict_rows
+        @ [
+            Obs.Json.Obj
+              [
+                ("program", Obs.Json.String name);
+                ( "proved",
+                  Obs.Json.Bool (Planp_analysis.Verifier.passes report) );
+                ( "states",
+                  Obs.Json.Int
+                    report.Planp_analysis.Verifier.global_termination
+                      .Planp_analysis.Global_termination.states_explored );
+                ( "transitions",
+                  Obs.Json.Int
+                    report.Planp_analysis.Verifier.global_termination
+                      .Planp_analysis.Global_termination.transitions );
+              ];
+          ])
     (bundled_asps ());
+  record "verify" (Obs.Json.Obj [ ("bundled", Obs.Json.List !verdict_rows) ]);
   (* Counterexamples: programs the conservative analyses must reject. *)
   let reject name source =
     let report = Planp_analysis.Verifier.verify (Planp.Parser.parse source) in
@@ -537,8 +687,25 @@ let ext () =
       label r.Asp.Http_ft.before_kill_rate r.Asp.Http_ft.after_kill_rate
       r.Asp.Http_ft.stalled_retries
   in
-  show "failover gateway" (Asp.Http_ft.run (ft_config true));
-  show "plain gateway" (Asp.Http_ft.run (ft_config false));
+  let json_of_ft (r : Asp.Http_ft.result) =
+    Obs.Json.Obj
+      [
+        ("healthy_replies_per_s", Obs.Json.Float r.Asp.Http_ft.before_kill_rate);
+        ( "after_crash_replies_per_s",
+          Obs.Json.Float r.Asp.Http_ft.after_kill_rate );
+        ("stalled_retries", Obs.Json.Int r.Asp.Http_ft.stalled_retries);
+      ]
+  in
+  let failover = Asp.Http_ft.run (ft_config true) in
+  let plain = Asp.Http_ft.run (ft_config false) in
+  show "failover gateway" failover;
+  show "plain gateway" plain;
+  record "ext"
+    (Obs.Json.Obj
+       [
+         ("failover_gateway", json_of_ft failover);
+         ("plain_gateway", json_of_ft plain);
+       ]);
   Printf.printf
     "  (the failover ASP reroutes new connections to the survivor through
     \   its health channel; the plain Fig. 2 gateway keeps half of them
@@ -608,6 +775,25 @@ let write_metrics_sidecar () =
       close_out oc;
       Printf.printf "\nwrote metrics JSON to %s\n" path
 
+(* The per-figure summary: the headline numbers of every section that ran,
+   one JSON document, for dashboards and regression diffing. *)
+let write_json_summary () =
+  match !json_out with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Obs.Json.Obj
+          [
+            ("format", Obs.Json.String "planp-bench/1");
+            ("quick", Obs.Json.Bool !quick);
+            ("sections", Obs.Json.Obj !summary);
+          ]
+      in
+      let oc = open_out_bin path in
+      output_string oc (Obs.Json.to_string doc);
+      close_out oc;
+      Printf.printf "\nwrote benchmark summary JSON to %s\n" path
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse = function
@@ -620,6 +806,12 @@ let () =
         parse rest
     | "--metrics-out" :: [] ->
         prerr_endline "--metrics-out needs a FILE argument";
+        exit 1
+    | "--json-out" :: path :: rest ->
+        json_out := Some path;
+        parse rest
+    | "--json-out" :: [] ->
+        prerr_endline "--json-out needs a FILE argument";
         exit 1
     | arg :: rest -> arg :: parse rest
   in
@@ -644,4 +836,5 @@ let () =
                 other;
               exit 1)
         sections);
-  write_metrics_sidecar ()
+  write_metrics_sidecar ();
+  write_json_summary ()

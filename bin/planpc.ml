@@ -8,6 +8,8 @@
      time   FILE     measure code-generation time per backend (Fig. 3)
      run    FILE     run on a traced topology, export metrics/timeline
      stats  FILE     run and print the metrics registry
+     deploy FILE     ship the program in-band to simulated deploy daemons
+     undeploy FILE   deploy, then retire the program from every daemon
      prims           list registered primitives *)
 
 let read_file path =
@@ -316,6 +318,222 @@ let stats_cmd =
        ~doc:"Run the program on a traced topology and print every metric")
     Term.(const run $ file_arg $ packets_flag $ backend_flag)
 
+(* --- the deployment plane demo: ctrl —uplink— router —segment— targets.
+   Each invocation simulates its own network; [deploy] ships the program
+   in-band to every target's deploy daemon, [undeploy] retires it again
+   afterwards. --flap cuts the uplink mid-transfer to show the transfer
+   surviving on retransmissions. *)
+
+let deploy_topology ~targets =
+  let topo = Extnet.Topology.create () in
+  let ctrl = Extnet.Topology.add_host topo "ctrl" "10.9.0.1" in
+  let router = Extnet.Topology.add_host topo "router" "10.9.0.254" in
+  let uplink = Extnet.Topology.connect ~name:"uplink" topo ctrl router in
+  let segment = Extnet.Topology.segment ~name:"lan" topo () in
+  ignore (Extnet.Topology.attach topo segment router);
+  let nodes =
+    List.init targets (fun i ->
+        let node =
+          Extnet.Topology.add_host topo
+            (Printf.sprintf "target%d" i)
+            (Printf.sprintf "10.9.1.%d" (i + 1))
+        in
+        ignore (Extnet.Topology.attach topo segment node);
+        node)
+  in
+  Extnet.Topology.compute_routes topo;
+  (topo, ctrl, uplink, nodes)
+
+let print_deploy_metrics () =
+  print_endline "--- deployment metrics ---";
+  List.iter
+    (fun entry ->
+      let name = entry.Obs.Registry.e_name in
+      if String.length name >= 7 && String.sub name 0 7 = "deploy." then
+        let label =
+          Printf.sprintf "%s{%s}" name
+            (Obs.Registry.labels_to_string entry.Obs.Registry.e_labels)
+        in
+        match entry.Obs.Registry.e_sample with
+        | Obs.Registry.Scounter n -> Printf.printf "  %-64s %d\n" label n
+        | Obs.Registry.Sgauge v -> Printf.printf "  %-64s %g\n" label v
+        | Obs.Registry.Shistogram { hs_count; hs_sum; _ } ->
+            Printf.printf "  %-64s count=%d sum=%g\n" label hs_count hs_sum)
+    (Obs.Registry.snapshot Obs.Registry.default)
+
+let name_of_target nodes addr =
+  match
+    List.find_opt (fun node -> Extnet.Node.addr node = addr) nodes
+  with
+  | Some node -> Extnet.Node.name node
+  | None -> Extnet.Addr.to_string addr
+
+let print_outcomes nodes outcomes =
+  List.iter
+    (fun (addr, outcome) ->
+      Printf.printf "  %-10s %s\n" (name_of_target nodes addr)
+        (Extnet.Deploy.Controller.outcome_to_string outcome))
+    outcomes
+
+let all_acked outcomes =
+  List.for_all
+    (fun (_, outcome) ->
+      match outcome with Extnet.Deploy.Controller.Acked _ -> true | _ -> false)
+    outcomes
+
+let targets_flag =
+  Arg.(value & opt int 3 & info [ "targets" ] ~doc:"Number of target nodes")
+
+let flap_flag =
+  Arg.(
+    value & flag
+    & info [ "flap" ]
+        ~doc:"Cut the controller's uplink mid-transfer and heal it at t=1s")
+
+let name_flag =
+  Arg.(
+    value & opt string "asp"
+    & info [ "name" ] ~doc:"Program (slot) name on the daemons")
+
+let chunk_flag =
+  Arg.(value & opt int 512 & info [ "chunk-size" ] ~doc:"Capsule payload bytes")
+
+let concurrency_flag =
+  Arg.(
+    value & opt int 2
+    & info [ "concurrency" ] ~doc:"Concurrent transfers during the rollout")
+
+let abort_flag =
+  Arg.(
+    value & flag
+    & info [ "abort-on-nak" ]
+        ~doc:"Stop the rollout at the first NAK (untried targets are skipped)")
+
+let authenticated_flag =
+  Arg.(
+    value & flag
+    & info [ "authenticated" ]
+        ~doc:"Privileged path: daemons install without verification")
+
+let run_deployment ~source ~backend_name ~name ~targets ~flap ~chunk_size
+    ~concurrency ~abort ~authenticated =
+  ignore (backend_of_name backend_name);
+  let topo, ctrl, uplink, nodes = deploy_topology ~targets in
+  let daemons =
+    List.map (fun node -> Extnet.Deploy.Daemon.start node ()) nodes
+  in
+  let controller = Extnet.Deploy.Controller.create ~chunk_size ctrl () in
+  let engine = Extnet.Topology.engine topo in
+  if flap then begin
+    Extnet.Engine.schedule engine ~at:0.0015 (fun () ->
+        Netsim.Link.set_up uplink false);
+    Extnet.Engine.schedule engine ~at:1.0 (fun () ->
+        Netsim.Link.set_up uplink true)
+  end;
+  let outcomes = ref None in
+  Extnet.Deploy.Controller.rollout controller ~backend:backend_name
+    ~authenticated ~concurrency
+    ~on_nak:
+      (if abort then Extnet.Deploy.Controller.Abort
+       else Extnet.Deploy.Controller.Continue)
+    ~targets:(List.map Extnet.Node.addr nodes)
+    ~name ~source
+    ~on_done:(fun results -> outcomes := Some results)
+    ();
+  Extnet.Topology.run_until topo ~stop:120.0;
+  let outcomes =
+    match !outcomes with
+    | Some outcomes -> outcomes
+    | None ->
+        prerr_endline "planpc: rollout never completed";
+        exit 1
+  in
+  (topo, controller, nodes, daemons, outcomes)
+
+let deploy_cmd =
+  let run path backend_name name targets flap chunk_size concurrency abort
+      authenticated =
+    let _topo, _controller, nodes, daemons, outcomes =
+      run_deployment ~source:(read_file path) ~backend_name ~name ~targets
+        ~flap ~chunk_size ~concurrency ~abort ~authenticated
+    in
+    Printf.printf "--- rollout of %s as %S to %d node(s) ---\n" path name
+      targets;
+    print_outcomes nodes outcomes;
+    print_endline "--- daemon slots ---";
+    List.iter
+      (fun daemon ->
+        Printf.printf "  %-10s %s\n"
+          (Extnet.Node.name (Extnet.Deploy.Daemon.node daemon))
+          (match Extnet.Deploy.Daemon.slots daemon with
+          | [] -> "(empty)"
+          | slots ->
+              String.concat ", "
+                (List.map
+                   (fun (slot, epoch) -> Printf.sprintf "%s@%d" slot epoch)
+                   slots)))
+      daemons;
+    print_deploy_metrics ();
+    if not (all_acked outcomes) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "deploy"
+       ~doc:
+         "Ship the program in-band to deploy daemons over a simulated \
+          topology (staged rollout; daemons verify before activating)")
+    Term.(
+      const run $ file_arg $ backend_flag $ name_flag $ targets_flag
+      $ flap_flag $ chunk_flag $ concurrency_flag $ abort_flag
+      $ authenticated_flag)
+
+let undeploy_cmd =
+  let run path backend_name name targets flap chunk_size concurrency abort
+      authenticated =
+    let topo, controller, nodes, daemons, outcomes =
+      run_deployment ~source:(read_file path) ~backend_name ~name ~targets
+        ~flap ~chunk_size ~concurrency ~abort ~authenticated
+    in
+    Printf.printf "--- deploy phase (%S to %d node(s)) ---\n" name targets;
+    print_outcomes nodes outcomes;
+    let retired = ref [] in
+    List.iter
+      (fun node ->
+        Extnet.Deploy.Controller.undeploy controller
+          ~target:(Extnet.Node.addr node) ~name
+          ~on_done:(fun outcome ->
+            retired := (Extnet.Node.addr node, outcome) :: !retired)
+          ())
+      nodes;
+    Extnet.Topology.run_until topo ~stop:240.0;
+    print_endline "--- undeploy phase ---";
+    print_outcomes nodes (List.rev !retired);
+    List.iter
+      (fun daemon ->
+        Printf.printf "  %-10s slot %S %s\n"
+          (Extnet.Node.name (Extnet.Deploy.Daemon.node daemon))
+          name
+          (match
+             ( Extnet.Deploy.Daemon.active_epoch daemon ~name,
+               Extnet.Deploy.Daemon.previous_epoch daemon ~name )
+           with
+          | None, Some epoch ->
+              Printf.sprintf "retired (epoch %d kept for rollback)" epoch
+          | None, None -> "empty"
+          | Some epoch, _ -> Printf.sprintf "STILL ACTIVE at epoch %d" epoch))
+      daemons;
+    print_deploy_metrics ();
+    if not (all_acked outcomes && all_acked !retired) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "undeploy"
+       ~doc:
+         "Deploy the program in-band, then retire it from every daemon \
+          (the previous epoch stays available for rollback)")
+    Term.(
+      const run $ file_arg $ backend_flag $ name_flag $ targets_flag
+      $ flap_flag $ chunk_flag $ concurrency_flag $ abort_flag
+      $ authenticated_flag)
+
 let prims_cmd =
   let run () =
     Planp_runtime.Prims.install ();
@@ -329,6 +547,6 @@ let main =
     (Cmd.info "planpc" ~version:"1.0"
        ~doc:"PLAN-P checker, verifier and compiler driver")
     [ check_cmd; verify_cmd; ast_cmd; fold_cmd; bytecode_cmd; time_cmd;
-      simulate_cmd; run_cmd; stats_cmd; prims_cmd ]
+      simulate_cmd; run_cmd; stats_cmd; deploy_cmd; undeploy_cmd; prims_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -10,9 +10,11 @@ type config = {
   backend : Planp_runtime.Backend.t;
   policy : Audio_asp.policy;
   sample_period : float;
+  deploy : Deploy_mode.t;
 }
 
-let fig6_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit) () =
+let fig6_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit)
+    ?(deploy = Deploy_mode.Preinstalled) () =
   {
     duration = 500.0;
     adapt;
@@ -23,9 +25,11 @@ let fig6_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit) () =
     backend;
     policy = Audio_asp.default_policy;
     sample_period = 2.0;
+    deploy;
   }
 
-let quick_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit) () =
+let quick_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit)
+    ?(deploy = Deploy_mode.Preinstalled) () =
   {
     duration = 50.0;
     adapt;
@@ -33,6 +37,7 @@ let quick_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit) () =
     backend;
     policy = Audio_asp.default_policy;
     sample_period = 1.0;
+    deploy;
   }
 
 type result = {
@@ -106,19 +111,23 @@ let run config =
   ignore
     (Loadgen.start loadgen_node ~dst:(Node.addr sink) ~schedule:config.schedule
        ~until:config.duration ());
-  if config.adapt then begin
-    let router_rt = Runtime.attach router in
-    Runtime.install_exn router_rt ~backend:config.backend ~name:"audio-router"
-      ~source:
-        (Audio_asp.router_program ~policy:config.policy ~iface:router_seg_iface
-           ())
-      ()
-    |> ignore;
-    let client_rt = Runtime.attach client in
-    Runtime.install_exn client_rt ~backend:config.backend ~name:"audio-client"
-      ~source:(Audio_asp.client_program ()) ()
-    |> ignore
-  end;
+  if config.adapt then
+    (* Preinstalled puts the ASPs straight into the runtimes; In_band ships
+       them from the audio server over the same links the audio will use
+       (the transfer completes milliseconds into the run, well before the
+       first congestion phase). *)
+    ignore
+      (Deploy_mode.install config.deploy ~backend:config.backend
+         ~controller:server
+         ~programs:
+           [
+             ( router,
+               "audio-router",
+               Audio_asp.router_program ~policy:config.policy
+                 ~iface:router_seg_iface () );
+             (client, "audio-client", Audio_asp.client_program ());
+           ]
+         ());
   (* Run slightly past the end so frames in flight at [duration] land. *)
   Topology.run_until topo ~stop:(config.duration +. 0.5);
   let frames_sent = Audio_app.Source.frames_sent source in

@@ -12,14 +12,27 @@ type config = {
   backend : Planp_runtime.Backend.t;
   policy : Audio_asp.policy;
   sample_period : float;  (** Fig. 6 sampling *)
+  deploy : Deploy_mode.t;
+      (** how the ASPs reach router and client: preinstalled, or shipped
+          in-band from the audio server at the start of the run *)
 }
 
 (** The paper's Fig. 6 scenario: no load until 100 s, heavy at 100 s,
     medium at 220 s, light at 340 s, 500 s total. *)
-val fig6_config : ?adapt:bool -> ?backend:Planp_runtime.Backend.t -> unit -> config
+val fig6_config :
+  ?adapt:bool ->
+  ?backend:Planp_runtime.Backend.t ->
+  ?deploy:Deploy_mode.t ->
+  unit ->
+  config
 
 (** A shortened variant for tests and quick runs: same shape, 50 s. *)
-val quick_config : ?adapt:bool -> ?backend:Planp_runtime.Backend.t -> unit -> config
+val quick_config :
+  ?adapt:bool ->
+  ?backend:Planp_runtime.Backend.t ->
+  ?deploy:Deploy_mode.t ->
+  unit ->
+  config
 
 type result = {
   series : (float * float) list;

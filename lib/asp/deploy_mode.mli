@@ -1,0 +1,47 @@
+(** How an experiment's ASPs reach their nodes.
+
+    The paper's experiments assume their ASPs are already in place when
+    the simulation starts. [Preinstalled] keeps that: programs are
+    installed directly into each node's runtime before the clock runs.
+    [In_band] instead ships them through the network itself with the
+    {!Deploy} plane — a controller chunks each program into code capsules
+    and streams them to per-node daemons, which verify on arrival and
+    activate by epoch. Deployment traffic shares the simulated links with
+    the experiment's own traffic; it completes within simulated
+    milliseconds, before any congestion phase starts, so both modes
+    produce the same experiment summaries. *)
+
+type t = Preinstalled | In_band
+
+val to_string : t -> string
+
+(** [of_string s] parses ["preinstalled"] and ["in-band"] (also
+    ["inband"]). *)
+val of_string : string -> t option
+
+(** Handle on the installed programs, however they got there. *)
+type plane
+
+(** [install mode ~backend ~controller ~programs ()] puts every
+    [(node, name, source)] of [programs] in place and returns a handle
+    for looking the programs up later.
+
+    Under [In_band], [controller] is the node that ships the capsules (a
+    daemon is started on every target); programs sharing a (name, source)
+    pair across several nodes go out as one staged {e rollout} with
+    bounded concurrency. Operations are enqueued at the current simulated
+    time and complete during the run; a NAK or timeout raises [Failure]
+    from inside the event loop. *)
+val install :
+  t ->
+  backend:Planp_runtime.Backend.t ->
+  controller:Netsim.Node.t ->
+  programs:(Netsim.Node.t * string * string) list ->
+  unit ->
+  plane
+
+(** [find plane node name] — the active program, if (already) installed.
+    Under [In_band] this reads the daemon's slot, so it reflects the
+    deployment's progress at the current simulated time. *)
+val find :
+  plane -> Netsim.Node.t -> string -> Planp_runtime.Runtime.program option

@@ -36,6 +36,7 @@ type config = {
   trace_files : int;
   seed : int;
   strategy : Http_asp.strategy;
+  deploy : Deploy_mode.t;
 }
 
 let default_config =
@@ -47,6 +48,7 @@ let default_config =
     trace_files = 2_000;
     seed = 42;
     strategy = Http_asp.Modulo;
+    deploy = Deploy_mode.Preinstalled;
   }
 
 type point = {
@@ -117,20 +119,30 @@ let run_point config setup ~workers =
     | Asp_gateway backend ->
         Node.set_processing_cost gateway
           (gateway_cost backend.Planp_runtime.Backend.backend_name);
-        let rt = Runtime.attach gateway in
-        let program =
-          Runtime.install_exn rt ~backend ~name:"http-gateway"
-            ~source:
-              (Http_asp.gateway_program ~strategy:config.strategy
-                 ~vip:vip_string
-                 ~servers:(server0_string, server1_string) ())
+        (* In_band ships the gateway ASP from server0 across the cluster
+           segment at the start of the run; the few requests that reach
+           the gateway before activation are retried by the clients well
+           inside the warmup window. *)
+        let plane =
+          Deploy_mode.install config.deploy ~backend ~controller:server0_node
+            ~programs:
+              [
+                ( gateway,
+                  "http-gateway",
+                  Http_asp.gateway_program ~strategy:config.strategy
+                    ~vip:vip_string
+                    ~servers:(server0_string, server1_string) () );
+              ]
             ()
         in
         fun () ->
           (* The ASP counts routed requests in its protocol state. *)
-          (match Runtime.proto_state program with
-          | Planp_runtime.Value.Vint n -> n
-          | _ -> 0)
+          (match Deploy_mode.find plane gateway "http-gateway" with
+          | Some program -> (
+              match Runtime.proto_state program with
+              | Planp_runtime.Value.Vint n -> n
+              | _ -> 0)
+          | None -> 0)
   in
   let trace =
     Http_app.Trace.generate ~requests:config.trace_requests

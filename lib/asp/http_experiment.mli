@@ -38,6 +38,9 @@ type config = {
   trace_files : int;
   seed : int;
   strategy : Http_asp.strategy;  (** used by [Asp_gateway] setups *)
+  deploy : Deploy_mode.t;
+      (** how [Asp_gateway] setups place the gateway ASP: preinstalled, or
+          shipped in-band from server0 at the start of the run *)
 }
 
 val default_config : config

@@ -8,15 +8,18 @@ type config = {
   movie_frames : int;
   client_starts : float list;
   duration : float;
+  deploy : Deploy_mode.t;
 }
 
-let default_config ?(with_asps = true) ?(backend = Planp_jit.Backends.jit) () =
+let default_config ?(with_asps = true) ?(backend = Planp_jit.Backends.jit)
+    ?(deploy = Deploy_mode.Preinstalled) () =
   {
     with_asps;
     backend;
     movie_frames = 240;
     client_starts = [ 0.5; 3.0; 6.0 ];
     duration = 20.0;
+    deploy;
   }
 
 type result = {
@@ -70,18 +73,21 @@ let run config =
   let server = Mpeg_app.Server.start server_node ~movie_frames:config.movie_frames () in
   if config.with_asps then begin
     Node.set_promiscuous monitor_node true;
-    let monitor_rt = Runtime.attach monitor_node in
+    List.iter (fun node -> Node.set_promiscuous node true) client_nodes;
+    (* In_band ships the monitor ASP point-to-point and the identical
+       capture ASPs to the three clients as one staged rollout, all from
+       the video server; the transfers finish milliseconds into the run,
+       before the first client asks for the movie at 0.5 s. *)
     ignore
-      (Runtime.install_exn monitor_rt ~backend:config.backend ~name:"mpeg-monitor"
-         ~source:(Mpeg_asp.monitor_program ~server:server_addr_string ()) ());
-    List.iter
-      (fun node ->
-        Node.set_promiscuous node true;
-        let rt = Runtime.attach node in
-        ignore
-          (Runtime.install_exn rt ~backend:config.backend ~name:"mpeg-capture"
-             ~source:(Mpeg_asp.capture_program ()) ()))
-      client_nodes
+      (Deploy_mode.install config.deploy ~backend:config.backend
+         ~controller:server_node
+         ~programs:
+           ((monitor_node, "mpeg-monitor",
+             Mpeg_asp.monitor_program ~server:server_addr_string ())
+           :: List.map
+                (fun node -> (node, "mpeg-capture", Mpeg_asp.capture_program ()))
+                client_nodes)
+         ())
   end;
   let clients =
     List.map2

@@ -12,9 +12,18 @@ type config = {
   movie_frames : int;  (** 240 frames = 10 s at 24 fps *)
   client_starts : float list;  (** request times of the clients *)
   duration : float;
+  deploy : Deploy_mode.t;
+      (** how the ASPs reach monitor and clients: preinstalled, or shipped
+          in-band from the video server (the identical capture ASPs go out
+          as one staged rollout) *)
 }
 
-val default_config : ?with_asps:bool -> ?backend:Planp_runtime.Backend.t -> unit -> config
+val default_config :
+  ?with_asps:bool ->
+  ?backend:Planp_runtime.Backend.t ->
+  ?deploy:Deploy_mode.t ->
+  unit ->
+  config
 
 type result = {
   server_streams : int;  (** connections the server had to serve *)

@@ -12,6 +12,7 @@ module Runtime = Planp_runtime.Runtime
 module Value = Planp_runtime.Value
 module Verifier = Planp_analysis.Verifier
 module Backends = Planp_jit.Backends
+module Deploy = Deploy
 
 type admission = Verified | Authenticated
 

@@ -30,6 +30,11 @@ module Value = Planp_runtime.Value
 module Verifier = Planp_analysis.Verifier
 module Backends = Planp_jit.Backends
 
+(** The in-band deployment plane: {!Deploy.Controller} ships code
+    capsules over {!Netsim.Reliable} streams to per-node
+    {!Deploy.Daemon}s, which verify on arrival and hot-swap by epoch. *)
+module Deploy = Deploy
+
 (** How [load] treats programs the verifier rejects. *)
 type admission =
   | Verified  (** reject programs failing any safety analysis (default) *)

@@ -1,0 +1,232 @@
+module Payload = Netsim.Payload
+module Addr = Netsim.Addr
+
+let chan_tag = "planp/deploy"
+let well_known_port = 1999
+
+type msg =
+  | Manifest of {
+      program : string;
+      epoch : int;
+      backend : string;
+      total_chunks : int;
+      total_bytes : int;
+      checksum : int;
+      authenticated : bool;
+      reply_addr : Addr.t;
+      reply_port : int;
+    }
+  | Chunk of { program : string; epoch : int; index : int; data : string }
+  | Undeploy of {
+      program : string;
+      epoch : int;
+      reply_addr : Addr.t;
+      reply_port : int;
+    }
+  | Rollback of {
+      program : string;
+      epoch : int;
+      reply_addr : Addr.t;
+      reply_port : int;
+    }
+  | Ack of {
+      program : string;
+      epoch : int;
+      signature : int;
+      install_latency_us : int;
+      note : string;
+    }
+  | Nak of { program : string; epoch : int; reason : string }
+
+let op_manifest = 1
+let op_chunk = 2
+let op_undeploy = 3
+let op_rollback = 4
+let op_ack = 10
+let op_nak = 11
+
+(* FNV-1a over the bytes, folded to 32 bits. *)
+let checksum s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+let sign ~secret ~program ~epoch ~node =
+  checksum (Printf.sprintf "%s|%s|%d|%s" secret program epoch (Addr.to_string node))
+
+let write_string w s =
+  if String.length s > 0xffff then invalid_arg "Capsule: string too long";
+  Payload.Writer.u16 w (String.length s);
+  Payload.Writer.string w s
+
+let encode msg =
+  let w = Payload.Writer.create () in
+  (match msg with
+  | Manifest m ->
+      Payload.Writer.u8 w op_manifest;
+      write_string w m.program;
+      Payload.Writer.u32 w m.epoch;
+      write_string w m.backend;
+      Payload.Writer.u32 w m.total_chunks;
+      Payload.Writer.u32 w m.total_bytes;
+      Payload.Writer.u32 w m.checksum;
+      Payload.Writer.u8 w (if m.authenticated then 1 else 0);
+      Payload.Writer.u32 w m.reply_addr;
+      Payload.Writer.u16 w m.reply_port
+  | Chunk c ->
+      Payload.Writer.u8 w op_chunk;
+      write_string w c.program;
+      Payload.Writer.u32 w c.epoch;
+      Payload.Writer.u32 w c.index;
+      write_string w c.data
+  | Undeploy u ->
+      Payload.Writer.u8 w op_undeploy;
+      write_string w u.program;
+      Payload.Writer.u32 w u.epoch;
+      Payload.Writer.u32 w u.reply_addr;
+      Payload.Writer.u16 w u.reply_port
+  | Rollback r ->
+      Payload.Writer.u8 w op_rollback;
+      write_string w r.program;
+      Payload.Writer.u32 w r.epoch;
+      Payload.Writer.u32 w r.reply_addr;
+      Payload.Writer.u16 w r.reply_port
+  | Ack a ->
+      Payload.Writer.u8 w op_ack;
+      write_string w a.program;
+      Payload.Writer.u32 w a.epoch;
+      Payload.Writer.u32 w a.signature;
+      Payload.Writer.u32 w a.install_latency_us;
+      write_string w a.note
+  | Nak n ->
+      Payload.Writer.u8 w op_nak;
+      write_string w n.program;
+      Payload.Writer.u32 w n.epoch;
+      write_string w n.reason);
+  Payload.Writer.finish w
+
+let read_string r =
+  let n = Payload.Reader.u16 r in
+  Payload.Reader.string r n
+
+let decode payload =
+  if Payload.length payload < 1 then None
+  else
+    let r = Payload.Reader.create payload in
+    match
+      let op = Payload.Reader.u8 r in
+      if op = op_manifest then
+        let program = read_string r in
+        let epoch = Payload.Reader.u32 r in
+        let backend = read_string r in
+        let total_chunks = Payload.Reader.u32 r in
+        let total_bytes = Payload.Reader.u32 r in
+        let checksum = Payload.Reader.u32 r in
+        let authenticated = Payload.Reader.u8 r = 1 in
+        let reply_addr = Payload.Reader.u32 r in
+        let reply_port = Payload.Reader.u16 r in
+        Some
+          (Manifest
+             { program; epoch; backend; total_chunks; total_bytes; checksum;
+               authenticated; reply_addr; reply_port })
+      else if op = op_chunk then
+        let program = read_string r in
+        let epoch = Payload.Reader.u32 r in
+        let index = Payload.Reader.u32 r in
+        let data = read_string r in
+        Some (Chunk { program; epoch; index; data })
+      else if op = op_undeploy then
+        let program = read_string r in
+        let epoch = Payload.Reader.u32 r in
+        let reply_addr = Payload.Reader.u32 r in
+        let reply_port = Payload.Reader.u16 r in
+        Some (Undeploy { program; epoch; reply_addr; reply_port })
+      else if op = op_rollback then
+        let program = read_string r in
+        let epoch = Payload.Reader.u32 r in
+        let reply_addr = Payload.Reader.u32 r in
+        let reply_port = Payload.Reader.u16 r in
+        Some (Rollback { program; epoch; reply_addr; reply_port })
+      else if op = op_ack then
+        let program = read_string r in
+        let epoch = Payload.Reader.u32 r in
+        let signature = Payload.Reader.u32 r in
+        let install_latency_us = Payload.Reader.u32 r in
+        let note = read_string r in
+        Some (Ack { program; epoch; signature; install_latency_us; note })
+      else if op = op_nak then
+        let program = read_string r in
+        let epoch = Payload.Reader.u32 r in
+        let reason = read_string r in
+        Some (Nak { program; epoch; reason })
+      else None
+    with
+    | result -> result
+    | exception Invalid_argument _ -> None
+
+let chunk ~chunk_size source =
+  if chunk_size <= 0 then invalid_arg "Capsule.chunk: chunk_size";
+  let n = String.length source in
+  if n = 0 then [ "" ]
+  else
+    let rec go pos acc =
+      if pos >= n then List.rev acc
+      else
+        let len = min chunk_size (n - pos) in
+        go (pos + len) (String.sub source pos len :: acc)
+    in
+    go 0 []
+
+module Reassembly = struct
+  type t = {
+    chunks : string option array;
+    total_bytes : int;
+    declared_checksum : int;
+    mutable got : int;
+  }
+
+  let create ~total_chunks ~total_bytes ~checksum =
+    {
+      chunks = Array.make (max total_chunks 0) None;
+      total_bytes;
+      declared_checksum = checksum;
+      got = 0;
+    }
+
+  let add t ~index data =
+    if index < 0 || index >= Array.length t.chunks then
+      Error (Printf.sprintf "chunk index %d out of range 0..%d" index
+               (Array.length t.chunks - 1))
+    else
+      match t.chunks.(index) with
+      | Some _ -> Error (Printf.sprintf "duplicate chunk %d" index)
+      | None ->
+          t.chunks.(index) <- Some data;
+          t.got <- t.got + 1;
+          Ok ()
+
+  let received t = t.got
+  let complete t = t.got = Array.length t.chunks
+
+  let source t =
+    if not (complete t) then
+      Error
+        (Printf.sprintf "incomplete: %d of %d chunks" t.got
+           (Array.length t.chunks))
+    else
+      let source =
+        String.concat ""
+          (Array.to_list (Array.map (Option.value ~default:"") t.chunks))
+      in
+      if String.length source <> t.total_bytes then
+        Error
+          (Printf.sprintf "size mismatch: got %d bytes, manifest says %d"
+             (String.length source) t.total_bytes)
+      else if checksum source <> t.declared_checksum then
+        Error "checksum mismatch"
+      else Ok source
+end

@@ -1,0 +1,93 @@
+(** The deployment wire format: code capsules and control messages.
+
+    A PLAN-P program travels the network as a {e manifest} followed by
+    {e chunk} capsules, each one message on a {!Netsim.Reliable} stream
+    from the controller to a node's deploy daemon. The daemon reassembles
+    the source, verifies it, installs it, and answers with an {e ack} (or
+    a {e nak} carrying the rejection reason) on its own reliable stream
+    back to the address named in the manifest.
+
+    Every deployment packet is tagged with {!chan_tag}, so installed
+    programs whose [network] channel claims all untagged UDP never see
+    the control plane that ships them — the deployment plane runs beneath
+    the ASP layer, like the paper's in-kernel loader.
+
+    All integers are big-endian; strings are u16-length-prefixed. Epochs
+    are u32. See doc/DEPLOYMENT.md for the byte-level layout. *)
+
+(** The PLAN-P channel tag carried by every deployment packet. *)
+val chan_tag : string
+
+(** The daemon's well-known UDP port (one reliable stream per controller;
+    this reproduction runs a single controller per topology). *)
+val well_known_port : int
+
+type msg =
+  | Manifest of {
+      program : string;  (** program name — the (node, name) slot key *)
+      epoch : int;  (** must exceed the slot's high-water mark *)
+      backend : string;  (** execution backend name, e.g. ["jit"] *)
+      total_chunks : int;
+      total_bytes : int;  (** length of the reassembled source *)
+      checksum : int;  (** {!checksum} of the full source *)
+      authenticated : bool;  (** skip verification (privileged path) *)
+      reply_addr : Netsim.Addr.t;  (** where ACK/NAK go *)
+      reply_port : int;
+    }
+  | Chunk of { program : string; epoch : int; index : int; data : string }
+  | Undeploy of {
+      program : string;
+      epoch : int;
+      reply_addr : Netsim.Addr.t;
+      reply_port : int;
+    }
+  | Rollback of {
+      program : string;
+      epoch : int;  (** fresh epoch for the control op itself *)
+      reply_addr : Netsim.Addr.t;
+      reply_port : int;
+    }
+  | Ack of {
+      program : string;
+      epoch : int;  (** the epoch now active (or retired, for undeploy) *)
+      signature : int;  (** {!sign} under the shared secret *)
+      install_latency_us : int;  (** simulated µs, manifest to activation *)
+      note : string;  (** ["activated"], ["rolled-back"], ["undeployed"] *)
+    }
+  | Nak of { program : string; epoch : int; reason : string }
+
+val encode : msg -> Netsim.Payload.t
+
+(** [decode payload] is [None] on malformed or foreign payloads. *)
+val decode : Netsim.Payload.t -> msg option
+
+(** [chunk ~chunk_size source] splits the source into [chunk_size]-byte
+    pieces (the last may be shorter). The empty source is one empty chunk,
+    so every deployment carries at least one capsule.
+    @raise Invalid_argument when [chunk_size <= 0]. *)
+val chunk : chunk_size:int -> string -> string list
+
+(** [checksum s] — FNV-1a, folded to 32 bits; also used by {!sign}. *)
+val checksum : string -> int
+
+(** [sign ~secret ~program ~epoch ~node] is the daemon's ACK signature:
+    the controller recomputes it to authenticate the answering node. *)
+val sign : secret:string -> program:string -> epoch:int -> node:Netsim.Addr.t -> int
+
+(** Pure chunk reassembly, shared by the daemon and the property tests. *)
+module Reassembly : sig
+  type t
+
+  val create : total_chunks:int -> total_bytes:int -> checksum:int -> t
+
+  (** [add t ~index data] stores one chunk.
+      @return [Error] on an out-of-range index or duplicate. *)
+  val add : t -> index:int -> string -> (unit, string) result
+
+  val received : t -> int
+  val complete : t -> bool
+
+  (** [source t] is the reassembled program once {!complete}; verifies the
+      byte count and checksum declared by the manifest. *)
+  val source : t -> (string, string) result
+end

@@ -1,0 +1,116 @@
+(** The deployment controller: chunks PLAN-P source into code capsules,
+    ships them over {!Netsim.Reliable} streams to per-node deploy daemons,
+    and tracks per-(node, program) epochs.
+
+    All operations are asynchronous in simulated time: they enqueue
+    traffic and return immediately; [on_done] fires from an engine event
+    when the daemon's signed ACK (or NAK) arrives, or when the timeout
+    expires. Drive the topology ({!Netsim.Topology.run}) to make progress.
+
+    The controller owns one capsule stream and one reply stream per
+    target, reused across operations, so epochs to one node are delivered
+    in order even under retransmission. *)
+
+type t
+
+(** [create node ()] makes [node] the controller.
+
+    @param secret shared ACK-signature secret (default ["extnet"], must
+      match the daemons')
+    @param chunk_size capsule payload bytes (default 512)
+    @param daemon_port daemons' stream port (default
+      {!Capsule.well_known_port})
+    @param port_base first local port for per-target capsule and reply
+      streams (default 52000; two ports per target) *)
+val create :
+  ?secret:string ->
+  ?chunk_size:int ->
+  ?daemon_port:int ->
+  ?port_base:int ->
+  Netsim.Node.t ->
+  unit ->
+  t
+
+val node : t -> Netsim.Node.t
+
+(** The fate of one operation on one target. *)
+type outcome =
+  | Acked of { epoch : int; install_latency : float; note : string }
+      (** signed ACK verified; [install_latency] is simulated seconds *)
+  | Nakked of { epoch : int; reason : string }
+  | Timed_out  (** no (valid) answer within the deadline *)
+  | Skipped  (** rollout aborted before this target was attempted *)
+
+val outcome_to_string : outcome -> string
+
+(** [deploy t ~target ~name ~source ~on_done ()] ships one program.
+
+    @param backend backend name the daemon should compile with
+      (default ["jit"])
+    @param authenticated privileged path: daemon skips verification
+    @param epoch override the epoch (default: one past the highest this
+      controller has shipped to [(target, name)])
+    @param timeout simulated seconds before giving up (default 60) *)
+val deploy :
+  ?backend:string ->
+  ?authenticated:bool ->
+  ?epoch:int ->
+  ?timeout:float ->
+  t ->
+  target:Netsim.Addr.t ->
+  name:string ->
+  source:string ->
+  on_done:(outcome -> unit) ->
+  unit ->
+  unit
+
+(** [undeploy t ~target ~name ~on_done ()] retires the active program. *)
+val undeploy :
+  ?timeout:float ->
+  t ->
+  target:Netsim.Addr.t ->
+  name:string ->
+  on_done:(outcome -> unit) ->
+  unit ->
+  unit
+
+(** [rollback t ~target ~name ~on_done ()] reactivates the target's
+    retained previous epoch. *)
+val rollback :
+  ?timeout:float ->
+  t ->
+  target:Netsim.Addr.t ->
+  name:string ->
+  on_done:(outcome -> unit) ->
+  unit ->
+  unit
+
+(** [epoch_of t ~target ~name] — highest epoch this controller believes is
+    deployed (updated on ACK). *)
+val epoch_of : t -> target:Netsim.Addr.t -> name:string -> int option
+
+(** What a staged rollout does after a NAK. *)
+type nak_policy =
+  | Abort  (** stop launching; untried targets come back [Skipped] *)
+  | Continue  (** keep going and report per-target outcomes *)
+
+(** [rollout t ~targets ~name ~source ~on_done ()] deploys one program to
+    a node set with bounded concurrency ([concurrency] transfers in
+    flight, default 2). Targets are attempted in list order; [on_done]
+    receives one outcome per target, in the input order. [epoch] pins one
+    epoch for every target (a node already past it NAKs as stale —
+    useful for "converge the fleet on exactly this version"). *)
+val rollout :
+  ?backend:string ->
+  ?authenticated:bool ->
+  ?epoch:int ->
+  ?concurrency:int ->
+  ?on_nak:nak_policy ->
+  ?timeout:float ->
+  t ->
+  targets:Netsim.Addr.t list ->
+  name:string ->
+  source:string ->
+  on_done:((Netsim.Addr.t * outcome) list -> unit) ->
+  unit ->
+  unit

@@ -1,0 +1,316 @@
+module Node = Netsim.Node
+module Addr = Netsim.Addr
+module Engine = Netsim.Engine
+module Reliable = Netsim.Reliable
+module Runtime = Planp_runtime.Runtime
+
+(* Everything needed to (re)install one epoch of a program. *)
+type version = {
+  v_epoch : int;
+  v_source : string;
+  v_backend : string;
+  v_auth : bool;
+}
+
+type slot = {
+  mutable active : (version * Runtime.program) option;
+  mutable previous : version option;  (* rollback target *)
+  mutable high_water : int;  (* highest epoch ever accepted *)
+}
+
+type transfer = {
+  reassembly : Capsule.Reassembly.t;
+  backend : string;
+  authenticated : bool;
+  reply_addr : Addr.t;
+  reply_port : int;
+  started_at : float;  (* simulated time the manifest arrived *)
+}
+
+type t = {
+  dm_node : Node.t;
+  dm_runtime : Runtime.t;
+  secret : string;
+  reply_src_base : int;
+  slots : (string, slot) Hashtbl.t;
+  transfers : (string * int, transfer) Hashtbl.t;
+  reply_senders : (Addr.t * int, Reliable.Sender.t) Hashtbl.t;
+  m_capsules : Obs.Registry.counter;
+  m_installs : Obs.Registry.counter;
+  m_naks : Obs.Registry.counter;
+  m_rollbacks : Obs.Registry.counter;
+  m_undeploys : Obs.Registry.counter;
+  m_epochs : Obs.Registry.gauge;
+  m_verify_wall : Obs.Registry.gauge;
+  m_install_latency : Obs.Registry.histogram;
+}
+
+let node t = t.dm_node
+let runtime t = t.dm_runtime
+
+let slot_of t name =
+  match Hashtbl.find_opt t.slots name with
+  | Some slot -> slot
+  | None ->
+      let slot = { active = None; previous = None; high_water = 0 } in
+      Hashtbl.replace t.slots name slot;
+      slot
+
+let active_program t ~name =
+  match Hashtbl.find_opt t.slots name with
+  | Some { active = Some (_, program); _ } -> Some program
+  | Some _ | None -> None
+
+let active_epoch t ~name =
+  match Hashtbl.find_opt t.slots name with
+  | Some { active = Some (version, _); _ } -> Some version.v_epoch
+  | Some _ | None -> None
+
+let previous_epoch t ~name =
+  match Hashtbl.find_opt t.slots name with
+  | Some { previous = Some version; _ } -> Some version.v_epoch
+  | Some _ | None -> None
+
+let high_water t ~name =
+  match Hashtbl.find_opt t.slots name with
+  | Some slot -> slot.high_water
+  | None -> 0
+
+let slots t =
+  Hashtbl.fold
+    (fun name slot acc ->
+      match slot.active with
+      | Some (version, _) -> (name, version.v_epoch) :: acc
+      | None -> acc)
+    t.slots []
+  |> List.sort compare
+
+let active_count t = List.length (slots t)
+
+let reply_sender t ~addr ~port =
+  match Hashtbl.find_opt t.reply_senders (addr, port) with
+  | Some sender -> sender
+  | None ->
+      let src_port = t.reply_src_base + Hashtbl.length t.reply_senders in
+      let sender =
+        Reliable.Sender.connect ~chan_tag:Capsule.chan_tag t.dm_node ~dst:addr
+          ~dst_port:port ~src_port ()
+      in
+      Hashtbl.replace t.reply_senders (addr, port) sender;
+      sender
+
+let send_reply t ~addr ~port msg =
+  Reliable.Sender.send (reply_sender t ~addr ~port) (Capsule.encode msg)
+
+let ack t ~addr ~port ~program ~epoch ~latency ~note =
+  let signature =
+    Capsule.sign ~secret:t.secret ~program ~epoch ~node:(Node.addr t.dm_node)
+  in
+  Obs.Registry.set t.m_epochs (float_of_int (active_count t));
+  send_reply t ~addr ~port
+    (Capsule.Ack
+       {
+         program;
+         epoch;
+         signature;
+         install_latency_us = int_of_float (latency *. 1e6);
+         note;
+       })
+
+let nak t ~addr ~port ~program ~epoch reason =
+  Obs.Registry.incr t.m_naks;
+  send_reply t ~addr ~port (Capsule.Nak { program; epoch; reason })
+
+(* Parse, verify (on this node), compile and activate one version; on
+   success hot-swap the slot: the new epoch is installed before the old one
+   is uninstalled, so the slot never stops serving. On any failure the old
+   epoch is untouched. *)
+let install_version t ~program (version : version) =
+  match Planp_jit.Backends.by_name version.v_backend with
+  | None -> Error (Printf.sprintf "unknown backend %s" version.v_backend)
+  | Some backend -> (
+      let gate = Planp_analysis.Verifier.gate ~authenticated:version.v_auth () in
+      let pre checked =
+        let started = Sys.time () in
+        let verdict = gate checked in
+        Obs.Registry.set t.m_verify_wall (Sys.time () -. started);
+        verdict
+      in
+      match
+        Runtime.install ~backend ~pre ~name:program t.dm_runtime
+          ~source:version.v_source ()
+      with
+      | Error error -> Error (Runtime.error_to_string error)
+      | Ok handle ->
+          let slot = slot_of t program in
+          (match slot.active with
+          | Some (old_version, old_handle) ->
+              Runtime.uninstall t.dm_runtime old_handle;
+              slot.previous <- Some old_version
+          | None -> ());
+          slot.active <- Some (version, handle);
+          slot.high_water <- max slot.high_water version.v_epoch;
+          Obs.Registry.incr t.m_installs;
+          Ok ())
+
+let complete_transfer t ~program ~epoch transfer =
+  let { reply_addr = addr; reply_port = port; _ } = transfer in
+  match Capsule.Reassembly.source transfer.reassembly with
+  | Error reason -> nak t ~addr ~port ~program ~epoch reason
+  | Ok source -> (
+      let version =
+        {
+          v_epoch = epoch;
+          v_source = source;
+          v_backend = transfer.backend;
+          v_auth = transfer.authenticated;
+        }
+      in
+      match install_version t ~program version with
+      | Error reason -> nak t ~addr ~port ~program ~epoch reason
+      | Ok () ->
+          let latency =
+            Engine.now (Node.engine t.dm_node) -. transfer.started_at
+          in
+          Obs.Registry.observe t.m_install_latency latency;
+          ack t ~addr ~port ~program ~epoch ~latency ~note:"activated")
+
+let on_manifest t (m : Capsule.msg) =
+  match m with
+  | Capsule.Manifest m ->
+      let slot = slot_of t m.program in
+      if m.epoch <= slot.high_water then
+        nak t ~addr:m.reply_addr ~port:m.reply_port ~program:m.program
+          ~epoch:m.epoch
+          (Printf.sprintf "stale epoch %d (high water %d)" m.epoch
+             slot.high_water)
+      else begin
+        let transfer =
+          {
+            reassembly =
+              Capsule.Reassembly.create ~total_chunks:m.total_chunks
+                ~total_bytes:m.total_bytes ~checksum:m.checksum;
+            backend = m.backend;
+            authenticated = m.authenticated;
+            reply_addr = m.reply_addr;
+            reply_port = m.reply_port;
+            started_at = Engine.now (Node.engine t.dm_node);
+          }
+        in
+        Hashtbl.replace t.transfers (m.program, m.epoch) transfer;
+        if Capsule.Reassembly.complete transfer.reassembly then begin
+          Hashtbl.remove t.transfers (m.program, m.epoch);
+          complete_transfer t ~program:m.program ~epoch:m.epoch transfer
+        end
+      end
+  | _ -> assert false
+
+let on_chunk t ~program ~epoch ~index data =
+  match Hashtbl.find_opt t.transfers (program, epoch) with
+  | None -> ()  (* no transfer open (stale epoch was NAKed): drop *)
+  | Some transfer -> (
+      match Capsule.Reassembly.add transfer.reassembly ~index data with
+      | Error reason ->
+          Hashtbl.remove t.transfers (program, epoch);
+          nak t ~addr:transfer.reply_addr ~port:transfer.reply_port ~program
+            ~epoch reason
+      | Ok () ->
+          if Capsule.Reassembly.complete transfer.reassembly then begin
+            Hashtbl.remove t.transfers (program, epoch);
+            complete_transfer t ~program ~epoch transfer
+          end)
+
+let on_undeploy t ~program ~epoch ~addr ~port =
+  let slot = slot_of t program in
+  match slot.active with
+  | None -> nak t ~addr ~port ~program ~epoch "no active program"
+  | Some (old_version, handle) ->
+      Runtime.uninstall t.dm_runtime handle;
+      slot.previous <- Some old_version;
+      slot.active <- None;
+      slot.high_water <- max slot.high_water epoch;
+      Obs.Registry.incr t.m_undeploys;
+      ack t ~addr ~port ~program ~epoch:old_version.v_epoch ~latency:0.0
+        ~note:"undeployed"
+
+(* Reactivate the retained previous version under its original epoch. The
+   high-water mark is untouched, so later deployments must still exceed
+   every epoch ever accepted. *)
+let on_rollback t ~program ~epoch ~addr ~port =
+  let slot = slot_of t program in
+  match slot.previous with
+  | None -> nak t ~addr ~port ~program ~epoch "nothing to roll back to"
+  | Some version -> (
+      let started = Engine.now (Node.engine t.dm_node) in
+      match install_version t ~program version with
+      | Error reason -> nak t ~addr ~port ~program ~epoch reason
+      | Ok () ->
+          Obs.Registry.incr t.m_rollbacks;
+          let latency = Engine.now (Node.engine t.dm_node) -. started in
+          ack t ~addr ~port ~program ~epoch:version.v_epoch ~latency
+            ~note:"rolled-back")
+
+let on_capsule t payload =
+  Obs.Registry.incr t.m_capsules;
+  match Capsule.decode payload with
+  | None -> ()
+  | Some (Capsule.Manifest _ as m) -> on_manifest t m
+  | Some (Capsule.Chunk { program; epoch; index; data }) ->
+      on_chunk t ~program ~epoch ~index data
+  | Some (Capsule.Undeploy { program; epoch; reply_addr; reply_port }) ->
+      on_undeploy t ~program ~epoch ~addr:reply_addr ~port:reply_port
+  | Some (Capsule.Rollback { program; epoch; reply_addr; reply_port }) ->
+      on_rollback t ~program ~epoch ~addr:reply_addr ~port:reply_port
+  | Some (Capsule.Ack _ | Capsule.Nak _) -> ()  (* not ours to handle *)
+
+let inject t payload = on_capsule t payload
+
+let start ?(port = Capsule.well_known_port) ?(reply_src_base = 52100)
+    ?(secret = "extnet") ?runtime dm_node () =
+  let dm_runtime =
+    match runtime with Some rt -> rt | None -> Runtime.attach dm_node
+  in
+  let labels = [ ("node", Node.name dm_node) ] in
+  let t =
+    {
+      dm_node;
+      dm_runtime;
+      secret;
+      reply_src_base;
+      slots = Hashtbl.create 8;
+      transfers = Hashtbl.create 8;
+      reply_senders = Hashtbl.create 8;
+      m_capsules =
+        Obs.Registry.counter ~labels ~help:"deployment capsules received"
+          "deploy.daemon.capsules_received";
+      m_installs =
+        Obs.Registry.counter ~labels ~help:"programs activated"
+          "deploy.daemon.installs";
+      m_naks =
+        Obs.Registry.counter ~labels ~help:"capsules rejected with a NAK"
+          "deploy.daemon.naks";
+      m_rollbacks =
+        Obs.Registry.counter ~labels ~help:"explicit rollbacks served"
+          "deploy.daemon.rollbacks";
+      m_undeploys =
+        Obs.Registry.counter ~labels ~help:"programs retired"
+          "deploy.daemon.undeploys";
+      m_epochs =
+        Obs.Registry.gauge ~labels ~help:"slots with a serving epoch"
+          "deploy.daemon.epochs_active";
+      m_verify_wall =
+        Obs.Registry.gauge ~labels ~volatile:true
+          ~help:"wall-clock seconds of the last on-node verification"
+          "deploy.daemon.verify_wall_s";
+      m_install_latency =
+        Obs.Registry.histogram ~labels
+          ~help:"simulated seconds from manifest arrival to activation"
+          "deploy.daemon.install_latency_s";
+    }
+  in
+  let _rx =
+    Reliable.Receiver.listen ~chan_tag:Capsule.chan_tag dm_node ~port
+      ~on_message:(fun payload -> on_capsule t payload)
+      ()
+  in
+  t

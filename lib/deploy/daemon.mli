@@ -1,0 +1,56 @@
+(** The per-node deploy daemon: receives code capsules, reassembles,
+    verifies {e on the receiving node}, installs, and answers with a
+    signed-epoch ACK or a reasoned NAK.
+
+    Each (node, program-name) slot is versioned by an epoch. A deployment
+    whose epoch does not exceed the slot's high-water mark is NAKed as
+    stale; a successful one hot-swaps atomically — the new program is
+    installed before the old one is uninstalled, so at every instant some
+    epoch is serving packets. A failed verification, a mid-transfer link
+    flap, or a checksum mismatch leaves the previous epoch serving. The
+    daemon retains the previous epoch's source so a {!Capsule.Rollback}
+    can restore it without re-shipping. *)
+
+type t
+
+(** [start node ()] attaches the daemon.
+
+    @param port capsule stream port (default {!Capsule.well_known_port})
+    @param reply_src_base first local port used for reply streams back to
+      controllers (default 52100)
+    @param secret shared secret for ACK signatures (default ["extnet"])
+    @param runtime install into an existing runtime instead of attaching a
+      fresh one (programs installed out-of-band keep serving) *)
+val start :
+  ?port:int ->
+  ?reply_src_base:int ->
+  ?secret:string ->
+  ?runtime:Planp_runtime.Runtime.t ->
+  Netsim.Node.t ->
+  unit ->
+  t
+
+val node : t -> Netsim.Node.t
+val runtime : t -> Planp_runtime.Runtime.t
+
+(** [active_program t ~name] is the serving program of a slot, if any. *)
+val active_program : t -> name:string -> Planp_runtime.Runtime.program option
+
+(** [active_epoch t ~name] — epoch of the serving program. *)
+val active_epoch : t -> name:string -> int option
+
+(** [previous_epoch t ~name] — retained rollback target, if any. *)
+val previous_epoch : t -> name:string -> int option
+
+(** [high_water t ~name] — highest epoch ever accepted for the slot
+    (deploys must exceed it even after a rollback lowered the active
+    epoch); 0 when the slot has never deployed. *)
+val high_water : t -> name:string -> int
+
+(** [slots t] — (program name, active epoch) for every serving slot,
+    sorted by name. *)
+val slots : t -> (string * int) list
+
+(** [inject t payload] feeds one capsule directly to the daemon, bypassing
+    the reliable stream — test hook for protocol-level properties. *)
+val inject : t -> Netsim.Payload.t -> unit

@@ -333,9 +333,9 @@ let on_tcp node ~port f = Hashtbl.replace node.tcp_handlers port f
 let on_udp_default node f = node.udp_default <- Some f
 let on_tcp_default node f = node.tcp_default <- Some f
 
-let send_udp node ~dst ~src_port ~dst_port body =
+let send_udp ?chan_tag node ~dst ~src_port ~dst_port body =
   originate node
-    (Packet.udp ~src:node.node_addr ~dst ~src_port ~dst_port body)
+    (Packet.udp ?chan_tag ~src:node.node_addr ~dst ~src_port ~dst_port body)
 
 let send_tcp ?seq ?ack ?syn ?fin ?is_ack node ~dst ~src_port ~dst_port body =
   originate node

@@ -132,9 +132,17 @@ val on_tcp_default : t -> (t -> Packet.t -> unit) -> unit
 (** [on_udp_default node f] — likewise for UDP. *)
 val on_udp_default : t -> (t -> Packet.t -> unit) -> unit
 
-(** [send_udp node ~dst ~src_port ~dst_port body] builds and originates. *)
+(** [send_udp node ~dst ~src_port ~dst_port body] builds and originates.
+    [chan_tag] tags the packet for a named PLAN-P channel; tagged traffic
+    bypasses any installed [network] channel (see {!Packet.t}). *)
 val send_udp :
-  t -> dst:Addr.t -> src_port:int -> dst_port:int -> Payload.t -> unit
+  ?chan_tag:string ->
+  t ->
+  dst:Addr.t ->
+  src_port:int ->
+  dst_port:int ->
+  Payload.t ->
+  unit
 
 val send_tcp :
   ?seq:int ->

@@ -7,6 +7,7 @@ module Sender = struct
     dst : Addr.t;
     dst_port : int;
     src_port : int;
+    chan_tag : string option;
     window : int;
     rto : float;
     queue : Payload.t Queue.t;  (* not yet transmitted *)
@@ -25,8 +26,8 @@ module Sender = struct
     Payload.Writer.finish writer
 
   let transmit t seq payload =
-    Node.send_udp t.node ~dst:t.dst ~src_port:t.src_port ~dst_port:t.dst_port
-      (encode_data seq payload)
+    Node.send_udp ?chan_tag:t.chan_tag t.node ~dst:t.dst ~src_port:t.src_port
+      ~dst_port:t.dst_port (encode_data seq payload)
 
   (* Move queued messages into the window and (re)arm the timer. *)
   let rec pump t =
@@ -72,7 +73,8 @@ module Sender = struct
       end
     end
 
-  let connect ?(window = 8) ?(rto = 0.2) node ~dst ~dst_port ~src_port () =
+  let connect ?(window = 8) ?(rto = 0.2) ?chan_tag node ~dst ~dst_port
+      ~src_port () =
     if window <= 0 then invalid_arg "Reliable.Sender.connect: window";
     let t =
       {
@@ -80,6 +82,7 @@ module Sender = struct
         dst;
         dst_port;
         src_port;
+        chan_tag;
         window;
         rto;
         queue = Queue.create ();
@@ -106,6 +109,7 @@ module Receiver = struct
   type t = {
     node : Node.t;
     port : int;
+    chan_tag : string option;
     window : int;
     on_message : Payload.t -> unit;
     buffered : (int, Payload.t) Hashtbl.t;  (* out-of-order *)
@@ -120,8 +124,8 @@ module Receiver = struct
         let writer = Payload.Writer.create () in
         Payload.Writer.u8 writer ack_tag;
         Payload.Writer.u32 writer (t.expected - 1);
-        Node.send_udp t.node ~dst:packet.Packet.src ~src_port:t.port
-          ~dst_port:udp_src
+        Node.send_udp ?chan_tag:t.chan_tag t.node ~dst:packet.Packet.src
+          ~src_port:t.port ~dst_port:udp_src
           (Payload.Writer.finish writer)
     | Packet.Tcp _ | Packet.Raw -> ()
 
@@ -147,11 +151,12 @@ module Receiver = struct
       send_ack t packet
     end
 
-  let listen ?(window = 64) node ~port ~on_message () =
+  let listen ?(window = 64) ?chan_tag node ~port ~on_message () =
     let t =
       {
         node;
         port;
+        chan_tag;
         window;
         on_message;
         buffered = Hashtbl.create 16;

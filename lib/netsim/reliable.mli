@@ -17,10 +17,15 @@ module Sender : sig
   (** [connect node ~dst ~dst_port ~src_port ()] prepares a stream.
 
       @param window messages in flight (default 8)
-      @param rto retransmission timeout, seconds (default 0.2) *)
+      @param rto retransmission timeout, seconds (default 0.2)
+      @param chan_tag tag every data packet for a named PLAN-P channel;
+        tagged traffic is invisible to [network] channels, which is how
+        control planes (e.g. ASP deployment) coexist with installed
+        programs that claim all untagged UDP *)
   val connect :
     ?window:int ->
     ?rto:float ->
+    ?chan_tag:string ->
     Node.t ->
     dst:Addr.t ->
     dst_port:int ->
@@ -45,9 +50,11 @@ module Receiver : sig
   type t
 
   (** [listen node ~port ~on_message ()] delivers messages to
-      [on_message], in order, exactly once. *)
+      [on_message], in order, exactly once. [chan_tag] tags the ACKs the
+      receiver sends back (pair it with the sender's tag). *)
   val listen :
     ?window:int ->
+    ?chan_tag:string ->
     Node.t ->
     port:int ->
     on_message:(Payload.t -> unit) ->

@@ -181,6 +181,44 @@ let cli_run_timeline () =
   checkb "tracer events present" true (contains json "\"source\": \"tracer\"");
   checkb "metric snapshots present" true (contains json "\"source\": \"metrics\"")
 
+let cli_deploy () =
+  let path = write_program forwarder in
+  let code, output = run [ "deploy"; path; "--targets"; "3"; "--flap" ] in
+  Sys.remove path;
+  check "exit 0" 0 code;
+  checkb "every target acked" true (contains output "target2    ACK epoch 1");
+  checkb "slots listed" true (contains output "asp@1");
+  checkb "capsule metric" true
+    (contains output "deploy.controller.capsules_sent{controller=ctrl}");
+  checkb "flap forced retransmissions" true
+    (not (contains output "retransmissions{controller=ctrl}               0"))
+
+let cli_deploy_rejected () =
+  (* The daemons verify on the receiving node: an unprovable program is
+     NAKed with the verifier's reason, and the exit code says so. *)
+  let path = write_program flood in
+  let code, output = run [ "deploy"; path; "--targets"; "1" ] in
+  check "exit 2" 2 code;
+  checkb "NAK with reason" true (contains output "NAK epoch 1: rejected");
+  checkb "slot left empty" true (contains output "(empty)");
+  (* the privileged path still installs it *)
+  let code, output =
+    run [ "deploy"; path; "--targets"; "1"; "--authenticated" ]
+  in
+  Sys.remove path;
+  check "authenticated exit 0" 0 code;
+  checkb "authenticated acked" true (contains output "ACK epoch 1")
+
+let cli_undeploy () =
+  let path = write_program forwarder in
+  let code, output = run [ "undeploy"; path; "--targets"; "2" ] in
+  Sys.remove path;
+  check "exit 0" 0 code;
+  checkb "deployed first" true (contains output "ACK epoch 1 (activated)");
+  checkb "then retired" true (contains output "ACK epoch 1 (undeployed)");
+  checkb "rollback target retained" true
+    (contains output "retired (epoch 1 kept for rollback)")
+
 let () =
   Alcotest.run "planpc-cli"
     [
@@ -201,5 +239,8 @@ let () =
           Alcotest.test_case "run metrics deterministic" `Quick
             cli_run_metrics_deterministic;
           Alcotest.test_case "run timeline" `Quick cli_run_timeline;
+          Alcotest.test_case "deploy" `Quick cli_deploy;
+          Alcotest.test_case "deploy rejected" `Quick cli_deploy_rejected;
+          Alcotest.test_case "undeploy" `Quick cli_undeploy;
         ] );
     ]

@@ -269,6 +269,65 @@ let mpeg_teardown_expires_entries () =
       check "client 2 full movie too" 48 c2
   | _ -> Alcotest.fail "two clients"
 
+(* ---------- in-band deployment parity ---------- *)
+
+(* The acceptance bar for the deployment plane: each experiment run with
+   its ASPs shipped in-band over the simulated network must report the
+   same summary as with them preinstalled. Deployment finishes within
+   milliseconds, before any congestion phase. *)
+
+let audio_in_band_parity () =
+  let run deploy =
+    let r =
+      Asp.Audio_experiment.run (Asp.Audio_experiment.quick_config ~deploy ())
+    in
+    ( r.Asp.Audio_experiment.frames_sent,
+      r.Asp.Audio_experiment.frames_received,
+      r.Asp.Audio_experiment.silent_periods,
+      r.Asp.Audio_experiment.silent_frames,
+      r.Asp.Audio_experiment.segment_drops,
+      r.Asp.Audio_experiment.wire_quality_counts )
+  in
+  checkb "in-band audio summary matches preinstalled" true
+    (run Asp.Deploy_mode.In_band = run Asp.Deploy_mode.Preinstalled)
+
+let http_in_band_parity () =
+  let point deploy =
+    let config =
+      { Asp.Http_experiment.default_config with
+        duration = 8.0; warmup = 3.0; trace_requests = 5_000; deploy }
+    in
+    Asp.Http_experiment.run_point config
+      (Asp.Http_experiment.Asp_gateway Planp_jit.Backends.jit) ~workers:8
+  in
+  let pre = point Asp.Deploy_mode.Preinstalled in
+  let inband = point Asp.Deploy_mode.In_band in
+  (* Throughput is measured after warmup; the handful of requests retried
+     while the gateway ASP was still in flight land well inside it. *)
+  checkb "replies/s within 2%" true
+    (Float.abs
+       (inband.Asp.Http_experiment.replies_per_s
+       -. pre.Asp.Http_experiment.replies_per_s)
+     /. pre.Asp.Http_experiment.replies_per_s
+    < 0.02);
+  let s0, s1 = inband.Asp.Http_experiment.server_loads in
+  checkb "gateway saw every request" true
+    (inband.Asp.Http_experiment.gateway_requests >= s0 + s1);
+  checkb "balanced" true (abs (s0 - s1) <= 1 + ((s0 + s1) / 10))
+
+let mpeg_in_band_parity () =
+  let run deploy =
+    let r =
+      Asp.Mpeg_experiment.run (Asp.Mpeg_experiment.default_config ~deploy ())
+    in
+    ( r.Asp.Mpeg_experiment.server_streams,
+      r.Asp.Mpeg_experiment.server_frames_sent,
+      r.Asp.Mpeg_experiment.client_frames,
+      r.Asp.Mpeg_experiment.clients_shared )
+  in
+  checkb "in-band mpeg summary matches preinstalled" true
+    (run Asp.Deploy_mode.In_band = run Asp.Deploy_mode.Preinstalled)
+
 let () =
   Alcotest.run "experiments"
     [
@@ -291,6 +350,12 @@ let () =
       ( "determinism",
         [
           Alcotest.test_case "whole stack" `Slow whole_stack_is_deterministic;
+        ] );
+      ( "in-band deployment",
+        [
+          Alcotest.test_case "audio parity" `Slow audio_in_band_parity;
+          Alcotest.test_case "http parity" `Slow http_in_band_parity;
+          Alcotest.test_case "mpeg parity" `Slow mpeg_in_band_parity;
         ] );
       ( "mpeg",
         [

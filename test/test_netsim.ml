@@ -657,6 +657,104 @@ let reliable_dedups () =
   check "delivered once" 1 !received;
   checkb "duplicate discarded" true (Netsim.Reliable.Receiver.duplicates rx > 0)
 
+let reliable_concurrent_streams () =
+  (* Two independent streams share one link (distinct port pairs); each
+     must deliver its own messages in order, exactly once, with no
+     cross-talk — the deployment plane runs its capsule and reply streams
+     over shared links exactly like this. *)
+  let topo = Topology.create () in
+  let a = Topology.add_host topo "a" "10.0.0.1" in
+  let b = Topology.add_host topo "b" "10.0.0.2" in
+  ignore (Topology.connect topo a b);
+  Topology.compute_routes topo;
+  let got1 = ref [] and got2 = ref [] in
+  let rx1 =
+    Netsim.Reliable.Receiver.listen b ~port:7000
+      ~on_message:(fun m -> got1 := Payload.to_string m :: !got1)
+      ()
+  in
+  let rx2 =
+    Netsim.Reliable.Receiver.listen b ~port:7100
+      ~on_message:(fun m -> got2 := Payload.to_string m :: !got2)
+      ()
+  in
+  let tx1 =
+    Netsim.Reliable.Sender.connect a ~dst:(Node.addr b) ~dst_port:7000
+      ~src_port:7001 ()
+  in
+  let tx2 =
+    Netsim.Reliable.Sender.connect a ~dst:(Node.addr b) ~dst_port:7100
+      ~src_port:7101 ()
+  in
+  (* interleave the sends *)
+  for i = 1 to 30 do
+    Netsim.Reliable.Sender.send tx1 (Payload.of_string (Printf.sprintf "s1-%d" i));
+    Netsim.Reliable.Sender.send tx2 (Payload.of_string (Printf.sprintf "s2-%d" i))
+  done;
+  Topology.run topo;
+  Alcotest.(check (list string))
+    "stream 1 in order, nothing from stream 2"
+    (List.init 30 (fun i -> Printf.sprintf "s1-%d" (i + 1)))
+    (List.rev !got1);
+  Alcotest.(check (list string))
+    "stream 2 in order, nothing from stream 1"
+    (List.init 30 (fun i -> Printf.sprintf "s2-%d" (i + 1)))
+    (List.rev !got2);
+  check "stream 1 exactly once" 30 (Netsim.Reliable.Receiver.delivered rx1);
+  check "stream 2 exactly once" 30 (Netsim.Reliable.Receiver.delivered rx2);
+  check "clean link: no retransmissions on either stream" 0
+    (Netsim.Reliable.Sender.retransmissions tx1
+    + Netsim.Reliable.Sender.retransmissions tx2)
+
+let reliable_flap_mid_window () =
+  (* The link goes down while a window is partially acknowledged and comes
+     back: delivery must stay exactly-once and in-order, and the
+     retransmissions must stay bounded (go-back-N resends at most one
+     window per RTO while the link is dark). *)
+  let topo = Topology.create () in
+  let a = Topology.add_host topo "a" "10.0.0.1" in
+  let b = Topology.add_host topo "b" "10.0.0.2" in
+  let link = Topology.connect topo a b in
+  Topology.compute_routes topo;
+  let got = ref [] in
+  let rx =
+    Netsim.Reliable.Receiver.listen b ~port:7000
+      ~on_message:(fun m -> got := Payload.to_string m :: !got)
+      ()
+  in
+  let window = 8 and rto = 0.2 in
+  let tx =
+    Netsim.Reliable.Sender.connect ~window ~rto a ~dst:(Node.addr b)
+      ~dst_port:7000 ~src_port:7001 ()
+  in
+  let engine = Topology.engine topo in
+  let n = 24 in
+  Engine.schedule engine ~at:0.0 (fun () ->
+      for i = 1 to n do
+        Netsim.Reliable.Sender.send tx (Payload.of_string (string_of_int i))
+      done);
+  (* first messages of the window get through and are acked; then dark *)
+  let outage = 2.0 in
+  Engine.schedule engine ~at:0.0035 (fun () -> Netsim.Link.set_up link false);
+  Engine.schedule engine ~at:(0.0035 +. outage) (fun () ->
+      Netsim.Link.set_up link true);
+  Topology.run_until topo ~stop:30.0;
+  Alcotest.(check (list string))
+    "in order, exactly once"
+    (List.init n (fun i -> string_of_int (i + 1)))
+    (List.rev !got);
+  check "exactly once" n (Netsim.Reliable.Receiver.delivered rx);
+  check "all acked" (n - 1) (Netsim.Reliable.Sender.acked tx);
+  let retx = Netsim.Reliable.Sender.retransmissions tx in
+  checkb "outage forced retransmissions" true (retx > 0);
+  (* bound: one window per RTO while dark, plus slack for recovery *)
+  let bound =
+    (int_of_float (outage /. rto) + 2) * window
+  in
+  checkb
+    (Printf.sprintf "retransmissions bounded (%d <= %d)" retx bound)
+    true (retx <= bound)
+
 let topology_rejects_duplicates () =
   let topo = Topology.create () in
   ignore (Topology.add_host topo "a" "10.0.0.1");
@@ -757,5 +855,8 @@ let () =
           Alcotest.test_case "in-order delivery" `Quick reliable_in_order_delivery;
           Alcotest.test_case "survives outage" `Quick reliable_survives_outage;
           Alcotest.test_case "dedups on lost acks" `Quick reliable_dedups;
+          Alcotest.test_case "concurrent streams share a link" `Quick
+            reliable_concurrent_streams;
+          Alcotest.test_case "flap mid-window" `Quick reliable_flap_mid_window;
         ] );
     ]

@@ -251,6 +251,49 @@ let export_deterministic () =
   checkb "covers links" true (contains first "netsim.link.tx_packets");
   checkb "covers nodes" true (contains first "netsim.node.delivered")
 
+(* Same property for the deployment plane: an in-band deploy re-run from
+   scratch exports the same bytes.  The daemon's verification wall-clock
+   gauge is the one wall-clock-dependent metric — it must stay volatile
+   (excluded by default) or this breaks. *)
+let deploy_run_once () =
+  Obs.Registry.reset Obs.Registry.default;
+  let topo = Netsim.Topology.create () in
+  let ctrl = Netsim.Topology.add_host topo "ctrl" "10.0.0.1" in
+  let target = Netsim.Topology.add_host topo "target" "10.0.0.2" in
+  ignore (Netsim.Topology.connect ~name:"wire" topo ctrl target);
+  Netsim.Topology.compute_routes topo;
+  let daemon = Deploy.Daemon.start target () in
+  let controller = Deploy.Controller.create ctrl () in
+  let outcome = ref None in
+  Deploy.Controller.deploy controller
+    ~target:(Netsim.Node.addr target)
+    ~name:"obs-probe"
+    ~source:
+      "channel network(ps : int, ss : int, p : ip*udp*blob) is (deliver(p); (ps + 1, ss))"
+    ~on_done:(fun o -> outcome := Some o)
+    ();
+  Netsim.Topology.run topo;
+  (match !outcome with
+  | Some (Deploy.Controller.Acked _) -> ()
+  | _ -> Alcotest.fail "deploy did not ack");
+  ignore (Deploy.Daemon.active_epoch daemon ~name:"obs-probe");
+  ( Obs.Registry.to_json_string Obs.Registry.default,
+    Obs.Registry.to_json_string ~include_volatile:true Obs.Registry.default )
+
+let deploy_export_deterministic () =
+  let first, first_volatile = deploy_run_once () in
+  let second, _ = deploy_run_once () in
+  checks "byte-identical across identical deploys" first second;
+  checkb "controller metrics present" true
+    (contains first "deploy.controller.capsules_sent");
+  checkb "daemon metrics present" true (contains first "deploy.daemon.installs");
+  checkb "epoch gauge present" true
+    (contains first "deploy.daemon.epochs_active");
+  checkb "wall-clock verify gauge excluded by default" false
+    (contains first "deploy.daemon.verify_wall_s");
+  checkb "wall-clock verify gauge opt-in" true
+    (contains first_volatile "deploy.daemon.verify_wall_s")
+
 let () =
   Alcotest.run "obs"
     [
@@ -279,5 +322,7 @@ let () =
           Alcotest.test_case "timeline merge stable" `Quick timeline_merge_stable;
           Alcotest.test_case "timeline json" `Quick timeline_json;
           Alcotest.test_case "deterministic run export" `Quick export_deterministic;
+          Alcotest.test_case "deterministic deploy export" `Quick
+            deploy_export_deterministic;
         ] );
     ]

@@ -459,6 +459,45 @@ let runtime_multiple_programs () =
     (Value.equal (Value.Vint 1) (Runtime.proto_state redirect));
   check "all handled" 3 (Runtime.stats rt).Runtime.handled
 
+let runtime_reinstall_ordering () =
+  (* Programs are consulted in installation order, and [install] always
+     appends — so reinstalling a same-named program moves it to the END of
+     the dispatch order.  Two programs whose channels both match UDP make
+     the order observable: whichever is consulted first treats the packet. *)
+  let rt = loopback_runtime () in
+  let counter name =
+    Printf.sprintf
+      "channel network(ps : int, ss : int, p : ip*udp*blob) is (deliver(p); (ps + %s, ss))"
+      name
+  in
+  let packet () =
+    Packet.udp ~src:1 ~dst:2 ~src_port:1 ~dst_port:9 Payload.empty
+  in
+  let first = Runtime.install_exn rt ~name:"first" ~source:(counter "1") () in
+  let second = Runtime.install_exn rt ~name:"second" ~source:(counter "1") () in
+  Runtime.inject rt (packet ());
+  checkb "first-installed program shadows the second" true
+    (Value.equal (Value.Vint 1) (Runtime.proto_state first));
+  checkb "second saw nothing" true
+    (Value.equal (Value.Vint 0) (Runtime.proto_state second));
+  (* Reinstall "first" the way the deploy daemon hot-swaps: install the
+     replacement, then uninstall the old instance. *)
+  let first' = Runtime.install_exn rt ~name:"first" ~source:(counter "1") () in
+  Runtime.uninstall rt first;
+  check "still two programs" 2 (List.length (Runtime.installed_programs rt));
+  checkb "reinstalled program now sits at the end" true
+    (match Runtime.installed_programs rt with
+    | [ a; b ] ->
+        Runtime.program_name a = "second" && Runtime.program_name b = "first"
+        && b == first'
+    | _ -> false);
+  Runtime.inject rt (packet ());
+  checkb "second now consulted first" true
+    (Value.equal (Value.Vint 1) (Runtime.proto_state second));
+  checkb "reinstalled first is shadowed" true
+    (Value.equal (Value.Vint 0) (Runtime.proto_state first'));
+  check "every packet handled" 2 (Runtime.stats rt).Runtime.handled
+
 let runtime_channel_hits () =
   let rt = loopback_runtime () in
   let program =
@@ -552,5 +591,7 @@ let () =
           Alcotest.test_case "globals once" `Quick runtime_globals_evaluated_once;
           Alcotest.test_case "channel hits" `Quick runtime_channel_hits;
           Alcotest.test_case "multiple programs" `Quick runtime_multiple_programs;
+          Alcotest.test_case "reinstall ordering" `Quick
+            runtime_reinstall_ordering;
         ] );
     ]
