@@ -752,6 +752,280 @@ let ext () =
 "
 
 (* ------------------------------------------------------------------ *)
+(* perf -- the packet fast path: packets/sec and allocs/packet         *)
+(* ------------------------------------------------------------------ *)
+
+let smoke = ref false
+let perf_out = ref None
+let perf_check = ref None
+
+(* The three deployed ASPs, each with one representative packet that takes
+   the channel's main branch.  The workload is the per-packet execution
+   path alone: decode once outside the loop, then run the compiled channel
+   over the same decoded value while threading (ps, ss) like the runtime
+   does. *)
+let perf_workloads () =
+  let audio_packet =
+    Netsim.Packet.udp
+      ~src:(Netsim.Addr.of_string "10.1.0.7")
+      ~dst:(Netsim.Addr.of_string "239.1.0.1")
+      ~src_port:Asp.Audio_app.audio_port ~dst_port:Asp.Audio_app.audio_port
+      (Planp_runtime.Audio_frame.encode
+         (Planp_runtime.Audio_frame.synth ~seq:0 ~frames:20 ~phase:0))
+  in
+  let http_packet =
+    Netsim.Packet.tcp
+      ~src:(Netsim.Addr.of_string "192.168.0.7")
+      ~dst:(Netsim.Addr.of_string "10.3.0.100")
+      ~src_port:4242 ~dst_port:80
+      (Netsim.Payload.of_string "GET /index.html HTTP/1.0")
+  in
+  let mpeg_packet =
+    (* A PLAY request: 'P', file id, video port -- the monitor's first
+       network channel records it in the connection table. *)
+    let w = Netsim.Payload.Writer.create () in
+    Netsim.Payload.Writer.u8 w (Char.code 'P');
+    Netsim.Payload.Writer.u32 w 3;
+    Netsim.Payload.Writer.u32 w 7101;
+    Netsim.Packet.tcp
+      ~src:(Netsim.Addr.of_string "10.6.0.9")
+      ~dst:(Netsim.Addr.of_string "10.6.0.1")
+      ~src_port:4411 ~dst_port:554
+      (Netsim.Payload.Writer.finish w)
+  in
+  [
+    ("audio_router", Asp.Audio_asp.router_program ~iface:1 (), audio_packet);
+    ( "http_gateway",
+      Asp.Http_asp.gateway_program ~vip:"10.3.0.100"
+        ~servers:("10.3.0.1", "10.3.0.2") (),
+      http_packet );
+    ("mpeg_monitor", Asp.Mpeg_asp.monitor_program ~server:"10.6.0.1" (), mpeg_packet);
+  ]
+
+type perf_point = { pkts_per_s : float; words_per_pkt : float }
+
+(* Initial protocol and channel state, exactly as Runtime.install computes
+   them. *)
+let perf_states checked globals chan =
+  let world, _, _ = Planp_runtime.World.dummy () in
+  let proto =
+    match checked.Planp.Typecheck.proto_init with
+    | Some init -> Planp_runtime.Interp.eval_const ~world ~globals init
+    | None -> Planp_runtime.Value.default_of checked.Planp.Typecheck.proto_type
+  in
+  let chan_state =
+    match chan.Planp.Ast.initstate with
+    | Some init -> Planp_runtime.Interp.eval_const ~world ~globals init
+    | None -> Planp_runtime.Value.default_of chan.Planp.Ast.ss_type
+  in
+  (proto, chan_state)
+
+let perf_measure ~warmup ~alloc_iters ~min_seconds exec world pkt ps0 ss0 =
+  let ps = ref ps0 and ss = ref ss0 in
+  let batch count =
+    for _ = 1 to count do
+      let ps', ss' = exec world ~ps:!ps ~ss:!ss ~pkt in
+      ps := ps';
+      ss := ss'
+    done
+  in
+  batch warmup;
+  (* Allocation rate over a fixed, deterministic iteration count: the
+     steady-state minor-heap words each packet costs. *)
+  let words0 = Gc.minor_words () in
+  batch alloc_iters;
+  let words_per_pkt = (Gc.minor_words () -. words0) /. float_of_int alloc_iters in
+  (* Throughput over however many batches it takes to fill the time
+     budget, so fast backends still get a stable wall-clock sample. *)
+  let t0 = Unix.gettimeofday () in
+  let iters = ref 0 in
+  while Unix.gettimeofday () -. t0 < min_seconds do
+    batch alloc_iters;
+    iters := !iters + alloc_iters
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  { pkts_per_s = float_of_int !iters /. dt; words_per_pkt }
+
+let perf_backends () =
+  [
+    ("interp", Planp_runtime.Interp.backend);
+    ("bytecode", Planp_jit.Backends.bytecode);
+    ("jit", Planp_jit.Backends.jit);
+  ]
+
+let perf_run () =
+  let warmup = if !smoke then 200 else 1_000 in
+  let alloc_iters = if !smoke then 2_000 else 20_000 in
+  let min_seconds = if !smoke then 0.02 else 0.3 in
+  let null_world =
+    let dummy, _, _ = Planp_runtime.World.dummy () in
+    { dummy with
+      Planp_runtime.World.emit = (fun _ ~chan:_ _ -> ());
+      print = (fun _ -> ()) }
+  in
+  List.map
+    (fun (key, source, packet) ->
+      let checked = checked_of source in
+      let globals = globals_of checked in
+      let rows =
+        List.map
+          (fun (backend_name, backend) ->
+            let compiled = backend.Planp_runtime.Backend.compile checked ~globals in
+            (* First channel that decodes this packet -- same choice the
+               runtime dispatcher makes for an untagged packet. *)
+            let chan, exec, pkt =
+              let rec pick = function
+                | [] -> failwith (key ^ ": no channel matches the bench packet")
+                | (chan, exec) :: rest -> (
+                    match
+                      Planp_runtime.Pkt_codec.decode chan.Planp.Ast.pkt_type packet
+                    with
+                    | Some value -> (chan, exec, value)
+                    | None -> pick rest)
+              in
+              pick compiled
+            in
+            let ps0, ss0 = perf_states checked globals chan in
+            ( backend_name,
+              perf_measure ~warmup ~alloc_iters ~min_seconds exec null_world pkt
+                ps0 ss0 ))
+          (perf_backends ())
+      in
+      (key, rows))
+    (perf_workloads ())
+
+let perf_json results =
+  Obs.Json.Obj
+    [
+      ("format", Obs.Json.String "planp-bench-perf/1");
+      ("smoke", Obs.Json.Bool !smoke);
+      ( "asps",
+        Obs.Json.Obj
+          (List.map
+             (fun (key, rows) ->
+               ( key,
+                 Obs.Json.Obj
+                   (List.map
+                      (fun (backend_name, point) ->
+                        ( backend_name,
+                          Obs.Json.Obj
+                            [
+                              ("pkts_per_s", Obs.Json.Float point.pkts_per_s);
+                              ( "minor_words_per_pkt",
+                                Obs.Json.Float point.words_per_pkt );
+                            ] ))
+                      rows) ))
+             results) );
+    ]
+
+(* The baseline gate.  Two families of checks, chosen to stay meaningful on
+   any machine:
+     - allocs/packet against the committed baseline (deterministic counts;
+       tolerance covers GC accounting jitter, not real regressions), and
+     - same-run backend ratios (jit vs interp packets/sec), which divide
+       out the host's absolute speed.  *)
+let perf_check_against ~baseline_path results =
+  let fail = ref [] in
+  let complain fmt = Printf.ksprintf (fun m -> fail := m :: !fail) fmt in
+  (match
+     let contents =
+       let ic = open_in_bin baseline_path in
+       let n = in_channel_length ic in
+       let s = really_input_string ic n in
+       close_in ic;
+       s
+     in
+     Obs.Json.of_string contents
+   with
+  | exception Sys_error message -> complain "cannot read baseline: %s" message
+  | Error message -> complain "cannot parse baseline %s: %s" baseline_path message
+  | Ok baseline -> (
+      match Obs.Json.member "asps" baseline with
+      | None -> complain "baseline %s has no \"asps\" section" baseline_path
+      | Some asps ->
+          List.iter
+            (fun (key, rows) ->
+              match Obs.Json.member key asps with
+              | None -> complain "baseline has no entry for %s" key
+              | Some entry ->
+                  List.iter
+                    (fun (backend_name, point) ->
+                      match
+                        Option.bind
+                          (Obs.Json.member backend_name entry)
+                          (fun b ->
+                            Option.bind
+                              (Obs.Json.member "minor_words_per_pkt" b)
+                              Obs.Json.number)
+                      with
+                      | None ->
+                          complain "baseline has no words/pkt for %s/%s" key
+                            backend_name
+                      | Some base_words ->
+                          (* +-25%% relative plus a small absolute slack so
+                             near-zero baselines don't trip on a word or
+                             two of GC noise. *)
+                          let ceiling = (base_words *. 1.25) +. 16.0 in
+                          if point.words_per_pkt > ceiling then
+                            complain
+                              "%s/%s allocates %.1f words/pkt (baseline %.1f, ceiling %.1f)"
+                              key backend_name point.words_per_pkt base_words
+                              ceiling)
+                    rows)
+            results));
+  (* The paper's speedup claim, checked within this run. *)
+  (match List.assoc_opt "audio_router" results with
+  | None -> complain "no audio_router section in this run"
+  | Some rows -> (
+      match (List.assoc_opt "jit" rows, List.assoc_opt "interp" rows) with
+      | Some jit, Some interp ->
+          if jit.pkts_per_s < 2.0 *. interp.pkts_per_s then
+            complain
+              "audio_router: jit %.0f pkts/s is under 2x interp %.0f pkts/s"
+              jit.pkts_per_s interp.pkts_per_s
+      | _ -> complain "audio_router run lacks jit or interp rows"));
+  match !fail with
+  | [] -> Printf.printf "\nperf gate: OK (baseline %s)\n" baseline_path
+  | messages ->
+      Printf.printf "\nperf gate: FAILED\n";
+      List.iter (fun m -> Printf.printf "  - %s\n" m) (List.rev messages);
+      exit 1
+
+let perf () =
+  section "perf -- packet fast path (packets/sec, minor words/packet)";
+  let results = perf_run () in
+  Printf.printf "%-14s %-10s %14s %18s\n" "asp" "backend" "pkts/s"
+    "minor words/pkt";
+  List.iter
+    (fun (key, rows) ->
+      List.iter
+        (fun (backend_name, point) ->
+          Printf.printf "%-14s %-10s %14.0f %18.1f\n" key backend_name
+            point.pkts_per_s point.words_per_pkt)
+        rows)
+    results;
+  let interp_ratio rows =
+    match (List.assoc_opt "jit" rows, List.assoc_opt "interp" rows) with
+    | Some jit, Some interp -> jit.pkts_per_s /. interp.pkts_per_s
+    | _ -> nan
+  in
+  List.iter
+    (fun (key, rows) ->
+      Printf.printf "%-14s jit is %.1fx interp\n" key (interp_ratio rows))
+    results;
+  record "perf" (perf_json results);
+  (match !perf_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out_bin path in
+      output_string oc (Obs.Json.to_string (perf_json results));
+      close_out oc;
+      Printf.printf "\nwrote perf baseline JSON to %s\n" path);
+  match !perf_check with
+  | None -> ()
+  | Some baseline_path -> perf_check_against ~baseline_path results
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   fig3 ();
@@ -813,6 +1087,21 @@ let () =
     | "--json-out" :: [] ->
         prerr_endline "--json-out needs a FILE argument";
         exit 1
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--perf-out" :: path :: rest ->
+        perf_out := Some path;
+        parse rest
+    | "--perf-out" :: [] ->
+        prerr_endline "--perf-out needs a FILE argument";
+        exit 1
+    | "--check" :: path :: rest ->
+        perf_check := Some path;
+        parse rest
+    | "--check" :: [] ->
+        prerr_endline "--check needs a BASELINE argument";
+        exit 1
     | arg :: rest -> arg :: parse rest
   in
   let args = parse args in
@@ -830,9 +1119,10 @@ let () =
           | "backends" -> backends ()
           | "verify" -> verify ()
           | "ext" -> ext ()
+          | "perf" -> perf ()
           | other ->
               Printf.eprintf
-                "unknown section %s (expected fig3|fig6|fig7|fig8|mpeg|backends|verify|ext|all)\n"
+                "unknown section %s (expected fig3|fig6|fig7|fig8|mpeg|backends|verify|ext|perf|all)\n"
                 other;
               exit 1)
         sections);

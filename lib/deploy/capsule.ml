@@ -107,7 +107,9 @@ let encode msg =
       write_string w n.program;
       Payload.Writer.u32 w n.epoch;
       write_string w n.reason);
-  Payload.Writer.finish w
+  (* Wire capsules are checksummed and chunked byte-for-byte downstream:
+     pin the storage to exactly the capsule's own bytes. *)
+  Payload.compact (Payload.Writer.finish w)
 
 let read_string r =
   let n = Payload.Reader.u16 r in

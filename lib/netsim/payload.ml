@@ -1,46 +1,126 @@
-type t = string
+(* Payloads are views, not copies.  A payload is either contiguous — a
+   [base] string with an [off]/[len] window — or a pending concatenation
+   ([parts] non-empty) whose bytes have not been materialized yet.  Byte
+   accessors [force] the node first: one allocation, memoized in place, so
+   repeated access and every slice taken afterwards share the same base.
+   [sub] and [concat] on the per-packet path therefore never copy bytes;
+   only [force] (first byte access of a rope) and [compact]/[to_string] do. *)
 
-let empty = ""
-let of_string s = s
-let to_string p = p
-let of_bytes b = Bytes.to_string b
-let length = String.length
+type t = {
+  mutable base : string;
+  mutable off : int;
+  len : int;
+  mutable parts : t array; (* [||] once contiguous *)
+}
 
-let check p off width op =
-  if off < 0 || off + width > String.length p then
+let empty = { base = ""; off = 0; len = 0; parts = [||] }
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then empty else { base = s; off = 0; len; parts = [||] }
+
+let length t = t.len
+
+let rec blit_to t buf pos =
+  if Array.length t.parts = 0 then (
+    Bytes.blit_string t.base t.off buf pos t.len;
+    pos + t.len)
+  else Array.fold_left (fun pos part -> blit_to part buf pos) pos t.parts
+
+(* Materialize a pending concatenation.  Idempotent and memoizing: the
+   flattened bytes replace the parts in place, so every holder of this
+   node (and every later slice of it) reuses the same base string. *)
+let force t =
+  if Array.length t.parts <> 0 then (
+    let buf = Bytes.create t.len in
+    ignore (blit_to t buf 0);
+    t.base <- Bytes.unsafe_to_string buf;
+    t.off <- 0;
+    t.parts <- [||])
+
+let to_string t =
+  force t;
+  if t.off = 0 && String.length t.base = t.len then t.base
+  else String.sub t.base t.off t.len
+
+let of_bytes b = of_string (Bytes.to_string b)
+
+let check t off width op =
+  if off < 0 || off + width > t.len then
     invalid_arg
       (Printf.sprintf "Payload.%s: offset %d (width %d) out of bounds (len %d)"
-         op off width (String.length p))
+         op off width t.len)
 
-let get_u8 p off =
-  check p off 1 "get_u8";
-  Char.code p.[off]
+let get_u8 t off =
+  check t off 1 "get_u8";
+  force t;
+  Char.code (String.unsafe_get t.base (t.off + off))
 
-let get_u16 p off =
-  check p off 2 "get_u16";
-  (Char.code p.[off] lsl 8) lor Char.code p.[off + 1]
+let get_u16 t off =
+  check t off 2 "get_u16";
+  force t;
+  let base = t.base and o = t.off + off in
+  (Char.code (String.unsafe_get base o) lsl 8)
+  lor Char.code (String.unsafe_get base (o + 1))
 
-let get_u32 p off =
-  check p off 4 "get_u32";
-  (Char.code p.[off] lsl 24)
-  lor (Char.code p.[off + 1] lsl 16)
-  lor (Char.code p.[off + 2] lsl 8)
-  lor Char.code p.[off + 3]
+let get_u32 t off =
+  check t off 4 "get_u32";
+  force t;
+  let base = t.base and o = t.off + off in
+  (Char.code (String.unsafe_get base o) lsl 24)
+  lor (Char.code (String.unsafe_get base (o + 1)) lsl 16)
+  lor (Char.code (String.unsafe_get base (o + 2)) lsl 8)
+  lor Char.code (String.unsafe_get base (o + 3))
 
-let sub p ~pos ~len =
-  check p pos len "sub";
-  String.sub p pos len
+let sub t ~pos ~len =
+  check t pos len "sub";
+  if len = 0 then empty
+  else if pos = 0 && len = t.len then t
+  else (
+    force t;
+    { base = t.base; off = t.off + pos; len; parts = [||] })
 
-let concat parts = String.concat "" parts
-let equal = String.equal
-let fill len byte = String.make len (Char.chr (byte land 0xff))
+let concat parts =
+  match List.filter (fun p -> p.len <> 0) parts with
+  | [] -> empty
+  | [ p ] -> p
+  | parts ->
+      let parts = Array.of_list parts in
+      let len = Array.fold_left (fun acc p -> acc + p.len) 0 parts in
+      { base = ""; off = 0; len; parts }
 
-let pp fmt p =
-  let n = String.length p in
+let equal a b =
+  a == b
+  || a.len = b.len
+     && (force a;
+         force b;
+         let rec go i =
+           i >= a.len
+           || String.unsafe_get a.base (a.off + i)
+              = String.unsafe_get b.base (b.off + i)
+              && go (i + 1)
+         in
+         go 0)
+
+(* Drop any surrounding base: after [compact] the payload's storage is
+   exactly its own bytes.  Mutates in place so all holders of the view
+   stop retaining the larger backing string. *)
+let compact t =
+  force t;
+  if t.off <> 0 || String.length t.base <> t.len then (
+    t.base <- String.sub t.base t.off t.len;
+    t.off <- 0);
+  t
+
+let fill len byte = of_string (String.make len (Char.chr (byte land 0xff)))
+
+let pp fmt t =
+  force t;
+  let n = t.len in
   let shown = min n 16 in
   Format.fprintf fmt "payload[%d:" n;
   for i = 0 to shown - 1 do
-    Format.fprintf fmt " %02x" (Char.code p.[i])
+    Format.fprintf fmt " %02x" (Char.code t.base.[t.off + i])
   done;
   if shown < n then Format.fprintf fmt " ...";
   Format.fprintf fmt "]"
@@ -62,8 +142,14 @@ module Writer = struct
     u8 w v
 
   let string = Buffer.add_string
-  let raw w p = Buffer.add_string w p
-  let finish = Buffer.contents
+
+  (* Walk the rope directly: appending a pending concatenation never
+     forces it. *)
+  let rec raw w p =
+    if Array.length p.parts = 0 then Buffer.add_substring w p.base p.off p.len
+    else Array.iter (raw w) p.parts
+
+  let finish w = of_string (Buffer.contents w)
 end
 
 module Reader = struct
@@ -87,10 +173,14 @@ module Reader = struct
     v
 
   let string r len =
-    let s = sub r.data ~pos:r.pos ~len in
+    let s = to_string (sub r.data ~pos:r.pos ~len) in
     r.pos <- r.pos + len;
     s
 
-  let remaining r = String.length r.data - r.pos
-  let rest r = string r (remaining r)
+  let remaining r = r.data.len - r.pos
+
+  let rest r =
+    let p = sub r.data ~pos:r.pos ~len:(remaining r) in
+    r.pos <- r.data.len;
+    p
 end

@@ -1,9 +1,16 @@
-(** Packet payloads: immutable byte strings with bounds-checked big-endian
+(** Packet payloads: immutable byte sequences with bounds-checked big-endian
     accessors and cursor-style readers/writers.
 
     Application data (audio frames, HTTP requests, MPEG frames) is serialized
     into payloads so that PLAN-P blob primitives operate on real bytes, as in
-    the paper's kernel implementation. *)
+    the paper's kernel implementation.
+
+    Representation: a payload is a [(base, off, len)] view over a shared
+    string, or a lazily-flattened concatenation of such views.  [sub] and
+    [concat] are O(1) and never copy bytes; the first byte access of a
+    concatenation materializes it once (memoized in place).  Use {!compact}
+    at the few sites that need the storage trimmed to exactly the payload's
+    own bytes. *)
 
 type t
 
@@ -20,11 +27,21 @@ val get_u8 : t -> int -> int
 val get_u16 : t -> int -> int
 val get_u32 : t -> int -> int
 
-(** [sub payload ~pos ~len] extracts a slice. *)
+(** [sub payload ~pos ~len] extracts a slice — an O(1) view sharing the
+    parent's bytes, not a copy. *)
 val sub : t -> pos:int -> len:int -> t
 
+(** [concat parts] chains payloads without copying; the bytes are
+    materialized (once) on first byte access. *)
 val concat : t list -> t
+
 val equal : t -> t -> bool
+
+(** [compact payload] trims the backing storage to exactly the payload's
+    own bytes (copying them if the payload was a view into something
+    larger), so long-lived payloads do not retain large parent buffers.
+    Returns the same payload, updated in place. *)
+val compact : t -> t
 
 (** [fill len byte] is a payload of [len] copies of [byte]; used to model
     opaque data of a given size. *)

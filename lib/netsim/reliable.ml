@@ -133,7 +133,12 @@ module Receiver = struct
     let body = packet.Packet.body in
     if Payload.length body >= 5 && Payload.get_u8 body 0 = data_tag then begin
       let seq = Payload.get_u32 body 1 in
-      let payload = Payload.sub body ~pos:5 ~len:(Payload.length body - 5) in
+      (* Buffered out-of-order messages outlive the frame they arrived in:
+         compact so they stop retaining the framed packet body. *)
+      let payload =
+        Payload.compact
+          (Payload.sub body ~pos:5 ~len:(Payload.length body - 5))
+      in
       if seq < t.expected || Hashtbl.mem t.buffered seq then
         t.dup_count <- t.dup_count + 1
       else if seq < t.expected + t.window then begin

@@ -23,3 +23,14 @@ val float_repr : float -> string
 (** [to_string json] renders with two-space indentation and a trailing
     newline. *)
 val to_string : t -> string
+
+(** [of_string s] reads one JSON document — the dialect {!to_string} emits,
+    plus arbitrary whitespace.  Floats whose rendering happens to be integral
+    parse back as [Int]; use {!number} when only the magnitude matters. *)
+val of_string : string -> (t, string) result
+
+(** [member key json] is field [key] of an [Obj], [None] otherwise. *)
+val member : string -> t -> t option
+
+(** [number json] is the numeric value of an [Int] or [Float]. *)
+val number : t -> float option

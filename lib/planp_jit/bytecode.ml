@@ -17,6 +17,12 @@ type instr =
   | Push_try of (string * int) list
   | Pop_try
   | Return
+  (* Superinstructions, produced only by the peephole pass: each replaces a
+     two-instruction sequence, saving one dispatch and one operand-stack
+     round trip. *)
+  | Load_bin of int * Planp.Ast.binop
+  | Const_bin of Planp_runtime.Value.t * Planp.Ast.binop
+  | Cmp_jump of Planp.Ast.binop * int
 
 type func = {
   fn_name : string;
@@ -74,6 +80,13 @@ let pp_instr fmt = function
               handlers))
   | Pop_try -> Format.pp_print_string fmt "pop_try"
   | Return -> Format.pp_print_string fmt "return"
+  | Load_bin (slot, op) -> Format.fprintf fmt "load_bin %d %s" slot (binop_name op)
+  | Const_bin (value, op) ->
+      Format.fprintf fmt "const_bin %s %s"
+        (Planp_runtime.Value.to_string value)
+        (binop_name op)
+  | Cmp_jump (op, target) ->
+      Format.fprintf fmt "cmp_jump %s %d" (binop_name op) target
 
 let pp_func fmt func =
   Format.fprintf fmt "@[<v 2>%s (params=%d locals=%d):" func.fn_name

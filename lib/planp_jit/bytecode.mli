@@ -26,6 +26,12 @@ type instr =
   | Push_try of (string * int) list  (** handler table: (exception, target) *)
   | Pop_try
   | Return
+  | Load_bin of int * Planp.Ast.binop
+      (** superinstruction: [Load slot; Bin op] — pop left, right from slot *)
+  | Const_bin of Planp_runtime.Value.t * Planp.Ast.binop
+      (** superinstruction: [Const v; Bin op] — pop left, right is [v] *)
+  | Cmp_jump of Planp.Ast.binop * int
+      (** superinstruction: [Bin cmp; Jump_if_false target] *)
 
 type func = {
   fn_name : string;

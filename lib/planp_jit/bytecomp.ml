@@ -84,6 +84,89 @@ let alloc_local env name =
   if slot + 1 > !(env.max_local) then env.max_local := slot + 1;
   ({ env with locals = (name, slot) :: env.locals; next_local = slot + 1 }, slot)
 
+(* Peephole pass: fuse adjacent instruction pairs into the superinstructions
+   of {!Bytecode} ([Load/Const + Bin] and [compare + Jump_if_false]),
+   halving dispatch on the hottest arithmetic/branch sequences.  A pair is
+   only fused when no jump lands on its second instruction; all jump
+   targets (including try-handler tables) are remapped to the compacted
+   indices. *)
+module Peephole = struct
+  let fusible_bin = function Ast.And | Ast.Or -> false | _ -> true
+
+  let comparison = function
+    | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge -> true
+    | _ -> false
+
+  let run code =
+    let n = Array.length code in
+    let is_target = Array.make (n + 1) false in
+    Array.iter
+      (fun instr ->
+        match instr with
+        | Bytecode.Jump target | Bytecode.Jump_if_false target ->
+            is_target.(target) <- true
+        | Bytecode.Push_try handlers ->
+            List.iter (fun (_, target) -> is_target.(target) <- true) handlers
+        | _ -> ())
+      code;
+    (* Decide fusions: [fused.(i)] replaces the pair (i, i+1); the dropped
+       second instruction gets [keep.(i+1) = false]. *)
+    let keep = Array.make n true in
+    let fused = Array.make n None in
+    let i = ref 0 in
+    while !i < n - 1 do
+      let pair =
+        if is_target.(!i + 1) then None
+        else
+          match (code.(!i), code.(!i + 1)) with
+          | Bytecode.Load slot, Bytecode.Bin op when fusible_bin op ->
+              Some (Bytecode.Load_bin (slot, op))
+          | Bytecode.Const value, Bytecode.Bin op when fusible_bin op ->
+              Some (Bytecode.Const_bin (value, op))
+          | Bytecode.Bin op, Bytecode.Jump_if_false target when comparison op
+            ->
+              Some (Bytecode.Cmp_jump (op, target))
+          | _ -> None
+      in
+      match pair with
+      | Some instr ->
+          fused.(!i) <- Some instr;
+          keep.(!i + 1) <- false;
+          i := !i + 2
+      | None -> incr i
+    done;
+    let new_index = Array.make (n + 1) 0 in
+    let count = ref 0 in
+    for j = 0 to n - 1 do
+      new_index.(j) <- !count;
+      if keep.(j) then incr count
+    done;
+    new_index.(n) <- !count;
+    let remap target = new_index.(target) in
+    let out = Array.make !count Bytecode.Return in
+    let k = ref 0 in
+    for j = 0 to n - 1 do
+      if keep.(j) then begin
+        let instr = match fused.(j) with Some f -> f | None -> code.(j) in
+        out.(!k) <-
+          (match instr with
+          | Bytecode.Jump target -> Bytecode.Jump (remap target)
+          | Bytecode.Jump_if_false target ->
+              Bytecode.Jump_if_false (remap target)
+          | Bytecode.Cmp_jump (op, target) ->
+              Bytecode.Cmp_jump (op, remap target)
+          | Bytecode.Push_try handlers ->
+              Bytecode.Push_try
+                (List.map
+                   (fun (exn_name, target) -> (exn_name, remap target))
+                   handlers)
+          | other -> other);
+        incr k
+      end
+    done;
+    out
+end
+
 let rec compile env emitter (expr : Ast.expr) =
   let emit = Emitter.emit emitter in
   match expr.Ast.desc with
@@ -215,7 +298,7 @@ let compile_function ~globals ~fun_index ~pool ~params body ~name =
   Emitter.emit emitter Bytecode.Return;
   {
     Bytecode.fn_name = name;
-    code = Emitter.finish emitter;
+    code = Peephole.run (Emitter.finish emitter);
     n_locals = !(env.max_local);
     n_params = List.length params;
   }
@@ -290,8 +373,8 @@ let backend =
                   Obs.Registry.add m_instrs (!Vm.instrs_executed - instrs0);
                   Obs.Registry.add m_prims (!Vm.prim_calls - prims0))
                 (fun () ->
-                  match Vm.call unit_ ~fn world [ ps; ss; pkt ] with
-                  | Value.Vtuple [ ps'; ss' ] -> (ps', ss')
+                  match Vm.call unit_ ~fn world [| ps; ss; pkt |] with
+                  | Value.Vtuple [| ps'; ss' |] -> (ps', ss')
                   | value ->
                       Value.type_error
                         ~expected:"(protocol, channel) state pair" value)

@@ -107,7 +107,7 @@ let rec fold env (expr : Ast.expr) : Ast.expr =
             match Prim.find name with
             | Some prim -> (
                 let world, _, _ = Planp_runtime.World.dummy () in
-                match prim.Prim.impl world values with
+                match prim.Prim.impl world (Array.of_list values) with
                 | value -> (
                     match expr_of_literal loc value with
                     | Some literal -> literal

@@ -4,11 +4,34 @@ module World = Planp_runtime.World
 module Prim = Planp_runtime.Prim
 module Backend = Planp_runtime.Backend
 
-(* Run-time state of compiled code: the world and a flat frame of locals.
-   Everything else (names, types, AST) is gone after compilation. *)
-type rt = { world : World.t; frame : Value.t array }
+(* Run-time state of compiled code: the world and a slice of the channel's
+   slot arena.  The arena is allocated once per compiled channel and reused
+   for every packet; a function call carves its frame out of the region
+   above [top] instead of allocating.  Everything else (names, types, AST)
+   is gone after compilation.
+
+   Safety of the reuse: packet executions never nest.  Channel code runs
+   only from the engine's event loop, and the world's [emit]/[deliver]
+   effects enqueue further work through the engine rather than executing
+   another channel synchronously.  PLAN-P functions cannot recurse (the
+   type checker only admits calls to previously declared functions), so a
+   call site's frame region is never live twice. *)
+type arena = { mutable data : Value.t array; mutable top : int }
+type rt = { world : World.t; arena : arena; base : int }
 type compiled = rt -> Value.t
 type code = { entry : compiled; frame_size : int; param_count : int }
+
+let make_arena size = { data = Array.make (Int.max size 16) Value.Vunit; top = 0 }
+
+let ensure arena needed =
+  if needed > Array.length arena.data then (
+    let cap = ref (2 * Array.length arena.data) in
+    while needed > !cap do
+      cap := !cap * 2
+    done;
+    let data = Array.make !cap Value.Vunit in
+    Array.blit arena.data 0 data 0 arena.top;
+    arena.data <- data)
 
 (* Compile-time environment: where does a name live? *)
 type binding = Global of Value.t | Slot of int
@@ -52,12 +75,12 @@ let compile_arith op (l : compiled) (r : compiled) : compiled =
         let b = Value.as_int (r rt) in
         if b = 0 then raise (Value.Planp_raise "DivByZero")
         else Value.Vint (Value.as_int (l rt) mod b)
-  | Ast.Eq -> fun rt -> Value.Vbool (Value.equal (l rt) (r rt))
-  | Ast.Ne -> fun rt -> Value.Vbool (not (Value.equal (l rt) (r rt)))
-  | Ast.Lt -> fun rt -> Value.Vbool (Value.compare_values (l rt) (r rt) < 0)
-  | Ast.Gt -> fun rt -> Value.Vbool (Value.compare_values (l rt) (r rt) > 0)
-  | Ast.Le -> fun rt -> Value.Vbool (Value.compare_values (l rt) (r rt) <= 0)
-  | Ast.Ge -> fun rt -> Value.Vbool (Value.compare_values (l rt) (r rt) >= 0)
+  | Ast.Eq -> fun rt -> Value.vbool (Value.equal (l rt) (r rt))
+  | Ast.Ne -> fun rt -> Value.vbool (not (Value.equal (l rt) (r rt)))
+  | Ast.Lt -> fun rt -> Value.vbool (Value.compare_values (l rt) (r rt) < 0)
+  | Ast.Gt -> fun rt -> Value.vbool (Value.compare_values (l rt) (r rt) > 0)
+  | Ast.Le -> fun rt -> Value.vbool (Value.compare_values (l rt) (r rt) <= 0)
+  | Ast.Ge -> fun rt -> Value.vbool (Value.compare_values (l rt) (r rt) >= 0)
   | Ast.Concat ->
       fun rt -> Value.Vstring (Value.as_string (l rt) ^ Value.as_string (r rt))
   | Ast.And | Ast.Or -> assert false (* short-circuit: handled in compile *)
@@ -68,7 +91,7 @@ let rec compile ctx (expr : Ast.expr) : compiled =
       let v = Value.Vint n in
       fun _ -> v
   | Ast.Bool b ->
-      let v = Value.Vbool b in
+      let v = Value.vbool b in
       fun _ -> v
   | Ast.String s ->
       let v = Value.Vstring s in
@@ -83,7 +106,7 @@ let rec compile ctx (expr : Ast.expr) : compiled =
   | Ast.Var name -> (
       match lookup ctx name with
       | Global value -> fun _ -> value
-      | Slot slot -> fun rt -> rt.frame.(slot))
+      | Slot slot -> fun rt -> rt.arena.data.(rt.base + slot))
   | Ast.Call (name, args) -> (
       let arg_codes = Array.of_list (List.map (compile ctx) args) in
       match Hashtbl.find_opt ctx.funs name with
@@ -91,30 +114,62 @@ let rec compile ctx (expr : Ast.expr) : compiled =
           if fc_params <> Array.length arg_codes then
             raise (Value.Runtime_error ("specialize: bad arity for " ^ name));
           fun rt ->
-            let frame = Array.make fc_frame Value.Vunit in
-            Array.iteri (fun i code -> frame.(i) <- code rt) arg_codes;
-            fc_body { rt with frame }
+            let arena = rt.arena in
+            let base = arena.top in
+            ensure arena (base + fc_frame);
+            (* Bump before evaluating arguments: a call inside an argument
+               expression then builds its own frame above this one. *)
+            arena.top <- base + fc_frame;
+            for i = 0 to Array.length arg_codes - 1 do
+              let v = (Array.unsafe_get arg_codes i) rt in
+              arena.data.(base + i) <- v
+            done;
+            let result = fc_body { world = rt.world; arena; base } in
+            arena.top <- base;
+            result
       | None ->
           let prim = Prim.find_exn name in
           let impl = prim.Prim.impl in
-          (* Small arities unrolled so the hot path allocates one short
-             list, no Array->list conversion. *)
+          (* Per-call-site scratch argument buffers: functions cannot
+             recurse and packet executions never nest, so each site's
+             buffer is dead again by the time the primitive returns (the
+             Prim.impl contract forbids retaining it). *)
           (match arg_codes with
-          | [||] -> fun rt -> impl rt.world []
-          | [| a |] -> fun rt -> impl rt.world [ a rt ]
-          | [| a; b |] -> fun rt -> impl rt.world [ a rt; b rt ]
-          | [| a; b; c |] -> fun rt -> impl rt.world [ a rt; b rt; c rt ]
+          | [||] -> fun rt -> impl rt.world [||]
+          | [| a |] ->
+              let scratch = [| Value.Vunit |] in
+              fun rt ->
+                scratch.(0) <- a rt;
+                impl rt.world scratch
+          | [| a; b |] ->
+              let scratch = [| Value.Vunit; Value.Vunit |] in
+              fun rt ->
+                scratch.(0) <- a rt;
+                scratch.(1) <- b rt;
+                impl rt.world scratch
+          | [| a; b; c |] ->
+              let scratch = [| Value.Vunit; Value.Vunit; Value.Vunit |] in
+              fun rt ->
+                scratch.(0) <- a rt;
+                scratch.(1) <- b rt;
+                scratch.(2) <- c rt;
+                impl rt.world scratch
           | codes ->
-              fun rt -> impl rt.world (Array.to_list (Array.map (fun c -> c rt) codes))))
+              let scratch = Array.make (Array.length codes) Value.Vunit in
+              fun rt ->
+                for i = 0 to Array.length codes - 1 do
+                  scratch.(i) <- (Array.unsafe_get codes i) rt
+                done;
+                impl rt.world scratch))
   | Ast.Tuple components ->
       let codes = Array.of_list (List.map (compile ctx) components) in
-      fun rt -> Value.Vtuple (Array.to_list (Array.map (fun c -> c rt) codes))
+      fun rt -> Value.Vtuple (Array.map (fun c -> c rt) codes)
   | Ast.Proj (index, operand) ->
       let code = compile ctx operand in
       let i = index - 1 in
       fun rt -> (
         match code rt with
-        | Value.Vtuple components -> List.nth components i
+        | Value.Vtuple components -> components.(i)
         | value -> Value.type_error ~expected:"tuple" value)
   | Ast.Let (bindings, body) ->
       (* Each binding compiles to a slot store; the body sees the slots. *)
@@ -125,7 +180,8 @@ let rec compile ctx (expr : Ast.expr) : compiled =
             let ctx', slot = bind ctx bind_name in
             let rest_code = chain ctx' rest in
             fun rt ->
-              rt.frame.(slot) <- value_code rt;
+              let v = value_code rt in
+              rt.arena.data.(rt.base + slot) <- v;
               rest_code rt
       in
       chain ctx bindings
@@ -136,15 +192,15 @@ let rec compile ctx (expr : Ast.expr) : compiled =
       fun rt -> if Value.as_bool (cond_code rt) then then_code rt else else_code rt
   | Ast.Binop (Ast.And, left, right) ->
       let l = compile ctx left and r = compile ctx right in
-      fun rt -> if Value.as_bool (l rt) then r rt else Value.Vbool false
+      fun rt -> if Value.as_bool (l rt) then r rt else Value.vfalse
   | Ast.Binop (Ast.Or, left, right) ->
       let l = compile ctx left and r = compile ctx right in
-      fun rt -> if Value.as_bool (l rt) then Value.Vbool true else r rt
+      fun rt -> if Value.as_bool (l rt) then Value.vtrue else r rt
   | Ast.Binop (op, left, right) ->
       compile_arith op (compile ctx left) (compile ctx right)
   | Ast.Unop (Ast.Not, operand) ->
       let code = compile ctx operand in
-      fun rt -> Value.Vbool (not (Value.as_bool (code rt)))
+      fun rt -> Value.vbool (not (Value.as_bool (code rt)))
   | Ast.Unop (Ast.Neg, operand) ->
       let code = compile ctx operand in
       fun rt -> Value.Vint (-Value.as_int (code rt))
@@ -174,6 +230,9 @@ let rec compile ctx (expr : Ast.expr) : compiled =
       fun rt -> (
         try body_code rt
         with Value.Planp_raise exn_name as original -> (
+          (* The frame region of any call the raise unwound stays bumped
+             until the channel exec resets [top]; handlers just allocate
+             above it. *)
           match List.assoc_opt exn_name handler_codes with
           | Some handler -> handler rt
           | None -> raise original))
@@ -215,13 +274,17 @@ let compile_channel ~global_bindings ~funs (chan : Ast.channel) =
   let ctx, pkt_slot = bind ctx chan.Ast.pkt_name in
   let body = compile ctx chan.Ast.body in
   let frame_size = !(ctx.max_slot) in
+  let arena = make_arena frame_size in
   fun world ~ps ~ss ~pkt ->
-    let frame = Array.make frame_size Value.Vunit in
-    frame.(ps_slot) <- ps;
-    frame.(ss_slot) <- ss;
-    frame.(pkt_slot) <- pkt;
-    match body { world; frame } with
-    | Value.Vtuple [ ps'; ss' ] -> (ps', ss')
+    (* Resetting [top] here also heals any inflation a previous packet's
+       escaped exception left behind. *)
+    arena.top <- frame_size;
+    let data = arena.data in
+    data.(ps_slot) <- ps;
+    data.(ss_slot) <- ss;
+    data.(pkt_slot) <- pkt;
+    match body { world; arena; base = 0 } with
+    | Value.Vtuple [| ps'; ss' |] -> (ps', ss')
     | value -> Value.type_error ~expected:"(protocol, channel) state pair" value
 
 let backend =
@@ -268,6 +331,10 @@ let compile_expr ~globals ~params expr =
   { entry; frame_size = !(ctx.max_slot); param_count = List.length params }
 
 let run code world args =
-  let frame = Array.make (Int.max code.frame_size code.param_count) Value.Vunit in
-  List.iteri (fun i value -> if i < code.param_count then frame.(i) <- value) args;
-  code.entry { world; frame }
+  let size = Int.max code.frame_size code.param_count in
+  let arena = make_arena size in
+  arena.top <- size;
+  List.iteri
+    (fun i value -> if i < code.param_count then arena.data.(i) <- value)
+    args;
+  code.entry { world; arena; base = 0 }

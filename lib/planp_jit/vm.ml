@@ -8,37 +8,89 @@ type try_frame = { handlers : (string * int) list; saved_sp : int }
 let instrs_executed = ref 0
 let prim_calls = ref 0
 
-let rec call unit_ ~fn world args =
-  let func = unit_.Bytecode.funcs.(fn) in
-  let locals = Array.make (Int.max func.Bytecode.n_locals 1) Value.Vunit in
-  List.iteri
-    (fun i value ->
-      if i < func.Bytecode.n_params then locals.(i) <- value
-      else raise (Value.Runtime_error "vm: too many arguments"))
-    args;
-  let stack = ref (Array.make 32 Value.Vunit) in
-  let sp = ref 0 in
-  let push value =
-    if !sp = Array.length !stack then begin
-      let grown = Array.make (2 * Array.length !stack) Value.Vunit in
-      Array.blit !stack 0 grown 0 !sp;
-      stack := grown
-    end;
-    !stack.(!sp) <- value;
-    incr sp
-  in
-  let pop () =
-    if !sp = 0 then raise (Value.Runtime_error "vm: stack underflow");
-    decr sp;
-    !stack.(!sp)
-  in
-  let pop_n n =
-    let values = ref [] in
-    for _ = 1 to n do
-      values := pop () :: !values
+(* One growable value arena holds every frame of an execution: the layout
+   is [caller frames... | locals | operand stack].  A call carves the
+   callee's frame out of the same arena — its arguments, already on the
+   operand stack, become its first locals in place — so steady-state
+   execution allocates nothing per call.
+
+   The arena is pooled (one slot) and reused across packets.  If a packet
+   execution somehow re-enters the VM while the pooled arena is busy, the
+   inner execution just pays for a fresh arena — correctness never depends
+   on the pool. *)
+type arena = { mutable data : Value.t array; mutable sp : int }
+
+let ensure arena needed =
+  if needed > Array.length arena.data then begin
+    let cap = ref (2 * Array.length arena.data) in
+    while needed > !cap do
+      cap := 2 * !cap
     done;
-    !values
+    let grown = Array.make !cap Value.Vunit in
+    Array.blit arena.data 0 grown 0 arena.sp;
+    arena.data <- grown
+  end
+
+let push arena value =
+  if arena.sp = Array.length arena.data then ensure arena (arena.sp + 1);
+  Array.unsafe_set arena.data arena.sp value;
+  arena.sp <- arena.sp + 1
+
+let pooled = { data = Array.make 256 Value.Vunit; sp = 0 }
+let pool_busy = ref false
+
+let take_arena () =
+  if !pool_busy then { data = Array.make 256 Value.Vunit; sp = 0 }
+  else begin
+    pool_busy := true;
+    pooled
+  end
+
+let release_arena arena = if arena == pooled then pool_busy := false
+
+(* Per-arity scratch buffers for primitive arguments.  The Prim.impl
+   contract (see prim.mli) lets us reuse them: implementations read their
+   arguments before any world effect and never retain the array. *)
+let arg_scratch = Array.init 9 (fun n -> Array.make n Value.Vunit)
+
+let eval_binop op left right =
+  match op with
+  | Planp.Ast.Add -> Value.Vint (Value.as_int left + Value.as_int right)
+  | Planp.Ast.Sub -> Value.Vint (Value.as_int left - Value.as_int right)
+  | Planp.Ast.Mul -> Value.Vint (Value.as_int left * Value.as_int right)
+  | Planp.Ast.Div ->
+      let divisor = Value.as_int right in
+      if divisor = 0 then raise (Value.Planp_raise "DivByZero")
+      else Value.Vint (Value.as_int left / divisor)
+  | Planp.Ast.Mod ->
+      let divisor = Value.as_int right in
+      if divisor = 0 then raise (Value.Planp_raise "DivByZero")
+      else Value.Vint (Value.as_int left mod divisor)
+  | Planp.Ast.Eq -> Value.vbool (Value.equal left right)
+  | Planp.Ast.Ne -> Value.vbool (not (Value.equal left right))
+  | Planp.Ast.Lt -> Value.vbool (Value.compare_values left right < 0)
+  | Planp.Ast.Gt -> Value.vbool (Value.compare_values left right > 0)
+  | Planp.Ast.Le -> Value.vbool (Value.compare_values left right <= 0)
+  | Planp.Ast.Ge -> Value.vbool (Value.compare_values left right >= 0)
+  | Planp.Ast.Concat ->
+      Value.Vstring (Value.as_string left ^ Value.as_string right)
+  | Planp.Ast.And | Planp.Ast.Or ->
+      raise (Value.Runtime_error "vm: short-circuit op in Bin")
+
+(* Run function [fn] whose frame starts at [base]; the caller has already
+   placed the arguments at [base .. base+argc-1]. *)
+let rec exec unit_ ~fn world arena ~base =
+  let func = unit_.Bytecode.funcs.(fn) in
+  let stack_base = base + Int.max func.Bytecode.n_locals 1 in
+  ensure arena stack_base;
+  arena.sp <- stack_base;
+  let pop () =
+    if arena.sp <= stack_base then
+      raise (Value.Runtime_error "vm: stack underflow");
+    arena.sp <- arena.sp - 1;
+    Array.unsafe_get arena.data arena.sp
   in
+  let local slot = arena.data.(base + slot) in
   let tries = ref [] in
   let pc = ref 0 in
   let result = ref None in
@@ -52,7 +104,7 @@ let rec call unit_ ~fn world args =
           match List.assoc_opt exn_name frame.handlers with
           | Some target ->
               tries := rest;
-              sp := frame.saved_sp;
+              arena.sp <- frame.saved_sp;
               pc := target
           | None -> unwind rest)
     in
@@ -66,67 +118,80 @@ let rec call unit_ ~fn world args =
     incr instrs_executed;
     try
       match instr with
-      | Bytecode.Const value -> push value
-      | Bytecode.Load slot -> push locals.(slot)
-      | Bytecode.Store slot -> locals.(slot) <- pop ()
+      | Bytecode.Const value -> push arena value
+      | Bytecode.Load slot -> push arena (local slot)
+      | Bytecode.Store slot -> arena.data.(base + slot) <- pop ()
       | Bytecode.Pop -> ignore (pop ())
       | Bytecode.Jump target -> pc := target
       | Bytecode.Jump_if_false target ->
           if not (Value.as_bool (pop ())) then pc := target
-      | Bytecode.Make_tuple n -> push (Value.Vtuple (pop_n n))
+      | Bytecode.Make_tuple n ->
+          let tbase = arena.sp - n in
+          if tbase < stack_base then
+            raise (Value.Runtime_error "vm: stack underflow");
+          let components = Array.sub arena.data tbase n in
+          arena.sp <- tbase;
+          push arena (Value.Vtuple components)
       | Bytecode.Get_field i -> (
           match pop () with
-          | Value.Vtuple components when i < List.length components ->
-              push (List.nth components i)
+          | Value.Vtuple components when i < Array.length components ->
+              push arena (Array.unsafe_get components i)
           | value -> Value.type_error ~expected:"tuple" value)
       | Bytecode.Call_prim (pool_index, argc) ->
           let prim = unit_.Bytecode.pool.(pool_index) in
           incr prim_calls;
-          push (prim.Prim.impl world (pop_n argc))
+          let abase = arena.sp - argc in
+          if abase < stack_base then
+            raise (Value.Runtime_error "vm: stack underflow");
+          let args =
+            if argc < Array.length arg_scratch then arg_scratch.(argc)
+            else Array.make argc Value.Vunit
+          in
+          Array.blit arena.data abase args 0 argc;
+          arena.sp <- abase;
+          push arena (prim.Prim.impl world args)
       | Bytecode.Call_fun (index, argc) ->
-          push (call unit_ ~fn:index world (pop_n argc))
-      | Bytecode.Bin op -> (
+          (* The argc stack values become the callee's first locals in
+             place; the callee's frame replaces them on the stack. *)
+          let cbase = arena.sp - argc in
+          if cbase < stack_base then
+            raise (Value.Runtime_error "vm: stack underflow");
+          let value = exec unit_ ~fn:index world arena ~base:cbase in
+          arena.sp <- cbase;
+          push arena value
+      | Bytecode.Bin op ->
           let right = pop () in
           let left = pop () in
-          match op with
-          | Planp.Ast.Add ->
-              push (Value.Vint (Value.as_int left + Value.as_int right))
-          | Planp.Ast.Sub ->
-              push (Value.Vint (Value.as_int left - Value.as_int right))
-          | Planp.Ast.Mul ->
-              push (Value.Vint (Value.as_int left * Value.as_int right))
-          | Planp.Ast.Div ->
-              let divisor = Value.as_int right in
-              if divisor = 0 then raise (Value.Planp_raise "DivByZero")
-              else push (Value.Vint (Value.as_int left / divisor))
-          | Planp.Ast.Mod ->
-              let divisor = Value.as_int right in
-              if divisor = 0 then raise (Value.Planp_raise "DivByZero")
-              else push (Value.Vint (Value.as_int left mod divisor))
-          | Planp.Ast.Eq -> push (Value.Vbool (Value.equal left right))
-          | Planp.Ast.Ne -> push (Value.Vbool (not (Value.equal left right)))
-          | Planp.Ast.Lt ->
-              push (Value.Vbool (Value.compare_values left right < 0))
-          | Planp.Ast.Gt ->
-              push (Value.Vbool (Value.compare_values left right > 0))
-          | Planp.Ast.Le ->
-              push (Value.Vbool (Value.compare_values left right <= 0))
-          | Planp.Ast.Ge ->
-              push (Value.Vbool (Value.compare_values left right >= 0))
-          | Planp.Ast.Concat ->
-              push
-                (Value.Vstring (Value.as_string left ^ Value.as_string right))
-          | Planp.Ast.And | Planp.Ast.Or ->
-              raise (Value.Runtime_error "vm: short-circuit op in Bin"))
-      | Bytecode.Not_op -> push (Value.Vbool (not (Value.as_bool (pop ()))))
-      | Bytecode.Neg_op -> push (Value.Vint (-Value.as_int (pop ())))
+          push arena (eval_binop op left right)
+      | Bytecode.Load_bin (slot, op) ->
+          let right = local slot in
+          let left = pop () in
+          push arena (eval_binop op left right)
+      | Bytecode.Const_bin (value, op) ->
+          let left = pop () in
+          push arena (eval_binop op left value)
+      | Bytecode.Cmp_jump (op, target) ->
+          let right = pop () in
+          let left = pop () in
+          let taken =
+            match op with
+            | Planp.Ast.Eq -> Value.equal left right
+            | Planp.Ast.Ne -> not (Value.equal left right)
+            | Planp.Ast.Lt -> Value.compare_values left right < 0
+            | Planp.Ast.Gt -> Value.compare_values left right > 0
+            | Planp.Ast.Le -> Value.compare_values left right <= 0
+            | Planp.Ast.Ge -> Value.compare_values left right >= 0
+            | _ -> raise (Value.Runtime_error "vm: non-comparison in cmp_jump")
+          in
+          if not taken then pc := target
+      | Bytecode.Not_op -> push arena (Value.vbool (not (Value.as_bool (pop ()))))
+      | Bytecode.Neg_op -> push arena (Value.Vint (-Value.as_int (pop ())))
       | Bytecode.Emit (target, chan) ->
           world.Planp_runtime.World.emit target ~chan (pop ());
-          push Value.Vunit
-      | Bytecode.Raise_exn exn_name ->
-          raise (Value.Planp_raise exn_name)
+          push arena Value.Vunit
+      | Bytecode.Raise_exn exn_name -> raise (Value.Planp_raise exn_name)
       | Bytecode.Push_try handlers ->
-          tries := { handlers; saved_sp = !sp } :: !tries
+          tries := { handlers; saved_sp = arena.sp } :: !tries
       | Bytecode.Pop_try -> (
           match !tries with
           | _ :: rest -> tries := rest
@@ -138,3 +203,20 @@ let rec call unit_ ~fn world args =
   match !result with
   | Some value -> value
   | None -> raise (Value.Runtime_error "vm: no result")
+
+let call unit_ ~fn world (args : Value.t array) =
+  let func = unit_.Bytecode.funcs.(fn) in
+  if Array.length args > func.Bytecode.n_params then
+    raise (Value.Runtime_error "vm: too many arguments");
+  let arena = take_arena () in
+  arena.sp <- 0;
+  ensure arena (Array.length args);
+  Array.blit args 0 arena.data 0 (Array.length args);
+  arena.sp <- Array.length args;
+  match exec unit_ ~fn world arena ~base:0 with
+  | value ->
+      release_arena arena;
+      value
+  | exception e ->
+      release_arena arena;
+      raise e

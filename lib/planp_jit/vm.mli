@@ -1,12 +1,14 @@
 (** The bytecode virtual machine.
 
-    A straightforward threaded loop over {!Bytecode.instr} with an operand
-    stack, per-frame locals, and a try stack for PLAN-P exceptions.
-    Deliberately *not* specialized: it is the baseline the JIT is measured
-    against. *)
+    A threaded loop over {!Bytecode.instr} with locals and operand stack
+    living in one pooled, growable arena that is reused across packets;
+    function calls carve their frame out of the same arena, so steady-state
+    execution does not allocate per call. Deliberately *not* specialized:
+    it is the baseline the JIT is measured against. *)
 
 (** [call unit_ ~fn world args] runs function [fn] of the unit with [args]
-    in its parameter slots and returns the value left on the stack.
+    in its parameter slots and returns the value left on the stack. The
+    argument array is copied at entry; the caller keeps ownership.
     @raise Value.Planp_raise on uncaught PLAN-P exceptions.
     @raise Value.Runtime_error on stack/code inconsistencies (compiler
     bugs). *)
@@ -14,7 +16,7 @@ val call :
   Bytecode.unit_ ->
   fn:int ->
   Planp_runtime.World.t ->
-  Planp_runtime.Value.t list ->
+  Planp_runtime.Value.t array ->
   Planp_runtime.Value.t
 
 (** Process-wide profiling cells: instructions dispatched and primitives

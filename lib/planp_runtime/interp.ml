@@ -45,7 +45,7 @@ let rec eval ctx env (expr : Ast.expr) =
   incr eval_steps;
   match expr.Ast.desc with
   | Ast.Int n -> Value.Vint n
-  | Ast.Bool b -> Value.Vbool b
+  | Ast.Bool b -> Value.vbool b
   | Ast.String s -> Value.Vstring s
   | Ast.Char c -> Value.Vchar c
   | Ast.Unit -> Value.Vunit
@@ -54,12 +54,13 @@ let rec eval ctx env (expr : Ast.expr) =
   | Ast.Call (name, args) ->
       let arg_values = List.map (eval ctx env) args in
       apply ctx name arg_values
-  | Ast.Tuple components -> Value.Vtuple (List.map (eval ctx env) components)
+  | Ast.Tuple components ->
+      Value.Vtuple (Array.of_list (List.map (eval ctx env) components))
   | Ast.Proj (index, operand) -> (
       match eval ctx env operand with
-      | Value.Vtuple components when index >= 1 && index <= List.length components
-        ->
-          List.nth components (index - 1)
+      | Value.Vtuple components
+        when index >= 1 && index <= Array.length components ->
+          Array.unsafe_get components (index - 1)
       | value -> Value.type_error ~expected:"tuple" value)
   | Ast.Let (bindings, body) ->
       let env =
@@ -74,30 +75,30 @@ let rec eval ctx env (expr : Ast.expr) =
       else eval ctx env else_branch
   | Ast.Binop (Ast.And, left, right) ->
       if Value.as_bool (eval ctx env left) then eval ctx env right
-      else Value.Vbool false
+      else Value.vfalse
   | Ast.Binop (Ast.Or, left, right) ->
-      if Value.as_bool (eval ctx env left) then Value.Vbool true
+      if Value.as_bool (eval ctx env left) then Value.vtrue
       else eval ctx env right
   | Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod) as op), l, r)
     ->
       arith op (eval ctx env l) (eval ctx env r)
   | Ast.Binop (Ast.Eq, l, r) ->
-      Value.Vbool (Value.equal (eval ctx env l) (eval ctx env r))
+      Value.vbool (Value.equal (eval ctx env l) (eval ctx env r))
   | Ast.Binop (Ast.Ne, l, r) ->
-      Value.Vbool (not (Value.equal (eval ctx env l) (eval ctx env r)))
+      Value.vbool (not (Value.equal (eval ctx env l) (eval ctx env r)))
   | Ast.Binop (Ast.Lt, l, r) ->
-      Value.Vbool (Value.compare_values (eval ctx env l) (eval ctx env r) < 0)
+      Value.vbool (Value.compare_values (eval ctx env l) (eval ctx env r) < 0)
   | Ast.Binop (Ast.Gt, l, r) ->
-      Value.Vbool (Value.compare_values (eval ctx env l) (eval ctx env r) > 0)
+      Value.vbool (Value.compare_values (eval ctx env l) (eval ctx env r) > 0)
   | Ast.Binop (Ast.Le, l, r) ->
-      Value.Vbool (Value.compare_values (eval ctx env l) (eval ctx env r) <= 0)
+      Value.vbool (Value.compare_values (eval ctx env l) (eval ctx env r) <= 0)
   | Ast.Binop (Ast.Ge, l, r) ->
-      Value.Vbool (Value.compare_values (eval ctx env l) (eval ctx env r) >= 0)
+      Value.vbool (Value.compare_values (eval ctx env l) (eval ctx env r) >= 0)
   | Ast.Binop (Ast.Concat, l, r) ->
       Value.Vstring
         (Value.as_string (eval ctx env l) ^ Value.as_string (eval ctx env r))
   | Ast.Unop (Ast.Not, operand) ->
-      Value.Vbool (not (Value.as_bool (eval ctx env operand)))
+      Value.vbool (not (Value.as_bool (eval ctx env operand)))
   | Ast.Unop (Ast.Neg, operand) ->
       Value.Vint (-Value.as_int (eval ctx env operand))
   | Ast.Seq (left, right) ->
@@ -129,7 +130,7 @@ and apply ctx name arg_values =
   | None ->
       let prim = Prim.find_exn name in
       incr prim_calls;
-      prim.Prim.impl ctx.world arg_values
+      prim.Prim.impl ctx.world (Array.of_list arg_values)
 
 let eval_const ~world ~globals expr =
   let ctx = make_ctx ~world ~funs:[] ~globals in
@@ -182,7 +183,7 @@ let backend =
                   Obs.Registry.add m_prims (!prim_calls - prims0))
                 (fun () ->
                   match eval ctx env chan.Ast.body with
-                  | Value.Vtuple [ ps'; ss' ] -> (ps', ss')
+                  | Value.Vtuple [| ps'; ss' |] -> (ps', ss')
                   | value ->
                       Value.type_error
                         ~expected:"(protocol, channel) state pair" value)

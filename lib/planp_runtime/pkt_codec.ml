@@ -105,45 +105,70 @@ let decode pkt_type (packet : Packet.t) =
           | Some payload_values ->
               Some
                 (Value.Vtuple
-                   ((Value.Vip (ip_view_of packet) :: transport_values)
-                   @ payload_values))))
+                   (Array.of_list
+                      ((Value.Vip (ip_view_of packet) :: transport_values)
+                      @ payload_values)))))
 
 let matches pkt_type packet = Option.is_some (decode pkt_type packet)
 
-let encode_payload components =
-  let writer = Payload.Writer.create () in
-  List.iter
-    (fun component ->
-      match component with
-      | Value.Vchar c -> Payload.Writer.u8 writer (Char.code c)
-      | Value.Vbool b -> Payload.Writer.u8 writer (if b then 1 else 0)
-      | Value.Vint n -> Payload.Writer.u32 writer (n land 0xffffffff)
-      | Value.Vhost h -> Payload.Writer.u32 writer h
-      | Value.Vstring s ->
-          if String.length s > 0xffff then
-            raise (Value.Runtime_error "string too long for packet payload");
-          Payload.Writer.u16 writer (String.length s);
-          Payload.Writer.string writer s
-      | Value.Vblob payload -> Payload.Writer.raw writer payload
-      | Value.Vunit | Value.Vip _ | Value.Vtcp _ | Value.Vudp _
-      | Value.Vtuple _ | Value.Vtable _ ->
-          Value.type_error ~expected:"payload component" component)
-    components;
-  Payload.Writer.finish writer
+let write_component writer component =
+  match component with
+  | Value.Vchar c -> Payload.Writer.u8 writer (Char.code c)
+  | Value.Vbool b -> Payload.Writer.u8 writer (if b then 1 else 0)
+  | Value.Vint n -> Payload.Writer.u32 writer (n land 0xffffffff)
+  | Value.Vhost h -> Payload.Writer.u32 writer h
+  | Value.Vstring s ->
+      if String.length s > 0xffff then
+        raise (Value.Runtime_error "string too long for packet payload");
+      Payload.Writer.u16 writer (String.length s);
+      Payload.Writer.string writer s
+  | Value.Vblob payload -> Payload.Writer.raw writer payload
+  | Value.Vunit | Value.Vip _ | Value.Vtcp _ | Value.Vudp _ | Value.Vtuple _
+  | Value.Vtable _ ->
+      Value.type_error ~expected:"payload component" component
+
+(* Encode components [start..] of the packet tuple.  A trailing blob (the
+   only place the layout admits one) is chained on as a rope part instead
+   of being copied byte-by-byte: re-emitting a packet whose payload is a
+   decoded blob costs O(1). *)
+let encode_payload components start =
+  let n = Array.length components in
+  if start >= n then Payload.empty
+  else
+    let trailing_blob =
+      match components.(n - 1) with Value.Vblob p -> Some p | _ -> None
+    in
+    match trailing_blob with
+    | Some payload when start = n - 1 -> payload
+    | _ -> (
+        let writer = Payload.Writer.create () in
+        let stop = match trailing_blob with Some _ -> n - 1 | None -> n in
+        for i = start to stop - 1 do
+          write_component writer components.(i)
+        done;
+        let prefix = Payload.Writer.finish writer in
+        match trailing_blob with
+        | Some payload -> Payload.concat [ prefix; payload ]
+        | None -> prefix)
 
 let encode ~chan value =
-  match Value.as_tuple value with
-  | Value.Vip ip :: rest ->
-      let l4, payload_components =
-        match rest with
-        | Value.Vtcp header :: payload -> (Packet.Tcp header, payload)
-        | Value.Vudp header :: payload -> (Packet.Udp header, payload)
-        | payload -> (Packet.Raw, payload)
+  let components = Value.as_tuple value in
+  if Array.length components = 0 then
+    raise (Value.Runtime_error "packet value must start with an ip header");
+  match components.(0) with
+  | Value.Vip ip ->
+      let l4, payload_start =
+        if Array.length components >= 2 then
+          match components.(1) with
+          | Value.Vtcp header -> (Packet.Tcp header, 2)
+          | Value.Vudp header -> (Packet.Udp header, 2)
+          | _ -> (Packet.Raw, 1)
+        else (Packet.Raw, 1)
       in
       let chan_tag =
         if String.equal chan Planp.Ast.network_channel then None else Some chan
       in
       Packet.make ~ttl:ip.Value.vttl ?chan_tag ~src:ip.Value.vsrc
         ~dst:ip.Value.vdst l4
-        (encode_payload payload_components)
+        (encode_payload components payload_start)
   | _ -> raise (Value.Runtime_error "packet value must start with an ip header")

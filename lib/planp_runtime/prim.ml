@@ -1,4 +1,4 @@
-type impl = World.t -> Value.t list -> Value.t
+type impl = World.t -> Value.t array -> Value.t
 
 type prim = {
   prim_name : string;

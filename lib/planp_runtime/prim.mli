@@ -8,7 +8,11 @@
     executes primitives through this one registry, so a registration extends
     all three at once. *)
 
-type impl = World.t -> Value.t list -> Value.t
+(** The argument array is a scratch buffer owned by the calling backend and
+    reused across calls: an implementation must not retain it (copy if it
+    needs the values past its own return), and should read its arguments
+    before performing world effects. *)
+type impl = World.t -> Value.t array -> Value.t
 
 type prim = {
   prim_name : string;

@@ -15,11 +15,11 @@ let pure prim_name expected result impl =
   }
 
 let arg1 = function
-  | [ a ] -> a
+  | [| a |] -> a
   | _ -> raise (Value.Runtime_error "expected 1 argument")
 
 let arg2 = function
-  | [ a; b ] -> (a, b)
+  | [| a; b |] -> (a, b)
   | _ -> raise (Value.Runtime_error "expected 2 arguments")
 
 let install () =

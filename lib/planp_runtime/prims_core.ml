@@ -2,7 +2,7 @@ module Ptype = Planp.Ptype
 module Sig = Planp.Prim_sig
 
 let v n = Value.Vint n
-let vb b = Value.Vbool b
+let vb = Value.vbool
 
 let pure prim_name expected result impl =
   {
@@ -21,25 +21,25 @@ let impure prim_name expected result impl =
   }
 
 let arg1 = function
-  | [ a ] -> a
+  | [| a |] -> a
   | args ->
       raise
         (Value.Runtime_error
-           (Printf.sprintf "expected 1 argument, got %d" (List.length args)))
+           (Printf.sprintf "expected 1 argument, got %d" (Array.length args)))
 
 let arg2 = function
-  | [ a; b ] -> (a, b)
+  | [| a; b |] -> (a, b)
   | args ->
       raise
         (Value.Runtime_error
-           (Printf.sprintf "expected 2 arguments, got %d" (List.length args)))
+           (Printf.sprintf "expected 2 arguments, got %d" (Array.length args)))
 
 let arg3 = function
-  | [ a; b; c ] -> (a, b, c)
+  | [| a; b; c |] -> (a, b, c)
   | args ->
       raise
         (Value.Runtime_error
-           (Printf.sprintf "expected 3 arguments, got %d" (List.length args)))
+           (Printf.sprintf "expected 3 arguments, got %d" (Array.length args)))
 
 let install () =
   List.iter Prim.register

@@ -16,7 +16,7 @@ let install () =
         impl =
           (fun world args ->
             match args with
-            | [ ifindex ] ->
+            | [| ifindex |] ->
                 Value.Vint
                   (kbytes_per_s
                      (world.World.iface_load_bps (Value.as_int ifindex)))
@@ -29,7 +29,7 @@ let install () =
         impl =
           (fun world args ->
             match args with
-            | [ ifindex ] ->
+            | [| ifindex |] ->
                 Value.Vint
                   (kbytes_per_s
                      (world.World.iface_capacity_bps (Value.as_int ifindex)))

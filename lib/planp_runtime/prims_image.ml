@@ -15,18 +15,18 @@ let pure prim_name expected result impl =
   }
 
 let arg1 = function
-  | [ a ] -> a
+  | [| a |] -> a
   | _ -> raise (Value.Runtime_error "expected 1 argument")
 
 let arg2 = function
-  | [ a; b ] -> (a, b)
+  | [| a; b |] -> (a, b)
   | _ -> raise (Value.Runtime_error "expected 2 arguments")
 
 let install () =
   List.iter Prim.register
     [
       pure "isImage" [ Ptype.Tblob ] Ptype.Tbool (fun args ->
-          Value.Vbool (Option.is_some (Image.decode (Value.as_blob (arg1 args)))));
+          Value.vbool (Option.is_some (Image.decode (Value.as_blob (arg1 args)))));
       pure "imgWidth" [ Ptype.Tblob ] Ptype.Tint (fun args ->
           Value.Vint (image_of_blob (arg1 args)).Image.width);
       pure "imgHeight" [ Ptype.Tblob ] Ptype.Tint (fun args ->

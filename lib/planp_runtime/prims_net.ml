@@ -11,11 +11,11 @@ let pure prim_name expected result impl =
   }
 
 let arg1 = function
-  | [ a ] -> a
+  | [| a |] -> a
   | _ -> raise (Value.Runtime_error "expected 1 argument")
 
 let arg2 = function
-  | [ a; b ] -> (a, b)
+  | [| a; b |] -> (a, b)
   | _ -> raise (Value.Runtime_error "expected 2 arguments")
 
 (* deliver takes any packet-shaped tuple; its type function validates that. *)
@@ -48,11 +48,11 @@ let install () =
       pure "tcpAck" [ Ptype.Ttcp ] Ptype.Tint (fun args ->
           Value.Vint (Value.as_tcp (arg1 args)).Packet.tcp_ack);
       pure "tcpSyn" [ Ptype.Ttcp ] Ptype.Tbool (fun args ->
-          Value.Vbool (Value.as_tcp (arg1 args)).Packet.tcp_syn);
+          Value.vbool (Value.as_tcp (arg1 args)).Packet.tcp_syn);
       pure "tcpFin" [ Ptype.Ttcp ] Ptype.Tbool (fun args ->
-          Value.Vbool (Value.as_tcp (arg1 args)).Packet.tcp_fin);
+          Value.vbool (Value.as_tcp (arg1 args)).Packet.tcp_fin);
       pure "tcpIsAck" [ Ptype.Ttcp ] Ptype.Tbool (fun args ->
-          Value.Vbool (Value.as_tcp (arg1 args)).Packet.tcp_is_ack);
+          Value.vbool (Value.as_tcp (arg1 args)).Packet.tcp_is_ack);
       pure "tcpSrcSet" [ Ptype.Ttcp; Ptype.Tint ] Ptype.Ttcp (fun args ->
           let tcp, port = arg2 args in
           Value.Vtcp
@@ -78,7 +78,7 @@ let install () =
           Value.Vudp
             { Packet.udp_src = Value.as_int src; udp_dst = Value.as_int dst });
       pure "isMulticast" [ Ptype.Thost ] Ptype.Tbool (fun args ->
-          Value.Vbool (Netsim.Addr.is_multicast (Value.as_host (arg1 args))));
+          Value.vbool (Netsim.Addr.is_multicast (Value.as_host (arg1 args))));
       (* The packed 32-bit value of an address, for hashing-style load
          balancing decisions. *)
       pure "hostBits" [ Ptype.Thost ] Ptype.Tint (fun args ->

@@ -71,11 +71,11 @@ let mk_type_fn = function
   | args -> Error (Printf.sprintf "expected 1 argument, got %d" (List.length args))
 
 let arg2 = function
-  | [ a; b ] -> (a, b)
+  | [| a; b |] -> (a, b)
   | _ -> raise (Value.Runtime_error "expected 2 arguments")
 
 let arg3 = function
-  | [ a; b; c ] -> (a, b, c)
+  | [| a; b; c |] -> (a, b, c)
   | _ -> raise (Value.Runtime_error "expected 3 arguments")
 
 let install () =
@@ -87,7 +87,7 @@ let install () =
         impl =
           (fun _world args ->
             match args with
-            | [ size ] -> Value.Vtable (Hashtbl.create (Int.max 1 (Value.as_int size)))
+            | [| size |] -> Value.Vtable (Hashtbl.create (Int.max 1 (Value.as_int size)))
             | _ -> raise (Value.Runtime_error "mkTable: expected 1 argument"));
         pure = true;
       };
@@ -118,7 +118,7 @@ let install () =
         impl =
           (fun _world args ->
             let table, key = arg2 args in
-            Value.Vbool (Hashtbl.mem (Value.as_table table) key));
+            Value.vbool (Hashtbl.mem (Value.as_table table) key));
         pure = true;
       };
       {
@@ -137,7 +137,7 @@ let install () =
         impl =
           (fun _world args ->
             match args with
-            | [ table ] -> Value.Vint (Hashtbl.length (Value.as_table table))
+            | [| table |] -> Value.Vint (Hashtbl.length (Value.as_table table))
             | _ -> raise (Value.Runtime_error "tblSize: expected 1 argument"));
         pure = true;
       };
@@ -147,7 +147,7 @@ let install () =
         impl =
           (fun _world args ->
             match args with
-            | [ table ] ->
+            | [| table |] ->
                 Hashtbl.reset (Value.as_table table);
                 Value.Vunit
             | _ -> raise (Value.Runtime_error "tblClear: expected 1 argument"));

@@ -11,11 +11,17 @@ type t =
   | Vip of ip_view
   | Vtcp of Netsim.Packet.tcp_header
   | Vudp of Netsim.Packet.udp_header
-  | Vtuple of t list
+  | Vtuple of t array
   | Vtable of (t, t) Hashtbl.t
 
 exception Planp_raise of string
 exception Runtime_error of string
+
+(* Interned booleans: comparisons on the per-packet path return these
+   shared blocks instead of allocating a fresh [Vbool]. *)
+let vtrue = Vbool true
+let vfalse = Vbool false
+let vbool b = if b then vtrue else vfalse
 
 let rec equal a b =
   match (a, b) with
@@ -30,7 +36,15 @@ let rec equal a b =
   | Vtcp x, Vtcp y -> x = y
   | Vudp x, Vudp y -> x = y
   | Vtuple xs, Vtuple ys ->
-      List.length xs = List.length ys && List.for_all2 equal xs ys
+      xs == ys
+      || Array.length xs = Array.length ys
+         &&
+         let rec go i =
+           i >= Array.length xs
+           || (equal (Array.unsafe_get xs i) (Array.unsafe_get ys i)
+              && go (i + 1))
+         in
+         go 0
   | Vtable x, Vtable y -> x == y
   | ( ( Vint _ | Vbool _ | Vstring _ | Vchar _ | Vunit | Vhost _ | Vblob _
       | Vip _ | Vtcp _ | Vudp _ | Vtuple _ | Vtable _ ),
@@ -52,7 +66,8 @@ let rec default_of (ty : Planp.Ptype.t) =
   | Planp.Ptype.Tchar -> Vchar '\000'
   | Planp.Ptype.Tunit -> Vunit
   | Planp.Ptype.Thost -> Vhost 0
-  | Planp.Ptype.Ttuple components -> Vtuple (List.map default_of components)
+  | Planp.Ptype.Ttuple components ->
+      Vtuple (Array.of_list (List.map default_of components))
   | Planp.Ptype.Tblob | Planp.Ptype.Tip | Planp.Ptype.Ttcp | Planp.Ptype.Tudp
   | Planp.Ptype.Thash _ | Planp.Ptype.Thash_any ->
       raise
@@ -83,7 +98,9 @@ let rec to_string = function
       Printf.sprintf "<udp %d->%d>" h.Netsim.Packet.udp_src
         h.Netsim.Packet.udp_dst
   | Vtuple components ->
-      "(" ^ String.concat ", " (List.map to_string components) ^ ")"
+      "("
+      ^ String.concat ", " (List.map to_string (Array.to_list components))
+      ^ ")"
   | Vtable table -> Printf.sprintf "<table:%d>" (Hashtbl.length table)
 
 let pp fmt value = Format.pp_print_string fmt (to_string value)

@@ -15,7 +15,10 @@ type t =
   | Vip of ip_view
   | Vtcp of Netsim.Packet.tcp_header
   | Vudp of Netsim.Packet.udp_header
-  | Vtuple of t list
+  | Vtuple of t array
+      (** fields are never mutated after construction: treat as immutable.
+          The array representation gives O(1) field projection on the
+          packet fast path. *)
   | Vtable of (t, t) Hashtbl.t
       (** mutable, shared by reference through state threading *)
 
@@ -25,6 +28,13 @@ exception Planp_raise of string
 (** Raised on internal inconsistencies (a bug if it escapes after a program
     type checked). *)
 exception Runtime_error of string
+
+(** Interned booleans: [vbool b] returns one of two shared values, so
+    hot-path comparisons allocate nothing. *)
+val vtrue : t
+
+val vfalse : t
+val vbool : bool -> t
 
 (** [equal a b] is structural equality; hash tables compare by identity.
     The type checker restricts [=] to equality types, where this agrees
@@ -56,5 +66,5 @@ val as_blob : t -> Netsim.Payload.t
 val as_ip : t -> ip_view
 val as_tcp : t -> Netsim.Packet.tcp_header
 val as_udp : t -> Netsim.Packet.udp_header
-val as_tuple : t -> t list
+val as_tuple : t -> t array
 val as_table : t -> (t, t) Hashtbl.t

@@ -102,6 +102,55 @@ let capsule_signature_binds_fields () =
   checkb "secret" true (sign <> Capsule.sign ~secret:"t" ~program:"p" ~epoch:1 ~node:3);
   checkb "program" true (sign <> Capsule.sign ~secret:"s" ~program:"q" ~epoch:1 ~node:3)
 
+let capsule_rope_payloads () =
+  (* Capsule decode and the checksum pipeline must behave identically when
+     the wire payload arrives as a non-compacted rope (slices and pending
+     concatenations) instead of one flat string. *)
+  let source = String.concat "" (List.init 40 (fun i -> Printf.sprintf "line%d;" i)) in
+  let msg =
+    Capsule.Manifest
+      {
+        program = "audio";
+        epoch = 9;
+        backend = "jit";
+        total_chunks = 2;
+        total_bytes = String.length source;
+        checksum = Capsule.checksum source;
+        authenticated = false;
+        reply_addr = Netsim.Addr.of_string "10.0.0.9";
+        reply_port = 52001;
+      }
+  in
+  let wire = Payload.to_string (Capsule.encode msg) in
+  let n = String.length wire in
+  let as_rope =
+    Payload.concat
+      [ Payload.of_string (String.sub wire 0 3);
+        Payload.sub (Payload.of_string ("pad" ^ wire ^ "pad")) ~pos:6 ~len:(n - 3) ]
+  in
+  checkb "rope decode" true (Capsule.decode as_rope = Some msg);
+  let as_slice =
+    Payload.sub (Payload.of_string ("XY" ^ wire)) ~pos:2 ~len:n
+  in
+  checkb "slice decode" true (Capsule.decode as_slice = Some msg);
+  (* the declared checksum still matches after reassembly from chunks *)
+  let chunks = Capsule.chunk ~chunk_size:17 source in
+  let r =
+    Capsule.Reassembly.create
+      ~total_chunks:(List.length chunks)
+      ~total_bytes:(String.length source)
+      ~checksum:(Capsule.checksum source)
+  in
+  List.iteri
+    (fun index data ->
+      match Capsule.Reassembly.add r ~index data with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    chunks;
+  match Capsule.Reassembly.source r with
+  | Ok s -> checks "reassembled source" source s
+  | Error e -> Alcotest.fail e
+
 (* ---------- chunk / reassemble ---------- *)
 
 let chunk_reassemble_roundtrip =
@@ -612,6 +661,7 @@ let suite =
         Alcotest.test_case "decode garbage" `Quick capsule_decode_garbage;
         Alcotest.test_case "signature binds fields" `Quick
           capsule_signature_binds_fields;
+        Alcotest.test_case "rope payloads" `Quick capsule_rope_payloads;
         QCheck_alcotest.to_alcotest chunk_reassemble_roundtrip;
         Alcotest.test_case "reassembly rejects" `Quick reassembly_rejects;
       ] );

@@ -180,7 +180,10 @@ let image_rejects_junk () =
 
 let image_prims () =
   let world, _, _ = Planp_runtime.World.dummy () in
-  let eval name args = (Planp_runtime.Prim.find_exn name).Planp_runtime.Prim.impl world args in
+  let eval name args =
+    (Planp_runtime.Prim.find_exn name).Planp_runtime.Prim.impl world
+      (Array.of_list args)
+  in
   let blob = Value.Vblob (Image.encode (Image.synth ~width:16 ~height:8 ~seed:2)) in
   check "imgWidth" 16 (Value.as_int (eval "imgWidth" [ blob ]));
   check "imgHeight" 8 (Value.as_int (eval "imgHeight" [ blob ]));

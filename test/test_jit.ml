@@ -29,7 +29,7 @@ let tri_eval ?(globals = []) source =
   let jit_code = Specialize.compile_expr ~globals ~params:[] expr in
   let jit = Specialize.run jit_code world [] in
   let unit_ = Bytecomp.compile_expr ~globals ~params:[] expr in
-  let vm = Vm.call unit_ ~fn:0 world [] in
+  let vm = Vm.call unit_ ~fn:0 world [||] in
   checkb
     (Printf.sprintf "jit agrees on %s" source)
     true (Value.equal reference jit);
@@ -263,6 +263,46 @@ let deep_nesting_stress () =
   let result = tri_eval (Buffer.contents buffer) in
   checkb "deep lets" true (Value.equal expected result)
 
+let wide_tuple_projection () =
+  (* Regression for tuple projection on wide tuples: fields are stored in an
+     array, so #k must be O(1) and index the right slot on every backend. *)
+  let tuple_src =
+    "(" ^ String.concat ", " (List.init 32 (fun i -> string_of_int (i + 1))) ^ ")"
+  in
+  List.iter
+    (fun k ->
+      let v = tri_eval (Printf.sprintf "#%d %s" k tuple_src) in
+      check (Printf.sprintf "field %d" k) k (Value.as_int v))
+    [ 1; 2; 16; 31; 32 ]
+
+let vm_superinstructions () =
+  (* The peephole pass fuses Load/Const + Bin and compare + Jump_if_false;
+     the fused forms must show up in the disassembly and compute the same
+     results (tri_eval cross-checks against the interpreter). *)
+  let disasm source =
+    let unit_ =
+      Bytecomp.compile_expr ~globals:[] ~params:[]
+        (Planp.Parser.parse_expr source)
+    in
+    Bytecode.disassemble unit_.Bytecode.funcs.(0)
+  in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let load_bin = "let val x : int = 2 in 1 + x end" in
+  checkb "load_bin fused" true (contains (disasm load_bin) "load_bin");
+  check "load_bin result" 3 (Value.as_int (tri_eval load_bin));
+  let const_bin = "if 1 < 2 then 10 else 20" in
+  checkb "const_bin fused" true (contains (disasm const_bin) "const_bin");
+  check "const_bin result" 10 (Value.as_int (tri_eval const_bin));
+  let cmp_jump =
+    "let val x : int = 3 val y : int = 10 in if x * 2 < y + 1 then 1 else 2 end"
+  in
+  checkb "cmp_jump fused" true (contains (disasm cmp_jump) "cmp_jump");
+  check "cmp_jump result" 1 (Value.as_int (tri_eval cmp_jump))
+
 (* ---------- constant folding ---------- *)
 
 let fold_specific_cases () =
@@ -360,6 +400,8 @@ let () =
       ( "vm",
         [
           Alcotest.test_case "disassembly" `Quick vm_disassembly;
+          Alcotest.test_case "superinstructions" `Quick vm_superinstructions;
+          Alcotest.test_case "wide tuple projection" `Quick wide_tuple_projection;
           Alcotest.test_case "deep expression" `Quick vm_deep_expression;
           Alcotest.test_case "deep nesting stress" `Quick deep_nesting_stress;
           Alcotest.test_case "try across calls" `Quick vm_try_across_calls;

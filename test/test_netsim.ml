@@ -162,6 +162,94 @@ let payload_sub_concat () =
   check "fill" 3 (Payload.length (Payload.fill 3 0xFF));
   check "fill byte" 0xFF (Payload.get_u8 (Payload.fill 3 0xFF) 2)
 
+let payload_slice_of_slice () =
+  (* Slices are views: a slice of a slice must address the right absolute
+     bytes and report bounds relative to its own length. *)
+  let p = Payload.of_string "abcdefghij" in
+  let s1 = Payload.sub p ~pos:2 ~len:6 in
+  let s2 = Payload.sub s1 ~pos:1 ~len:4 in
+  checks "slice of slice" "defg" (Payload.to_string s2);
+  check "slice u8" (Char.code 'e') (Payload.get_u8 s2 1);
+  check "full-range sub is free" (Payload.length s2)
+    (Payload.length (Payload.sub s2 ~pos:0 ~len:4));
+  Alcotest.check_raises "slice-relative bounds"
+    (Invalid_argument "Payload.get_u8: offset 4 (width 1) out of bounds (len 4)")
+    (fun () -> ignore (Payload.get_u8 s2 4));
+  Alcotest.check_raises "sub past end"
+    (Invalid_argument "Payload.sub: offset 3 (width 2) out of bounds (len 4)")
+    (fun () -> ignore (Payload.sub s2 ~pos:3 ~len:2))
+
+(* Build the same byte sequence under several representations: flat,
+   sliced, concatenated ropes of different shapes, and compacted. *)
+let payload_representations s =
+  let flat = Payload.of_string s in
+  let n = String.length s in
+  let padded =
+    Payload.sub (Payload.of_string ("xx" ^ s ^ "yy")) ~pos:2 ~len:n
+  in
+  let split k =
+    Payload.concat
+      [ Payload.of_string (String.sub s 0 k);
+        Payload.of_string (String.sub s k (n - k)) ]
+  in
+  let nested =
+    Payload.concat
+      [ Payload.sub flat ~pos:0 ~len:(n / 2); Payload.sub flat ~pos:(n / 2) ~len:(n - (n / 2)) ]
+  in
+  [ flat; padded; split 1; split (n - 1); nested;
+    Payload.compact (Payload.sub (split 2) ~pos:0 ~len:n) ]
+
+let payload_equal_pp_parity () =
+  let s = "the quick brown fox" in
+  let reprs = payload_representations s in
+  List.iteri
+    (fun i p ->
+      checks (Printf.sprintf "repr %d bytes" i) s (Payload.to_string p);
+      List.iteri
+        (fun j q ->
+          checkb (Printf.sprintf "equal %d %d" i j) true (Payload.equal p q);
+          checks
+            (Printf.sprintf "pp parity %d %d" i j)
+            (Format.asprintf "%a" Payload.pp p)
+            (Format.asprintf "%a" Payload.pp q))
+        reprs)
+    reprs;
+  checkb "different lengths differ" false
+    (Payload.equal (Payload.of_string "ab") (Payload.of_string "abc"));
+  checkb "different bytes differ" false
+    (Payload.equal (Payload.of_string "ab") (Payload.of_string "ac"))
+
+let payload_reader_parity () =
+  (* The Reader must decode identically from any representation. *)
+  let w = Payload.Writer.create () in
+  Payload.Writer.u8 w 9;
+  Payload.Writer.u16 w 517;
+  Payload.Writer.u32 w 0xdeadbeef;
+  Payload.Writer.string w "tail";
+  let s = Payload.to_string (Payload.Writer.finish w) in
+  List.iter
+    (fun p ->
+      let r = Payload.Reader.create p in
+      check "u8" 9 (Payload.Reader.u8 r);
+      check "u16" 517 (Payload.Reader.u16 r);
+      check "u32" 0xdeadbeef (Payload.Reader.u32 r);
+      checks "rest" "tail" (Payload.to_string (Payload.Reader.rest r)))
+    (payload_representations s)
+
+let payload_writer_raw_rope () =
+  (* Writer.raw walks a pending concatenation without flattening it. *)
+  let rope =
+    Payload.concat
+      [ Payload.of_string "ab";
+        Payload.concat [ Payload.of_string "cd"; Payload.of_string "ef" ];
+        Payload.sub (Payload.of_string "xghx") ~pos:1 ~len:2 ]
+  in
+  let w = Payload.Writer.create () in
+  Payload.Writer.raw w rope;
+  checks "raw over rope" "abcdefgh" (Payload.to_string (Payload.Writer.finish w));
+  (* compacting afterwards preserves contents and identity of bytes *)
+  checks "compact" "abcdefgh" (Payload.to_string (Payload.compact rope))
+
 (* ---------- packet ---------- *)
 
 let packet_wire_size () =
@@ -794,6 +882,12 @@ let () =
           Alcotest.test_case "accessors" `Quick payload_accessors;
           Alcotest.test_case "writer/reader" `Quick payload_writer_reader;
           Alcotest.test_case "sub/concat/fill" `Quick payload_sub_concat;
+          Alcotest.test_case "slice of slice" `Quick payload_slice_of_slice;
+          Alcotest.test_case "equal/pp across representations" `Quick
+            payload_equal_pp_parity;
+          Alcotest.test_case "reader parity" `Quick payload_reader_parity;
+          Alcotest.test_case "writer raw over ropes" `Quick
+            payload_writer_raw_rope;
         ] );
       ( "packet",
         [

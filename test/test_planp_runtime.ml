@@ -26,8 +26,8 @@ let value_equal () =
   checkb "ints" true (Value.equal (Value.Vint 3) (Value.Vint 3));
   checkb "tuples" true
     (Value.equal
-       (Value.Vtuple [ Value.Vint 1; Value.Vstring "a" ])
-       (Value.Vtuple [ Value.Vint 1; Value.Vstring "a" ]));
+       (Value.Vtuple [| Value.Vint 1; Value.Vstring "a" |])
+       (Value.Vtuple [| Value.Vint 1; Value.Vstring "a" |]));
   checkb "different constructors" false
     (Value.equal (Value.Vint 1) (Value.Vbool true));
   let t1 = Hashtbl.create 1 and t2 = Hashtbl.create 1 in
@@ -39,7 +39,7 @@ let value_defaults () =
   checkb "tuple" true
     (Value.equal
        (Value.default_of (Ptype.Ttuple [ Ptype.Thost; Ptype.Tint ]))
-       (Value.Vtuple [ Value.Vhost 0; Value.Vint 0 ]));
+       (Value.Vtuple [| Value.Vhost 0; Value.Vint 0 |]));
   Alcotest.check_raises "no blob default"
     (Value.Runtime_error "no default value for type blob") (fun () ->
       ignore (Value.default_of Ptype.Tblob))
@@ -60,13 +60,13 @@ let codec_blob_roundtrip () =
   let ty = Ptype.Ttuple [ Ptype.Tip; Ptype.Ttcp; Ptype.Tblob ] in
   let packet = tcp_packet (Payload.of_string "hello") in
   match Pkt_codec.decode ty packet with
-  | Some (Value.Vtuple [ Value.Vip ip; Value.Vtcp tcp; Value.Vblob body ]) ->
+  | Some (Value.Vtuple [| Value.Vip ip; Value.Vtcp tcp; Value.Vblob body |]) ->
       check "src" (addr "1.1.1.1") ip.Value.vsrc;
       check "dst port" 80 tcp.Packet.tcp_dst;
       checks "body" "hello" (Payload.to_string body);
       let rebuilt =
         Pkt_codec.encode ~chan:"network"
-          (Value.Vtuple [ Value.Vip ip; Value.Vtcp tcp; Value.Vblob body ])
+          (Value.Vtuple [| Value.Vip ip; Value.Vtcp tcp; Value.Vblob body |])
       in
       checkb "untagged" true (rebuilt.Packet.chan_tag = None);
       checks "body preserved" "hello" (Payload.to_string rebuilt.Packet.body)
@@ -82,7 +82,8 @@ let codec_scalar_layout () =
   Payload.Writer.u8 w 1;
   let packet = tcp_packet (Payload.Writer.finish w) in
   match Pkt_codec.decode ty packet with
-  | Some (Value.Vtuple [ _; _; Value.Vchar 'X'; Value.Vint 99; Value.Vbool true ])
+  | Some
+      (Value.Vtuple [| _; _; Value.Vchar 'X'; Value.Vint 99; Value.Vbool true |])
     ->
       ()
   | _ -> Alcotest.fail "scalar layout decode"
@@ -124,28 +125,29 @@ let codec_string_component () =
       ~dst_port:2 (Payload.Writer.finish w)
   in
   match Pkt_codec.decode ty packet with
-  | Some (Value.Vtuple [ _; _; Value.Vstring "abc"; Value.Vint 5 ]) -> ()
+  | Some (Value.Vtuple [| _; _; Value.Vstring "abc"; Value.Vint 5 |]) -> ()
   | _ -> Alcotest.fail "string component"
 
 let codec_negative_int () =
   let ty = Ptype.Ttuple [ Ptype.Tip; Ptype.Tudp; Ptype.Tint ] in
   let value =
     Value.Vtuple
-      [ Value.Vip { Value.vsrc = addr "1.1.1.1"; vdst = addr "2.2.2.2"; vttl = 9 };
-        Value.Vudp { Packet.udp_src = 1; udp_dst = 2 };
-        Value.Vint (-42) ]
+      [| Value.Vip { Value.vsrc = addr "1.1.1.1"; vdst = addr "2.2.2.2"; vttl = 9 };
+         Value.Vudp { Packet.udp_src = 1; udp_dst = 2 };
+         Value.Vint (-42) |]
   in
   let packet = Pkt_codec.encode ~chan:"network" value in
   check "ttl preserved" 9 packet.Packet.ttl;
   match Pkt_codec.decode ty packet with
-  | Some (Value.Vtuple [ _; _; Value.Vint n ]) -> check "sign extended" (-42) n
+  | Some (Value.Vtuple [| _; _; Value.Vint n |]) -> check "sign extended" (-42) n
   | _ -> Alcotest.fail "negative int roundtrip"
 
 let codec_tag () =
   let value =
     Value.Vtuple
-      [ Value.Vip { Value.vsrc = 1; vdst = 2; vttl = 64 };
-        Value.Vudp { Packet.udp_src = 1; udp_dst = 2 }; Value.Vblob Payload.empty ]
+      [| Value.Vip { Value.vsrc = 1; vdst = 2; vttl = 64 };
+         Value.Vudp { Packet.udp_src = 1; udp_dst = 2 };
+         Value.Vblob Payload.empty |]
   in
   let tagged = Pkt_codec.encode ~chan:"mychan" value in
   Alcotest.(check (option string)) "tagged" (Some "mychan") tagged.Packet.chan_tag
@@ -154,7 +156,7 @@ let codec_tag () =
 
 let dummy_eval name args =
   let world, _, _ = World.dummy () in
-  (Prim.find_exn name).Prim.impl world args
+  (Prim.find_exn name).Prim.impl world (Array.of_list args)
 
 let prims_core () =
   checks "itos" "42" (Value.as_string (dummy_eval "itos" [ Value.Vint 42 ]));
@@ -208,7 +210,7 @@ let prims_net () =
 
 let prims_table () =
   let table = dummy_eval "mkTable" [ Value.Vint 8 ] in
-  let key = Value.Vtuple [ Value.Vhost 1; Value.Vint 2 ] in
+  let key = Value.Vtuple [| Value.Vhost 1; Value.Vint 2 |] in
   checkb "miss" false (Value.as_bool (dummy_eval "tblMem" [ table; key ]));
   check "default" 7
     (Value.as_int (dummy_eval "tblGet" [ table; key; Value.Vint 7 ]));

@@ -200,7 +200,7 @@ let eval_three expr =
     with Value.Planp_raise e -> Error e
   in
   let vm =
-    try Ok (Vm.call (Bytecomp.compile_expr ~globals:[] ~params:[] expr) ~fn:0 world [])
+    try Ok (Vm.call (Bytecomp.compile_expr ~globals:[] ~params:[] expr) ~fn:0 world [||])
     with Value.Planp_raise e -> Error e
   in
   (reference, jit, vm)
@@ -288,7 +288,7 @@ let codec_roundtrip =
     (fun components ->
       let ip = Value.Vip { Value.vsrc = 1; vdst = 2; vttl = 33 } in
       let udp = Value.Vudp { Netsim.Packet.udp_src = 7; udp_dst = 9 } in
-      let value = Value.Vtuple ((ip :: udp :: components)) in
+      let value = Value.Vtuple (Array.of_list (ip :: udp :: components)) in
       let ty =
         Planp.Ptype.Ttuple
           (Planp.Ptype.Tip :: Planp.Ptype.Tudp

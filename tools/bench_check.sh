@@ -1,0 +1,23 @@
+#!/bin/sh
+# Performance-regression gate: re-measure the packet fast path in smoke
+# mode and compare against the committed baseline BENCH_PERF.json.
+#
+# Only machine-independent quantities are gated:
+#   - minor words allocated per packet (tolerance +25% plus a small
+#     absolute slack), and
+#   - the same-run jit-vs-interp throughput ratio on the audio ASP (>= 2x).
+# Absolute packets/sec are recorded in the baseline for reference but
+# never compared across machines.
+#
+# Run from the repository root: sh tools/bench_check.sh
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ ! -f BENCH_PERF.json ]; then
+    echo "bench_check: BENCH_PERF.json baseline missing" >&2
+    exit 1
+fi
+
+exec dune exec bench/main.exe -- perf --smoke --check BENCH_PERF.json
