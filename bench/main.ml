@@ -759,6 +759,13 @@ let smoke = ref false
 let perf_out = ref None
 let perf_check = ref None
 
+(* Sections of the committed perf baseline ("planp-bench-perf/1"): [perf]
+   contributes "asps", [scale] contributes "scale".  The document is
+   written once at exit so `perf scale --perf-out FILE` produces a single
+   combined baseline. *)
+let baseline_sections : (string * Obs.Json.t) list ref = ref []
+let baseline_add key json = baseline_sections := !baseline_sections @ [ (key, json) ]
+
 (* The three deployed ASPs, each with one representative packet that takes
    the channel's main branch.  The workload is the per-packet execution
    path alone: decode once outside the loop, then run the compiled channel
@@ -894,28 +901,30 @@ let perf_run () =
       (key, rows))
     (perf_workloads ())
 
+let perf_asps_json results =
+  Obs.Json.Obj
+    (List.map
+       (fun (key, rows) ->
+         ( key,
+           Obs.Json.Obj
+             (List.map
+                (fun (backend_name, point) ->
+                  ( backend_name,
+                    Obs.Json.Obj
+                      [
+                        ("pkts_per_s", Obs.Json.Float point.pkts_per_s);
+                        ( "minor_words_per_pkt",
+                          Obs.Json.Float point.words_per_pkt );
+                      ] ))
+                rows) ))
+       results)
+
 let perf_json results =
   Obs.Json.Obj
     [
       ("format", Obs.Json.String "planp-bench-perf/1");
       ("smoke", Obs.Json.Bool !smoke);
-      ( "asps",
-        Obs.Json.Obj
-          (List.map
-             (fun (key, rows) ->
-               ( key,
-                 Obs.Json.Obj
-                   (List.map
-                      (fun (backend_name, point) ->
-                        ( backend_name,
-                          Obs.Json.Obj
-                            [
-                              ("pkts_per_s", Obs.Json.Float point.pkts_per_s);
-                              ( "minor_words_per_pkt",
-                                Obs.Json.Float point.words_per_pkt );
-                            ] ))
-                      rows) ))
-             results) );
+      ("asps", perf_asps_json results);
     ]
 
 (* The baseline gate.  Two families of checks, chosen to stay meaningful on
@@ -1014,16 +1023,230 @@ let perf () =
       Printf.printf "%-14s jit is %.1fx interp\n" key (interp_ratio rows))
     results;
   record "perf" (perf_json results);
-  (match !perf_out with
-  | None -> ()
-  | Some path ->
-      let oc = open_out_bin path in
-      output_string oc (Obs.Json.to_string (perf_json results));
-      close_out oc;
-      Printf.printf "\nwrote perf baseline JSON to %s\n" path);
+  baseline_add "asps" (perf_asps_json results);
   match !perf_check with
   | None -> ()
   | Some baseline_path -> perf_check_against ~baseline_path results
+
+(* ------------------------------------------------------------------ *)
+(* scale -- the event core at topology scale                           *)
+(* ------------------------------------------------------------------ *)
+
+type scale_point = {
+  sp_events : int;
+  sp_events_per_s : float;
+  sp_pkts_per_s : float;
+  sp_words_per_event : float;
+}
+
+(* Advance the simulation to [warmup_stop] (pools, rings and the calendar
+   wheel reach steady-state size), then measure events/sec, packets/sec
+   and minor words/event over the segment up to [stop]. *)
+let scale_measure ~warmup_stop ~stop ~sim ~events ~pkts =
+  sim warmup_stop;
+  let e0 = events () in
+  let p0 = pkts () in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  sim stop;
+  let dt = Unix.gettimeofday () -. t0 in
+  let de = events () - e0 in
+  let dp = pkts () - p0 in
+  let dw = Gc.minor_words () -. w0 in
+  {
+    sp_events = de;
+    sp_events_per_s = float_of_int de /. dt;
+    sp_pkts_per_s = float_of_int dp /. dt;
+    sp_words_per_event = dw /. float_of_int (max de 1);
+  }
+
+(* N raw links, each ping-ponging one preallocated packet between its
+   endpoints forever: every event is one link delivery, so this isolates
+   the scheduler + link fast path at N concurrent flows.  Steady state
+   must allocate (essentially) zero minor words per event — the headline
+   claim the baseline gate protects. *)
+let scale_flows ~flows =
+  let engine = Netsim.Engine.create () in
+  let payload = Netsim.Payload.of_string (String.make 100 'x') in
+  let pkt =
+    Netsim.Packet.udp
+      ~src:(Netsim.Addr.of_string "10.9.0.1")
+      ~dst:(Netsim.Addr.of_string "10.9.0.2")
+      ~src_port:9000 ~dst_port:9001 payload
+  in
+  let sent = ref 0 in
+  for i = 1 to flows do
+    let link =
+      Netsim.Link.create engine
+        ~name:(Printf.sprintf "flow%d" i)
+        ~bandwidth_bps:10_000_000.0 ~latency:0.001 ()
+    in
+    let bounce from p =
+      incr sent;
+      ignore (Netsim.Link.send link ~from p)
+    in
+    Netsim.Link.set_receiver link Netsim.Link.B (bounce Netsim.Link.B);
+    Netsim.Link.set_receiver link Netsim.Link.A (bounce Netsim.Link.A);
+    (* Stagger the first transmissions so the flows are not phase-locked. *)
+    Netsim.Engine.schedule engine
+      ~at:(float_of_int i *. 1e-6)
+      (fun () -> bounce Netsim.Link.A pkt)
+  done;
+  (* One bounce = 128 wire bytes at 10 Mb/s + 1 ms propagation. *)
+  let hop = (128.0 *. 8.0 /. 10_000_000.0) +. 0.001 in
+  let events_per_sim_s = float_of_int flows /. hop in
+  let warm = if !smoke then 5_000 else 100_000 in
+  let target = if !smoke then 30_000 else 1_500_000 in
+  (* Warm up for at least 1.25 simulated seconds: the per-direction
+     Flowstat rings keep doubling until they hold one full window (1 s)
+     of samples, and that growth must not leak into the measurement. *)
+  let warmup_stop =
+    Float.max (float_of_int warm /. events_per_sim_s) 1.25
+  in
+  let stop = warmup_stop +. (float_of_int target /. events_per_sim_s) in
+  scale_measure ~warmup_stop ~stop
+    ~sim:(fun stop -> Netsim.Engine.run_until engine ~stop)
+    ~events:(fun () -> Netsim.Engine.events_processed engine)
+    ~pkts:(fun () -> !sent)
+
+(* A fan-out tree — one root host, 4 routers, 8 hosts per router — with a
+   periodic sender addressing every leaf each tick.  Packets cross three
+   links and two routing hops, so this exercises the full Topology/Node
+   pipeline (which still allocates per forwarded packet: clones, routing,
+   timer closures). *)
+let scale_fanout () =
+  let branches = 4 and leaves_per = 8 in
+  let topo = Netsim.Topology.create () in
+  let engine = Netsim.Topology.engine topo in
+  let root = Netsim.Topology.add_host topo "root" "10.8.0.1" in
+  let leaves = ref [] in
+  for b = 1 to branches do
+    let router =
+      Netsim.Topology.add_host topo
+        (Printf.sprintf "r%d" b)
+        (Printf.sprintf "10.8.%d.254" b)
+    in
+    ignore (Netsim.Topology.connect topo root router);
+    for l = 1 to leaves_per do
+      let leaf =
+        Netsim.Topology.add_host topo
+          (Printf.sprintf "leaf%d_%d" b l)
+          (Printf.sprintf "10.8.%d.%d" b l)
+      in
+      ignore (Netsim.Topology.connect topo router leaf);
+      leaves := leaf :: !leaves
+    done
+  done;
+  Netsim.Topology.compute_routes topo;
+  let leaves = List.rev !leaves in
+  let payload = Netsim.Payload.of_string (String.make 100 'y') in
+  let sent = ref 0 in
+  let period = 0.01 in
+  let ticks = if !smoke then 320 else 3_000 in
+  let until = float_of_int (ticks + 1) *. period in
+  let rec tick () =
+    List.iter
+      (fun leaf ->
+        incr sent;
+        Netsim.Node.send_udp root ~dst:(Netsim.Node.addr leaf) ~src_port:7000
+          ~dst_port:7001 payload)
+      leaves;
+    if Netsim.Engine.now engine +. period < until then
+      Netsim.Engine.schedule_after engine ~delay:period tick
+  in
+  Netsim.Engine.schedule_after engine ~delay:period tick;
+  (* At least 1.5 simulated seconds of warmup — same Flowstat-ring
+     reasoning as the flows workloads. *)
+  let warmup_stop =
+    Float.max (float_of_int (ticks / 10) *. period) 1.5
+  in
+  scale_measure ~warmup_stop ~stop:until
+    ~sim:(fun stop -> Netsim.Topology.run_until topo ~stop)
+    ~events:(fun () -> Netsim.Engine.events_processed engine)
+    ~pkts:(fun () -> !sent)
+
+let scale_json results =
+  Obs.Json.Obj
+    (List.map
+       (fun (key, p) ->
+         ( key,
+           Obs.Json.Obj
+             [
+               ("events", Obs.Json.Int p.sp_events);
+               ("events_per_s", Obs.Json.Float p.sp_events_per_s);
+               ("pkts_per_s", Obs.Json.Float p.sp_pkts_per_s);
+               ("minor_words_per_event", Obs.Json.Float p.sp_words_per_event);
+             ] ))
+       results)
+
+(* Gate ONLY minor words/event: allocation counts are deterministic, while
+   events/sec measures the host machine and would make the gate flaky. *)
+let scale_check_against ~baseline_path results =
+  let fail = ref [] in
+  let complain fmt = Printf.ksprintf (fun m -> fail := m :: !fail) fmt in
+  (match
+     let contents =
+       let ic = open_in_bin baseline_path in
+       let n = in_channel_length ic in
+       let s = really_input_string ic n in
+       close_in ic;
+       s
+     in
+     Obs.Json.of_string contents
+   with
+  | exception Sys_error message -> complain "cannot read baseline: %s" message
+  | Error message ->
+      complain "cannot parse baseline %s: %s" baseline_path message
+  | Ok baseline -> (
+      match Obs.Json.member "scale" baseline with
+      | None -> complain "baseline %s has no \"scale\" section" baseline_path
+      | Some entries ->
+          List.iter
+            (fun (key, point) ->
+              match
+                Option.bind (Obs.Json.member key entries) (fun e ->
+                    Option.bind
+                      (Obs.Json.member "minor_words_per_event" e)
+                      Obs.Json.number)
+              with
+              | None -> complain "baseline has no words/event for scale/%s" key
+              | Some base_words ->
+                  (* +-25% relative plus two words of absolute slack: the
+                     link workloads sit at ~0 words/event, so this gate is
+                     effectively "stays allocation-free". *)
+                  let ceiling = (base_words *. 1.25) +. 2.0 in
+                  if point.sp_words_per_event > ceiling then
+                    complain
+                      "scale/%s allocates %.3f words/event (baseline %.3f, ceiling %.3f)"
+                      key point.sp_words_per_event base_words ceiling)
+            results));
+  match !fail with
+  | [] -> Printf.printf "\nscale gate: OK (baseline %s)\n" baseline_path
+  | messages ->
+      Printf.printf "\nscale gate: FAILED\n";
+      List.iter (fun m -> Printf.printf "  - %s\n" m) (List.rev messages);
+      exit 1
+
+let scale () =
+  section "scale -- event core at topology scale";
+  let results =
+    List.map
+      (fun n -> (Printf.sprintf "flows_%d" n, scale_flows ~flows:n))
+      [ 10; 100; 1000 ]
+    @ [ ("fanout_tree", scale_fanout ()) ]
+  in
+  Printf.printf "%-14s %10s %14s %14s %18s\n" "workload" "events" "events/s"
+    "pkts/s" "minor words/event";
+  List.iter
+    (fun (key, p) ->
+      Printf.printf "%-14s %10d %14.0f %14.0f %18.3f\n" key p.sp_events
+        p.sp_events_per_s p.sp_pkts_per_s p.sp_words_per_event)
+    results;
+  record "scale" (Obs.Json.Obj [ ("workloads", scale_json results) ]);
+  baseline_add "scale" (scale_json results);
+  match !perf_check with
+  | None -> ()
+  | Some baseline_path -> scale_check_against ~baseline_path results
 
 (* ------------------------------------------------------------------ *)
 
@@ -1048,6 +1271,26 @@ let write_metrics_sidecar () =
       output_string oc (Obs.Registry.to_json_string Obs.Registry.default);
       close_out oc;
       Printf.printf "\nwrote metrics JSON to %s\n" path
+
+(* The combined perf baseline: whatever baseline sections ran ("asps"
+   from [perf], "scale" from [scale]) as one "planp-bench-perf/1"
+   document; this is the file committed as BENCH_PERF.json. *)
+let write_perf_baseline () =
+  match !perf_out with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Obs.Json.Obj
+          ([
+             ("format", Obs.Json.String "planp-bench-perf/1");
+             ("smoke", Obs.Json.Bool !smoke);
+           ]
+          @ !baseline_sections)
+      in
+      let oc = open_out_bin path in
+      output_string oc (Obs.Json.to_string doc);
+      close_out oc;
+      Printf.printf "\nwrote perf baseline JSON to %s\n" path
 
 (* The per-figure summary: the headline numbers of every section that ran,
    one JSON document, for dashboards and regression diffing. *)
@@ -1120,11 +1363,13 @@ let () =
           | "verify" -> verify ()
           | "ext" -> ext ()
           | "perf" -> perf ()
+          | "scale" -> scale ()
           | other ->
               Printf.eprintf
-                "unknown section %s (expected fig3|fig6|fig7|fig8|mpeg|backends|verify|ext|perf|all)\n"
+                "unknown section %s (expected fig3|fig6|fig7|fig8|mpeg|backends|verify|ext|perf|scale|all)\n"
                 other;
               exit 1)
         sections);
+  write_perf_baseline ();
   write_metrics_sidecar ();
   write_json_summary ()

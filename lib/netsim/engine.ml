@@ -1,22 +1,78 @@
+(* The event core.  Events are a typed variant, not bare closures: links
+   and segments enqueue packets into preallocated per-direction FIFO rings
+   (one outstanding scheduler entry per ring, re-armed from the ring head),
+   so the steady-state delivery path allocates nothing — no closure per
+   packet, no boxed heap entry, no boxed clock store (the clock lives in an
+   all-float cell that Sched.pop writes directly).
+
+   Ordering is bit-identical to the old per-packet binary heap: every ring
+   push reserves a global sequence number at push time (Sched.fresh_seq),
+   and the ring's scheduler entry always carries the head packet's stamped
+   (time, seq) — the pop order is exactly what per-packet scheduling would
+   have produced. *)
+
+type event =
+  | Timer of (unit -> unit)
+  | Deliver of delivery
+  | Broadcast of broadcast
+
+(* A point-to-point delivery pipeline (one per link direction): a FIFO ring
+   of in-flight packets with parallel unboxed arrival times and stamped
+   seqs.  Ring capacity is a power of two and doubles when full. *)
+and delivery = {
+  mutable d_receiver : Packet.t -> unit;
+  mutable d_pkts : Packet.t array;
+  mutable d_times : float array;
+  mutable d_seqs : int array;
+  mutable d_head : int;
+  mutable d_len : int;
+  mutable d_event : event; (* preallocated [Deliver self] *)
+}
+
+(* A broadcast pipeline (one per shared segment): like [delivery] but each
+   frame also carries its link-level destination and sending station. *)
+and broadcast = {
+  mutable b_handler : l2_dst:Addr.t option -> from:int -> Packet.t -> unit;
+  mutable b_pkts : Packet.t array;
+  mutable b_dsts : Addr.t option array;
+  mutable b_froms : int array;
+  mutable b_times : float array;
+  mutable b_seqs : int array;
+  mutable b_head : int;
+  mutable b_len : int;
+  mutable b_event : event;
+}
+
 type t = {
-  queue : (unit -> unit) Heap.t;
-  mutable clock : float;
+  queue : event Sched.t;
+  clock : Sched.fcell; (* all-float cell: stores never box *)
+  scratch : Sched.fcell; (* peek target for run_until *)
+  mutable queued : int; (* logical pending: timers + every ring resident *)
   mutable processed : int;
   mutable flushed : int; (* events already pushed to m_events *)
-  mutable heap_max : int;
+  mutable depth_max : int;
   mutable wall_spent : float; (* cpu seconds inside run/run_until *)
+  mutable flush_hooks : (unit -> unit) list; (* registration order *)
   m_events : Obs.Registry.counter;
 }
+
+let nop_event = Timer (fun () -> ())
+
+let dummy_packet =
+  Packet.make ~src:Addr.broadcast ~dst:Addr.broadcast Packet.Raw Payload.empty
 
 let create () =
   let engine =
     {
-      queue = Heap.create ();
-      clock = 0.0;
+      queue = Sched.create ~dummy:nop_event ();
+      clock = { Sched.v = 0.0 };
+      scratch = { Sched.v = 0.0 };
+      queued = 0;
       processed = 0;
       flushed = 0;
-      heap_max = 0;
+      depth_max = 0;
       wall_spent = 0.0;
+      flush_hooks = [];
       m_events =
         Obs.Registry.counter ~help:"events executed" "netsim.engine.events";
     }
@@ -25,14 +81,14 @@ let create () =
   Obs.Registry.set_fn
     (Obs.Registry.gauge ~help:"current simulated time (s)"
        "netsim.engine.sim_time_s")
-    (fun () -> engine.clock);
+    (fun () -> engine.clock.Sched.v);
   Obs.Registry.set_fn
     (Obs.Registry.gauge ~help:"events still queued" "netsim.engine.pending")
-    (fun () -> float_of_int (Heap.size engine.queue));
+    (fun () -> float_of_int engine.queued);
   Obs.Registry.set_fn
     (Obs.Registry.gauge ~help:"peak event-queue depth"
        "netsim.engine.heap_depth_max")
-    (fun () -> float_of_int engine.heap_max);
+    (fun () -> float_of_int engine.depth_max);
   Obs.Registry.set_fn
     (Obs.Registry.gauge ~volatile:true
        ~help:"cpu seconds spent inside run/run_until"
@@ -40,42 +96,224 @@ let create () =
     (fun () -> engine.wall_spent);
   engine
 
-let now engine = engine.clock
+let[@inline] now engine = engine.clock.Sched.v
+
+let[@inline] note_queued engine =
+  engine.queued <- engine.queued + 1;
+  if engine.queued > engine.depth_max then engine.depth_max <- engine.queued
 
 let schedule engine ~at thunk =
-  if at < engine.clock then
+  if at < engine.clock.Sched.v then
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %g is before now (%g)" at
-         engine.clock);
-  Heap.add engine.queue ~time:at thunk;
-  let depth = Heap.size engine.queue in
-  if depth > engine.heap_max then engine.heap_max <- depth
+         engine.clock.Sched.v);
+  Sched.add engine.queue ~time:at (Timer thunk);
+  note_queued engine
 
 let schedule_after engine ~delay thunk =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
-  schedule engine ~at:(engine.clock +. delay) thunk
+  schedule engine ~at:(engine.clock.Sched.v +. delay) thunk
+
+(* ------------------------------------------------------------------ *)
+(* Delivery rings                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let delivery () =
+  let cap = 8 in
+  let d =
+    {
+      d_receiver = ignore;
+      d_pkts = Array.make cap dummy_packet;
+      d_times = Array.make cap 0.0;
+      d_seqs = Array.make cap 0;
+      d_head = 0;
+      d_len = 0;
+      d_event = nop_event;
+    }
+  in
+  d.d_event <- Deliver d;
+  d
+
+let set_delivery_receiver d f = d.d_receiver <- f
+let delivery_backlog d = d.d_len
+
+let[@inline never] grow_delivery d =
+  let cap = Array.length d.d_pkts in
+  let ncap = 2 * cap in
+  let pkts = Array.make ncap dummy_packet in
+  let times = Array.make ncap 0.0 in
+  let seqs = Array.make ncap 0 in
+  for i = 0 to d.d_len - 1 do
+    let j = (d.d_head + i) land (cap - 1) in
+    pkts.(i) <- d.d_pkts.(j);
+    times.(i) <- d.d_times.(j);
+    seqs.(i) <- d.d_seqs.(j)
+  done;
+  d.d_pkts <- pkts;
+  d.d_times <- times;
+  d.d_seqs <- seqs;
+  d.d_head <- 0
+
+(* (Re-)schedule the ring's single scheduler entry from the head packet's
+   stamped (time, seq), preserving per-packet pop order exactly. *)
+let[@inline] arm_delivery engine d =
+  let i = d.d_head in
+  Sched.add_stamped engine.queue
+    ~time:(Array.unsafe_get d.d_times i)
+    ~seq:(Array.unsafe_get d.d_seqs i)
+    d.d_event
+
+let[@inline] push_delivery engine d ~at packet =
+  if at < engine.clock.Sched.v then
+    invalid_arg
+      (Printf.sprintf "Engine.push_delivery: time %g is before now (%g)" at
+         engine.clock.Sched.v);
+  if d.d_len = Array.length d.d_pkts then grow_delivery d;
+  let mask = Array.length d.d_pkts - 1 in
+  let tail = (d.d_head + d.d_len) land mask in
+  if
+    d.d_len > 0
+    && at < Array.unsafe_get d.d_times ((tail - 1) land mask)
+  then invalid_arg "Engine.push_delivery: arrival times must be monotone";
+  Array.unsafe_set d.d_pkts tail packet;
+  Array.unsafe_set d.d_times tail at;
+  Array.unsafe_set d.d_seqs tail (Sched.fresh_seq engine.queue);
+  d.d_len <- d.d_len + 1;
+  note_queued engine;
+  if d.d_len = 1 then arm_delivery engine d
+
+(* ------------------------------------------------------------------ *)
+(* Broadcast rings                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let broadcast () =
+  let cap = 8 in
+  let b =
+    {
+      b_handler = (fun ~l2_dst:_ ~from:_ _ -> ());
+      b_pkts = Array.make cap dummy_packet;
+      b_dsts = Array.make cap None;
+      b_froms = Array.make cap 0;
+      b_times = Array.make cap 0.0;
+      b_seqs = Array.make cap 0;
+      b_head = 0;
+      b_len = 0;
+      b_event = nop_event;
+    }
+  in
+  b.b_event <- Broadcast b;
+  b
+
+let set_broadcast_handler b f = b.b_handler <- f
+let broadcast_backlog b = b.b_len
+
+let[@inline never] grow_broadcast b =
+  let cap = Array.length b.b_pkts in
+  let ncap = 2 * cap in
+  let pkts = Array.make ncap dummy_packet in
+  let dsts = Array.make ncap None in
+  let froms = Array.make ncap 0 in
+  let times = Array.make ncap 0.0 in
+  let seqs = Array.make ncap 0 in
+  for i = 0 to b.b_len - 1 do
+    let j = (b.b_head + i) land (cap - 1) in
+    pkts.(i) <- b.b_pkts.(j);
+    dsts.(i) <- b.b_dsts.(j);
+    froms.(i) <- b.b_froms.(j);
+    times.(i) <- b.b_times.(j);
+    seqs.(i) <- b.b_seqs.(j)
+  done;
+  b.b_pkts <- pkts;
+  b.b_dsts <- dsts;
+  b.b_froms <- froms;
+  b.b_times <- times;
+  b.b_seqs <- seqs;
+  b.b_head <- 0
+
+let[@inline] arm_broadcast engine b =
+  let i = b.b_head in
+  Sched.add_stamped engine.queue
+    ~time:(Array.unsafe_get b.b_times i)
+    ~seq:(Array.unsafe_get b.b_seqs i)
+    b.b_event
+
+let[@inline] push_broadcast engine b ~at ~l2_dst ~from packet =
+  if at < engine.clock.Sched.v then
+    invalid_arg
+      (Printf.sprintf "Engine.push_broadcast: time %g is before now (%g)" at
+         engine.clock.Sched.v);
+  if b.b_len = Array.length b.b_pkts then grow_broadcast b;
+  let mask = Array.length b.b_pkts - 1 in
+  let tail = (b.b_head + b.b_len) land mask in
+  if
+    b.b_len > 0
+    && at < Array.unsafe_get b.b_times ((tail - 1) land mask)
+  then invalid_arg "Engine.push_broadcast: arrival times must be monotone";
+  Array.unsafe_set b.b_pkts tail packet;
+  Array.unsafe_set b.b_dsts tail l2_dst;
+  Array.unsafe_set b.b_froms tail from;
+  Array.unsafe_set b.b_times tail at;
+  Array.unsafe_set b.b_seqs tail (Sched.fresh_seq engine.queue);
+  b.b_len <- b.b_len + 1;
+  note_queued engine;
+  if b.b_len = 1 then arm_broadcast engine b
+
+(* ------------------------------------------------------------------ *)
+(* Event loop                                                          *)
+(* ------------------------------------------------------------------ *)
 
 let default_limit = 100_000_000
 
 (* The event counter is updated in [flush_events], not per event: [step]
    only bumps a raw int, and run/run_until push the delta into the metrics
-   registry on exit.  Keeps the hottest loop in the simulator free of
-   registry dispatch while the exported counter stays exact whenever the
-   engine is idle (the only time anyone can snapshot it). *)
+   registry on exit.  Components with their own batched counters (links,
+   segments) register [on_flush] hooks and are flushed at the same points.
+   Keeps the hottest loop in the simulator free of registry dispatch while
+   the exported counters stay exact whenever the engine is idle (the only
+   time anyone can snapshot them). *)
 let flush_events engine =
   if engine.processed > engine.flushed then begin
     Obs.Registry.add engine.m_events (engine.processed - engine.flushed);
     engine.flushed <- engine.processed
-  end
+  end;
+  List.iter (fun hook -> hook ()) engine.flush_hooks
+
+let on_flush engine hook = engine.flush_hooks <- engine.flush_hooks @ [ hook ]
 
 let step engine =
-  match Heap.pop engine.queue with
-  | None -> false
-  | Some (time, thunk) ->
-      engine.clock <- time;
-      engine.processed <- engine.processed + 1;
-      thunk ();
-      true
+  if Sched.is_empty engine.queue then false
+  else begin
+    let ev = Sched.pop engine.queue ~into:engine.clock in
+    engine.processed <- engine.processed + 1;
+    engine.queued <- engine.queued - 1;
+    (match ev with
+    | Timer thunk -> thunk ()
+    | Deliver d ->
+        let mask = Array.length d.d_pkts - 1 in
+        let i = d.d_head in
+        let packet = Array.unsafe_get d.d_pkts i in
+        Array.unsafe_set d.d_pkts i dummy_packet;
+        d.d_head <- (i + 1) land mask;
+        d.d_len <- d.d_len - 1;
+        (* Re-arm before the receiver runs: the next head's stamped seq
+           predates anything the receiver can schedule, and the receiver
+           may push into this very ring. *)
+        if d.d_len > 0 then arm_delivery engine d;
+        d.d_receiver packet
+    | Broadcast b ->
+        let mask = Array.length b.b_pkts - 1 in
+        let i = b.b_head in
+        let packet = Array.unsafe_get b.b_pkts i in
+        let l2_dst = Array.unsafe_get b.b_dsts i in
+        let from = Array.unsafe_get b.b_froms i in
+        Array.unsafe_set b.b_pkts i dummy_packet;
+        Array.unsafe_set b.b_dsts i None;
+        b.b_head <- (i + 1) land mask;
+        b.b_len <- b.b_len - 1;
+        if b.b_len > 0 then arm_broadcast engine b;
+        b.b_handler ~l2_dst ~from packet);
+    true
+  end
 
 let run ?(limit = default_limit) engine =
   let started = Sys.time () in
@@ -100,17 +338,20 @@ let run_until ?(limit = default_limit) engine ~stop =
       engine.wall_spent <- engine.wall_spent +. (Sys.time () -. started))
     (fun () ->
       while !continue do
-        match Heap.peek_time engine.queue with
-        | Some time when time <= stop ->
-            ignore (step engine);
-            incr fired;
-            if !fired > limit then
-              invalid_arg "Engine.run_until: event limit exceeded"
-        | Some _ | None -> continue := false
+        if
+          Sched.peek_time engine.queue ~into:engine.scratch
+          && engine.scratch.Sched.v <= stop
+        then begin
+          ignore (step engine);
+          incr fired;
+          if !fired > limit then
+            invalid_arg "Engine.run_until: event limit exceeded"
+        end
+        else continue := false
       done;
-      if stop > engine.clock then engine.clock <- stop)
+      if stop > engine.clock.Sched.v then engine.clock.Sched.v <- stop)
 
-let pending engine = Heap.size engine.queue
+let pending engine = engine.queued
 let events_processed engine = engine.processed
-let max_heap_depth engine = engine.heap_max
+let max_heap_depth engine = engine.depth_max
 let wall_cpu_seconds engine = engine.wall_spent

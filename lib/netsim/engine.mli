@@ -1,8 +1,16 @@
 (** Discrete-event simulation engine.
 
-    The engine owns the simulated clock and an event queue; an event is an
-    arbitrary thunk scheduled at an absolute simulated time. All netsim
-    components (links, nodes, applications) share one engine. *)
+    The engine owns the simulated clock and an event queue. Events are a
+    typed variant: plain timer thunks, plus preallocated FIFO {e delivery}
+    and {e broadcast} rings that links and segments push packets into —
+    one outstanding queue entry per ring, re-armed from the ring head, so
+    steady-state packet delivery schedules without allocating. All netsim
+    components (links, nodes, applications) share one engine.
+
+    Ordering is identical to scheduling every packet individually: each
+    ring push reserves a global sequence number at push time, and the
+    ring's queue entry always carries the head packet's stamped
+    [(time, seq)]. *)
 
 type t
 
@@ -19,6 +27,50 @@ val schedule : t -> at:float -> (unit -> unit) -> unit
 (** [schedule_after engine ~delay thunk] runs [thunk] after [delay] seconds. *)
 val schedule_after : t -> delay:float -> (unit -> unit) -> unit
 
+(** {2 Delivery pipelines}
+
+    A [delivery] is a point-to-point packet pipeline, typically one per
+    link direction: packets pushed with monotone arrival times pop in FIFO
+    order and are handed to the receiver callback. Pushing into a ring
+    with capacity left allocates nothing. *)
+
+type delivery
+
+(** [delivery ()] is a fresh pipeline delivering to a no-op receiver. *)
+val delivery : unit -> delivery
+
+(** [set_delivery_receiver d f] routes popped packets to [f]. *)
+val set_delivery_receiver : delivery -> (Packet.t -> unit) -> unit
+
+(** [push_delivery engine d ~at packet] enqueues [packet] to arrive at
+    [at].
+    @raise Invalid_argument if [at] is in the past or earlier than the
+    ring's newest pending arrival (arrivals must be monotone). *)
+val push_delivery : t -> delivery -> at:float -> Packet.t -> unit
+
+(** [delivery_backlog d] is the number of packets in flight in [d]. *)
+val delivery_backlog : delivery -> int
+
+(** {2 Broadcast pipelines}
+
+    Like deliveries, but each frame carries a link-level destination and
+    the index of the sending station; one per shared segment. *)
+
+type broadcast
+
+val broadcast : unit -> broadcast
+
+val set_broadcast_handler :
+  broadcast -> (l2_dst:Addr.t option -> from:int -> Packet.t -> unit) -> unit
+
+val push_broadcast :
+  t -> broadcast -> at:float -> l2_dst:Addr.t option -> from:int ->
+  Packet.t -> unit
+
+val broadcast_backlog : broadcast -> int
+
+(** {2 Running} *)
+
 (** [run engine] processes events until the queue drains.
     @raise Invalid_argument if more than [limit] events fire (default 100M),
     which indicates a runaway simulation. *)
@@ -28,7 +80,16 @@ val run : ?limit:int -> t -> unit
     the clock to [stop]. Events scheduled later stay queued. *)
 val run_until : ?limit:int -> t -> stop:float -> unit
 
-(** [pending engine] is the number of queued events. *)
+(** [on_flush engine hook] registers [hook] to run (in registration order)
+    whenever the engine flushes batched metrics — on every [run]/[run_until]
+    exit, including exceptional ones. Components that batch per-packet
+    counters into raw fields use this to publish them to the metrics
+    registry; exported values are therefore exact exactly when the engine
+    is idle. *)
+val on_flush : t -> (unit -> unit) -> unit
+
+(** [pending engine] is the number of queued events (timers plus every
+    packet resident in a delivery/broadcast ring). *)
 val pending : t -> int
 
 (** [events_processed engine] counts events executed since creation. *)

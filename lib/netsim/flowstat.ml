@@ -1,9 +1,19 @@
-type sample = { at : float; bytes : int }
+(* Samples live in a ring of parallel arrays (unboxed float stamps, int
+   byte counts), so [record] — called once per transmitted packet — is a
+   handful of stores with no allocation; the amortized-O(1) expiry sweep
+   is array reads and int stores.  Expiry stays eager in [record] (using
+   the caller's stamp, which for links is the transmit-finish time and can
+   run ahead of the clock): that both bounds the ring at one window's
+   worth of samples and keeps windowed rates bit-identical to the
+   original queue-based implementation. *)
 
 type t = {
   win : float;
-  samples : sample Queue.t;
-  mutable window_bytes : int;
+  mutable r_at : float array; (* ring, capacity is a power of two *)
+  mutable r_bytes : int array;
+  mutable head : int;
+  mutable len : int;
+  mutable window_bytes : int; (* bytes in ring (may include stale) *)
   mutable all_bytes : int;
   mutable all_packets : int;
 }
@@ -12,26 +22,49 @@ let create ?(window = 1.0) () =
   if window <= 0.0 then invalid_arg "Flowstat.create: window must be positive";
   {
     win = window;
-    samples = Queue.create ();
+    r_at = Array.make 16 0.0;
+    r_bytes = Array.make 16 0;
+    head = 0;
+    len = 0;
     window_bytes = 0;
     all_bytes = 0;
     all_packets = 0;
   }
 
-let expire stat ~now =
+let[@inline] expire stat ~now =
   let horizon = now -. stat.win in
-  let continue = ref true in
-  while !continue do
-    match Queue.peek_opt stat.samples with
-    | Some s when s.at < horizon ->
-        ignore (Queue.pop stat.samples);
-        stat.window_bytes <- stat.window_bytes - s.bytes
-    | Some _ | None -> continue := false
+  let mask = Array.length stat.r_at - 1 in
+  while
+    stat.len > 0 && Array.unsafe_get stat.r_at stat.head < horizon
+  do
+    stat.window_bytes <-
+      stat.window_bytes - Array.unsafe_get stat.r_bytes stat.head;
+    stat.head <- (stat.head + 1) land mask;
+    stat.len <- stat.len - 1
   done
 
-let record stat ~now bytes =
+let[@inline never] grow stat =
+  let cap = Array.length stat.r_at in
+  let ncap = 2 * cap in
+  let at = Array.make ncap 0.0 in
+  let bytes = Array.make ncap 0 in
+  for i = 0 to stat.len - 1 do
+    let j = (stat.head + i) land (cap - 1) in
+    at.(i) <- stat.r_at.(j);
+    bytes.(i) <- stat.r_bytes.(j)
+  done;
+  stat.r_at <- at;
+  stat.r_bytes <- bytes;
+  stat.head <- 0
+
+let[@inline always] record stat ~now bytes =
   expire stat ~now;
-  Queue.push { at = now; bytes } stat.samples;
+  if stat.len = Array.length stat.r_at then grow stat;
+  let mask = Array.length stat.r_at - 1 in
+  let tail = (stat.head + stat.len) land mask in
+  Array.unsafe_set stat.r_at tail now;
+  Array.unsafe_set stat.r_bytes tail bytes;
+  stat.len <- stat.len + 1;
   stat.window_bytes <- stat.window_bytes + bytes;
   stat.all_bytes <- stat.all_bytes + bytes;
   stat.all_packets <- stat.all_packets + 1

@@ -11,7 +11,9 @@ type t
     (default 1.0). *)
 val create : ?window:float -> unit -> t
 
-(** [record stat ~now bytes] accounts [bytes] at time [now]. *)
+(** [record stat ~now bytes] accounts [bytes] at time [now]. Samples are
+    kept in a preallocated ring; in steady state (the ring at its
+    window-bounded size) recording allocates nothing. *)
 val record : t -> now:float -> int -> unit
 
 (** [rate_bps stat ~now] is the carried rate over the window ending at

@@ -72,5 +72,7 @@ let size heap = heap.len
 let is_empty heap = heap.len = 0
 
 let clear heap =
-  Array.fill heap.store 0 (Array.length heap.store) None;
+  (* Slots at [len..] are always [None] ([pop] clears as it shrinks), so
+     only the live prefix needs wiping. *)
+  Array.fill heap.store 0 heap.len None;
   heap.len <- 0

@@ -1,10 +1,20 @@
 type endpoint = A | B
 
+(* Per-packet metrics are batched into raw fields and flushed to the
+   registry by an [Engine.on_flush] hook (so exported counters are exact
+   whenever the engine is idle).  [fl] is a float array so the hot stores
+   to [busy_until] and the backlog-histogram sum never box. *)
 type direction = {
-  mutable busy_until : float;
-  mutable receiver : Packet.t -> unit;
+  fl : float array; (* 0 = busy_until, 1 = backlog sum since last flush *)
+  delivery : Engine.delivery;
   dir_stat : Flowstat.t;
-  mutable dropped : int;
+  mutable r_packets : int; (* raw totals since creation *)
+  mutable r_bytes : int;
+  mutable r_drops : int;
+  mutable f_packets : int; (* high-water marks already flushed *)
+  mutable f_bytes : int;
+  mutable f_drops : int;
+  h_counts : int array; (* backlog histogram buckets since last flush *)
   m_packets : Obs.Registry.counter;
   m_bytes : Obs.Registry.counter;
   m_drops : Obs.Registry.counter;
@@ -27,10 +37,16 @@ let other = function A -> B | B -> A
 let make_direction ~link_name ~dir =
   let labels = [ ("link", link_name); ("dir", dir) ] in
   {
-    busy_until = 0.0;
-    receiver = (fun _ -> ());
+    fl = [| 0.0; 0.0 |];
+    delivery = Engine.delivery ();
     dir_stat = Flowstat.create ();
-    dropped = 0;
+    r_packets = 0;
+    r_bytes = 0;
+    r_drops = 0;
+    f_packets = 0;
+    f_bytes = 0;
+    f_drops = 0;
+    h_counts = Array.make Obs.Registry.histogram_slots 0;
     m_packets =
       Obs.Registry.counter ~labels ~help:"packets transmitted"
         "netsim.link.tx_packets";
@@ -46,20 +62,51 @@ let make_direction ~link_name ~dir =
         "netsim.link.backlog_bytes";
   }
 
+(* Push batched counters to the registry.  The flushed marks advance even
+   when the registry is disabled, mirroring the old per-packet dispatch
+   (increments made while disabled were dropped, not deferred). *)
+let flush_direction dir =
+  let dp = dir.r_packets - dir.f_packets in
+  if dp > 0 then begin
+    Obs.Registry.add dir.m_packets dp;
+    dir.f_packets <- dir.r_packets;
+    (* One histogram observation per transmitted packet. *)
+    Obs.Registry.observe_bulk dir.m_backlog ~counts:dir.h_counts
+      ~sum:dir.fl.(1);
+    Array.fill dir.h_counts 0 (Array.length dir.h_counts) 0;
+    dir.fl.(1) <- 0.0
+  end;
+  let db = dir.r_bytes - dir.f_bytes in
+  if db > 0 then begin
+    Obs.Registry.add dir.m_bytes db;
+    dir.f_bytes <- dir.r_bytes
+  end;
+  let dd = dir.r_drops - dir.f_drops in
+  if dd > 0 then begin
+    Obs.Registry.add dir.m_drops dd;
+    dir.f_drops <- dir.r_drops
+  end
+
 let create ?(name = "link") ?(queue_capacity = 65536) engine ~bandwidth_bps
     ~latency () =
   if bandwidth_bps <= 0.0 then invalid_arg "Link.create: bandwidth must be positive";
   if latency < 0.0 then invalid_arg "Link.create: negative latency";
-  {
-    link_name = name;
-    engine;
-    bandwidth = bandwidth_bps;
-    latency;
-    queue_capacity;
-    a_to_b = make_direction ~link_name:name ~dir:"a_to_b";
-    b_to_a = make_direction ~link_name:name ~dir:"b_to_a";
-    up = true;
-  }
+  let link =
+    {
+      link_name = name;
+      engine;
+      bandwidth = bandwidth_bps;
+      latency;
+      queue_capacity;
+      a_to_b = make_direction ~link_name:name ~dir:"a_to_b";
+      b_to_a = make_direction ~link_name:name ~dir:"b_to_a";
+      up = true;
+    }
+  in
+  Engine.on_flush engine (fun () ->
+      flush_direction link.a_to_b;
+      flush_direction link.b_to_a);
+  link
 
 let name link = link.link_name
 let bandwidth_bps link = link.bandwidth
@@ -67,42 +114,42 @@ let set_up link flag = link.up <- flag
 let is_up link = link.up
 
 (* The direction that transmits *from* the given endpoint. *)
-let tx_direction link = function A -> link.a_to_b | B -> link.b_to_a
+let[@inline] tx_direction link = function
+  | A -> link.a_to_b
+  | B -> link.b_to_a
 
 let set_receiver link endpoint f =
   (* Packets arriving at [endpoint] travel on the direction transmitting
      from the other end. *)
-  (tx_direction link (other endpoint)).receiver <- f
+  Engine.set_delivery_receiver (tx_direction link (other endpoint)).delivery f
 
-let backlog_of direction ~now ~bandwidth =
-  if direction.busy_until <= now then 0
-  else int_of_float ((direction.busy_until -. now) *. bandwidth /. 8.0)
+let[@inline] backlog_of direction ~now ~bandwidth =
+  let busy = Array.unsafe_get direction.fl 0 in
+  if busy <= now then 0 else int_of_float ((busy -. now) *. bandwidth /. 8.0)
 
 let send link ~from packet =
   let dir = tx_direction link from in
   let now = Engine.now link.engine in
   let size = Packet.wire_size packet in
   let backlog = backlog_of dir ~now ~bandwidth:link.bandwidth in
-  if not link.up then begin
-    dir.dropped <- dir.dropped + 1;
-    Obs.Registry.incr dir.m_drops;
-    false
-  end
-  else if backlog + size > link.queue_capacity then begin
-    dir.dropped <- dir.dropped + 1;
-    Obs.Registry.incr dir.m_drops;
+  if (not link.up) || backlog + size > link.queue_capacity then begin
+    dir.r_drops <- dir.r_drops + 1;
     false
   end
   else begin
-    let start = Float.max now dir.busy_until in
+    let busy = Array.unsafe_get dir.fl 0 in
+    let start = if now > busy then now else busy in
     let finish = start +. (float_of_int (size * 8) /. link.bandwidth) in
-    dir.busy_until <- finish;
+    Array.unsafe_set dir.fl 0 finish;
     Flowstat.record dir.dir_stat ~now:finish size;
-    Obs.Registry.incr dir.m_packets;
-    Obs.Registry.add dir.m_bytes size;
-    Obs.Registry.observe dir.m_backlog (float_of_int backlog);
-    Engine.schedule link.engine ~at:(finish +. link.latency) (fun () ->
-        dir.receiver packet);
+    dir.r_packets <- dir.r_packets + 1;
+    dir.r_bytes <- dir.r_bytes + size;
+    let slot = Obs.Registry.bucket_of_int backlog in
+    Array.unsafe_set dir.h_counts slot (Array.unsafe_get dir.h_counts slot + 1);
+    Array.unsafe_set dir.fl 1
+      (Array.unsafe_get dir.fl 1 +. float_of_int backlog);
+    Engine.push_delivery link.engine dir.delivery
+      ~at:(finish +. link.latency) packet;
     true
   end
 
@@ -111,4 +158,4 @@ let backlog_bytes link endpoint =
   backlog_of dir ~now:(Engine.now link.engine) ~bandwidth:link.bandwidth
 
 let stat link endpoint = (tx_direction link endpoint).dir_stat
-let drops link endpoint = (tx_direction link endpoint).dropped
+let drops link endpoint = (tx_direction link endpoint).r_drops

@@ -29,6 +29,11 @@ let members registry ~group =
   | Some set -> Addr_set.elements !set
   | None -> []
 
+let iter_members registry ~group f =
+  match Hashtbl.find_opt registry.groups group with
+  | Some set -> Addr_set.iter f !set
+  | None -> ()
+
 let is_member registry ~group member =
   match Hashtbl.find_opt registry.groups group with
   | Some set -> Addr_set.mem member !set

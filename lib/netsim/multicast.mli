@@ -17,5 +17,10 @@ val leave : t -> group:Addr.t -> Addr.t -> unit
 (** [members registry ~group] is the member list, sorted by address. *)
 val members : t -> group:Addr.t -> Addr.t list
 
+(** [iter_members registry ~group f] applies [f] to each member in
+    ascending address order, without building the list — the form the
+    per-packet replication path uses. *)
+val iter_members : t -> group:Addr.t -> (Addr.t -> unit) -> unit
+
 val is_member : t -> group:Addr.t -> Addr.t -> bool
 val groups : t -> Addr.t list

@@ -195,16 +195,14 @@ let multicast_out node ~in_ifindex packet =
       Obs.Registry.incr node.obs.o_drop_no_route
   | Some registry ->
       let out_ifaces = Hashtbl.create 4 in
-      List.iter
-        (fun member ->
+      Multicast.iter_members registry ~group (fun member ->
           if not (Addr.equal member node.node_addr) then
             match Routing.lookup node.node_routing member with
             | Some { Routing.ifindex; _ }
               when ifindex <> in_ifindex
                    && not (Hashtbl.mem out_ifaces ifindex) ->
                 Hashtbl.add out_ifaces ifindex ()
-            | Some _ | None -> ())
-        (Multicast.members registry ~group);
+            | Some _ | None -> ());
       Hashtbl.iter
         (fun ifindex () ->
           transmit node ~ifindex ~l2_dst:(Some group) (Packet.clone packet))

@@ -16,6 +16,7 @@ module Sender = struct
     mutable base : int;  (* lowest unacknowledged seq *)
     mutable retx : int;
     mutable timer_armed : bool;
+    mutable timeout_thunk : unit -> unit;  (* preallocated, set at connect *)
   }
 
   let encode_data seq payload =
@@ -40,9 +41,9 @@ module Sender = struct
     done;
     if (not t.timer_armed) && Hashtbl.length t.inflight > 0 then begin
       t.timer_armed <- true;
-      Engine.schedule_after (Node.engine t.node) ~delay:t.rto (fun () ->
-          t.timer_armed <- false;
-          on_timeout t)
+      (* One thunk per sender, allocated at connect — re-arming the RTO
+         timer on every pump does not build a fresh closure. *)
+      Engine.schedule_after (Node.engine t.node) ~delay:t.rto t.timeout_thunk
     end
 
   (* Go-back-N-ish: retransmit everything still in flight. *)
@@ -91,8 +92,13 @@ module Sender = struct
         base = 0;
         retx = 0;
         timer_armed = false;
+        timeout_thunk = (fun () -> ());
       }
     in
+    t.timeout_thunk <-
+      (fun () ->
+        t.timer_armed <- false;
+        on_timeout t);
     Node.on_udp node ~port:src_port (fun _ packet -> on_ack t packet);
     t
 

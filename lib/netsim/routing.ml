@@ -19,7 +19,11 @@ let clear table =
   Hashtbl.reset table.hosts;
   table.default <- None
 
-let entries table = Hashtbl.fold (fun dst route acc -> (dst, route) :: acc) table.hosts []
+(* Hashtbl.fold order is unspecified; sort so [entries] (and therefore
+   [pp]) is deterministic across runs and OCaml versions. *)
+let entries table =
+  Hashtbl.fold (fun dst route acc -> (dst, route) :: acc) table.hosts []
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
 
 let pp fmt table =
   let pp_route fmt { ifindex; next_hop } =

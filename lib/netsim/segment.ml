@@ -1,5 +1,9 @@
 type station = int
 
+(* Like {!Link}, per-frame metrics are batched into raw fields flushed by
+   an [Engine.on_flush] hook, and in-flight frames live in a preallocated
+   broadcast ring instead of per-frame closures.  [fl] keeps the two hot
+   mutable floats unboxed: 0 = busy_until, 1 = backlog sum since flush. *)
 type t = {
   seg_uid : int;
   seg_name : string;
@@ -7,11 +11,18 @@ type t = {
   bandwidth : float;
   latency : float;
   queue_capacity : int;
-  mutable busy_until : float;
+  fl : float array;
+  bcast : Engine.broadcast;
   mutable stations : (l2_dst:Addr.t option -> Packet.t -> unit) array;
   seg_stat : Flowstat.t;
-  mutable dropped : int;
   mutable tap : (at:float -> l2_dst:Addr.t option -> Packet.t -> unit) option;
+  mutable r_frames : int;
+  mutable r_bytes : int;
+  mutable r_drops : int;
+  mutable f_frames : int;
+  mutable f_bytes : int;
+  mutable f_drops : int;
+  h_counts : int array;
   m_frames : Obs.Registry.counter;
   m_bytes : Obs.Registry.counter;
   m_drops : Obs.Registry.counter;
@@ -20,6 +31,27 @@ type t = {
 
 let uid_counter = ref 0
 
+let flush segment =
+  let df = segment.r_frames - segment.f_frames in
+  if df > 0 then begin
+    Obs.Registry.add segment.m_frames df;
+    segment.f_frames <- segment.r_frames;
+    Obs.Registry.observe_bulk segment.m_backlog ~counts:segment.h_counts
+      ~sum:segment.fl.(1);
+    Array.fill segment.h_counts 0 (Array.length segment.h_counts) 0;
+    segment.fl.(1) <- 0.0
+  end;
+  let db = segment.r_bytes - segment.f_bytes in
+  if db > 0 then begin
+    Obs.Registry.add segment.m_bytes db;
+    segment.f_bytes <- segment.r_bytes
+  end;
+  let dd = segment.r_drops - segment.f_drops in
+  if dd > 0 then begin
+    Obs.Registry.add segment.m_drops dd;
+    segment.f_drops <- segment.r_drops
+  end
+
 let create ?(name = "segment") ?(queue_capacity = 131072) engine ~bandwidth_bps
     ~latency () =
   if bandwidth_bps <= 0.0 then
@@ -27,32 +59,47 @@ let create ?(name = "segment") ?(queue_capacity = 131072) engine ~bandwidth_bps
   if latency < 0.0 then invalid_arg "Segment.create: negative latency";
   incr uid_counter;
   let labels = [ ("segment", name) ] in
-  {
-    seg_uid = !uid_counter;
-    seg_name = name;
-    engine;
-    bandwidth = bandwidth_bps;
-    latency;
-    queue_capacity;
-    busy_until = 0.0;
-    stations = [||];
-    seg_stat = Flowstat.create ();
-    dropped = 0;
-    tap = None;
-    m_frames =
-      Obs.Registry.counter ~labels ~help:"frames carried"
-        "netsim.segment.frames";
-    m_bytes =
-      Obs.Registry.counter ~labels ~help:"wire bytes carried"
-        "netsim.segment.bytes";
-    m_drops =
-      Obs.Registry.counter ~labels ~help:"frames dropped (full queue)"
-        "netsim.segment.drops";
-    m_backlog =
-      Obs.Registry.histogram ~labels
-        ~help:"queue occupancy (bytes) sampled at each send"
-        "netsim.segment.backlog_bytes";
-  }
+  let segment =
+    {
+      seg_uid = !uid_counter;
+      seg_name = name;
+      engine;
+      bandwidth = bandwidth_bps;
+      latency;
+      queue_capacity;
+      fl = [| 0.0; 0.0 |];
+      bcast = Engine.broadcast ();
+      stations = [||];
+      seg_stat = Flowstat.create ();
+      tap = None;
+      r_frames = 0;
+      r_bytes = 0;
+      r_drops = 0;
+      f_frames = 0;
+      f_bytes = 0;
+      f_drops = 0;
+      h_counts = Array.make Obs.Registry.histogram_slots 0;
+      m_frames =
+        Obs.Registry.counter ~labels ~help:"frames carried"
+          "netsim.segment.frames";
+      m_bytes =
+        Obs.Registry.counter ~labels ~help:"wire bytes carried"
+          "netsim.segment.bytes";
+      m_drops =
+        Obs.Registry.counter ~labels ~help:"frames dropped (full queue)"
+          "netsim.segment.drops";
+      m_backlog =
+        Obs.Registry.histogram ~labels
+          ~help:"queue occupancy (bytes) sampled at each send"
+          "netsim.segment.backlog_bytes";
+    }
+  in
+  Engine.set_broadcast_handler segment.bcast (fun ~l2_dst ~from packet ->
+      Array.iteri
+        (fun station deliver -> if station <> from then deliver ~l2_dst packet)
+        segment.stations);
+  Engine.on_flush engine (fun () -> flush segment);
+  segment
 
 let name segment = segment.seg_name
 let uid segment = segment.seg_uid
@@ -65,8 +112,9 @@ let attach segment f =
 
 let backlog_bytes segment =
   let now = Engine.now segment.engine in
-  if segment.busy_until <= now then 0
-  else int_of_float ((segment.busy_until -. now) *. segment.bandwidth /. 8.0)
+  let busy = Array.unsafe_get segment.fl 0 in
+  if busy <= now then 0
+  else int_of_float ((busy -. now) *. segment.bandwidth /. 8.0)
 
 let send segment ~from ~l2_dst packet =
   if from < 0 || from >= Array.length segment.stations then
@@ -75,26 +123,27 @@ let send segment ~from ~l2_dst packet =
   let size = Packet.wire_size packet in
   let backlog = backlog_bytes segment in
   if backlog + size > segment.queue_capacity then begin
-    segment.dropped <- segment.dropped + 1;
-    Obs.Registry.incr segment.m_drops;
+    segment.r_drops <- segment.r_drops + 1;
     false
   end
   else begin
-    let start = Float.max now segment.busy_until in
+    let busy = Array.unsafe_get segment.fl 0 in
+    let start = if now > busy then now else busy in
     let finish = start +. (float_of_int (size * 8) /. segment.bandwidth) in
-    segment.busy_until <- finish;
+    Array.unsafe_set segment.fl 0 finish;
     Flowstat.record segment.seg_stat ~now:finish size;
-    Obs.Registry.incr segment.m_frames;
-    Obs.Registry.add segment.m_bytes size;
-    Obs.Registry.observe segment.m_backlog (float_of_int backlog);
+    segment.r_frames <- segment.r_frames + 1;
+    segment.r_bytes <- segment.r_bytes + size;
+    let slot = Obs.Registry.bucket_of_int backlog in
+    Array.unsafe_set segment.h_counts slot
+      (Array.unsafe_get segment.h_counts slot + 1);
+    Array.unsafe_set segment.fl 1
+      (Array.unsafe_get segment.fl 1 +. float_of_int backlog);
     (match segment.tap with
     | Some tap -> tap ~at:finish ~l2_dst packet
     | None -> ());
-    Engine.schedule segment.engine ~at:(finish +. segment.latency) (fun () ->
-        Array.iteri
-          (fun station deliver ->
-            if station <> from then deliver ~l2_dst packet)
-          segment.stations);
+    Engine.push_broadcast segment.engine segment.bcast
+      ~at:(finish +. segment.latency) ~l2_dst ~from packet;
     true
   end
 
@@ -104,5 +153,5 @@ let set_tap segment f = segment.tap <- Some f
 let load_bps segment =
   Flowstat.rate_bps segment.seg_stat ~now:(Engine.now segment.engine)
 
-let drops segment = segment.dropped
+let drops segment = segment.r_drops
 let station_count segment = Array.length segment.stations

@@ -165,6 +165,48 @@ let observe histogram v =
 
 let observations histogram = histogram.hc.h_count
 
+let histogram_slots = hist_slots
+
+(* Integer twin of [bucket_of]: for v > 0, the bit length of v equals the
+   exponent frexp reports for [float_of_int v] (exact for v < 2^53, which
+   covers every byte count the simulator can produce), so both functions
+   agree on the slot without going through floating point. *)
+let[@inline] bucket_of_int v =
+  if v <= 0 then 0
+  else begin
+    let e = ref 0 in
+    let x = ref v in
+    while !x > 0 do
+      e := !e + 1;
+      x := !x lsr 1
+    done;
+    (* e >= 1 > hist_min_exp, so no underflow branch. *)
+    if !e > hist_max_exp then hist_slots - 1 else !e - hist_min_exp + 1
+  end
+
+(* Merge a batch of pre-bucketed observations, e.g. a link direction's
+   per-run backlog samples accumulated in raw arrays. *)
+let observe_bulk histogram ~counts ~sum =
+  if Array.length counts <> hist_slots then
+    invalid_arg
+      (Printf.sprintf "Obs.Registry.observe_bulk: expected %d slots, got %d"
+         hist_slots (Array.length counts));
+  if histogram.hr.on then begin
+    let cell = histogram.hc in
+    let total = ref 0 in
+    for slot = 0 to hist_slots - 1 do
+      let n = Array.unsafe_get counts slot in
+      if n > 0 then begin
+        total := !total + n;
+        cell.h_buckets.(slot) <- cell.h_buckets.(slot) + n
+      end
+    done;
+    if !total > 0 then begin
+      cell.h_count <- cell.h_count + !total;
+      cell.h_sum <- cell.h_sum +. sum
+    end
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Snapshots and exports                                               *)
 (* ------------------------------------------------------------------ *)

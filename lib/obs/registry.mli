@@ -84,9 +84,25 @@ val histogram : ?registry:t -> ?labels:labels -> ?help:string -> string -> histo
 val observe : histogram -> float -> unit
 val observations : histogram -> int
 
+val histogram_slots : int
+(** Number of slots every histogram has (zero + finite buckets + overflow).
+    The expected length of the [counts] array in {!observe_bulk}. *)
+
+val observe_bulk : histogram -> counts:int array -> sum:float -> unit
+(** [observe_bulk h ~counts ~sum] merges a batch of pre-bucketed
+    observations: [counts.(slot)] observations per slot (indexed as
+    {!bucket_of}) whose values total [sum]. Used by components that batch
+    per-packet samples into raw arrays and flush at run exit.
+    @raise Invalid_argument if [counts] is not {!histogram_slots} long. *)
+
 val bucket_of : float -> int
 (** The slot an observation lands in: 0 for v <= 0, ascending powers of
     two after that, last slot for overflow. Exposed for tests. *)
+
+val bucket_of_int : int -> int
+(** [bucket_of_int v = bucket_of (float_of_int v)] for every [v] with
+    [abs v < 2^53], computed without floating point — the hot-path form
+    for integer samples (byte counts). *)
 
 val bucket_upper_bound : int -> float
 (** Inclusive upper bound of a slot; [infinity] for the overflow slot. *)

@@ -269,6 +269,56 @@ let mpeg_teardown_expires_entries () =
       check "client 2 full movie too" 48 c2
   | _ -> Alcotest.fail "two clients"
 
+(* ---------- golden parity ---------- *)
+
+(* Bit-exact pinned results for all three experiments, captured from the
+   original per-packet binary-heap scheduler before the calendar-queue /
+   delivery-ring event core replaced it. Any change that reorders events —
+   even among equal-time ties — or perturbs a single float expression on
+   the packet path shows up here long before it would surface as a subtly
+   different curve in the paper figures. If one of these fails after an
+   intentional semantic change, re-capture the constants and say so in the
+   commit message. *)
+
+let golden_audio () =
+  let r = Asp.Audio_experiment.run (Asp.Audio_experiment.quick_config ()) in
+  check "frames sent" 2500 r.Asp.Audio_experiment.frames_sent;
+  check "frames received" 2500 r.Asp.Audio_experiment.frames_received;
+  check "silent periods" 0 r.Asp.Audio_experiment.silent_periods;
+  check "silent frames" 0 r.Asp.Audio_experiment.silent_frames;
+  check "segment drops" 0 r.Asp.Audio_experiment.segment_drops;
+  let s16, m16, m8 = r.Asp.Audio_experiment.wire_quality_counts in
+  check "stereo16 frames on the wire" 534 s16;
+  check "mono16 frames on the wire" 1140 m16;
+  check "mono8 frames on the wire" 826 m8
+
+let golden_http () =
+  let config =
+    { Asp.Http_experiment.default_config with
+      duration = 8.0; warmup = 3.0; trace_requests = 5_000 }
+  in
+  let p =
+    Asp.Http_experiment.run_point config
+      (Asp.Http_experiment.Asp_gateway Planp_jit.Backends.jit) ~workers:8
+  in
+  Alcotest.(check (float 0.0))
+    "replies/s (exact)" 282.80000000000001 p.Asp.Http_experiment.replies_per_s;
+  let s0, s1 = p.Asp.Http_experiment.server_loads in
+  check "server 0 load" 1151 s0;
+  check "server 1 load" 1153 s1;
+  check "gateway requests" 2311 p.Asp.Http_experiment.gateway_requests
+
+let golden_mpeg () =
+  let r = Asp.Mpeg_experiment.run (Asp.Mpeg_experiment.default_config ()) in
+  check "server streams" 1 r.Asp.Mpeg_experiment.server_streams;
+  check "server frames sent" 240 r.Asp.Mpeg_experiment.server_frames_sent;
+  Alcotest.(check (list int))
+    "client frames" [ 240; 181; 109 ] r.Asp.Mpeg_experiment.client_frames;
+  (match r.Asp.Mpeg_experiment.clients_shared with
+  | [ Some false; Some true; Some true ] -> ()
+  | _ -> Alcotest.fail "sharing pattern changed");
+  check "segment video bytes" 776000 r.Asp.Mpeg_experiment.segment_video_bytes
+
 (* ---------- in-band deployment parity ---------- *)
 
 (* The acceptance bar for the deployment plane: each experiment run with
@@ -350,6 +400,12 @@ let () =
       ( "determinism",
         [
           Alcotest.test_case "whole stack" `Slow whole_stack_is_deterministic;
+        ] );
+      ( "golden parity",
+        [
+          Alcotest.test_case "audio" `Slow golden_audio;
+          Alcotest.test_case "http" `Slow golden_http;
+          Alcotest.test_case "mpeg" `Slow golden_mpeg;
         ] );
       ( "in-band deployment",
         [

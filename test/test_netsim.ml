@@ -1,6 +1,7 @@
 (* Unit tests for the network simulator substrate. *)
 
 module Heap = Netsim.Heap
+module Sched = Netsim.Sched
 module Engine = Netsim.Engine
 module Addr = Netsim.Addr
 module Payload = Netsim.Payload
@@ -61,6 +62,98 @@ let heap_peek () =
   Alcotest.(check (option (float 0.0))) "peek" (Some 7.0) (Heap.peek_time heap);
   check "size unchanged by peek" 1 (Heap.size heap)
 
+(* ---------- sched (calendar queue) ---------- *)
+
+let drain_sched sched =
+  let cell = { Sched.v = neg_infinity } in
+  let rec go acc =
+    if Sched.is_empty sched then List.rev acc
+    else
+      let v = Sched.pop sched ~into:cell in
+      go ((cell.Sched.v, v) :: acc)
+  in
+  go []
+
+let sched_orders_by_time () =
+  let sched = Sched.create ~dummy:0.0 () in
+  List.iter (fun t -> Sched.add sched ~time:t t) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  check "size" 5 (Sched.size sched);
+  let popped = drain_sched sched in
+  Alcotest.(check (list (float 0.0)))
+    "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] (List.map fst popped);
+  checkb "payload matches pop time" true
+    (List.for_all (fun (t, v) -> t = v) popped)
+
+let sched_fifo_on_ties () =
+  let sched = Sched.create ~dummy:"" () in
+  List.iter (fun v -> Sched.add sched ~time:1.0 v) [ "a"; "b"; "c" ];
+  let cell = { Sched.v = 0.0 } in
+  checks "first" "a" (Sched.pop sched ~into:cell);
+  checks "second" "b" (Sched.pop sched ~into:cell);
+  checks "third" "c" (Sched.pop sched ~into:cell)
+
+let sched_stamped_keeps_position () =
+  (* A seq reserved before later insertions keeps its FIFO rank even when
+     the event itself is scheduled afterwards — the link-ring pattern, where
+     a packet's stamp is reserved at push time but the scheduler entry is
+     re-armed later from the ring head. *)
+  let sched = Sched.create ~dummy:"" () in
+  let early = Sched.fresh_seq sched in
+  Sched.add sched ~time:1.0 "second";
+  Sched.add_stamped sched ~time:1.0 ~seq:early "first";
+  let cell = { Sched.v = 0.0 } in
+  checks "stamped first" "first" (Sched.pop sched ~into:cell);
+  checks "then plain" "second" (Sched.pop sched ~into:cell)
+
+let sched_grows_and_clears () =
+  let sched = Sched.create ~dummy:0 () in
+  for i = 1000 downto 1 do
+    Sched.add sched ~time:(float_of_int i) i
+  done;
+  check "size" 1000 (Sched.size sched);
+  let cell = { Sched.v = 0.0 } in
+  check "min" 1 (Sched.pop sched ~into:cell);
+  Sched.clear sched;
+  checkb "empty after clear" true (Sched.is_empty sched);
+  (* slots are recycled through the free list, not leaked *)
+  Sched.add sched ~time:2.5 7;
+  check "usable after clear" 7 (Sched.pop sched ~into:cell);
+  checkf "pop time" 2.5 cell.Sched.v
+
+let sched_peek () =
+  let sched = Sched.create ~dummy:() () in
+  let cell = { Sched.v = neg_infinity } in
+  checkb "empty" false (Sched.peek_time sched ~into:cell);
+  checkf "cell untouched when empty" neg_infinity cell.Sched.v;
+  Sched.add sched ~time:7.0 ();
+  checkb "peek" true (Sched.peek_time sched ~into:cell);
+  checkf "peek time" 7.0 cell.Sched.v;
+  check "size unchanged by peek" 1 (Sched.size sched);
+  Alcotest.check_raises "pop on empty"
+    (Invalid_argument "Sched.pop: empty")
+    (fun () ->
+      Sched.clear sched;
+      ignore (Sched.pop sched ~into:cell))
+
+let sched_overflow_and_rotation () =
+  (* 16 buckets x 1 ms puts the initial horizon at 16 ms: events past it
+     overflow into the heap while the wheel is busy, then sweep back into
+     the wheel at rotations — pop order must not care. *)
+  let sched = Sched.create ~nbuckets:16 ~dummy:0.0 () in
+  Sched.add sched ~time:0.0 0.0;
+  List.iter (fun t -> Sched.add sched ~time:t t) [ 0.5; 0.25; 0.75 ];
+  check "wheel holds the near event" 1 (Sched.wheel_length sched);
+  check "far events overflow" 3 (Sched.overflow_length sched);
+  Alcotest.(check (list (float 0.0)))
+    "in order across the horizon"
+    [ 0.0; 0.25; 0.5; 0.75 ]
+    (List.map fst (drain_sched sched));
+  (* with the queue idle a far-future add re-anchors the wheel instead of
+     bouncing through the heap *)
+  Sched.add sched ~time:1000.0 1000.0;
+  check "re-anchored, not overflowed" 0 (Sched.overflow_length sched);
+  check "in the wheel" 1 (Sched.wheel_length sched)
+
 (* ---------- engine ---------- *)
 
 let engine_runs_in_order () =
@@ -89,6 +182,34 @@ let engine_rejects_past () =
   Engine.run engine;
   Alcotest.check_raises "past" (Invalid_argument "Engine.schedule: time 1 is before now (5)")
     (fun () -> Engine.schedule engine ~at:1.0 (fun () -> ()))
+
+let engine_delivery_ring () =
+  (* The typed-event fast path: packets pushed into a delivery ring pop in
+     FIFO order at their stamped times, and non-monotone arrivals are
+     rejected (a link direction's finish times only move forward). *)
+  let engine = Engine.create () in
+  let d = Engine.delivery () in
+  let got = ref [] in
+  Engine.set_delivery_receiver d (fun p ->
+      got := (Engine.now engine, p.Packet.uid) :: !got);
+  let src = Addr.of_string "1.1.1.1" and dst = Addr.of_string "2.2.2.2" in
+  let p1 = Packet.udp ~src ~dst ~src_port:1 ~dst_port:2 Payload.empty in
+  let p2 = Packet.udp ~src ~dst ~src_port:1 ~dst_port:2 Payload.empty in
+  Engine.push_delivery engine d ~at:1.0 p1;
+  Engine.push_delivery engine d ~at:2.0 p2;
+  check "backlog" 2 (Engine.delivery_backlog d);
+  check "ring residents count as pending" 2 (Engine.pending engine);
+  Alcotest.check_raises "monotone arrivals enforced"
+    (Invalid_argument "Engine.push_delivery: arrival times must be monotone")
+    (fun () -> Engine.push_delivery engine d ~at:1.5 p1);
+  Engine.run engine;
+  match List.rev !got with
+  | [ (t1, u1); (t2, u2) ] ->
+      checkf "first at 1.0" 1.0 t1;
+      checkf "second at 2.0" 2.0 t2;
+      check "fifo" p1.Packet.uid u1;
+      check "fifo 2" p2.Packet.uid u2
+  | l -> Alcotest.failf "expected 2 deliveries, got %d" (List.length l)
 
 let engine_nested_scheduling () =
   let engine = Engine.create () in
@@ -346,6 +467,69 @@ let link_full_duplex () =
   Engine.run engine;
   check "B received" 1 !got_b;
   check "A received" 1 !got_a
+
+let link_burst_fifo () =
+  (* Several packets in flight on one direction at once: the per-direction
+     ring must deliver them in send order at the exact
+     serialize-then-propagate times. 8 kb/s: each 128-byte frame
+     serializes in 0.128 s. *)
+  let engine = Engine.create () in
+  let link = Link.create engine ~bandwidth_bps:8000.0 ~latency:0.1 () in
+  let arrivals = ref [] in
+  Link.set_receiver link Link.B (fun p ->
+      match p.Packet.l4 with
+      | Packet.Udp { Packet.udp_src; _ } ->
+          arrivals := (Engine.now engine, udp_src) :: !arrivals
+      | _ -> ());
+  let src = Addr.of_string "1.1.1.1" and dst = Addr.of_string "2.2.2.2" in
+  for i = 1 to 3 do
+    checkb "sent" true
+      (Link.send link ~from:Link.A
+         (Packet.udp ~src ~dst ~src_port:i ~dst_port:9 (Payload.fill 100 0)))
+  done;
+  checkb "backlog covers the queued frames" true
+    (Link.backlog_bytes link Link.A >= 256);
+  Engine.run engine;
+  match List.rev !arrivals with
+  | [ (t1, q1); (t2, q2); (t3, q3) ] ->
+      check "send order 1" 1 q1;
+      check "send order 2" 2 q2;
+      check "send order 3" 3 q3;
+      checkf "first arrival" 0.228 t1;
+      checkf "second arrival" 0.356 t2;
+      checkf "third arrival" 0.484 t3
+  | l -> Alcotest.failf "expected 3 arrivals, got %d" (List.length l)
+
+let link_metrics_flush () =
+  (* Per-packet metrics are batched into raw counters and flushed when the
+     engine goes idle: after a run the exported values must equal the raw
+     counts exactly. *)
+  let engine = Engine.create () in
+  let link =
+    Link.create ~name:"flush-probe" ~queue_capacity:300 engine
+      ~bandwidth_bps:8000.0 ~latency:0.0 ()
+  in
+  Link.set_receiver link Link.B (fun _ -> ());
+  let src = Addr.of_string "1.1.1.1" and dst = Addr.of_string "2.2.2.2" in
+  let send () =
+    Link.send link ~from:Link.A
+      (Packet.udp ~src ~dst ~src_port:1 ~dst_port:2 (Payload.fill 100 0))
+  in
+  ignore (send ());
+  ignore (send ());
+  ignore (send ());
+  (* third exceeds the 300-byte queue *)
+  Engine.run engine;
+  let labels = [ ("link", "flush-probe"); ("dir", "a_to_b") ] in
+  check "packets flushed" 2
+    (Obs.Registry.count (Obs.Registry.counter ~labels "netsim.link.tx_packets"));
+  check "bytes flushed" 256
+    (Obs.Registry.count (Obs.Registry.counter ~labels "netsim.link.tx_bytes"));
+  check "drops flushed" 1
+    (Obs.Registry.count (Obs.Registry.counter ~labels "netsim.link.drops"));
+  check "one backlog sample per carried packet" 2
+    (Obs.Registry.observations
+       (Obs.Registry.histogram ~labels "netsim.link.backlog_bytes"))
 
 (* ---------- segment ---------- *)
 
@@ -863,11 +1047,23 @@ let () =
           Alcotest.test_case "grows" `Quick heap_grows;
           Alcotest.test_case "peek" `Quick heap_peek;
         ] );
+      ( "sched",
+        [
+          Alcotest.test_case "orders by time" `Quick sched_orders_by_time;
+          Alcotest.test_case "fifo on ties" `Quick sched_fifo_on_ties;
+          Alcotest.test_case "stamped seq keeps position" `Quick
+            sched_stamped_keeps_position;
+          Alcotest.test_case "grows and clears" `Quick sched_grows_and_clears;
+          Alcotest.test_case "peek" `Quick sched_peek;
+          Alcotest.test_case "overflow and rotation" `Quick
+            sched_overflow_and_rotation;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "runs in order" `Quick engine_runs_in_order;
           Alcotest.test_case "run_until" `Quick engine_run_until;
           Alcotest.test_case "rejects past" `Quick engine_rejects_past;
+          Alcotest.test_case "delivery ring" `Quick engine_delivery_ring;
           Alcotest.test_case "nested scheduling" `Quick engine_nested_scheduling;
         ] );
       ( "addr",
@@ -905,6 +1101,8 @@ let () =
           Alcotest.test_case "timing" `Quick link_timing;
           Alcotest.test_case "queue drop" `Quick link_queue_drop;
           Alcotest.test_case "full duplex" `Quick link_full_duplex;
+          Alcotest.test_case "burst fifo" `Quick link_burst_fifo;
+          Alcotest.test_case "metrics flush" `Quick link_metrics_flush;
         ] );
       ( "segment",
         [

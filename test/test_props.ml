@@ -37,6 +37,64 @@ let heap_sorts =
       in
       drain neg_infinity)
 
+let sched_matches_reference_model =
+  (* Differential test of the calendar queue against a sorted-list model
+     under random interleavings of add and pop. Times sit on a coarse grid
+     so equal-time ties are frequent (exercising FIFO order), and the tiny
+     8-bucket wheel forces constant horizon overflow and rotation. *)
+  let op_gen =
+    Q.Gen.(
+      frequency
+        [ (3, map (fun n -> `Add (float_of_int n /. 4.0)) (int_bound 40));
+          (2, return `Pop) ])
+  in
+  Q.Test.make ~name:"sched: interleaved add/pop matches sorted reference"
+    ~count:300
+    (Q.make Q.Gen.(list_size (int_range 0 200) op_gen))
+    (fun ops ->
+      let sched = Netsim.Sched.create ~nbuckets:8 ~dummy:(-1) () in
+      let cell = { Netsim.Sched.v = 0.0 } in
+      let model = ref [] (* sorted by (time, insertion order) *) in
+      let next = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Add time ->
+              let id = !next in
+              incr next;
+              Netsim.Sched.add sched ~time id;
+              let rec ins = function
+                | (t', id') :: rest when t' <= time -> (t', id') :: ins rest
+                | rest -> (time, id) :: rest
+              in
+              model := ins !model;
+              true
+          | `Pop -> (
+              match !model with
+              | [] -> Netsim.Sched.is_empty sched
+              | (t, id) :: rest ->
+                  model := rest;
+                  (not (Netsim.Sched.is_empty sched))
+                  && Netsim.Sched.pop sched ~into:cell = id
+                  && cell.Netsim.Sched.v = t))
+        ops
+      && Netsim.Sched.size sched = List.length !model)
+
+let bucket_int_float_parity =
+  (* The integer hot-path bucketing must agree with the float reference on
+     every int, especially at the power-of-two slot boundaries. *)
+  Q.Test.make ~name:"registry: bucket_of_int agrees with bucket_of" ~count:500
+    (Q.make
+       Q.Gen.(
+         oneof
+           [ int_bound 1_000_000;
+             map (fun k -> (1 lsl k) - 1) (int_range 0 52);
+             map (fun k -> 1 lsl k) (int_range 0 52);
+             map (fun k -> (1 lsl k) + 1) (int_range 0 51);
+             map Int.neg (int_bound 1000) ]))
+    (fun v ->
+      Obs.Registry.bucket_of_int v = Obs.Registry.bucket_of (float_of_int v))
+
 let payload_u32_roundtrip =
   Q.Test.make ~name:"payload: u32 write/read roundtrip" ~count:500
     Q.(list_of_size (Q.Gen.int_range 0 20) (int_bound 0xFFFFFF))
@@ -351,6 +409,8 @@ let () =
       [
         addr_roundtrip;
         heap_sorts;
+        sched_matches_reference_model;
+        bucket_int_float_parity;
         payload_u32_roundtrip;
         audio_frame_roundtrip;
         audio_degrade_size;
