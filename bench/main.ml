@@ -1249,6 +1249,379 @@ let scale () =
   | Some baseline_path -> scale_check_against ~baseline_path results
 
 (* ------------------------------------------------------------------ *)
+(* faults -- the experiments under the network-dynamics fault matrix   *)
+(* ------------------------------------------------------------------ *)
+
+(* Four scenarios (baseline / lossy / flappy / churn) against the three
+   deployed-ASP experiments, each with a Netsim.Faults scenario armed on
+   its topology.  The simulation and the fault plane draw from seeded
+   RNGs, so every count below is deterministic: the committed baseline
+   gates them like the allocation counts above, and the shape checks
+   assert the adaptation the paper's applications are supposed to show --
+   degrade instead of collapse, recover once the fault clears.  The
+   section ignores --smoke: the runs are already short, and the counts
+   must match the one committed baseline either way. *)
+
+let fevent ?until ?target ~at kind =
+  {
+    Netsim.Faults.ft_at = at;
+    ft_until = until;
+    ft_kind = kind;
+    ft_target = target;
+  }
+
+type fault_cell = {
+  fc_counts : (string * int) list;  (* gated against the baseline *)
+  fc_shape : string list;  (* failed shape assertions; [] when healthy *)
+}
+
+let shape_check checks =
+  List.filter_map
+    (fun (ok, message) -> if ok then None else Some message)
+    checks
+
+(* Audio (quick Fig. 6, 50 s).  Lossy drops and corrupts frames on the
+   backbone; flappy cuts it twice; churn crashes the router (keeping its
+   ASP state) through the heavy-load phase. *)
+let faults_audio scenario_name =
+  let open Netsim.Faults in
+  let scenario =
+    match scenario_name with
+    | "lossy" ->
+        scenario_of_events ~seed:7
+          [
+            fevent ~at:2.0 ~until:45.0 ~target:(Tlink "backbone") (Loss 0.03);
+            fevent ~at:2.0 ~until:45.0 ~target:(Tlink "backbone")
+              (Corrupt 0.01);
+          ]
+    | "flappy" ->
+        scenario_of_events ~seed:7
+          [
+            fevent ~at:12.0 ~until:14.0 ~target:(Tlink "backbone") Link_down;
+            fevent ~at:26.0 ~until:28.0 ~target:(Tlink "backbone") Link_down;
+          ]
+    | "churn" ->
+        scenario_of_events ~seed:7
+          [
+            fevent ~at:15.0 ~until:18.0 ~target:(Tnode "router")
+              (Crash { wipe = false });
+          ]
+    | _ -> empty
+  in
+  let result =
+    Asp.Audio_experiment.run
+      (Asp.Audio_experiment.quick_config ~faults:scenario ())
+  in
+  let _, m16, m8 = result.Asp.Audio_experiment.wire_quality_counts in
+  let sent = result.Asp.Audio_experiment.frames_sent in
+  let received = result.Asp.Audio_experiment.frames_received in
+  let wire_after t0 =
+    List.exists
+      (fun (t, rate) -> t >= t0 && rate > 0.0)
+      result.Asp.Audio_experiment.series
+  in
+  let shape =
+    shape_check
+      ([
+         ( received > 0,
+           Printf.sprintf "audio/%s: no frames delivered" scenario_name );
+         ( m16 + m8 > 0,
+           Printf.sprintf
+             "audio/%s: no distilled (mono) frames on the wire -- the ASP \
+              did not degrade under load"
+             scenario_name );
+       ]
+      @
+      match scenario_name with
+      | "lossy" ->
+          [
+            ( received * 10 >= sent * 3,
+              "audio/lossy: collapsed -- under 30% of frames delivered" );
+          ]
+      | "flappy" ->
+          [
+            (received < sent, "audio/flappy: the flaps lost no frames");
+            ( wire_after 30.0,
+              "audio/flappy: no audio on the wire after the flaps" );
+          ]
+      | "churn" ->
+          [
+            (received < sent, "audio/churn: the router crash lost no frames");
+            ( wire_after 20.0,
+              "audio/churn: no audio on the wire after the restart" );
+          ]
+      | _ -> [])
+  in
+  {
+    fc_counts =
+      [
+        ("frames_sent", sent);
+        ("frames_received", received);
+        ("mono_frames", m16 + m8);
+        ("silent_periods", result.Asp.Audio_experiment.silent_periods);
+      ];
+    fc_shape = shape;
+  }
+
+(* MPEG (120-frame movie, clients at 0.5/3/6 s).  Churn crashes the router
+   across client 1's stream; client 3 starts after the restart, so its
+   frames prove the server re-fans-out through the recovered router. *)
+let faults_mpeg scenario_name =
+  let open Netsim.Faults in
+  let scenario =
+    match scenario_name with
+    | "lossy" ->
+        scenario_of_events ~seed:13
+          [
+            fevent ~at:1.0 ~until:10.0 ~target:(Tsegment "client-segment")
+              (Loss 0.05);
+          ]
+    | "flappy" ->
+        scenario_of_events ~seed:13
+          [ fevent ~at:2.0 ~until:2.6 ~target:(Tlink "backbone") Link_down ]
+    | "churn" ->
+        scenario_of_events ~seed:13
+          [
+            fevent ~at:1.5 ~until:2.5 ~target:(Tnode "router")
+              (Crash { wipe = false });
+          ]
+    | _ -> empty
+  in
+  let config =
+    {
+      (Asp.Mpeg_experiment.default_config ~faults:scenario ()) with
+      Asp.Mpeg_experiment.movie_frames = 120;
+      duration = 16.0;
+    }
+  in
+  let result = Asp.Mpeg_experiment.run config in
+  let frames = result.Asp.Mpeg_experiment.client_frames in
+  let min_frames = List.fold_left min max_int frames in
+  let total_frames = List.fold_left ( + ) 0 frames in
+  let last_frames = match List.rev frames with f :: _ -> f | [] -> 0 in
+  let streams = result.Asp.Mpeg_experiment.server_streams in
+  let shape =
+    shape_check
+      ([
+         ( min_frames > 0,
+           Printf.sprintf "mpeg/%s: a client played no frames" scenario_name );
+       ]
+      @
+      match scenario_name with
+      | "flappy" | "churn" ->
+          [
+            ( last_frames > 0,
+              Printf.sprintf
+                "mpeg/%s: the client that started after the recovery got \
+                 no frames -- the server did not re-fan-out"
+                scenario_name );
+            ( streams >= 2,
+              Printf.sprintf
+                "mpeg/%s: the server never opened a fresh stream after the \
+                 fault"
+                scenario_name );
+          ]
+      | _ -> [])
+  in
+  {
+    fc_counts =
+      [
+        ("server_streams", streams);
+        ("server_frames_sent", result.Asp.Mpeg_experiment.server_frames_sent);
+        ("client_frames_total", total_frames);
+        ("client_frames_min", min_frames);
+      ];
+    fc_shape = shape;
+  }
+
+(* HTTP (ASP gateway, 4 client machines, 8 workers, 8 s).  Churn crashes
+   one of the two physical servers mid-run; the clients' bounded retry
+   plus the surviving server keep replies flowing, and the restarted
+   server picks requests back up. *)
+let faults_http scenario_name =
+  let open Netsim.Faults in
+  let scenario =
+    match scenario_name with
+    | "lossy" ->
+        scenario_of_events ~seed:23
+          [ fevent ~at:1.0 ~until:6.0 ~target:(Tsegment "cluster") (Loss 0.03) ]
+    | "flappy" ->
+        scenario_of_events ~seed:23
+          [ fevent ~at:3.0 ~until:4.0 ~target:(Tlink "access0") Link_down ]
+    | "churn" ->
+        scenario_of_events ~seed:23
+          [
+            fevent ~at:2.5 ~until:5.0 ~target:(Tnode "server1")
+              (Crash { wipe = false });
+          ]
+    | _ -> empty
+  in
+  let config =
+    {
+      Asp.Http_experiment.default_config with
+      Asp.Http_experiment.duration = 8.0;
+      warmup = 2.0;
+      client_count = 4;
+      trace_requests = 4_000;
+      faults = Some scenario;
+    }
+  in
+  let point =
+    Asp.Http_experiment.run_point config
+      (Asp.Http_experiment.Asp_gateway Planp_jit.Backends.jit)
+      ~workers:8
+  in
+  let replies =
+    int_of_float
+      ((point.Asp.Http_experiment.replies_per_s
+       *. (config.Asp.Http_experiment.duration
+          -. config.Asp.Http_experiment.warmup))
+      +. 0.5)
+  in
+  let load0, load1 = point.Asp.Http_experiment.server_loads in
+  let shape =
+    shape_check
+      ([
+         ( replies > 0,
+           Printf.sprintf "http/%s: no replies completed" scenario_name );
+         ( point.Asp.Http_experiment.gateway_requests > 0,
+           Printf.sprintf "http/%s: the ASP gateway routed no requests"
+             scenario_name );
+       ]
+      @
+      match scenario_name with
+      | "churn" ->
+          [
+            ( load0 > 0,
+              "http/churn: the surviving server served no requests" );
+            ( load1 > 0,
+              "http/churn: the crashed server never served -- no recovery \
+               after restart" );
+          ]
+      | _ -> [])
+  in
+  {
+    fc_counts =
+      [
+        ("replies", replies);
+        ("gateway_requests", point.Asp.Http_experiment.gateway_requests);
+        ("server0_requests", load0);
+        ("server1_requests", load1);
+      ];
+    fc_shape = shape;
+  }
+
+(* The gate: every deterministic count within +-25% (plus a few counts of
+   absolute slack for the small ones) of the committed baseline, both
+   directions -- a fault cell drifting in either direction is a behaviour
+   change -- plus every shape assertion. *)
+let faults_check_against ~baseline_path ~shape_failures cells =
+  let fail = ref (List.rev shape_failures) in
+  let complain fmt = Printf.ksprintf (fun m -> fail := m :: !fail) fmt in
+  (match
+     let contents =
+       let ic = open_in_bin baseline_path in
+       let n = in_channel_length ic in
+       let s = really_input_string ic n in
+       close_in ic;
+       s
+     in
+     Obs.Json.of_string contents
+   with
+  | exception Sys_error message -> complain "cannot read baseline: %s" message
+  | Error message ->
+      complain "cannot parse baseline %s: %s" baseline_path message
+  | Ok baseline -> (
+      match Obs.Json.member "faults" baseline with
+      | None -> complain "baseline %s has no \"faults\" section" baseline_path
+      | Some entries ->
+          List.iter
+            (fun (key, cell) ->
+              match Obs.Json.member key entries with
+              | None -> complain "baseline has no faults cell %s" key
+              | Some entry ->
+                  List.iter
+                    (fun (count_name, value) ->
+                      match
+                        Option.bind
+                          (Obs.Json.member count_name entry)
+                          Obs.Json.number
+                      with
+                      | None ->
+                          complain "baseline faults/%s has no %s" key
+                            count_name
+                      | Some base ->
+                          let v = float_of_int value in
+                          let lo = (base *. 0.75) -. 8.0
+                          and hi = (base *. 1.25) +. 8.0 in
+                          if v < lo || v > hi then
+                            complain
+                              "faults/%s: %s=%d is outside [%.0f, %.0f] \
+                               (baseline %.0f)"
+                              key count_name value lo hi base)
+                    cell.fc_counts)
+            cells));
+  match List.rev !fail with
+  | [] -> Printf.printf "\nfaults gate: OK (baseline %s)\n" baseline_path
+  | messages ->
+      Printf.printf "\nfaults gate: FAILED\n";
+      List.iter (fun m -> Printf.printf "  - %s\n" m) messages;
+      exit 1
+
+let faults () =
+  section "faults -- experiments under the network-dynamics fault matrix";
+  let cells =
+    List.concat_map
+      (fun name ->
+        [
+          ("audio_" ^ name, faults_audio name);
+          ("mpeg_" ^ name, faults_mpeg name);
+          ("http_" ^ name, faults_http name);
+        ])
+      [ "baseline"; "lossy"; "flappy"; "churn" ]
+  in
+  Printf.printf "%-16s %s\n" "cell" "counts";
+  List.iter
+    (fun (key, cell) ->
+      Printf.printf "%-16s %s\n" key
+        (String.concat "  "
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+              cell.fc_counts)))
+    cells;
+  let shape_failures = List.concat_map (fun (_, cell) -> cell.fc_shape) cells in
+  (match shape_failures with
+  | [] ->
+      Printf.printf "\nadaptation shape: OK (%d cells)\n" (List.length cells)
+  | messages ->
+      Printf.printf "\nadaptation shape: FAILED\n";
+      List.iter (fun m -> Printf.printf "  - %s\n" m) messages);
+  let cells_json =
+    Obs.Json.Obj
+      (List.map
+         (fun (key, cell) ->
+           ( key,
+             Obs.Json.Obj
+               (List.map
+                  (fun (k, v) -> (k, Obs.Json.Int v))
+                  cell.fc_counts) ))
+         cells)
+  in
+  record "faults"
+    (Obs.Json.Obj
+       [
+         ("cells", cells_json);
+         ( "shape_failures",
+           Obs.Json.List
+             (List.map (fun m -> Obs.Json.String m) shape_failures) );
+       ]);
+  baseline_add "faults" cells_json;
+  match !perf_check with
+  | None -> if shape_failures <> [] then exit 1
+  | Some baseline_path ->
+      faults_check_against ~baseline_path ~shape_failures cells
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   fig3 ();
@@ -1364,9 +1737,10 @@ let () =
           | "ext" -> ext ()
           | "perf" -> perf ()
           | "scale" -> scale ()
+          | "faults" -> faults ()
           | other ->
               Printf.eprintf
-                "unknown section %s (expected fig3|fig6|fig7|fig8|mpeg|backends|verify|ext|perf|scale|all)\n"
+                "unknown section %s (expected fig3|fig6|fig7|fig8|mpeg|backends|verify|ext|perf|scale|faults|all)\n"
                 other;
               exit 1)
         sections);

@@ -204,7 +204,7 @@ let simulate_cmd =
    the program on the router and a tracer capturing the segment, so every
    delivered frame also lands in the timeline. Deterministic: same source
    and packet count always produce the same registry contents. *)
-let run_scenario ~source ~backend ~packets =
+let run_scenario ?faults_path ~source ~backend ~packets () =
   let topo = Extnet.Topology.create () in
   let a = Extnet.Topology.add_host topo "alice" "10.0.0.1" in
   let router = Extnet.Topology.add_host topo "router" "10.0.0.254" in
@@ -214,6 +214,13 @@ let run_scenario ~source ~backend ~packets =
   ignore (Extnet.Topology.attach topo segment router);
   ignore (Extnet.Topology.attach topo segment b);
   Extnet.Topology.compute_routes topo;
+  (* Scenario target names: link "uplink", segment "lan", nodes "alice",
+     "router", "bob". *)
+  Option.iter
+    (fun path ->
+      let scenario = or_die (Extnet.Faults.parse_scenario (read_file path)) in
+      ignore (Extnet.Faults.arm topo scenario))
+    faults_path;
   let tracer = Extnet.Tracer.on_segment segment () in
   ignore
     (or_die
@@ -251,11 +258,23 @@ let backend_flag =
 let out_flag names doc =
   Arg.(value & opt (some string) None & info names ~docv:"FILE" ~doc)
 
+let faults_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"FILE"
+        ~doc:
+          "Arm a fault-injection scenario (link flaps, loss, corruption, \
+           congestion, node crashes; see doc/FAULTS.md) on the topology \
+           before the run. Targets: link $(b,uplink), segment $(b,lan), \
+           nodes $(b,alice), $(b,router), $(b,bob).")
+
 let run_cmd =
-  let run path packets backend_name metrics_out metrics_csv timeline_out =
+  let run path packets backend_name metrics_out metrics_csv timeline_out
+      faults_path =
     let backend = backend_of_name backend_name in
     let topo, tracer, start_snapshot, tcp_seen, udp_seen =
-      run_scenario ~source:(read_file path) ~backend ~packets
+      run_scenario ?faults_path ~source:(read_file path) ~backend ~packets ()
     in
     Printf.printf "--- run (%s backend) ---\n" backend_name;
     Printf.printf "receiver (bob): tcp %d   udp %d (of %d each sent)\n" tcp_seen
@@ -302,13 +321,13 @@ let run_cmd =
          "Run the program on a traced topology and export observability data")
     Term.(
       const run $ file_arg $ packets_flag $ backend_flag $ metrics_out
-      $ metrics_csv $ timeline_out)
+      $ metrics_csv $ timeline_out $ faults_flag)
 
 let stats_cmd =
   let run path packets backend_name =
     let backend = backend_of_name backend_name in
     let _topo, _tracer, _start, _tcp, _udp =
-      run_scenario ~source:(read_file path) ~backend ~packets
+      run_scenario ~source:(read_file path) ~backend ~packets ()
     in
     Obs.Registry.pp Format.std_formatter Obs.Registry.default;
     Format.pp_print_flush Format.std_formatter ()

@@ -11,10 +11,11 @@ type config = {
   policy : Audio_asp.policy;
   sample_period : float;
   deploy : Deploy_mode.t;
+  faults : Netsim.Faults.scenario option;
 }
 
 let fig6_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit)
-    ?(deploy = Deploy_mode.Preinstalled) () =
+    ?(deploy = Deploy_mode.Preinstalled) ?faults () =
   {
     duration = 500.0;
     adapt;
@@ -26,10 +27,11 @@ let fig6_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit)
     policy = Audio_asp.default_policy;
     sample_period = 2.0;
     deploy;
+    faults;
   }
 
 let quick_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit)
-    ?(deploy = Deploy_mode.Preinstalled) () =
+    ?(deploy = Deploy_mode.Preinstalled) ?faults () =
   {
     duration = 50.0;
     adapt;
@@ -38,6 +40,7 @@ let quick_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit)
     policy = Audio_asp.default_policy;
     sample_period = 1.0;
     deploy;
+    faults;
   }
 
 type result = {
@@ -100,6 +103,11 @@ let run config =
   ignore (Topology.attach topo segment sink);
   ignore (Topology.attach topo segment loadgen_node);
   Topology.compute_routes topo;
+  (* Names resolvable by fault scenarios: "backbone", "client-segment",
+     and every node name above. *)
+  Option.iter
+    (fun scenario -> ignore (Netsim.Faults.arm topo scenario))
+    config.faults;
   let wire = attach_wire_monitor segment in
   let wire_series =
     Netsim.Flowstat.Series.attach (Topology.engine topo) wire.wire_stat

@@ -15,6 +15,11 @@ type config = {
   deploy : Deploy_mode.t;
       (** how the ASPs reach router and client: preinstalled, or shipped
           in-band from the audio server at the start of the run *)
+  faults : Netsim.Faults.scenario option;
+      (** fault scenario armed on the topology before the run; target
+          names: link ["backbone"], segment ["client-segment"], nodes
+          ["audio-server"], ["router"], ["client"], ["load-sink"],
+          ["load-generator"] *)
 }
 
 (** The paper's Fig. 6 scenario: no load until 100 s, heavy at 100 s,
@@ -23,6 +28,7 @@ val fig6_config :
   ?adapt:bool ->
   ?backend:Planp_runtime.Backend.t ->
   ?deploy:Deploy_mode.t ->
+  ?faults:Netsim.Faults.scenario ->
   unit ->
   config
 
@@ -31,6 +37,7 @@ val quick_config :
   ?adapt:bool ->
   ?backend:Planp_runtime.Backend.t ->
   ?deploy:Deploy_mode.t ->
+  ?faults:Netsim.Faults.scenario ->
   unit ->
   config
 

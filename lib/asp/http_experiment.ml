@@ -37,6 +37,7 @@ type config = {
   seed : int;
   strategy : Http_asp.strategy;
   deploy : Deploy_mode.t;
+  faults : Netsim.Faults.scenario option;
 }
 
 let default_config =
@@ -49,6 +50,7 @@ let default_config =
     seed = 42;
     strategy = Http_asp.Modulo;
     deploy = Deploy_mode.Preinstalled;
+    faults = None;
   }
 
 type point = {
@@ -94,6 +96,11 @@ let run_point config setup ~workers =
         client)
   in
   Topology.compute_routes topo;
+  (* Names resolvable by fault scenarios: segment "cluster", links
+     "access0".."accessN", and every node name above. *)
+  Option.iter
+    (fun scenario -> ignore (Netsim.Faults.arm topo scenario))
+    config.faults;
   (* The virtual server address has no node: clients reach it through their
      default route into the gateway. *)
   let vip = Netsim.Addr.of_string vip_string in

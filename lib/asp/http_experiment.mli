@@ -41,6 +41,11 @@ type config = {
   deploy : Deploy_mode.t;
       (** how [Asp_gateway] setups place the gateway ASP: preinstalled, or
           shipped in-band from server0 at the start of the run *)
+  faults : Netsim.Faults.scenario option;
+      (** fault scenario armed on each point's topology before the run;
+          target names: segment ["cluster"], links ["access0"] ..
+          ["accessN"], nodes ["gateway"], ["server0"], ["server1"],
+          ["client0"] .. ["clientN"] *)
 }
 
 val default_config : config

@@ -9,10 +9,11 @@ type config = {
   client_starts : float list;
   duration : float;
   deploy : Deploy_mode.t;
+  faults : Netsim.Faults.scenario option;
 }
 
 let default_config ?(with_asps = true) ?(backend = Planp_jit.Backends.jit)
-    ?(deploy = Deploy_mode.Preinstalled) () =
+    ?(deploy = Deploy_mode.Preinstalled) ?faults () =
   {
     with_asps;
     backend;
@@ -20,6 +21,7 @@ let default_config ?(with_asps = true) ?(backend = Planp_jit.Backends.jit)
     client_starts = [ 0.5; 3.0; 6.0 ];
     duration = 20.0;
     deploy;
+    faults;
   }
 
 type result = {
@@ -60,6 +62,11 @@ let run config =
       config.client_starts
   in
   Topology.compute_routes topo;
+  (* Names resolvable by fault scenarios: "backbone", "client-segment",
+     and every node name above. *)
+  Option.iter
+    (fun scenario -> ignore (Netsim.Faults.arm topo scenario))
+    config.faults;
   (* Count video payload bytes the shared segment carries. *)
   let video_bytes = ref 0 in
   Netsim.Segment.set_tap segment (fun ~at:_ ~l2_dst:_ packet ->

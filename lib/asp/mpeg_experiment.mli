@@ -16,12 +16,17 @@ type config = {
       (** how the ASPs reach monitor and clients: preinstalled, or shipped
           in-band from the video server (the identical capture ASPs go out
           as one staged rollout) *)
+  faults : Netsim.Faults.scenario option;
+      (** fault scenario armed on the topology before the run; target
+          names: link ["backbone"], segment ["client-segment"], nodes
+          ["video-server"], ["router"], ["monitor"], ["client1".."3"] *)
 }
 
 val default_config :
   ?with_asps:bool ->
   ?backend:Planp_runtime.Backend.t ->
   ?deploy:Deploy_mode.t ->
+  ?faults:Netsim.Faults.scenario ->
   unit ->
   config
 

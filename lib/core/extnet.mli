@@ -23,6 +23,7 @@ module Payload = Netsim.Payload
 module Engine = Netsim.Engine
 module Segment = Netsim.Segment
 module Tracer = Netsim.Tracer
+module Faults = Netsim.Faults
 module Obs = Obs
 module Lang = Planp
 module Runtime = Planp_runtime.Runtime

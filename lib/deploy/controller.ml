@@ -8,12 +8,14 @@ type outcome =
   | Nakked of { epoch : int; reason : string }
   | Timed_out
   | Skipped
+  | Aborted of { reason : string }
 
 let outcome_to_string = function
   | Acked { epoch; note; _ } -> Printf.sprintf "ACK epoch %d (%s)" epoch note
   | Nakked { epoch; reason } -> Printf.sprintf "NAK epoch %d: %s" epoch reason
   | Timed_out -> "timed out"
   | Skipped -> "skipped"
+  | Aborted { reason } -> Printf.sprintf "aborted: %s" reason
 
 (* One capsule stream + one reply stream per target, reused across ops. *)
 type conn = {
@@ -38,7 +40,14 @@ type t = {
   chunk_size : int;
   daemon_port : int;
   port_base : int;
+  rto : float;
+  max_rto : float;
+  retry_budget : int option;
   conns : (Addr.t, conn) Hashtbl.t;
+  (* Ports are allocated by a monotonic counter, not [Hashtbl.length
+     t.conns]: a conn torn down after a stream abort must not cause its
+     ports to be reissued to a different target. *)
+  mutable next_conn_index : int;
   epochs : (Addr.t * string, int) Hashtbl.t;  (* highest shipped epoch *)
   acked_epochs : (Addr.t * string, int) Hashtbl.t;  (* highest ACKed *)
   pending : (Addr.t * string, pending) Hashtbl.t;
@@ -47,6 +56,7 @@ type t = {
   m_acks : Obs.Registry.counter;
   m_naks : Obs.Registry.counter;
   m_timeouts : Obs.Registry.counter;
+  m_aborts : Obs.Registry.counter;
 }
 
 let node t = t.ctl_node
@@ -78,7 +88,8 @@ let settle ?reply_epoch t ~target ~name outcome =
           Hashtbl.replace t.acked_epochs (target, name) epoch
       | Nakked _ -> Obs.Registry.incr t.m_naks
       | Timed_out -> Obs.Registry.incr t.m_timeouts
-      | Skipped -> ());
+      | Skipped -> ()
+      | Aborted _ -> Obs.Registry.incr t.m_aborts);
       pending.p_on_done outcome
   | Some _ | None -> ()
 
@@ -105,16 +116,39 @@ let on_reply t ~target payload =
         (Nakked { epoch; reason })
   | Some _ | None -> ()
 
+(* The capsule stream to [target] exhausted its retry budget: the daemon
+   is unreachable. Every operation pending against the target settles
+   [Aborted] now (graceful, instead of idling to its timeout), and the
+   conn is torn down so a later operation dials a fresh stream — on new
+   ports, so stray traffic for the dead stream cannot be misdelivered. *)
+let on_stream_abort t ~target reason =
+  (match Hashtbl.find_opt t.conns target with
+  | Some conn -> bill_retransmissions t conn
+  | None -> ());
+  let names =
+    Hashtbl.fold
+      (fun (tgt, name) _ acc ->
+        if Addr.equal tgt target then name :: acc else acc)
+      t.pending []
+  in
+  List.iter
+    (fun name -> settle t ~target ~name (Aborted { reason }))
+    (List.sort String.compare names);
+  Hashtbl.remove t.conns target
+
 let conn_of t target =
   match Hashtbl.find_opt t.conns target with
   | Some conn -> conn
   | None ->
-      let index = Hashtbl.length t.conns in
+      let index = t.next_conn_index in
+      t.next_conn_index <- index + 1;
       let src_port = t.port_base + (2 * index) in
       let reply_port = t.port_base + (2 * index) + 1 in
       let stream =
-        Reliable.Sender.connect ~chan_tag:Capsule.chan_tag t.ctl_node
-          ~dst:target ~dst_port:t.daemon_port ~src_port ()
+        Reliable.Sender.connect ~chan_tag:Capsule.chan_tag ~rto:t.rto
+          ~max_rto:t.max_rto ?retry_budget:t.retry_budget
+          ~on_abort:(fun reason -> on_stream_abort t ~target reason)
+          t.ctl_node ~dst:target ~dst_port:t.daemon_port ~src_port ()
       in
       let _rx =
         Reliable.Receiver.listen ~chan_tag:Capsule.chan_tag t.ctl_node
@@ -258,7 +292,8 @@ let rollout ?backend ?authenticated ?epoch ?(concurrency = 2)
   end
 
 let create ?(secret = "extnet") ?(chunk_size = 512)
-    ?(daemon_port = Capsule.well_known_port) ?(port_base = 52000) ctl_node () =
+    ?(daemon_port = Capsule.well_known_port) ?(port_base = 52000) ?(rto = 0.2)
+    ?(max_rto = 5.0) ?retry_budget ctl_node () =
   if chunk_size <= 0 then invalid_arg "Controller.create: chunk_size";
   let labels = [ ("controller", Node.name ctl_node) ] in
   {
@@ -267,7 +302,11 @@ let create ?(secret = "extnet") ?(chunk_size = 512)
     chunk_size;
     daemon_port;
     port_base;
+    rto;
+    max_rto;
+    retry_budget;
     conns = Hashtbl.create 8;
+    next_conn_index = 0;
     epochs = Hashtbl.create 16;
     acked_epochs = Hashtbl.create 16;
     pending = Hashtbl.create 8;
@@ -287,4 +326,8 @@ let create ?(secret = "extnet") ?(chunk_size = 512)
     m_timeouts =
       Obs.Registry.counter ~labels ~help:"operations that hit their deadline"
         "deploy.controller.timeouts";
+    m_aborts =
+      Obs.Registry.counter ~labels
+        ~help:"operations abandoned after the capsule stream's retry budget"
+        "deploy.controller.aborts";
   }

@@ -21,12 +21,24 @@ type t
     @param daemon_port daemons' stream port (default
       {!Capsule.well_known_port})
     @param port_base first local port for per-target capsule and reply
-      streams (default 52000; two ports per target) *)
+      streams (default 52000; two ports per target)
+    @param rto capsule-stream initial retransmission timeout in seconds
+      (default 0.2); doubles per barren timeout up to [max_rto]
+      (default 5.0) and resets on progress — see
+      {!Netsim.Reliable.Sender.connect}
+    @param retry_budget consecutive barren timeouts a capsule stream
+      tolerates before the controller declares the target unreachable:
+      every operation pending against it settles [Aborted] and the
+      stream is torn down (a later operation dials afresh). Default:
+      unlimited, preserving retry-forever behaviour. *)
 val create :
   ?secret:string ->
   ?chunk_size:int ->
   ?daemon_port:int ->
   ?port_base:int ->
+  ?rto:float ->
+  ?max_rto:float ->
+  ?retry_budget:int ->
   Netsim.Node.t ->
   unit ->
   t
@@ -40,6 +52,10 @@ type outcome =
   | Nakked of { epoch : int; reason : string }
   | Timed_out  (** no (valid) answer within the deadline *)
   | Skipped  (** rollout aborted before this target was attempted *)
+  | Aborted of { reason : string }
+      (** the capsule stream exhausted its retry budget — the target is
+          unreachable and the operation was abandoned before its
+          deadline *)
 
 val outcome_to_string : outcome -> string
 

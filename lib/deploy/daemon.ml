@@ -32,6 +32,10 @@ type t = {
   dm_runtime : Runtime.t;
   secret : string;
   reply_src_base : int;
+  rto : float;
+  max_rto : float;
+  retry_budget : int option;
+  mutable next_reply_index : int;  (* monotonic: no port reuse after aborts *)
   slots : (string, slot) Hashtbl.t;
   transfers : (string * int, transfer) Hashtbl.t;
   reply_senders : (Addr.t * int, Reliable.Sender.t) Hashtbl.t;
@@ -91,10 +95,15 @@ let reply_sender t ~addr ~port =
   match Hashtbl.find_opt t.reply_senders (addr, port) with
   | Some sender -> sender
   | None ->
-      let src_port = t.reply_src_base + Hashtbl.length t.reply_senders in
+      let src_port = t.reply_src_base + t.next_reply_index in
+      t.next_reply_index <- t.next_reply_index + 1;
       let sender =
-        Reliable.Sender.connect ~chan_tag:Capsule.chan_tag t.dm_node ~dst:addr
-          ~dst_port:port ~src_port ()
+        Reliable.Sender.connect ~chan_tag:Capsule.chan_tag ~rto:t.rto
+          ~max_rto:t.max_rto ?retry_budget:t.retry_budget
+          (* A dead reply stream is forgotten so the next ACK/NAK toward
+             this controller dials a fresh one. *)
+          ~on_abort:(fun _reason -> Hashtbl.remove t.reply_senders (addr, port))
+          t.dm_node ~dst:addr ~dst_port:port ~src_port ()
       in
       Hashtbl.replace t.reply_senders (addr, port) sender;
       sender
@@ -266,7 +275,8 @@ let on_capsule t payload =
 let inject t payload = on_capsule t payload
 
 let start ?(port = Capsule.well_known_port) ?(reply_src_base = 52100)
-    ?(secret = "extnet") ?runtime dm_node () =
+    ?(secret = "extnet") ?(rto = 0.2) ?(max_rto = 5.0) ?retry_budget ?runtime
+    dm_node () =
   let dm_runtime =
     match runtime with Some rt -> rt | None -> Runtime.attach dm_node
   in
@@ -277,6 +287,10 @@ let start ?(port = Capsule.well_known_port) ?(reply_src_base = 52100)
       dm_runtime;
       secret;
       reply_src_base;
+      rto;
+      max_rto;
+      retry_budget;
+      next_reply_index = 0;
       slots = Hashtbl.create 8;
       transfers = Hashtbl.create 8;
       reply_senders = Hashtbl.create 8;

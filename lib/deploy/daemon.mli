@@ -19,12 +19,20 @@ type t
     @param reply_src_base first local port used for reply streams back to
       controllers (default 52100)
     @param secret shared secret for ACK signatures (default ["extnet"])
+    @param rto reply-stream initial retransmission timeout in seconds
+      (default 0.2), backing off exponentially to [max_rto] (default 5.0)
+    @param retry_budget consecutive barren timeouts a reply stream
+      tolerates before being dropped; the next reply toward that
+      controller dials a fresh stream (default: retry forever)
     @param runtime install into an existing runtime instead of attaching a
       fresh one (programs installed out-of-band keep serving) *)
 val start :
   ?port:int ->
   ?reply_src_base:int ->
   ?secret:string ->
+  ?rto:float ->
+  ?max_rto:float ->
+  ?retry_budget:int ->
   ?runtime:Planp_runtime.Runtime.t ->
   Netsim.Node.t ->
   unit ->

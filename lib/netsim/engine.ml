@@ -26,6 +26,7 @@ and delivery = {
   mutable d_seqs : int array;
   mutable d_head : int;
   mutable d_len : int;
+  mutable d_stale : int; (* armed scheduler entries whose packets were cleared *)
   mutable d_event : event; (* preallocated [Deliver self] *)
 }
 
@@ -128,6 +129,7 @@ let delivery () =
       d_seqs = Array.make cap 0;
       d_head = 0;
       d_len = 0;
+      d_stale = 0;
       d_event = nop_event;
     }
   in
@@ -181,6 +183,30 @@ let[@inline] push_delivery engine d ~at packet =
   d.d_len <- d.d_len + 1;
   note_queued engine;
   if d.d_len = 1 then arm_delivery engine d
+
+(* Drop every packet still in flight (fault injection: a cable pull takes
+   the photons with it).  The ring's armed scheduler entry cannot be
+   removed from the calendar queue, so it is left behind as a *stale*
+   entry: [d_stale] counts them, and [step] consumes one stale entry per
+   pop before delivering anything.  Consuming stale entries first can only
+   delay a packet pushed between the clear and the stale pop (never
+   reorder or duplicate), and in practice a downed link admits no new
+   traffic until the stale entry has long fired. *)
+let clear_delivery engine d =
+  let dropped = d.d_len in
+  if dropped > 0 then begin
+    let mask = Array.length d.d_pkts - 1 in
+    for i = 0 to dropped - 1 do
+      Array.unsafe_set d.d_pkts ((d.d_head + i) land mask) dummy_packet
+    done;
+    d.d_head <- 0;
+    d.d_len <- 0;
+    d.d_stale <- d.d_stale + 1;
+    (* The packets leave the logical queue; the stale entry stays in it
+       until its pop decrements [queued] in [step]. *)
+    engine.queued <- engine.queued - dropped + 1
+  end;
+  dropped
 
 (* ------------------------------------------------------------------ *)
 (* Broadcast rings                                                     *)
@@ -289,17 +315,24 @@ let step engine =
     (match ev with
     | Timer thunk -> thunk ()
     | Deliver d ->
-        let mask = Array.length d.d_pkts - 1 in
-        let i = d.d_head in
-        let packet = Array.unsafe_get d.d_pkts i in
-        Array.unsafe_set d.d_pkts i dummy_packet;
-        d.d_head <- (i + 1) land mask;
-        d.d_len <- d.d_len - 1;
-        (* Re-arm before the receiver runs: the next head's stamped seq
-           predates anything the receiver can schedule, and the receiver
-           may push into this very ring. *)
-        if d.d_len > 0 then arm_delivery engine d;
-        d.d_receiver packet
+        if d.d_stale > 0 then
+          (* A [clear_delivery] emptied this ring while the entry was in
+             the calendar queue; consume the stale token and deliver
+             nothing. *)
+          d.d_stale <- d.d_stale - 1
+        else begin
+          let mask = Array.length d.d_pkts - 1 in
+          let i = d.d_head in
+          let packet = Array.unsafe_get d.d_pkts i in
+          Array.unsafe_set d.d_pkts i dummy_packet;
+          d.d_head <- (i + 1) land mask;
+          d.d_len <- d.d_len - 1;
+          (* Re-arm before the receiver runs: the next head's stamped seq
+             predates anything the receiver can schedule, and the receiver
+             may push into this very ring. *)
+          if d.d_len > 0 then arm_delivery engine d;
+          d.d_receiver packet
+        end
     | Broadcast b ->
         let mask = Array.length b.b_pkts - 1 in
         let i = b.b_head in

@@ -51,6 +51,12 @@ val push_delivery : t -> delivery -> at:float -> Packet.t -> unit
 (** [delivery_backlog d] is the number of packets in flight in [d]. *)
 val delivery_backlog : delivery -> int
 
+(** [clear_delivery engine d] drops every packet still in flight in [d]
+    without delivering any of them, returning how many were dropped.
+    Used by fault injection: cutting a link mid-flight loses the photons
+    already on the wire. Packets pushed after the clear are unaffected. *)
+val clear_delivery : t -> delivery -> int
+
 (** {2 Broadcast pipelines}
 
     Like deliveries, but each frame carries a link-level destination and

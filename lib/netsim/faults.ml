@@ -1,0 +1,419 @@
+type target = Tlink of string | Tsegment of string | Tnode of string
+
+type kind =
+  | Link_down
+  | Loss of float
+  | Corrupt of float
+  | Congest of { bandwidth_factor : float; queue_factor : float }
+  | Crash of { wipe : bool }
+  | Reroute
+
+type event = {
+  ft_at : float;
+  ft_until : float option;
+  ft_kind : kind;
+  ft_target : target option;
+}
+
+type scenario = { seed : int; events : event list }
+
+let empty = { seed = 0; events = [] }
+let scenario_of_events ?(seed = 0) events = { seed; events }
+
+(* ------------------------------------------------------------------ *)
+(* Scenario RNG: xorshift64*, private to the fault plane so Netsim     *)
+(* keeps its no-dependency-on-Asp layering.  Same construction as      *)
+(* Asp.Rng: deterministic across platforms.                            *)
+(* ------------------------------------------------------------------ *)
+
+type rng = { mutable state : int64 }
+
+let rng_create ~seed = { state = Int64.of_int (if seed = 0 then 0x9E3779B9 else seed) }
+
+let rng_next rng =
+  let open Int64 in
+  let x = rng.state in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  rng.state <- x;
+  mul x 0x2545F4914F6CDD1DL
+
+let rng_float rng =
+  let bits = Int64.shift_right_logical (rng_next rng) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario-file parser                                                *)
+(* ------------------------------------------------------------------ *)
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: not a number (%s)" what s)
+
+let parse_rate what s =
+  match parse_float what s with
+  | Error _ as e -> e
+  | Ok v when v < 0.0 || v > 1.0 ->
+      Error (Printf.sprintf "%s: probability out of [0,1] (%s)" what s)
+  | Ok v -> Ok v
+
+let parse_factor what s =
+  match parse_float what s with
+  | Error _ as e -> e
+  | Ok v when v <= 0.0 || v > 1.0 ->
+      Error (Printf.sprintf "%s: factor out of (0,1] (%s)" what s)
+  | Ok v -> Ok v
+
+let rec parse_congest_opts ~bandwidth ~queue = function
+  | [] -> Ok (Congest { bandwidth_factor = bandwidth; queue_factor = queue })
+  | "bandwidth" :: v :: rest -> (
+      match parse_factor "bandwidth" v with
+      | Error _ as e -> e
+      | Ok bandwidth -> parse_congest_opts ~bandwidth ~queue rest)
+  | "queue" :: v :: rest -> (
+      match parse_factor "queue" v with
+      | Error _ as e -> e
+      | Ok queue -> parse_congest_opts ~bandwidth ~queue rest)
+  | token :: _ -> Error (Printf.sprintf "congest: unknown option %s" token)
+
+(* The body of an event line, after [at T [until T2]] has been consumed. *)
+let parse_body tokens =
+  match tokens with
+  | [ "link"; "down"; name ] -> Ok (Link_down, Some (Tlink name))
+  | [ "link"; "loss"; name; p ] -> (
+      match parse_rate "link loss" p with
+      | Error _ as e -> e
+      | Ok p -> Ok (Loss p, Some (Tlink name)))
+  | [ "link"; "corrupt"; name; p ] -> (
+      match parse_rate "link corrupt" p with
+      | Error _ as e -> e
+      | Ok p -> Ok (Corrupt p, Some (Tlink name)))
+  | [ "segment"; "loss"; name; p ] -> (
+      match parse_rate "segment loss" p with
+      | Error _ as e -> e
+      | Ok p -> Ok (Loss p, Some (Tsegment name)))
+  | [ "segment"; "corrupt"; name; p ] -> (
+      match parse_rate "segment corrupt" p with
+      | Error _ as e -> e
+      | Ok p -> Ok (Corrupt p, Some (Tsegment name)))
+  | "congest" :: name :: opts -> (
+      match parse_congest_opts ~bandwidth:1.0 ~queue:1.0 opts with
+      | Error _ as e -> e
+      | Ok kind -> Ok (kind, Some (Tlink name)))
+  | [ "node"; "crash"; name ] -> Ok (Crash { wipe = false }, Some (Tnode name))
+  | [ "node"; "crash-wipe"; name ] -> Ok (Crash { wipe = true }, Some (Tnode name))
+  | [ "reroute" ] -> Ok (Reroute, None)
+  | [] -> Error "missing fault after time spec"
+  | token :: _ -> Error (Printf.sprintf "unknown fault %s" token)
+
+let parse_line line =
+  match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+  | [] -> Ok `Blank
+  | [ "seed"; n ] -> (
+      match int_of_string_opt n with
+      | Some seed -> Ok (`Seed seed)
+      | None -> Error (Printf.sprintf "seed: not an integer (%s)" n))
+  | "at" :: t :: rest -> (
+      match parse_float "at" t with
+      | Error _ as e -> (e :> (_, string) result)
+      | Ok at -> (
+          let until, body =
+            match rest with
+            | "until" :: t2 :: body -> (Some t2, body)
+            | body -> (None, body)
+          in
+          let until =
+            match until with
+            | None -> Ok None
+            | Some t2 -> (
+                match parse_float "until" t2 with
+                | Error _ as e -> e
+                | Ok u when u < at ->
+                    Error (Printf.sprintf "until %g is before at %g" u at)
+                | Ok u -> Ok (Some u))
+          in
+          match until with
+          | Error _ as e -> (e :> (_, string) result)
+          | Ok ft_until -> (
+              match parse_body body with
+              | Error _ as e -> (e :> (_, string) result)
+              | Ok (ft_kind, ft_target) ->
+                  Ok (`Event { ft_at = at; ft_until; ft_kind; ft_target }))))
+  | token :: _ -> Error (Printf.sprintf "expected 'seed' or 'at', got %s" token)
+
+let parse_scenario text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno seed events = function
+    | [] -> Ok { seed; events = List.rev events }
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let line = String.trim line in
+        if line = "" then go (lineno + 1) seed events rest
+        else
+          match parse_line line with
+          | Ok `Blank -> go (lineno + 1) seed events rest
+          | Ok (`Seed s) -> go (lineno + 1) s events rest
+          | Ok (`Event e) -> go (lineno + 1) seed (e :: events) rest
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 0 [] lines
+
+(* ------------------------------------------------------------------ *)
+(* Arming                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Loss/corruption tallies are batched in the shared {!Impair} records
+   and flushed here on every engine flush, so the per-packet path never
+   touches a registry handle. *)
+type tracked = {
+  tr_impair : Impair.t;
+  tr_m_lost : Obs.Registry.counter;
+  tr_m_corrupted : Obs.Registry.counter;
+  mutable tr_f_lost : int;
+  mutable tr_f_corrupted : int;
+}
+
+type medium = Mlink of Link.t | Msegment of Segment.t
+
+type handle = {
+  h_topo : Topology.t;
+  h_rng : rng;
+  mutable h_restart_hooks : (Node.t -> unit) list;
+  mutable h_injected : int;
+  mutable h_tracked : (medium * tracked) list;
+}
+
+let injected handle = handle.h_injected
+
+let on_restart handle f =
+  handle.h_restart_hooks <- handle.h_restart_hooks @ [ f ]
+
+let m_injected kind_label =
+  Obs.Registry.counter
+    ~labels:[ ("kind", kind_label) ]
+    ~help:"fault events injected, by kind" "netsim.faults.injected"
+
+let medium_name = function
+  | Mlink link -> Link.name link
+  | Msegment seg -> Segment.name seg
+
+let flush_tracked (_, tr) =
+  let dl = tr.tr_impair.Impair.lost - tr.tr_f_lost in
+  if dl > 0 then begin
+    Obs.Registry.add tr.tr_m_lost dl;
+    tr.tr_f_lost <- tr.tr_impair.Impair.lost
+  end;
+  let dc = tr.tr_impair.Impair.corrupted - tr.tr_f_corrupted in
+  if dc > 0 then begin
+    Obs.Registry.add tr.tr_m_corrupted dc;
+    tr.tr_f_corrupted <- tr.tr_impair.Impair.corrupted
+  end
+
+(* The impairment attached to a medium by this handle; created (and its
+   flush registered) on first use.  The record survives rate windows
+   closing — the medium's [impair] field is dropped back to [None] when
+   both rates reach zero, restoring the zero-cost idle path. *)
+let same_medium a b =
+  match (a, b) with
+  | Mlink l1, Mlink l2 -> l1 == l2
+  | Msegment s1, Msegment s2 -> s1 == s2
+  | (Mlink _ | Msegment _), _ -> false
+
+let tracked_for handle medium =
+  match
+    List.find_opt (fun (m, _) -> same_medium m medium) handle.h_tracked
+  with
+  | Some (_, tr) -> tr
+  | None ->
+      let rng = handle.h_rng in
+      let name = medium_name medium in
+      let tr =
+        {
+          tr_impair = Impair.create ~rand:(fun () -> rng_float rng);
+          tr_m_lost =
+            Obs.Registry.counter
+              ~labels:[ ("target", name) ]
+              ~help:"packets lost to injected loss" "netsim.faults.lost_packets";
+          tr_m_corrupted =
+            Obs.Registry.counter
+              ~labels:[ ("target", name) ]
+              ~help:"packets corrupted by injected faults"
+              "netsim.faults.corrupted_packets";
+          tr_f_lost = 0;
+          tr_f_corrupted = 0;
+        }
+      in
+      handle.h_tracked <- (medium, tr) :: handle.h_tracked;
+      tr
+
+let attach_impair medium impair =
+  match medium with
+  | Mlink link -> Link.set_impairment link (Some impair)
+  | Msegment seg -> Segment.set_impairment seg (Some impair)
+
+let maybe_detach_impair medium impair =
+  if impair.Impair.loss_rate = 0.0 && impair.Impair.corrupt_rate = 0.0 then
+    match medium with
+    | Mlink link -> Link.set_impairment link None
+    | Msegment seg -> Segment.set_impairment seg None
+
+(* Loss, corruption and congestion accept either medium kind whatever the
+   constructor says: scenario files name the medium and the registry
+   disambiguates. *)
+let resolve_medium topo name =
+  match Topology.find_link topo name with
+  | Some link -> Some (Mlink link)
+  | None -> (
+      match Topology.find_segment topo name with
+      | Some seg -> Some (Msegment seg)
+      | None -> None)
+
+let bad fmt = Printf.ksprintf invalid_arg fmt
+
+let medium_target handle = function
+  | Some (Tlink name) | Some (Tsegment name) -> (
+      match resolve_medium handle.h_topo name with
+      | Some medium -> medium
+      | None -> bad "Faults.arm: unknown link or segment %s" name)
+  | Some (Tnode name) -> bad "Faults.arm: %s: fault needs a link or segment" name
+  | None -> bad "Faults.arm: fault needs a target"
+
+let link_target handle = function
+  | Some (Tlink name) | Some (Tsegment name) -> (
+      match Topology.find_link handle.h_topo name with
+      | Some link -> link
+      | None -> bad "Faults.arm: unknown link %s" name)
+  | Some (Tnode _) | None -> bad "Faults.arm: link fault needs a link target"
+
+let node_target handle = function
+  | Some (Tnode name) -> (
+      match Topology.find handle.h_topo name with
+      | node -> node
+      | exception Not_found -> bad "Faults.arm: unknown node %s" name)
+  | _ -> bad "Faults.arm: crash needs a node target"
+
+let reconverge handle =
+  Topology.compute_routes handle.h_topo
+
+let schedule_event handle engine event =
+  let clamp t = if t < Engine.now engine then Engine.now engine else t in
+  let inject kind_label =
+    handle.h_injected <- handle.h_injected + 1;
+    Obs.Registry.incr (m_injected kind_label)
+  in
+  match event.ft_kind with
+  | Link_down ->
+      let link = link_target handle event.ft_target in
+      Engine.schedule engine ~at:(clamp event.ft_at) (fun () ->
+          inject "link_down";
+          Link.set_up link false;
+          reconverge handle);
+      Option.iter
+        (fun until ->
+          Engine.schedule engine ~at:(clamp until) (fun () ->
+              inject "link_up";
+              Link.set_up link true;
+              reconverge handle))
+        event.ft_until
+  | Loss rate ->
+      let medium = medium_target handle event.ft_target in
+      Engine.schedule engine ~at:(clamp event.ft_at) (fun () ->
+          inject "loss";
+          let tr = tracked_for handle medium in
+          tr.tr_impair.Impair.loss_rate <- rate;
+          attach_impair medium tr.tr_impair);
+      Option.iter
+        (fun until ->
+          Engine.schedule engine ~at:(clamp until) (fun () ->
+              let tr = tracked_for handle medium in
+              tr.tr_impair.Impair.loss_rate <- 0.0;
+              maybe_detach_impair medium tr.tr_impair))
+        event.ft_until
+  | Corrupt rate ->
+      let medium = medium_target handle event.ft_target in
+      Engine.schedule engine ~at:(clamp event.ft_at) (fun () ->
+          inject "corrupt";
+          let tr = tracked_for handle medium in
+          tr.tr_impair.Impair.corrupt_rate <- rate;
+          attach_impair medium tr.tr_impair);
+      Option.iter
+        (fun until ->
+          Engine.schedule engine ~at:(clamp until) (fun () ->
+              let tr = tracked_for handle medium in
+              tr.tr_impair.Impair.corrupt_rate <- 0.0;
+              maybe_detach_impair medium tr.tr_impair))
+        event.ft_until
+  | Congest { bandwidth_factor; queue_factor } ->
+      let medium = medium_target handle event.ft_target in
+      let saved = ref None in
+      Engine.schedule engine ~at:(clamp event.ft_at) (fun () ->
+          inject "congest";
+          match medium with
+          | Mlink link ->
+              saved := Some (Link.bandwidth_bps link, Link.queue_capacity link);
+              Link.set_bandwidth_bps link
+                (Link.bandwidth_bps link *. bandwidth_factor);
+              Link.set_queue_capacity link
+                (int_of_float (float_of_int (Link.queue_capacity link) *. queue_factor))
+          | Msegment seg ->
+              saved := Some (Segment.bandwidth_bps seg, Segment.queue_capacity seg);
+              Segment.set_bandwidth_bps seg
+                (Segment.bandwidth_bps seg *. bandwidth_factor);
+              Segment.set_queue_capacity seg
+                (int_of_float (float_of_int (Segment.queue_capacity seg) *. queue_factor)));
+      Option.iter
+        (fun until ->
+          Engine.schedule engine ~at:(clamp until) (fun () ->
+              inject "congest_end";
+              match (!saved, medium) with
+              | Some (bw, cap), Mlink link ->
+                  Link.set_bandwidth_bps link bw;
+                  Link.set_queue_capacity link cap
+              | Some (bw, cap), Msegment seg ->
+                  Segment.set_bandwidth_bps seg bw;
+                  Segment.set_queue_capacity seg cap
+              | None, _ -> ()))
+        event.ft_until
+  | Crash { wipe } ->
+      let node = node_target handle event.ft_target in
+      Engine.schedule engine ~at:(clamp event.ft_at) (fun () ->
+          inject "crash";
+          Node.set_up node false;
+          if wipe then Node.reset_state node;
+          reconverge handle);
+      Option.iter
+        (fun until ->
+          Engine.schedule engine ~at:(clamp until) (fun () ->
+              inject "restart";
+              Node.set_up node true;
+              reconverge handle;
+              List.iter (fun f -> f node) handle.h_restart_hooks))
+        event.ft_until
+  | Reroute ->
+      Engine.schedule engine ~at:(clamp event.ft_at) (fun () ->
+          inject "reroute";
+          reconverge handle)
+
+let arm topo scenario =
+  let handle =
+    {
+      h_topo = topo;
+      h_rng = rng_create ~seed:scenario.seed;
+      h_restart_hooks = [];
+      h_injected = 0;
+      h_tracked = [];
+    }
+  in
+  if scenario.events <> [] then begin
+    let engine = Topology.engine topo in
+    List.iter (schedule_event handle engine) scenario.events;
+    Engine.on_flush engine (fun () ->
+        List.iter flush_tracked handle.h_tracked)
+  end;
+  handle

@@ -1,0 +1,33 @@
+type t = {
+  mutable loss_rate : float;
+  mutable corrupt_rate : float;
+  rand : unit -> float;
+  mutable lost : int;
+  mutable corrupted : int;
+}
+
+let create ~rand = { loss_rate = 0.; corrupt_rate = 0.; rand; lost = 0; corrupted = 0 }
+
+let corrupt_packet t packet =
+  let body = Packet.(packet.body) in
+  let len = Payload.length body in
+  if len = 0 then packet
+  else begin
+    let bytes = Bytes.of_string (Payload.to_string body) in
+    let i = int_of_float (t.rand () *. float_of_int len) in
+    let i = if i >= len then len - 1 else i in
+    (* Flip a deterministic non-zero mask so the byte always changes. *)
+    Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 0x55));
+    Packet.with_body packet (Payload.of_bytes bytes)
+  end
+
+let apply t packet =
+  if t.loss_rate > 0. && t.rand () < t.loss_rate then begin
+    t.lost <- t.lost + 1;
+    None
+  end
+  else if t.corrupt_rate > 0. && t.rand () < t.corrupt_rate then begin
+    t.corrupted <- t.corrupted + 1;
+    Some (corrupt_packet t packet)
+  end
+  else Some packet

@@ -1,0 +1,30 @@
+(** Per-medium probabilistic impairment: packet loss and byte corruption.
+
+    A link or segment carries [Impair.t option] — [None] (the default)
+    costs one branch per send and nothing else. {!Faults} creates and
+    attaches impairments when a scenario arms loss or corruption on a
+    medium, sharing one random stream per scenario so runs are
+    deterministic for a given seed and event order.
+
+    Lost and corrupted packets are tallied in raw mutable counters here;
+    {!Faults} batches them into the metrics registry on engine flush, so
+    the per-packet path never touches a registry handle. *)
+
+type t = {
+  mutable loss_rate : float;  (** probability a packet vanishes, [0,1] *)
+  mutable corrupt_rate : float;
+      (** probability one payload byte is flipped, [0,1] *)
+  rand : unit -> float;  (** scenario-owned uniform [0,1) stream *)
+  mutable lost : int;  (** raw tally, flushed by the fault plane *)
+  mutable corrupted : int;  (** raw tally, flushed by the fault plane *)
+}
+
+val create : rand:(unit -> float) -> t
+(** Fresh impairment with both rates 0 (transparent until configured). *)
+
+val apply : t -> Packet.t -> Packet.t option
+(** [apply t packet] rolls the dice: [None] when the packet is lost,
+    [Some packet'] otherwise — [packet'] has one payload byte XOR-flipped
+    when corruption fires (a fresh packet; the original is untouched), or
+    is physically the input packet when nothing fires. Allocates only
+    when corruption actually fires. *)

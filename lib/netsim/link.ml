@@ -24,12 +24,13 @@ type direction = {
 type t = {
   link_name : string;
   engine : Engine.t;
-  bandwidth : float;
+  mutable bandwidth : float;
   latency : float;
-  queue_capacity : int;
+  mutable queue_capacity : int;
   a_to_b : direction;  (* transmits from A, delivers at B *)
   b_to_a : direction;
   mutable up : bool;
+  mutable impair : Impair.t option; (* None = fault plane idle, zero cost *)
 }
 
 let other = function A -> B | B -> A
@@ -101,6 +102,7 @@ let create ?(name = "link") ?(queue_capacity = 65536) engine ~bandwidth_bps
       a_to_b = make_direction ~link_name:name ~dir:"a_to_b";
       b_to_a = make_direction ~link_name:name ~dir:"b_to_a";
       up = true;
+      impair = None;
     }
   in
   Engine.on_flush engine (fun () ->
@@ -110,8 +112,34 @@ let create ?(name = "link") ?(queue_capacity = 65536) engine ~bandwidth_bps
 
 let name link = link.link_name
 let bandwidth_bps link = link.bandwidth
-let set_up link flag = link.up <- flag
+
+let set_bandwidth_bps link bw =
+  if bw <= 0.0 then invalid_arg "Link.set_bandwidth_bps: bandwidth must be positive";
+  link.bandwidth <- bw
+
+let queue_capacity link = link.queue_capacity
+
+let set_queue_capacity link cap =
+  if cap < 0 then invalid_arg "Link.set_queue_capacity: negative capacity";
+  link.queue_capacity <- cap
+
+let set_up link flag =
+  if link.up && not flag then begin
+    (* A cable pull loses the packets already on the wire: drop both
+       directions' in-flight rings and charge each loss to the direction
+       that transmitted it. *)
+    let drop dir =
+      let n = Engine.clear_delivery link.engine dir.delivery in
+      if n > 0 then dir.r_drops <- dir.r_drops + n
+    in
+    drop link.a_to_b;
+    drop link.b_to_a
+  end;
+  link.up <- flag
+
 let is_up link = link.up
+let set_impairment link impair = link.impair <- impair
+let impairment link = link.impair
 
 (* The direction that transmits *from* the given endpoint. *)
 let[@inline] tx_direction link = function
@@ -127,6 +155,22 @@ let[@inline] backlog_of direction ~now ~bandwidth =
   let busy = Array.unsafe_get direction.fl 0 in
   if busy <= now then 0 else int_of_float ((busy -. now) *. bandwidth /. 8.0)
 
+let[@inline] transmit link dir ~now ~backlog packet =
+  let size = Packet.wire_size packet in
+  let busy = Array.unsafe_get dir.fl 0 in
+  let start = if now > busy then now else busy in
+  let finish = start +. (float_of_int (size * 8) /. link.bandwidth) in
+  Array.unsafe_set dir.fl 0 finish;
+  Flowstat.record dir.dir_stat ~now:finish size;
+  dir.r_packets <- dir.r_packets + 1;
+  dir.r_bytes <- dir.r_bytes + size;
+  let slot = Obs.Registry.bucket_of_int backlog in
+  Array.unsafe_set dir.h_counts slot (Array.unsafe_get dir.h_counts slot + 1);
+  Array.unsafe_set dir.fl 1
+    (Array.unsafe_get dir.fl 1 +. float_of_int backlog);
+  Engine.push_delivery link.engine dir.delivery
+    ~at:(finish +. link.latency) packet
+
 let send link ~from packet =
   let dir = tx_direction link from in
   let now = Engine.now link.engine in
@@ -136,22 +180,19 @@ let send link ~from packet =
     dir.r_drops <- dir.r_drops + 1;
     false
   end
-  else begin
-    let busy = Array.unsafe_get dir.fl 0 in
-    let start = if now > busy then now else busy in
-    let finish = start +. (float_of_int (size * 8) /. link.bandwidth) in
-    Array.unsafe_set dir.fl 0 finish;
-    Flowstat.record dir.dir_stat ~now:finish size;
-    dir.r_packets <- dir.r_packets + 1;
-    dir.r_bytes <- dir.r_bytes + size;
-    let slot = Obs.Registry.bucket_of_int backlog in
-    Array.unsafe_set dir.h_counts slot (Array.unsafe_get dir.h_counts slot + 1);
-    Array.unsafe_set dir.fl 1
-      (Array.unsafe_get dir.fl 1 +. float_of_int backlog);
-    Engine.push_delivery link.engine dir.delivery
-      ~at:(finish +. link.latency) packet;
-    true
-  end
+  else
+    match link.impair with
+    | None ->
+        transmit link dir ~now ~backlog packet;
+        true
+    | Some impair -> (
+        match Impair.apply impair packet with
+        | None ->
+            (* Lost on the wire: the sender saw a successful transmit. *)
+            true
+        | Some packet ->
+            transmit link dir ~now ~backlog packet;
+            true)
 
 let backlog_bytes link endpoint =
   let dir = tx_direction link endpoint in

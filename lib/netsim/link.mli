@@ -24,11 +24,32 @@ val create :
 val name : t -> string
 val bandwidth_bps : t -> float
 
-(** [set_up link flag] — a downed link drops everything offered to it
+(** [set_bandwidth_bps link bw] rescales the link's service rate (fault
+    injection: congestion bursts). Takes effect for subsequent sends; the
+    analytic backlog is reinterpreted at the new rate.
+    @raise Invalid_argument when [bw <= 0]. *)
+val set_bandwidth_bps : t -> float -> unit
+
+val queue_capacity : t -> int
+
+(** [set_queue_capacity link cap] resizes the drop-tail queue (bytes).
+    @raise Invalid_argument when negative. *)
+val set_queue_capacity : t -> int -> unit
+
+(** [set_up link flag] — a downed link drops everything offered to it,
+    {e including} packets already in flight at the instant of the cut,
+    which are counted against the transmitting direction's {!drops}
     (fault injection: cable pull). Links start up. *)
 val set_up : t -> bool -> unit
 
 val is_up : t -> bool
+
+(** [set_impairment link imp] attaches (or with [None] detaches) a
+    loss/corruption model consulted on every send while attached. The
+    default is [None]: an unimpaired link pays one branch per send. *)
+val set_impairment : t -> Impair.t option -> unit
+
+val impairment : t -> Impair.t option
 
 (** [set_receiver link endpoint f] registers the delivery callback for
     packets arriving *at* [endpoint]. *)

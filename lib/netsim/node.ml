@@ -8,6 +8,7 @@ type counters = {
   mutable dropped_filtered : int;
   mutable dropped_unclaimed : int;
   mutable dropped_tx : int;
+  mutable dropped_down : int;
 }
 
 (* Obs mirrors of [counters], plus hook invocations (which the plain
@@ -23,6 +24,7 @@ type obs_counters = {
   o_drop_filtered : Obs.Registry.counter;
   o_drop_unclaimed : Obs.Registry.counter;
   o_drop_tx : Obs.Registry.counter;
+  o_drop_down : Obs.Registry.counter;
 }
 
 let make_obs_counters ~node_name =
@@ -53,6 +55,7 @@ let make_obs_counters ~node_name =
     o_drop_filtered = drop "filtered";
     o_drop_unclaimed = drop "unclaimed";
     o_drop_tx = drop "tx";
+    o_drop_down = drop "down";
   }
 
 type iface = {
@@ -80,6 +83,7 @@ type t = {
   mutable cpu_cost : float;
   mutable cpu_busy_until : float;
   mutable cpu_queue : int;
+  mutable up : bool; (* a crashed node drops everything (fault plane) *)
 }
 
 and hook = t -> ifindex:int -> l2_dst:Addr.t option -> Packet.t -> unit
@@ -109,11 +113,13 @@ let create engine ~name ~addr =
         dropped_filtered = 0;
         dropped_unclaimed = 0;
         dropped_tx = 0;
+        dropped_down = 0;
       };
     obs = make_obs_counters ~node_name:name;
     cpu_cost = 0.0;
     cpu_busy_until = 0.0;
     cpu_queue = 0;
+    up = true;
   }
 
 let name node = node.node_name
@@ -278,20 +284,29 @@ let receive_now node ~ifindex ~l2_dst packet =
       end
   | None -> default_process node ~ifindex ~l2_dst packet
 
+let[@inline] drop_down node =
+  node.stats.dropped_down <- node.stats.dropped_down + 1;
+  Obs.Registry.incr node.obs.o_drop_down
+
 let receive node ~ifindex ~l2_dst packet =
-  node.stats.frames_in <- node.stats.frames_in + 1;
-  Obs.Registry.incr node.obs.o_frames_in;
-  if node.cpu_cost <= 0.0 then receive_now node ~ifindex ~l2_dst packet
+  if not node.up then drop_down node
   else begin
-    (* Serial CPU: frames are processed [cpu_cost] apart, FIFO. *)
-    let now = Engine.now node.node_engine in
-    let start = Float.max now node.cpu_busy_until in
-    let done_at = start +. node.cpu_cost in
-    node.cpu_busy_until <- done_at;
-    node.cpu_queue <- node.cpu_queue + 1;
-    Engine.schedule node.node_engine ~at:done_at (fun () ->
-        node.cpu_queue <- node.cpu_queue - 1;
-        receive_now node ~ifindex ~l2_dst packet)
+    node.stats.frames_in <- node.stats.frames_in + 1;
+    Obs.Registry.incr node.obs.o_frames_in;
+    if node.cpu_cost <= 0.0 then receive_now node ~ifindex ~l2_dst packet
+    else begin
+      (* Serial CPU: frames are processed [cpu_cost] apart, FIFO. *)
+      let now = Engine.now node.node_engine in
+      let start = Float.max now node.cpu_busy_until in
+      let done_at = start +. node.cpu_cost in
+      node.cpu_busy_until <- done_at;
+      node.cpu_queue <- node.cpu_queue + 1;
+      Engine.schedule node.node_engine ~at:done_at (fun () ->
+          node.cpu_queue <- node.cpu_queue - 1;
+          (* The CPU died with the frame still queued on it. *)
+          if node.up then receive_now node ~ifindex ~l2_dst packet
+          else drop_down node)
+    end
   end
 
 let set_processing_cost node seconds =
@@ -300,7 +315,7 @@ let set_processing_cost node seconds =
 
 let cpu_backlog node = node.cpu_queue
 
-let originate node packet =
+let originate_up node packet =
   node.stats.originated <- node.stats.originated + 1;
   Obs.Registry.incr node.obs.o_originated;
   let dst = packet.Packet.dst in
@@ -320,6 +335,26 @@ let originate node packet =
         node.stats.dropped_no_route <- node.stats.dropped_no_route + 1;
         Obs.Registry.incr node.obs.o_drop_no_route
   end
+
+let originate node packet =
+  if not node.up then drop_down node else originate_up node packet
+
+let set_up node flag = node.up <- flag
+let is_up node = node.up
+
+(* Crash-with-state-loss: everything a running program installed on the
+   node (processing hook, port handlers, promiscuous mode, CPU model)
+   is gone; identity, interfaces and counters survive.  The routing
+   table is left to {!Topology.compute_routes}, which owns it. *)
+let reset_state node =
+  node.hook <- None;
+  node.promisc <- false;
+  Hashtbl.reset node.udp_handlers;
+  Hashtbl.reset node.tcp_handlers;
+  node.udp_default <- None;
+  node.tcp_default <- None;
+  node.cpu_cost <- 0.0;
+  node.cpu_busy_until <- 0.0
 
 let set_hook node hook = node.hook <- Some hook
 let clear_hook node = node.hook <- None

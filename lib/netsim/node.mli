@@ -24,6 +24,7 @@ type counters = {
   mutable dropped_filtered : int;
   mutable dropped_unclaimed : int;
   mutable dropped_tx : int;  (** rejected by a full link/segment queue *)
+  mutable dropped_down : int;  (** arrived at (or originated on) a crashed node *)
 }
 
 val create : Engine.t -> name:string -> addr:Addr.t -> t
@@ -41,6 +42,25 @@ val set_processing_cost : t -> float -> unit
 
 (** [cpu_backlog node] is the number of frames waiting for CPU. *)
 val cpu_backlog : t -> int
+
+(** {1 Liveness (fault plane)} *)
+
+(** [set_up node flag] — a down node drops every received or originated
+    packet (counted as [dropped_down]); frames queued on its CPU at crash
+    time die with it. Nodes start up. Bringing a node back up restores
+    nothing by itself: a crash that loses state is modelled with
+    {!reset_state}, and routing through/around the node is recomputed by
+    {!Topology.compute_routes}, which treats down nodes as absent. *)
+val set_up : t -> bool -> unit
+
+val is_up : t -> bool
+
+(** [reset_state node] models the state loss of a crash: clears the
+    processing hook, all port handlers and defaults, promiscuous mode and
+    the CPU cost model. Identity, interfaces, group memberships and
+    counters survive; the routing table is owned by
+    {!Topology.compute_routes}. *)
+val reset_state : t -> unit
 
 (** [set_multicast node registry] lets the node resolve group membership;
     without it multicast packets are filtered. *)

@@ -9,12 +9,18 @@ module Sender = struct
     src_port : int;
     chan_tag : string option;
     window : int;
-    rto : float;
+    rto : float;  (* initial timeout; backoff resets here on progress *)
+    max_rto : float;
+    retry_budget : int option;  (* max consecutive no-progress timeouts *)
+    on_abort : string -> unit;
     queue : Payload.t Queue.t;  (* not yet transmitted *)
     inflight : (int, Payload.t) Hashtbl.t;  (* seq -> message *)
     mutable next_seq : int;  (* next fresh sequence number *)
     mutable base : int;  (* lowest unacknowledged seq *)
     mutable retx : int;
+    mutable cur_rto : float;  (* doubles per barren timeout, capped *)
+    mutable strikes : int;  (* consecutive timeouts without progress *)
+    mutable is_aborted : bool;
     mutable timer_armed : bool;
     mutable timeout_thunk : unit -> unit;  (* preallocated, set at connect *)
   }
@@ -43,40 +49,71 @@ module Sender = struct
       t.timer_armed <- true;
       (* One thunk per sender, allocated at connect — re-arming the RTO
          timer on every pump does not build a fresh closure. *)
-      Engine.schedule_after (Node.engine t.node) ~delay:t.rto t.timeout_thunk
+      Engine.schedule_after (Node.engine t.node) ~delay:t.cur_rto t.timeout_thunk
     end
 
-  (* Go-back-N-ish: retransmit everything still in flight. *)
+  and abort t reason =
+    t.is_aborted <- true;
+    Queue.clear t.queue;
+    Hashtbl.reset t.inflight;
+    t.on_abort reason
+
+  (* Go-back-N-ish: retransmit everything still in flight, backing the
+     timeout off exponentially (capped at [max_rto]) until an ACK makes
+     progress.  A retry budget bounds consecutive barren timeouts; past
+     it the stream gives up cleanly instead of retrying forever into a
+     black hole. *)
   and on_timeout t =
-    if Hashtbl.length t.inflight > 0 then begin
-      let pending =
-        List.sort Int.compare
-          (Hashtbl.fold (fun seq _ acc -> seq :: acc) t.inflight [])
-      in
-      List.iter
-        (fun seq ->
-          t.retx <- t.retx + 1;
-          transmit t seq (Hashtbl.find t.inflight seq))
-        pending;
-      pump t
+    if (not t.is_aborted) && Hashtbl.length t.inflight > 0 then begin
+      t.strikes <- t.strikes + 1;
+      match t.retry_budget with
+      | Some budget when t.strikes > budget ->
+          abort t
+            (Printf.sprintf "retry budget exhausted (%d timeouts at seq %d)"
+               budget t.base)
+      | Some _ | None ->
+          t.cur_rto <- Float.min (t.cur_rto *. 2.0) t.max_rto;
+          let pending =
+            List.sort Int.compare
+              (Hashtbl.fold (fun seq _ acc -> seq :: acc) t.inflight [])
+          in
+          List.iter
+            (fun seq ->
+              t.retx <- t.retx + 1;
+              transmit t seq (Hashtbl.find t.inflight seq))
+            pending;
+          pump t
     end
 
   let on_ack t (packet : Packet.t) =
     let body = packet.Packet.body in
-    if Payload.length body = 5 && Payload.get_u8 body 0 = ack_tag then begin
+    if
+      (not t.is_aborted)
+      && Payload.length body = 5
+      && Payload.get_u8 body 0 = ack_tag
+    then begin
       let cumulative = Payload.get_u32 body 1 in
-      if cumulative >= t.base then begin
+      (* [cumulative >= next_seq] acknowledges data never sent — a
+         corrupted ACK; trusting it would hang the window forever. *)
+      if cumulative >= t.base && cumulative < t.next_seq then begin
         for seq = t.base to cumulative do
           Hashtbl.remove t.inflight seq
         done;
         t.base <- cumulative + 1;
+        t.cur_rto <- t.rto;
+        t.strikes <- 0;
         pump t
       end
     end
 
-  let connect ?(window = 8) ?(rto = 0.2) ?chan_tag node ~dst ~dst_port
-      ~src_port () =
+  let connect ?(window = 8) ?(rto = 0.2) ?(max_rto = 5.0) ?retry_budget
+      ?on_abort ?chan_tag node ~dst ~dst_port ~src_port () =
     if window <= 0 then invalid_arg "Reliable.Sender.connect: window";
+    if rto <= 0.0 then invalid_arg "Reliable.Sender.connect: rto";
+    if max_rto < rto then invalid_arg "Reliable.Sender.connect: max_rto < rto";
+    (match retry_budget with
+    | Some b when b <= 0 -> invalid_arg "Reliable.Sender.connect: retry_budget"
+    | Some _ | None -> ());
     let t =
       {
         node;
@@ -86,11 +123,17 @@ module Sender = struct
         chan_tag;
         window;
         rto;
+        max_rto;
+        retry_budget;
+        on_abort = (match on_abort with Some f -> f | None -> fun _ -> ());
         queue = Queue.create ();
         inflight = Hashtbl.create 16;
         next_seq = 0;
         base = 0;
         retx = 0;
+        cur_rto = rto;
+        strikes = 0;
+        is_aborted = false;
         timer_armed = false;
         timeout_thunk = (fun () -> ());
       }
@@ -103,12 +146,15 @@ module Sender = struct
     t
 
   let send t payload =
-    Queue.push payload t.queue;
-    pump t
+    if not t.is_aborted then begin
+      Queue.push payload t.queue;
+      pump t
+    end
 
   let unacked t = Hashtbl.length t.inflight + Queue.length t.queue
   let retransmissions t = t.retx
   let acked t = t.base - 1
+  let aborted t = t.is_aborted
 end
 
 module Receiver = struct

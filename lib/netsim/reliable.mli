@@ -16,8 +16,22 @@ module Sender : sig
 
   (** [connect node ~dst ~dst_port ~src_port ()] prepares a stream.
 
+      The retransmission timeout starts at [rto] and doubles on every
+      timeout that makes no progress, capped at [max_rto]; any ACK that
+      advances the window resets it to [rto]. With a [retry_budget], a
+      stream that suffers that many {e consecutive} barren timeouts
+      aborts instead of retrying forever: the queue and window are
+      discarded ([unacked] drops to 0), [aborted] turns true, further
+      [send]s are ignored, and [on_abort] is called once with a reason.
+      Without a budget (the default) the stream retries indefinitely.
+
       @param window messages in flight (default 8)
-      @param rto retransmission timeout, seconds (default 0.2)
+      @param rto initial retransmission timeout, seconds (default 0.2)
+      @param max_rto backoff cap, seconds (default 5.0);
+        must be [>= rto]
+      @param retry_budget consecutive no-progress timeouts tolerated
+        before aborting (default: unlimited); must be positive
+      @param on_abort called once when the budget is exhausted
       @param chan_tag tag every data packet for a named PLAN-P channel;
         tagged traffic is invisible to [network] channels, which is how
         control planes (e.g. ASP deployment) coexist with installed
@@ -25,6 +39,9 @@ module Sender : sig
   val connect :
     ?window:int ->
     ?rto:float ->
+    ?max_rto:float ->
+    ?retry_budget:int ->
+    ?on_abort:(string -> unit) ->
     ?chan_tag:string ->
     Node.t ->
     dst:Addr.t ->
@@ -44,6 +61,10 @@ module Sender : sig
 
   (** [acked t] — highest cumulative acknowledgement received. *)
   val acked : t -> int
+
+  (** [aborted t] — true once the retry budget was exhausted; the stream
+      is dead and [send] is a no-op. *)
+  val aborted : t -> bool
 end
 
 module Receiver : sig

@@ -19,6 +19,8 @@ let clear table =
   Hashtbl.reset table.hosts;
   table.default <- None
 
+let clear_hosts table = Hashtbl.reset table.hosts
+
 (* Hashtbl.fold order is unspecified; sort so [entries] (and therefore
    [pp]) is deterministic across runs and OCaml versions. *)
 let entries table =

@@ -27,6 +27,12 @@ val lookup : table -> Addr.t -> route option
 
 val clear : table -> unit
 
+(** [clear_hosts table] drops every host route but keeps the default:
+    {!Topology.compute_routes} owns the host routes, while default routes
+    are configured by the application (virtual addresses, gateway
+    setups) and must survive reconvergence. *)
+val clear_hosts : table -> unit
+
 (** [entries table] lists host routes in unspecified order. *)
 val entries : table -> (Addr.t * route) list
 

@@ -8,9 +8,10 @@ type t = {
   seg_uid : int;
   seg_name : string;
   engine : Engine.t;
-  bandwidth : float;
+  mutable bandwidth : float;
   latency : float;
-  queue_capacity : int;
+  mutable queue_capacity : int;
+  mutable impair : Impair.t option; (* None = fault plane idle, zero cost *)
   fl : float array;
   bcast : Engine.broadcast;
   mutable stations : (l2_dst:Addr.t option -> Packet.t -> unit) array;
@@ -67,6 +68,7 @@ let create ?(name = "segment") ?(queue_capacity = 131072) engine ~bandwidth_bps
       bandwidth = bandwidth_bps;
       latency;
       queue_capacity;
+      impair = None;
       fl = [| 0.0; 0.0 |];
       bcast = Engine.broadcast ();
       stations = [||];
@@ -105,6 +107,20 @@ let name segment = segment.seg_name
 let uid segment = segment.seg_uid
 let bandwidth_bps segment = segment.bandwidth
 
+let set_bandwidth_bps segment bw =
+  if bw <= 0.0 then
+    invalid_arg "Segment.set_bandwidth_bps: bandwidth must be positive";
+  segment.bandwidth <- bw
+
+let queue_capacity segment = segment.queue_capacity
+
+let set_queue_capacity segment cap =
+  if cap < 0 then invalid_arg "Segment.set_queue_capacity: negative capacity";
+  segment.queue_capacity <- cap
+
+let set_impairment segment impair = segment.impair <- impair
+let impairment segment = segment.impair
+
 let attach segment f =
   let station = Array.length segment.stations in
   segment.stations <- Array.append segment.stations [| f |];
@@ -116,6 +132,26 @@ let backlog_bytes segment =
   if busy <= now then 0
   else int_of_float ((busy -. now) *. segment.bandwidth /. 8.0)
 
+let[@inline] transmit segment ~now ~backlog ~from ~l2_dst packet =
+  let size = Packet.wire_size packet in
+  let busy = Array.unsafe_get segment.fl 0 in
+  let start = if now > busy then now else busy in
+  let finish = start +. (float_of_int (size * 8) /. segment.bandwidth) in
+  Array.unsafe_set segment.fl 0 finish;
+  Flowstat.record segment.seg_stat ~now:finish size;
+  segment.r_frames <- segment.r_frames + 1;
+  segment.r_bytes <- segment.r_bytes + size;
+  let slot = Obs.Registry.bucket_of_int backlog in
+  Array.unsafe_set segment.h_counts slot
+    (Array.unsafe_get segment.h_counts slot + 1);
+  Array.unsafe_set segment.fl 1
+    (Array.unsafe_get segment.fl 1 +. float_of_int backlog);
+  (match segment.tap with
+  | Some tap -> tap ~at:finish ~l2_dst packet
+  | None -> ());
+  Engine.push_broadcast segment.engine segment.bcast
+    ~at:(finish +. segment.latency) ~l2_dst ~from packet
+
 let send segment ~from ~l2_dst packet =
   if from < 0 || from >= Array.length segment.stations then
     invalid_arg "Segment.send: unknown station";
@@ -126,26 +162,19 @@ let send segment ~from ~l2_dst packet =
     segment.r_drops <- segment.r_drops + 1;
     false
   end
-  else begin
-    let busy = Array.unsafe_get segment.fl 0 in
-    let start = if now > busy then now else busy in
-    let finish = start +. (float_of_int (size * 8) /. segment.bandwidth) in
-    Array.unsafe_set segment.fl 0 finish;
-    Flowstat.record segment.seg_stat ~now:finish size;
-    segment.r_frames <- segment.r_frames + 1;
-    segment.r_bytes <- segment.r_bytes + size;
-    let slot = Obs.Registry.bucket_of_int backlog in
-    Array.unsafe_set segment.h_counts slot
-      (Array.unsafe_get segment.h_counts slot + 1);
-    Array.unsafe_set segment.fl 1
-      (Array.unsafe_get segment.fl 1 +. float_of_int backlog);
-    (match segment.tap with
-    | Some tap -> tap ~at:finish ~l2_dst packet
-    | None -> ());
-    Engine.push_broadcast segment.engine segment.bcast
-      ~at:(finish +. segment.latency) ~l2_dst ~from packet;
-    true
-  end
+  else
+    match segment.impair with
+    | None ->
+        transmit segment ~now ~backlog ~from ~l2_dst packet;
+        true
+    | Some impair -> (
+        match Impair.apply impair packet with
+        | None ->
+            (* Lost on the wire: the sender saw a successful transmit. *)
+            true
+        | Some packet ->
+            transmit segment ~now ~backlog ~from ~l2_dst packet;
+            true)
 
 let stat segment = segment.seg_stat
 let set_tap segment f = segment.tap <- Some f

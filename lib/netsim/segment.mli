@@ -24,6 +24,24 @@ val create :
 val name : t -> string
 val bandwidth_bps : t -> float
 
+(** [set_bandwidth_bps segment bw] rescales the medium's service rate
+    (fault injection: congestion bursts).
+    @raise Invalid_argument when [bw <= 0]. *)
+val set_bandwidth_bps : t -> float -> unit
+
+val queue_capacity : t -> int
+
+(** [set_queue_capacity segment cap] resizes the shared backlog bound
+    (bytes). @raise Invalid_argument when negative. *)
+val set_queue_capacity : t -> int -> unit
+
+(** [set_impairment segment imp] attaches (or with [None] detaches) a
+    loss/corruption model consulted on every send while attached. The
+    default is [None]: an unimpaired segment pays one branch per send. *)
+val set_impairment : t -> Impair.t option -> unit
+
+val impairment : t -> Impair.t option
+
 (** [uid segment] is unique across all segments ever created. *)
 val uid : t -> int
 

@@ -1,3 +1,15 @@
+(* A directed edge of the adjacency graph as built.  Edges created by
+   [connect] carry their link so route computation can honour link
+   liveness; the pairwise edges a shared segment induces carry [None]
+   (segments have no up/down of their own — a station disappears when its
+   node goes down). *)
+type edge = {
+  e_from : int;
+  e_to : int;
+  e_ifindex : int; (* out-interface on [e_from] *)
+  e_link : Link.t option;
+}
+
 type t = {
   eng : Engine.t;
   registry : Multicast.t;
@@ -5,10 +17,12 @@ type t = {
   by_name : (string, Node.t * int) Hashtbl.t;
   by_addr : (Addr.t, Node.t) Hashtbl.t;
   mutable next_index : int;
-  (* Directed adjacency as built: (from-index, to-index, from-ifindex). *)
-  mutable edges : (int * int * int) list;
+  mutable edges : edge list;
   (* Stations attached to each segment (by segment uid), for pairwise edges. *)
   stations : (int, (int * int) list ref) Hashtbl.t;
+  (* Media by name, for the fault plane's scenario files. *)
+  links_by_name : (string, Link.t) Hashtbl.t;
+  segments_by_name : (string, Segment.t) Hashtbl.t;
 }
 
 let create () =
@@ -21,6 +35,8 @@ let create () =
     next_index = 0;
     edges = [];
     stations = Hashtbl.create 8;
+    links_by_name = Hashtbl.create 8;
+    segments_by_name = Hashtbl.create 8;
   }
 
 let engine topo = topo.eng
@@ -73,12 +89,20 @@ let connect ?(name = "link") ?(bandwidth_bps = 10e6) ?(latency = 0.001)
   Node.set_iface_capacity a if_a bandwidth_bps;
   Node.set_iface_capacity b if_b bandwidth_bps;
   let ia = index_of topo a and ib = index_of topo b in
-  topo.edges <- (ia, ib, if_a) :: (ib, ia, if_b) :: topo.edges;
+  topo.edges <-
+    { e_from = ia; e_to = ib; e_ifindex = if_a; e_link = Some link }
+    :: { e_from = ib; e_to = ia; e_ifindex = if_b; e_link = Some link }
+    :: topo.edges;
+  Hashtbl.replace topo.links_by_name name link;
   link
 
 let segment ?(name = "segment") ?(bandwidth_bps = 10e6) ?(latency = 0.001)
     ?queue_capacity topo () =
-  Segment.create ~name ?queue_capacity topo.eng ~bandwidth_bps ~latency ()
+  let seg =
+    Segment.create ~name ?queue_capacity topo.eng ~bandwidth_bps ~latency ()
+  in
+  Hashtbl.replace topo.segments_by_name name seg;
+  seg
 
 let attach topo seg node =
   let station_ref = ref (-1) in
@@ -103,8 +127,12 @@ let attach topo seg node =
   in
   List.iter
     (fun (other_index, other_if) ->
-      topo.edges <- (index, other_index, ifindex) :: topo.edges;
-      topo.edges <- (other_index, index, other_if) :: topo.edges)
+      topo.edges <-
+        { e_from = index; e_to = other_index; e_ifindex = ifindex; e_link = None }
+        :: topo.edges;
+      topo.edges <-
+        { e_from = other_index; e_to = index; e_ifindex = other_if; e_link = None }
+        :: topo.edges)
     !stations;
   stations := (index, ifindex) :: !stations;
   ifindex
@@ -117,6 +145,8 @@ let find topo name =
   | None -> raise Not_found
 
 let find_by_addr topo addr = Hashtbl.find_opt topo.by_addr addr
+let find_link topo name = Hashtbl.find_opt topo.links_by_name name
+let find_segment topo name = Hashtbl.find_opt topo.segments_by_name name
 
 (* Breadth-first shortest paths from [source]; returns the first-hop
    (neighbor-index, out-ifindex) for every reachable destination. Edge order
@@ -147,6 +177,10 @@ let first_hops ~node_count ~adjacency source =
   done;
   first
 
+(* Routes reflect liveness at the time of the call: edges over a downed
+   link and edges into a crashed node are skipped, so crashed nodes are
+   neither destinations nor transit; a crashed node's own table is
+   cleared. With everything up this is exactly the old behaviour. *)
 let compute_routes topo =
   let node_count = topo.next_index in
   let node_array = Array.make node_count None in
@@ -162,22 +196,32 @@ let compute_routes topo =
   let adjacency = Array.make node_count [] in
   (* Reverse to keep insertion order deterministic. *)
   List.iter
-    (fun (u, v, u_if) -> adjacency.(u) <- (v, u_if) :: adjacency.(u))
+    (fun e ->
+      let alive =
+        (match e.e_link with Some link -> Link.is_up link | None -> true)
+        && Node.is_up (node_at e.e_to)
+      in
+      if alive then
+        adjacency.(e.e_from) <- (e.e_to, e.e_ifindex) :: adjacency.(e.e_from))
     topo.edges;
   for source = 0 to node_count - 1 do
     let node = node_at source in
-    Routing.clear (Node.routing node);
-    let first = first_hops ~node_count ~adjacency source in
-    for dest = 0 to node_count - 1 do
-      if dest <> source then
-        match first.(dest) with
-        | Some (hop_index, out_if) ->
-            let hop = node_at hop_index in
-            Routing.add_host (Node.routing node)
-              (Node.addr (node_at dest))
-              { Routing.ifindex = out_if; next_hop = Some (Node.addr hop) }
-        | None -> ()
-    done
+    (* Host routes are ours to recompute; application-configured default
+       routes (virtual addresses, gateway setups) survive reconvergence. *)
+    Routing.clear_hosts (Node.routing node);
+    if Node.is_up node then begin
+      let first = first_hops ~node_count ~adjacency source in
+      for dest = 0 to node_count - 1 do
+        if dest <> source then
+          match first.(dest) with
+          | Some (hop_index, out_if) ->
+              let hop = node_at hop_index in
+              Routing.add_host (Node.routing node)
+                (Node.addr (node_at dest))
+                { Routing.ifindex = out_if; next_hop = Some (Node.addr hop) }
+          | None -> ()
+      done
+    end
   done
 
 let run ?limit topo = Engine.run ?limit topo.eng

@@ -44,8 +44,12 @@ val segment :
     index on [node]. *)
 val attach : t -> Segment.t -> Node.t -> int
 
-(** [compute_routes topo] (re)fills every node's routing table. Call after
-    the topology is fully built. *)
+(** [compute_routes topo] (re)fills every node's routing table from the
+    topology {e as it currently stands}: edges over a downed {!Link} and
+    edges into a node that {!Node.is_up} denies are ignored, and a down
+    node's own table is cleared. Call after the topology is fully built,
+    and again after any liveness change to model routing reconvergence
+    (the fault plane's [reroute] event does exactly this). *)
 val compute_routes : t -> unit
 
 val nodes : t -> Node.t list
@@ -54,6 +58,13 @@ val nodes : t -> Node.t list
 val find : t -> string -> Node.t
 
 val find_by_addr : t -> Addr.t -> Node.t option
+
+(** [find_link topo name] finds a link created by [connect ~name]. When
+    several links share a name, the most recently created wins. *)
+val find_link : t -> string -> Link.t option
+
+(** [find_segment topo name] — likewise for segments. *)
+val find_segment : t -> string -> Segment.t option
 
 (** [run topo] / [run_until topo ~stop] drive the engine. *)
 val run : ?limit:int -> t -> unit

@@ -9,7 +9,11 @@
 #   - minor words allocated per simulation event in the scale workloads
 #     (tolerance +25% plus two words; the link workloads sit at ~0, so
 #     this is effectively "the event core stays allocation-free"), and
-#   - the same-run jit-vs-interp throughput ratio on the audio ASP (>= 2x).
+#   - the same-run jit-vs-interp throughput ratio on the audio ASP (>= 2x),
+#   - the fault-matrix cell counts (frames/replies/streams under the
+#     baseline/lossy/flappy/churn scenarios; the simulation and the fault
+#     plane are both seeded, so the counts are deterministic and gated
+#     +-25% in both directions) plus the adaptation-shape assertions.
 # Absolute packets/sec and events/sec are recorded in the baseline for
 # reference but never compared across machines.
 #
@@ -28,4 +32,4 @@ if [ ! -f BENCH_PERF.json ]; then
     exit 1
 fi
 
-exec dune exec --profile release bench/main.exe -- perf scale --smoke --check BENCH_PERF.json
+exec dune exec --profile release bench/main.exe -- perf scale faults --smoke --check BENCH_PERF.json

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Documentation checks:
 #   1. every lib/* subtree is listed in README.md's architecture map;
-#   2. the odoc docs build cleanly (skipped when odoc is not installed,
+#   2. every netsim.faults.* metric named in the docs is actually
+#      registered by lib/netsim/faults.ml (docs cannot invent metrics);
+#   3. the odoc docs build cleanly (skipped when odoc is not installed,
 #      as in the minimal CI image).
 # Run from the repository root: sh tools/check_docs.sh
 
@@ -16,6 +18,24 @@ for dir in lib/*/; do
     name="${name%/}"
     if ! grep -q "\`$name\`" README.md; then
         echo "check_docs: $name is missing from README.md's architecture map" >&2
+        status=1
+    fi
+done
+
+# Every faults metric the docs mention must exist in the registry code.
+# Abbreviated spellings like `.corrupted_packets` (sharing the family
+# prefix of the name before them) are expanded by taking the suffix.
+for metric in $(grep -ho 'netsim\.faults\.[a-z_]*' doc/*.md README.md | sort -u); do
+    suffix="${metric#netsim.faults.}"
+    if ! grep -q "\"netsim\.faults\.$suffix\"" lib/netsim/faults.ml; then
+        echo "check_docs: docs name $metric but lib/netsim/faults.ml does not register it" >&2
+        status=1
+    fi
+done
+for metric in $(grep -h 'netsim\.faults\.' doc/*.md README.md \
+                | grep -o '`\.[a-z_]*`' | tr -d '`.' | sort -u); do
+    if ! grep -q "\"netsim\.faults\.$metric\"" lib/netsim/faults.ml; then
+        echo "check_docs: docs name a faults metric .$metric that lib/netsim/faults.ml does not register" >&2
         status=1
     fi
 done
