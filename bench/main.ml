@@ -1514,8 +1514,9 @@ let faults_http scenario_name =
 (* The gate: every deterministic count within +-25% (plus a few counts of
    absolute slack for the small ones) of the committed baseline, both
    directions -- a fault cell drifting in either direction is a behaviour
-   change -- plus every shape assertion. *)
-let faults_check_against ~baseline_path ~shape_failures cells =
+   change -- plus every shape assertion. Shared by the [faults] and
+   [adapt] sections; [section] names the baseline document member. *)
+let cells_check_against ~section ~baseline_path ~shape_failures cells =
   let fail = ref (List.rev shape_failures) in
   let complain fmt = Printf.ksprintf (fun m -> fail := m :: !fail) fmt in
   (match
@@ -1532,13 +1533,14 @@ let faults_check_against ~baseline_path ~shape_failures cells =
   | Error message ->
       complain "cannot parse baseline %s: %s" baseline_path message
   | Ok baseline -> (
-      match Obs.Json.member "faults" baseline with
-      | None -> complain "baseline %s has no \"faults\" section" baseline_path
+      match Obs.Json.member section baseline with
+      | None ->
+          complain "baseline %s has no %S section" baseline_path section
       | Some entries ->
           List.iter
             (fun (key, cell) ->
               match Obs.Json.member key entries with
-              | None -> complain "baseline has no faults cell %s" key
+              | None -> complain "baseline has no %s cell %s" section key
               | Some entry ->
                   List.iter
                     (fun (count_name, value) ->
@@ -1548,7 +1550,7 @@ let faults_check_against ~baseline_path ~shape_failures cells =
                           Obs.Json.number
                       with
                       | None ->
-                          complain "baseline faults/%s has no %s" key
+                          complain "baseline %s/%s has no %s" section key
                             count_name
                       | Some base ->
                           let v = float_of_int value in
@@ -1556,15 +1558,16 @@ let faults_check_against ~baseline_path ~shape_failures cells =
                           and hi = (base *. 1.25) +. 8.0 in
                           if v < lo || v > hi then
                             complain
-                              "faults/%s: %s=%d is outside [%.0f, %.0f] \
+                              "%s/%s: %s=%d is outside [%.0f, %.0f] \
                                (baseline %.0f)"
-                              key count_name value lo hi base)
+                              section key count_name value lo hi base)
                     cell.fc_counts)
             cells));
   match List.rev !fail with
-  | [] -> Printf.printf "\nfaults gate: OK (baseline %s)\n" baseline_path
+  | [] ->
+      Printf.printf "\n%s gate: OK (baseline %s)\n" section baseline_path
   | messages ->
-      Printf.printf "\nfaults gate: FAILED\n";
+      Printf.printf "\n%s gate: FAILED\n" section;
       List.iter (fun m -> Printf.printf "  - %s\n" m) messages;
       exit 1
 
@@ -1619,7 +1622,245 @@ let faults () =
   match !perf_check with
   | None -> if shape_failures <> [] then exit 1
   | Some baseline_path ->
-      faults_check_against ~baseline_path ~shape_failures cells
+      cells_check_against ~section:"faults" ~baseline_path ~shape_failures
+        cells
+
+(* ------------------------------------------------------------------ *)
+(* adapt -- the closed loop vs the static ASPs under the fault matrix  *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's core quantitative story: the same seeded fault scenario
+   run twice, once with the static ASP and once with the adaptation
+   plane armed ([Adapt.Plane] hot-swapping variants through in-band
+   deploy epochs). Goodput is each experiment's own currency -- audio
+   frames delivered, decodable MPEG I+P frames, HTTP replies completed.
+   Everything is deterministic, so the counts are gated like the faults
+   matrix, and the shape assertions pin the headline: adaptive beats
+   static in every fault cell, and is an exact tie with zero swaps when
+   the network is healthy (monitors cost nothing, rules stay quiet).
+   Like [faults], this section ignores --smoke. The registry is reset
+   around each run the way the tier-1 adaptation tests do, so the
+   monitors of consecutive runs never see each other's counters. *)
+
+let adapt_cell ~name ~healthy ~static ~adaptive ~stats =
+  let swaps, failed, rollbacks =
+    match stats with
+    | Some stats ->
+        ( stats.Extnet.Adapt.Plane.st_swaps,
+          stats.Extnet.Adapt.Plane.st_failed_swaps,
+          stats.Extnet.Adapt.Plane.st_rollbacks )
+    | None -> (0, 0, 0)
+  in
+  let shape =
+    shape_check
+      ([
+         ( stats <> None,
+           Printf.sprintf "adapt/%s: armed run reported no plane stats" name );
+         ( failed = 0,
+           Printf.sprintf "adapt/%s: %d failed swap(s)" name failed );
+         ( rollbacks = 0,
+           Printf.sprintf "adapt/%s: %d guard rollback(s)" name rollbacks );
+       ]
+      @
+      if healthy then
+        [
+          ( adaptive = static,
+            Printf.sprintf
+              "adapt/%s: the armed-but-idle plane changed goodput (%d vs \
+               %d static)"
+              name adaptive static );
+          ( swaps = 0,
+            Printf.sprintf "adapt/%s: swapped on a healthy network" name );
+        ]
+      else
+        [
+          ( adaptive > static,
+            Printf.sprintf
+              "adapt/%s: adaptive did not beat static (%d vs %d)" name
+              adaptive static );
+          ( swaps >= 1,
+            Printf.sprintf "adapt/%s: no swap under the fault" name );
+        ])
+  in
+  {
+    fc_counts =
+      [
+        ("static_goodput", static);
+        ("adaptive_goodput", adaptive);
+        ("swaps", swaps);
+        ("rollbacks", rollbacks);
+      ];
+    fc_shape = shape;
+  }
+
+(* Audio under a capacity fault (or none): the synthetic load schedule is
+   off, so the static router policy -- which reads offered load and is
+   blind to shrunken capacity -- never degrades, while the closed loop
+   watches the drop rate. *)
+let adapt_audio ?faults ~name ~healthy () =
+  let config adaptation =
+    {
+      (Asp.Audio_experiment.quick_config ~deploy:Asp.Deploy_mode.In_band
+         ?faults ?adaptation ())
+      with
+      Asp.Audio_experiment.schedule = [ (0.0, 0.0) ];
+    }
+  in
+  Obs.Registry.reset Obs.Registry.default;
+  let static = Asp.Audio_experiment.run (config None) in
+  Obs.Registry.reset Obs.Registry.default;
+  let adaptive =
+    Asp.Audio_experiment.run
+      (config (Some (Asp.Audio_experiment.adaptive_policy ())))
+  in
+  adapt_cell ~name ~healthy
+    ~static:static.Asp.Audio_experiment.frames_received
+    ~adaptive:adaptive.Asp.Audio_experiment.frames_received
+    ~stats:adaptive.Asp.Audio_experiment.adaptation
+
+let adapt_baseline () = adapt_audio ~name:"baseline" ~healthy:true ()
+
+let adapt_flappy () =
+  let congest =
+    Netsim.Faults.scenario_of_events ~seed:7
+      [
+        fevent ~at:8.0 ~until:30.0
+          ~target:(Netsim.Faults.Tsegment "client-segment")
+          (Netsim.Faults.Congest { bandwidth_factor = 0.1; queue_factor = 1.0 });
+      ]
+  in
+  adapt_audio ~faults:congest ~name:"flappy" ~healthy:false ()
+
+(* Severe MPEG client-segment congestion: the loop swaps the router
+   filter to the authenticated B-frame-shedding variant; goodput is the
+   decodable stream, the I- and P-frames that survive. *)
+let adapt_lossy () =
+  let congest =
+    Netsim.Faults.scenario_of_events ~seed:11
+      [
+        fevent ~at:2.0 ~until:16.0
+          ~target:(Netsim.Faults.Tsegment "client-segment")
+          (Netsim.Faults.Congest
+             { bandwidth_factor = 0.03; queue_factor = 1.0 });
+      ]
+  in
+  let ip_frames result =
+    List.fold_left
+      (fun acc (i, p, _) -> acc + i + p)
+      0 result.Asp.Mpeg_experiment.client_frame_kinds
+  in
+  Obs.Registry.reset Obs.Registry.default;
+  let static =
+    Asp.Mpeg_experiment.run
+      (Asp.Mpeg_experiment.default_config ~deploy:Asp.Deploy_mode.In_band
+         ~faults:congest ())
+  in
+  Obs.Registry.reset Obs.Registry.default;
+  let adaptive =
+    Asp.Mpeg_experiment.run
+      (Asp.Mpeg_experiment.default_config ~deploy:Asp.Deploy_mode.In_band
+         ~faults:congest
+         ~adaptation:(Asp.Mpeg_experiment.adaptive_policy ())
+         ())
+  in
+  adapt_cell ~name:"lossy" ~healthy:false ~static:(ip_frames static)
+    ~adaptive:(ip_frames adaptive)
+    ~stats:adaptive.Asp.Mpeg_experiment.adaptation
+
+(* server1 crashes mid-run: the static Modulo gateway keeps assigning
+   connections to the corpse (2 s client retry each); the loop sees the
+   retry rate, swaps the failover gateway in and its health prober routes
+   everything to the survivor. *)
+let adapt_churn () =
+  let crash =
+    Netsim.Faults.scenario_of_events ~seed:3
+      [
+        fevent ~at:4.0
+          ~target:(Netsim.Faults.Tnode "server1")
+          (Netsim.Faults.Crash { wipe = false });
+      ]
+  in
+  let config adaptation =
+    {
+      Asp.Http_experiment.default_config with
+      Asp.Http_experiment.duration = 14.0;
+      warmup = 2.0;
+      client_count = 4;
+      trace_requests = 20_000;
+      deploy = Asp.Deploy_mode.In_band;
+      faults = Some crash;
+      adaptation;
+    }
+  in
+  let setup = Asp.Http_experiment.Asp_gateway Planp_jit.Backends.jit in
+  let replies point =
+    int_of_float
+      ((point.Asp.Http_experiment.replies_per_s *. (14.0 -. 2.0)) +. 0.5)
+  in
+  Obs.Registry.reset Obs.Registry.default;
+  let static = Asp.Http_experiment.run_point (config None) setup ~workers:8 in
+  Obs.Registry.reset Obs.Registry.default;
+  let adaptive =
+    Asp.Http_experiment.run_point
+      (config (Some (Asp.Http_experiment.adaptive_policy ())))
+      setup ~workers:8
+  in
+  adapt_cell ~name:"churn" ~healthy:false ~static:(replies static)
+    ~adaptive:(replies adaptive)
+    ~stats:adaptive.Asp.Http_experiment.adaptation
+
+let adapt () =
+  section "adapt -- closed-loop adaptation vs static ASPs under faults";
+  let cells =
+    [
+      ("baseline", adapt_baseline ());
+      ("lossy", adapt_lossy ());
+      ("flappy", adapt_flappy ());
+      ("churn", adapt_churn ());
+    ]
+  in
+  Printf.printf "%-10s %s\n" "cell" "counts";
+  List.iter
+    (fun (key, cell) ->
+      Printf.printf "%-10s %s\n" key
+        (String.concat "  "
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+              cell.fc_counts)))
+    cells;
+  let shape_failures = List.concat_map (fun (_, cell) -> cell.fc_shape) cells in
+  (match shape_failures with
+  | [] ->
+      Printf.printf "\nadaptive-vs-static shape: OK (%d cells)\n"
+        (List.length cells)
+  | messages ->
+      Printf.printf "\nadaptive-vs-static shape: FAILED\n";
+      List.iter (fun m -> Printf.printf "  - %s\n" m) messages);
+  let cells_json =
+    Obs.Json.Obj
+      (List.map
+         (fun (key, cell) ->
+           ( key,
+             Obs.Json.Obj
+               (List.map
+                  (fun (k, v) -> (k, Obs.Json.Int v))
+                  cell.fc_counts) ))
+         cells)
+  in
+  record "adapt"
+    (Obs.Json.Obj
+       [
+         ("cells", cells_json);
+         ( "shape_failures",
+           Obs.Json.List
+             (List.map (fun m -> Obs.Json.String m) shape_failures) );
+       ]);
+  baseline_add "adapt" cells_json;
+  match !perf_check with
+  | None -> if shape_failures <> [] then exit 1
+  | Some baseline_path ->
+      cells_check_against ~section:"adapt" ~baseline_path ~shape_failures
+        cells
 
 (* ------------------------------------------------------------------ *)
 
@@ -1738,9 +1979,10 @@ let () =
           | "perf" -> perf ()
           | "scale" -> scale ()
           | "faults" -> faults ()
+          | "adapt" -> adapt ()
           | other ->
               Printf.eprintf
-                "unknown section %s (expected fig3|fig6|fig7|fig8|mpeg|backends|verify|ext|perf|scale|faults|all)\n"
+                "unknown section %s (expected fig3|fig6|fig7|fig8|mpeg|backends|verify|ext|perf|scale|faults|adapt|all)\n"
                 other;
               exit 1)
         sections);

@@ -10,6 +10,7 @@
      stats  FILE     run and print the metrics registry
      deploy FILE     ship the program in-band to simulated deploy daemons
      undeploy FILE   deploy, then retire the program from every daemon
+     adapt  FILE     run under a closed-loop adaptation policy
      prims           list registered primitives *)
 
 let read_file path =
@@ -200,11 +201,14 @@ let simulate_cmd =
        ~doc:"Run the program on a simulated router and inject test traffic")
     Term.(const run $ file_arg $ packets_arg $ backend_arg)
 
-(* Shared by [run] and [stats]: alice --link-- router --segment-- bob with
-   the program on the router and a tracer capturing the segment, so every
-   delivered frame also lands in the timeline. Deterministic: same source
-   and packet count always produce the same registry contents. *)
-let run_scenario ?faults_path ~source ~backend ~packets () =
+(* Shared by [run], [stats] and the empty-policy branch of [adapt]:
+   alice --link-- router --segment-- bob with the program on the router
+   and a tracer capturing the segment, so every delivered frame also
+   lands in the timeline. Deterministic: same source and packet count
+   always produce the same registry contents. [policy], when given, must
+   be empty — the armed plane schedules nothing ({!Adapt.Policy.is_empty}),
+   which is exactly what the golden-parity tests pin down. *)
+let run_scenario ?faults_path ?policy ~source ~backend ~packets () =
   let topo = Extnet.Topology.create () in
   let a = Extnet.Topology.add_host topo "alice" "10.0.0.1" in
   let router = Extnet.Topology.add_host topo "router" "10.0.0.254" in
@@ -228,6 +232,14 @@ let run_scenario ?faults_path ~source ~backend ~packets () =
   let tcp_seen = ref 0 and udp_seen = ref 0 in
   Extnet.Node.on_tcp_default b (fun _ _ -> incr tcp_seen);
   Extnet.Node.on_udp_default b (fun _ _ -> incr udp_seen);
+  let plane =
+    Option.map
+      (fun policy ->
+        Extnet.Adapt.Plane.arm
+          ~engine:(Extnet.Topology.engine topo)
+          ~until:0.0 ~signals:[] policy)
+      policy
+  in
   let start_snapshot = Obs.Registry.snapshot Obs.Registry.default in
   for i = 1 to packets do
     Extnet.Node.send_tcp a ~dst:(Extnet.Node.addr b) ~src_port:(3000 + i)
@@ -238,7 +250,7 @@ let run_scenario ?faults_path ~source ~backend ~packets () =
       (Extnet.Payload.of_string "payload")
   done;
   Extnet.Topology.run topo;
-  (topo, tracer, start_snapshot, !tcp_seen, !udp_seen)
+  (topo, tracer, start_snapshot, plane, !tcp_seen, !udp_seen)
 
 let backend_of_name backend_name =
   match Planp_jit.Backends.by_name backend_name with
@@ -269,64 +281,88 @@ let faults_flag =
            before the run. Targets: link $(b,uplink), segment $(b,lan), \
            nodes $(b,alice), $(b,router), $(b,bob).")
 
+let metrics_out_flag =
+  out_flag [ "metrics-out" ] "Write the metrics registry as JSON to $(docv)"
+
+let metrics_csv_flag =
+  out_flag [ "metrics-csv" ] "Write the metrics registry as CSV to $(docv)"
+
+let timeline_out_flag =
+  out_flag [ "timeline-out" ]
+    "Write the merged trace + metrics timeline as JSON to $(docv)"
+
+let export_observability ~topo ~tracer ~start_snapshot ~metrics_out
+    ~metrics_csv ~timeline_out =
+  let registry = Obs.Registry.default in
+  Option.iter
+    (fun file ->
+      write_file file (Obs.Registry.to_json_string registry);
+      Printf.printf "wrote metrics JSON to %s\n" file)
+    metrics_out;
+  Option.iter
+    (fun file ->
+      write_file file (Obs.Registry.to_csv_string registry);
+      Printf.printf "wrote metrics CSV to %s\n" file)
+    metrics_csv;
+  Option.iter
+    (fun file ->
+      let now = Extnet.Engine.now (Extnet.Topology.engine topo) in
+      let events =
+        Obs.Timeline.merge
+          [
+            [ Obs.Timeline.of_snapshot ~at:0.0 start_snapshot ];
+            Extnet.Tracer.to_events tracer;
+            [ Obs.Timeline.of_snapshot ~at:now (Obs.Registry.snapshot registry) ];
+          ]
+      in
+      write_file file (Obs.Timeline.to_json_string events);
+      Printf.printf "wrote timeline (%d event(s)) to %s\n" (List.length events)
+        file)
+    timeline_out
+
+(* The body of [run]; [adapt] with an empty policy takes this exact code
+   path (plus the inert armed plane), so its exports are byte-identical. *)
+let run_plain ?policy path packets backend_name metrics_out metrics_csv
+    timeline_out faults_path =
+  let backend = backend_of_name backend_name in
+  let topo, tracer, start_snapshot, plane, tcp_seen, udp_seen =
+    run_scenario ?faults_path ?policy ~source:(read_file path) ~backend
+      ~packets ()
+  in
+  Printf.printf "--- run (%s backend) ---\n" backend_name;
+  Printf.printf "receiver (bob): tcp %d   udp %d (of %d each sent)\n" tcp_seen
+    udp_seen packets;
+  Printf.printf "tracer: %d frame(s) captured, %d evicted\n"
+    (Extnet.Tracer.count tracer)
+    (Extnet.Tracer.dropped tracer);
+  Option.iter
+    (fun plane ->
+      let stats = Extnet.Adapt.Plane.stats plane in
+      Printf.printf
+        "adaptation: empty policy armed, %d tick(s), %d firing(s) (inert)\n"
+        stats.Extnet.Adapt.Plane.st_ticks stats.Extnet.Adapt.Plane.st_fired)
+    plane;
+  export_observability ~topo ~tracer ~start_snapshot ~metrics_out ~metrics_csv
+    ~timeline_out
+
 let run_cmd =
   let run path packets backend_name metrics_out metrics_csv timeline_out
       faults_path =
-    let backend = backend_of_name backend_name in
-    let topo, tracer, start_snapshot, tcp_seen, udp_seen =
-      run_scenario ?faults_path ~source:(read_file path) ~backend ~packets ()
-    in
-    Printf.printf "--- run (%s backend) ---\n" backend_name;
-    Printf.printf "receiver (bob): tcp %d   udp %d (of %d each sent)\n" tcp_seen
-      udp_seen packets;
-    Printf.printf "tracer: %d frame(s) captured, %d evicted\n"
-      (Extnet.Tracer.count tracer)
-      (Extnet.Tracer.dropped tracer);
-    let registry = Obs.Registry.default in
-    Option.iter
-      (fun file ->
-        write_file file (Obs.Registry.to_json_string registry);
-        Printf.printf "wrote metrics JSON to %s\n" file)
-      metrics_out;
-    Option.iter
-      (fun file ->
-        write_file file (Obs.Registry.to_csv_string registry);
-        Printf.printf "wrote metrics CSV to %s\n" file)
-      metrics_csv;
-    Option.iter
-      (fun file ->
-        let now = Extnet.Engine.now (Extnet.Topology.engine topo) in
-        let events =
-          Obs.Timeline.merge
-            [
-              [ Obs.Timeline.of_snapshot ~at:0.0 start_snapshot ];
-              Extnet.Tracer.to_events tracer;
-              [ Obs.Timeline.of_snapshot ~at:now (Obs.Registry.snapshot registry) ];
-            ]
-        in
-        write_file file (Obs.Timeline.to_json_string events);
-        Printf.printf "wrote timeline (%d event(s)) to %s\n" (List.length events)
-          file)
-      timeline_out
-  in
-  let metrics_out = out_flag [ "metrics-out" ] "Write the metrics registry as JSON to $(docv)" in
-  let metrics_csv = out_flag [ "metrics-csv" ] "Write the metrics registry as CSV to $(docv)" in
-  let timeline_out =
-    out_flag [ "timeline-out" ]
-      "Write the merged trace + metrics timeline as JSON to $(docv)"
+    run_plain path packets backend_name metrics_out metrics_csv timeline_out
+      faults_path
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Run the program on a traced topology and export observability data")
     Term.(
-      const run $ file_arg $ packets_flag $ backend_flag $ metrics_out
-      $ metrics_csv $ timeline_out $ faults_flag)
+      const run $ file_arg $ packets_flag $ backend_flag $ metrics_out_flag
+      $ metrics_csv_flag $ timeline_out_flag $ faults_flag)
 
 let stats_cmd =
   let run path packets backend_name =
     let backend = backend_of_name backend_name in
-    let _topo, _tracer, _start, _tcp, _udp =
+    let _topo, _tracer, _start, _plane, _tcp, _udp =
       run_scenario ~source:(read_file path) ~backend ~packets ()
     in
     Obs.Registry.pp Format.std_formatter Obs.Registry.default;
@@ -400,6 +436,20 @@ let all_acked outcomes =
       match outcome with Extnet.Deploy.Controller.Acked _ -> true | _ -> false)
     outcomes
 
+(* Every non-ACK outcome, with its reason, on stderr — so scripted
+   callers see why the nonzero exit happened (NAK reason, timeout,
+   exhausted retry budget). *)
+let print_failures nodes outcomes =
+  List.iter
+    (fun (addr, outcome) ->
+      match outcome with
+      | Extnet.Deploy.Controller.Acked _ -> ()
+      | outcome ->
+          Printf.eprintf "planpc: deploy failed on %s: %s\n"
+            (name_of_target nodes addr)
+            (Extnet.Deploy.Controller.outcome_to_string outcome))
+    outcomes
+
 let targets_flag =
   Arg.(value & opt int 3 & info [ "targets" ] ~doc:"Number of target nodes")
 
@@ -434,14 +484,27 @@ let authenticated_flag =
     & info [ "authenticated" ]
         ~doc:"Privileged path: daemons install without verification")
 
+let retry_budget_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "retry-budget" ] ~docv:"N"
+        ~doc:
+          "Consecutive barren retransmission timeouts tolerated per \
+           capsule stream before the target is declared unreachable and \
+           pending operations settle $(b,aborted) (default: retry \
+           forever)")
+
 let run_deployment ~source ~backend_name ~name ~targets ~flap ~chunk_size
-    ~concurrency ~abort ~authenticated =
+    ~concurrency ~abort ~authenticated ~retry_budget =
   ignore (backend_of_name backend_name);
   let topo, ctrl, uplink, nodes = deploy_topology ~targets in
   let daemons =
     List.map (fun node -> Extnet.Deploy.Daemon.start node ()) nodes
   in
-  let controller = Extnet.Deploy.Controller.create ~chunk_size ctrl () in
+  let controller =
+    Extnet.Deploy.Controller.create ?retry_budget ~chunk_size ctrl ()
+  in
   let engine = Extnet.Topology.engine topo in
   if flap then begin
     Extnet.Engine.schedule engine ~at:0.0015 (fun () ->
@@ -471,10 +534,10 @@ let run_deployment ~source ~backend_name ~name ~targets ~flap ~chunk_size
 
 let deploy_cmd =
   let run path backend_name name targets flap chunk_size concurrency abort
-      authenticated =
+      authenticated retry_budget =
     let _topo, _controller, nodes, daemons, outcomes =
       run_deployment ~source:(read_file path) ~backend_name ~name ~targets
-        ~flap ~chunk_size ~concurrency ~abort ~authenticated
+        ~flap ~chunk_size ~concurrency ~abort ~authenticated ~retry_budget
     in
     Printf.printf "--- rollout of %s as %S to %d node(s) ---\n" path name
       targets;
@@ -493,7 +556,10 @@ let deploy_cmd =
                    slots)))
       daemons;
     print_deploy_metrics ();
-    if not (all_acked outcomes) then exit 2
+    if not (all_acked outcomes) then begin
+      print_failures nodes outcomes;
+      exit 2
+    end
   in
   Cmd.v
     (Cmd.info "deploy"
@@ -503,14 +569,14 @@ let deploy_cmd =
     Term.(
       const run $ file_arg $ backend_flag $ name_flag $ targets_flag
       $ flap_flag $ chunk_flag $ concurrency_flag $ abort_flag
-      $ authenticated_flag)
+      $ authenticated_flag $ retry_budget_flag)
 
 let undeploy_cmd =
   let run path backend_name name targets flap chunk_size concurrency abort
-      authenticated =
+      authenticated retry_budget =
     let topo, controller, nodes, daemons, outcomes =
       run_deployment ~source:(read_file path) ~backend_name ~name ~targets
-        ~flap ~chunk_size ~concurrency ~abort ~authenticated
+        ~flap ~chunk_size ~concurrency ~abort ~authenticated ~retry_budget
     in
     Printf.printf "--- deploy phase (%S to %d node(s)) ---\n" name targets;
     print_outcomes nodes outcomes;
@@ -541,7 +607,11 @@ let undeploy_cmd =
           | Some epoch, _ -> Printf.sprintf "STILL ACTIVE at epoch %d" epoch))
       daemons;
     print_deploy_metrics ();
-    if not (all_acked outcomes && all_acked !retired) then exit 2
+    if not (all_acked outcomes && all_acked !retired) then begin
+      print_failures nodes outcomes;
+      print_failures nodes (List.rev !retired);
+      exit 2
+    end
   in
   Cmd.v
     (Cmd.info "undeploy"
@@ -551,7 +621,225 @@ let undeploy_cmd =
     Term.(
       const run $ file_arg $ backend_flag $ name_flag $ targets_flag
       $ flap_flag $ chunk_flag $ concurrency_flag $ abort_flag
-      $ authenticated_flag)
+      $ authenticated_flag $ retry_budget_flag)
+
+(* --- the closed-loop adaptation demo: the [run] topology, but the
+   program is shipped in-band (daemon on the router, controller on
+   alice), traffic is paced over [--duration] so the monitors see rates,
+   and an [Adapt.Plane] armed from [--policy] can hot-swap the router's
+   program to any [--variant NAME=FILE] source as a fresh epoch. Wired
+   signals: [drop_rate] (lan-segment drops/s) and [goodput] (packets/s
+   delivered at bob). An empty policy file falls back to the exact [run]
+   code path, so its exports are byte-identical to [planpc run]. *)
+
+let policy_flag =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "policy" ] ~docv:"FILE"
+        ~doc:
+          "Adaptation policy (format: doc/ADAPTATION.md). Rules may test \
+           the wired signals $(b,drop_rate) and $(b,goodput); swap and \
+           undeploy actions target the router's program slot (see \
+           $(b,--name)) with the variants named by $(b,--variant), plus \
+           $(b,default) for FILE itself.")
+
+let variant_flag =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string file) []
+    & info [ "variant" ] ~docv:"NAME=FILE"
+        ~doc:
+          "A PLAN-P source the policy's swap actions may deploy \
+           (repeatable). The initially-deployed FILE is variant \
+           $(b,default).")
+
+let duration_flag =
+  Arg.(
+    value & opt float 20.0
+    & info [ "duration" ] ~docv:"SECONDS"
+        ~doc:
+          "Simulated run length; $(b,--packets) of each kind are \
+           injected every second until then")
+
+let adapt_cmd =
+  let run path policy_path packets backend_name name chunk_size authenticated
+      duration variants metrics_out metrics_csv timeline_out faults_path =
+    ignore (backend_of_name backend_name);
+    let policy =
+      match Extnet.Adapt.Policy.parse (read_file policy_path) with
+      | Ok policy -> policy
+      | Error message ->
+          prerr_endline
+            (Printf.sprintf "planpc: %s: %s" policy_path message);
+          exit 1
+    in
+    if Extnet.Adapt.Policy.is_empty policy then begin
+      Printf.printf "policy %s is empty: plain traced run\n" policy_path;
+      run_plain ~policy path packets backend_name metrics_out metrics_csv
+        timeline_out faults_path
+    end
+    else begin
+      let source = read_file path in
+      let variant_sources =
+        List.map (fun (vname, vpath) -> (vname, read_file vpath)) variants
+      in
+      let topo = Extnet.Topology.create () in
+      let a = Extnet.Topology.add_host topo "alice" "10.0.0.1" in
+      let router = Extnet.Topology.add_host topo "router" "10.0.0.254" in
+      let b = Extnet.Topology.add_host topo "bob" "10.0.0.2" in
+      ignore (Extnet.Topology.connect ~name:"uplink" topo a router);
+      let segment = Extnet.Topology.segment ~name:"lan" topo () in
+      ignore (Extnet.Topology.attach topo segment router);
+      ignore (Extnet.Topology.attach topo segment b);
+      Extnet.Topology.compute_routes topo;
+      Option.iter
+        (fun fpath ->
+          let scenario =
+            or_die (Extnet.Faults.parse_scenario (read_file fpath))
+          in
+          ignore (Extnet.Faults.arm topo scenario))
+        faults_path;
+      let tracer = Extnet.Tracer.on_segment segment () in
+      let engine = Extnet.Topology.engine topo in
+      let daemon = Extnet.Deploy.Daemon.start router () in
+      let controller = Extnet.Deploy.Controller.create ~chunk_size a () in
+      let tcp_seen = ref 0 and udp_seen = ref 0 in
+      Extnet.Node.on_tcp_default b (fun _ _ -> incr tcp_seen);
+      Extnet.Node.on_udp_default b (fun _ _ -> incr udp_seen);
+      let start_snapshot = Obs.Registry.snapshot Obs.Registry.default in
+      let initial = ref None in
+      Extnet.Deploy.Controller.deploy controller ~backend:backend_name
+        ~authenticated
+        ~target:(Extnet.Node.addr router)
+        ~name ~source
+        ~on_done:(fun outcome -> initial := Some outcome)
+        ();
+      for second = 0 to int_of_float (Float.round duration) - 1 do
+        Extnet.Engine.schedule engine ~at:(float_of_int second) (fun () ->
+            for i = 1 to packets do
+              Extnet.Node.send_tcp a ~dst:(Extnet.Node.addr b)
+                ~src_port:(3000 + i)
+                ~dst_port:(if i mod 4 = 0 then 8080 else 80)
+                (Extnet.Payload.of_string "payload");
+              Extnet.Node.send_udp a ~dst:(Extnet.Node.addr b)
+                ~src_port:(4000 + i)
+                ~dst_port:(if i mod 3 = 0 then 7 else 53)
+                (Extnet.Payload.of_string "payload")
+            done)
+      done;
+      let env =
+        {
+          Extnet.Adapt.Plane.de_controller = controller;
+          de_backend = backend_name;
+          de_target_of =
+            (fun program ->
+              if program = name then Some (Extnet.Node.addr router) else None);
+          de_variant_of =
+            (fun ~program ~variant ->
+              if program <> name then None
+              else if variant = "default" then
+                Some
+                  {
+                    Extnet.Adapt.Plane.v_source = source;
+                    v_authenticated = authenticated;
+                  }
+              else
+                Option.map
+                  (fun v_source ->
+                    {
+                      Extnet.Adapt.Plane.v_source;
+                      v_authenticated = authenticated;
+                    })
+                  (List.assoc_opt variant variant_sources));
+        }
+      in
+      let plane =
+        try
+          Extnet.Adapt.Plane.arm ~env
+            ~active:[ (name, "default") ]
+            ~engine ~until:duration
+            ~signals:
+              [
+                ( "drop_rate",
+                  Extnet.Adapt.Monitor.Counter_rate
+                    (Obs.Registry.counter
+                       ~labels:[ ("segment", "lan") ]
+                       ~help:"frames dropped (full queue)"
+                       "netsim.segment.drops") );
+                ( "goodput",
+                  Extnet.Adapt.Monitor.Rate_of
+                    (fun () -> float_of_int (!tcp_seen + !udp_seen)) );
+              ]
+            policy
+        with Invalid_argument message ->
+          prerr_endline ("planpc: " ^ message);
+          exit 1
+      in
+      Extnet.Topology.run_until topo ~stop:duration;
+      Printf.printf "--- adapt (%s backend, policy %s) ---\n" backend_name
+        policy_path;
+      let initial = !initial in
+      Printf.printf "initial in-band deploy of %S to router: %s\n" name
+        (match initial with
+        | Some outcome -> Extnet.Deploy.Controller.outcome_to_string outcome
+        | None -> "still in flight");
+      Printf.printf "receiver (bob): tcp %d   udp %d (of %d/s each for %gs)\n"
+        !tcp_seen !udp_seen packets duration;
+      Printf.printf "tracer: %d frame(s) captured, %d evicted\n"
+        (Extnet.Tracer.count tracer)
+        (Extnet.Tracer.dropped tracer);
+      let stats = Extnet.Adapt.Plane.stats plane in
+      Printf.printf
+        "plane: %d tick(s), %d firing(s), %d swap(s) (%d failed), %d \
+         undeploy(s), %d guard check(s), %d rollback(s)\n"
+        stats.Extnet.Adapt.Plane.st_ticks stats.Extnet.Adapt.Plane.st_fired
+        stats.Extnet.Adapt.Plane.st_swaps
+        stats.Extnet.Adapt.Plane.st_failed_swaps
+        stats.Extnet.Adapt.Plane.st_undeploys
+        stats.Extnet.Adapt.Plane.st_guard_checks
+        stats.Extnet.Adapt.Plane.st_rollbacks;
+      List.iter
+        (fun event ->
+          Printf.printf "  [%8.3fs] %-12s %-28s %s\n"
+            event.Extnet.Adapt.Plane.ev_at event.Extnet.Adapt.Plane.ev_rule
+            event.Extnet.Adapt.Plane.ev_what event.Extnet.Adapt.Plane.ev_note)
+        stats.Extnet.Adapt.Plane.st_events;
+      Printf.printf "active variant of %S: %s\n" name
+        (Option.value ~default:"(none)"
+           (Extnet.Adapt.Plane.active_variant plane name));
+      Printf.printf "router slots: %s\n"
+        (match Extnet.Deploy.Daemon.slots daemon with
+        | [] -> "(empty)"
+        | slots ->
+            String.concat ", "
+              (List.map
+                 (fun (slot, epoch) -> Printf.sprintf "%s@%d" slot epoch)
+                 slots));
+      export_observability ~topo ~tracer ~start_snapshot ~metrics_out
+        ~metrics_csv ~timeline_out;
+      match initial with
+      | Some (Extnet.Deploy.Controller.Acked _) -> ()
+      | Some outcome ->
+          Printf.eprintf "planpc: initial deploy failed: %s\n"
+            (Extnet.Deploy.Controller.outcome_to_string outcome);
+          exit 2
+      | None ->
+          prerr_endline "planpc: initial deploy never completed";
+          exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:
+         "Run the program under a closed-loop adaptation policy: in-band \
+          deploy, condition monitors, guarded hot-swaps to $(b,--variant) \
+          sources")
+    Term.(
+      const run $ file_arg $ policy_flag $ packets_flag $ backend_flag
+      $ name_flag $ chunk_flag $ authenticated_flag $ duration_flag
+      $ variant_flag $ metrics_out_flag $ metrics_csv_flag
+      $ timeline_out_flag $ faults_flag)
 
 let prims_cmd =
   let run () =
@@ -566,6 +854,7 @@ let main =
     (Cmd.info "planpc" ~version:"1.0"
        ~doc:"PLAN-P checker, verifier and compiler driver")
     [ check_cmd; verify_cmd; ast_cmd; fold_cmd; bytecode_cmd; time_cmd;
-      simulate_cmd; run_cmd; stats_cmd; deploy_cmd; undeploy_cmd; prims_cmd ]
+      simulate_cmd; run_cmd; stats_cmd; deploy_cmd; undeploy_cmd; adapt_cmd;
+      prims_cmd ]
 
 let () = exit (Cmd.eval main)

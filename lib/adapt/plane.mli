@@ -1,0 +1,88 @@
+(** The closed-loop adaptation plane: a {!Monitor} feeding {!Signal}s, a
+    {!Policy} evaluated every tick with hold times, hysteresis and
+    cooldowns, and actions executed through the in-band deploy plane —
+    hot-swapping ASP variants as fresh {!Deploy.Controller} epochs,
+    undeploying, retuning application parameters, or escalating. After
+    every acknowledged swap an optional KPI guard window compares the
+    post-swap signal against its pre-swap baseline and rolls regressions
+    back to the previous epoch (quarantining the variant for the run).
+
+    Arming an empty policy ({!Policy.is_empty}) creates no monitor,
+    schedules nothing and registers no metrics — runs are
+    event-for-event identical to runs without an adaptation plane (the
+    Faults precedent, pinned by the golden-parity tests). *)
+
+(** One deployable flavour of a program. [v_authenticated] rides the
+    privileged deploy path that skips on-node verification — required for
+    variants that intentionally shed packets (e.g. the MPEG B-frame
+    filter), which the delivery verifier would reject. *)
+type variant = { v_source : string; v_authenticated : bool }
+
+(** How swap/undeploy actions reach the network: the controller the
+    program's daemons already know (so epochs stay ordered), and lookups
+    from policy names to targets and variant sources. *)
+type deploy_env = {
+  de_controller : Deploy.Controller.t;
+  de_backend : string;
+  de_target_of : string -> Netsim.Addr.t option;
+      (** program name -> the daemon node it lives on *)
+  de_variant_of : program:string -> variant:string -> variant option;
+}
+
+(** One adaptation decision, for timelines and tests. *)
+type event = {
+  ev_at : float;
+  ev_rule : string;
+  ev_what : string;  (** the action, rendered *)
+  ev_note : string;  (** outcome: deploy ACK/NAK, guard verdict, ... *)
+}
+
+type stats = {
+  st_ticks : int;
+  st_fired : int;  (** rule firings (actions started) *)
+  st_swaps : int;  (** acknowledged swaps *)
+  st_failed_swaps : int;  (** NAK / timeout / abort *)
+  st_undeploys : int;
+  st_retunes : int;
+  st_escalations : int;
+  st_guard_checks : int;
+  st_rollbacks : int;  (** guard regressions rolled back *)
+  st_events : event list;  (** chronological *)
+}
+
+type t
+
+val arm :
+  ?registry:Obs.Registry.t ->
+  ?env:deploy_env ->
+  ?active:(string * string) list ->
+  ?on_retune:(param:string -> value:float -> unit) ->
+  ?on_escalate:(reason:string -> unit) ->
+  ?on_swap:(program:string -> variant:string -> unit) ->
+  engine:Netsim.Engine.t ->
+  until:float ->
+  signals:(string * Monitor.source) list ->
+  Policy.t ->
+  t
+(** [arm ~engine ~until ~signals policy] wires and starts the loop;
+    monitor ticks run every [policy.period] until [until].
+
+    @param env required when any rule swaps or undeploys
+    @param active the initially-deployed variant of each program, so the
+      hysteresis check can suppress a swap to the variant already live
+    @param on_swap runs after a swap is acknowledged (e.g. start the HTTP
+      health prober when the failover gateway activates)
+    @raise Invalid_argument when a rule or guard references a signal not
+      in [signals], or a deploy action has no [env]. *)
+
+val stats : t -> stats
+val events : t -> event list
+
+val active_variant : t -> string -> string option
+(** The variant the plane believes is live for a program. *)
+
+val signal_value : t -> string -> float option
+(** Current smoothed value of a wired signal. *)
+
+val monitor : t -> Monitor.t option
+(** [None] exactly when the policy was empty (nothing scheduled). *)

@@ -1,0 +1,26 @@
+type t = {
+  sg_name : string;
+  sg_alpha : float;
+  mutable sg_value : float;
+  mutable sg_last : float;
+  mutable sg_samples : int;
+}
+
+let create ?(alpha = 0.3) name =
+  if not (alpha > 0.0 && alpha <= 1.0) then
+    invalid_arg "Adapt.Signal.create: alpha outside (0, 1]";
+  { sg_name = name; sg_alpha = alpha; sg_value = 0.0; sg_last = 0.0;
+    sg_samples = 0 }
+
+let name t = t.sg_name
+
+let push t sample =
+  t.sg_last <- sample;
+  t.sg_value <-
+    (if t.sg_samples = 0 then sample
+     else (t.sg_alpha *. sample) +. ((1.0 -. t.sg_alpha) *. t.sg_value));
+  t.sg_samples <- t.sg_samples + 1
+
+let value t = t.sg_value
+let last t = t.sg_last
+let samples t = t.sg_samples

@@ -1,0 +1,28 @@
+(** A named condition signal: the EWMA-smoothed series a monitor feeds
+    from one metric source, and the value policy predicates test.
+
+    Smoothing: [value] after a push is
+    [alpha * sample + (1 - alpha) * previous], seeded with the first raw
+    sample. Higher [alpha] weights recent samples more (reacts faster,
+    rides noise harder); the paper-style defaults live in the policies
+    shipped with each experiment. *)
+
+type t
+
+val create : ?alpha:float -> string -> t
+(** [alpha] is the EWMA weight of the newest sample, in (0, 1]
+    (default 0.3). @raise Invalid_argument outside that range. *)
+
+val name : t -> string
+
+val push : t -> float -> unit
+(** Feed one raw sample (called by the owning monitor each tick). *)
+
+val value : t -> float
+(** Smoothed value; 0.0 before the first sample. *)
+
+val last : t -> float
+(** Most recent raw sample; 0.0 before the first. *)
+
+val samples : t -> int
+(** How many samples have been pushed. *)

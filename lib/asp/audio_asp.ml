@@ -2,6 +2,16 @@ type policy = { mono16_above : int; mono8_above : int }
 
 let default_policy = { mono16_above = 950; mono8_above = 1150 }
 
+(* For capacity faults rather than offered-load contention: the stream
+   itself is ~176 kB/s at stereo16, ~88 at mono16, ~44 at mono8, so these
+   thresholds settle at mono16 whenever the audio is the dominant flow —
+   the right shape when a congestion fault has shrunk the segment rather
+   than a competing load having filled it. The static default policy
+   cannot see a capacity change (linkLoad measures offered traffic); the
+   closed-loop adaptation plane swaps this variant in when drop-rate
+   signals say the segment no longer fits the stream. *)
+let conservative_policy = { mono16_above = 50; mono8_above = 120 }
+
 let router_program ?(policy = default_policy) ?(port = Audio_app.audio_port)
     ~iface () =
   Printf.sprintf

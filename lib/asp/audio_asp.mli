@@ -17,6 +17,13 @@ type policy = {
 (** The default policy for a 10 Mb/s (1250 kB/s) segment. *)
 val default_policy : policy
 
+(** Aggressive thresholds that settle at 16-bit mono whenever the audio
+    stream dominates the segment — the variant the adaptation plane
+    hot-swaps in when a congestion fault shrinks the segment's capacity,
+    which the static [default_policy] cannot observe (it reads offered
+    load, not capacity). *)
+val conservative_policy : policy
+
 (** [router_program ~iface ()] is the PLAN-P source for a router whose
     congested interface has index [iface]. *)
 val router_program : ?policy:policy -> ?port:int -> iface:int -> unit -> string

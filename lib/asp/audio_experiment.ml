@@ -12,10 +12,11 @@ type config = {
   sample_period : float;
   deploy : Deploy_mode.t;
   faults : Netsim.Faults.scenario option;
+  adaptation : Adapt.Policy.t option;
 }
 
 let fig6_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit)
-    ?(deploy = Deploy_mode.Preinstalled) ?faults () =
+    ?(deploy = Deploy_mode.Preinstalled) ?faults ?adaptation () =
   {
     duration = 500.0;
     adapt;
@@ -28,10 +29,11 @@ let fig6_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit)
     sample_period = 2.0;
     deploy;
     faults;
+    adaptation;
   }
 
 let quick_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit)
-    ?(deploy = Deploy_mode.Preinstalled) ?faults () =
+    ?(deploy = Deploy_mode.Preinstalled) ?faults ?adaptation () =
   {
     duration = 50.0;
     adapt;
@@ -41,7 +43,27 @@ let quick_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit)
     sample_period = 1.0;
     deploy;
     faults;
+    adaptation;
   }
+
+(* The canned closed-loop policy: swap the router ASP to the conservative
+   variant when the client segment starts dropping frames (a capacity
+   fault the static thresholds cannot see), probe back to the default
+   thresholds once drops stay quiet, and guard every swap with the
+   delivered-frame rate. Long recover hold + cooldown bound the ping-pong
+   while a congestion window is still open. *)
+let adaptive_policy () =
+  match
+    Adapt.Policy.parse
+      {|period 0.5
+alpha 0.4
+rule degrade: when drop_rate > 5 for 0.5 cooldown 6 do swap audio-router conservative
+rule recover: when drop_rate < 0.5 for 8 cooldown 12 do swap audio-router default
+guard goodput window 4 min-ratio 0.5
+|}
+  with
+  | Ok policy -> policy
+  | Error msg -> failwith ("Audio_experiment.adaptive_policy: " ^ msg)
 
 type result = {
   series : (float * float) list;
@@ -51,6 +73,7 @@ type result = {
   silent_periods : int;
   silent_frames : int;
   segment_drops : int;
+  adaptation : Adapt.Plane.stats option;
 }
 
 (* Passive wire measurement on the client segment: count only frames of the
@@ -119,23 +142,93 @@ let run config =
   ignore
     (Loadgen.start loadgen_node ~dst:(Node.addr sink) ~schedule:config.schedule
        ~until:config.duration ());
-  if config.adapt then
-    (* Preinstalled puts the ASPs straight into the runtimes; In_band ships
-       them from the audio server over the same links the audio will use
-       (the transfer completes milliseconds into the run, well before the
-       first congestion phase). *)
-    ignore
-      (Deploy_mode.install config.deploy ~backend:config.backend
-         ~controller:server
-         ~programs:
-           [
-             ( router,
-               "audio-router",
-               Audio_asp.router_program ~policy:config.policy
-                 ~iface:router_seg_iface () );
-             (client, "audio-client", Audio_asp.client_program ());
-           ]
-         ());
+  let plane =
+    if config.adapt then
+      (* Preinstalled puts the ASPs straight into the runtimes; In_band
+         ships them from the audio server over the same links the audio
+         will use (the transfer completes milliseconds into the run, well
+         before the first congestion phase). *)
+      Some
+        (Deploy_mode.install config.deploy ~backend:config.backend
+           ~controller:server
+           ~programs:
+             [
+               ( router,
+                 "audio-router",
+                 Audio_asp.router_program ~policy:config.policy
+                   ~iface:router_seg_iface () );
+               (client, "audio-client", Audio_asp.client_program ());
+             ]
+           ())
+    else None
+  in
+  let adaptation =
+    match config.adaptation with
+    | None -> None
+    | Some policy when Adapt.Policy.is_empty policy ->
+        (* Arms nothing; bit-identical to [adaptation = None] (pinned by
+           the golden-parity test). *)
+        Some
+          (Adapt.Plane.arm
+             ~engine:(Topology.engine topo)
+             ~until:config.duration ~signals:[] policy)
+    | Some policy ->
+        let ctl =
+          match Option.bind plane Deploy_mode.controller with
+          | Some ctl -> ctl
+          | None ->
+              invalid_arg
+                "Audio_experiment: adaptation needs adapt = true and deploy \
+                 = In_band (hot-swaps ride the deploy daemons)"
+        in
+        let variant_policy = function
+          | "default" -> Some config.policy
+          | "conservative" -> Some Audio_asp.conservative_policy
+          | _ -> None
+        in
+        let env =
+          {
+            Adapt.Plane.de_controller = ctl;
+            de_backend = config.backend.Planp_runtime.Backend.backend_name;
+            de_target_of =
+              (fun program ->
+                if program = "audio-router" then Some (Node.addr router)
+                else None);
+            de_variant_of =
+              (fun ~program ~variant ->
+                if program <> "audio-router" then None
+                else
+                  Option.map
+                    (fun policy ->
+                      {
+                        Adapt.Plane.v_source =
+                          Audio_asp.router_program ~policy
+                            ~iface:router_seg_iface ();
+                        v_authenticated = false;
+                      })
+                    (variant_policy variant));
+          }
+        in
+        Some
+          (Adapt.Plane.arm ~env
+             ~active:[ ("audio-router", "default") ]
+             ~engine:(Topology.engine topo)
+             ~until:config.duration
+             ~signals:
+               [
+                 ( "drop_rate",
+                   Adapt.Monitor.Counter_rate
+                     (Obs.Registry.counter
+                        ~labels:[ ("segment", "client-segment") ]
+                        "netsim.segment.drops") );
+                 ( "goodput",
+                   Adapt.Monitor.Rate_of
+                     (fun () ->
+                       float_of_int
+                         (Audio_app.Client.frames_received audio_client)) );
+               ]
+             policy)
+  in
   (* Run slightly past the end so frames in flight at [duration] land. *)
   Topology.run_until topo ~stop:(config.duration +. 0.5);
   let frames_sent = Audio_app.Source.frames_sent source in
@@ -165,4 +258,5 @@ let run config =
     silent_periods;
     silent_frames;
     segment_drops = Netsim.Segment.drops segment;
+    adaptation = Option.map Adapt.Plane.stats adaptation;
   }

@@ -20,6 +20,12 @@ type config = {
           names: link ["backbone"], segment ["client-segment"], nodes
           ["audio-server"], ["router"], ["client"], ["load-sink"],
           ["load-generator"] *)
+  adaptation : Adapt.Policy.t option;
+      (** closed-loop adaptation policy armed for the run. Signals wired:
+          [drop_rate] (client-segment drops/s) and [goodput] (frames
+          delivered/s). Swap target: program ["audio-router"], variants
+          ["default"] and ["conservative"]. Needs [adapt = true] and
+          [deploy = In_band] unless the policy is empty. *)
 }
 
 (** The paper's Fig. 6 scenario: no load until 100 s, heavy at 100 s,
@@ -29,6 +35,7 @@ val fig6_config :
   ?backend:Planp_runtime.Backend.t ->
   ?deploy:Deploy_mode.t ->
   ?faults:Netsim.Faults.scenario ->
+  ?adaptation:Adapt.Policy.t ->
   unit ->
   config
 
@@ -38,8 +45,14 @@ val quick_config :
   ?backend:Planp_runtime.Backend.t ->
   ?deploy:Deploy_mode.t ->
   ?faults:Netsim.Faults.scenario ->
+  ?adaptation:Adapt.Policy.t ->
   unit ->
   config
+
+(** The canned closed-loop policy for this experiment: swap the router to
+    {!Audio_asp.conservative_policy} thresholds when [drop_rate] rises,
+    probe back to the defaults when it stays quiet, guard on [goodput]. *)
+val adaptive_policy : unit -> Adapt.Policy.t
 
 type result = {
   series : (float * float) list;
@@ -53,6 +66,8 @@ type result = {
   silent_periods : int;  (** Fig. 7 metric: maximal runs of missed frames *)
   silent_frames : int;
   segment_drops : int;
+  adaptation : Adapt.Plane.stats option;
+      (** what the adaptation plane did, when a policy was armed *)
 }
 
 val run : config -> result

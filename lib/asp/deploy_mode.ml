@@ -12,9 +12,13 @@ let of_string = function
 
 type plane = {
   find : Node.t -> string -> Runtime.program option;
+  ctl : Deploy.Controller.t option;
+  daemon_of : Node.t -> Deploy.Daemon.t option;
 }
 
 let find plane = plane.find
+let controller plane = plane.ctl
+let daemon plane = plane.daemon_of
 
 (* Group programs by (name, source): identical programs for several nodes
    ship as one staged rollout instead of independent deployments. *)
@@ -48,8 +52,9 @@ let preinstall ~backend programs =
       programs
   in
   {
-    find =
-      (fun node name -> List.assoc_opt (Node.name node, name) handles);
+    find = (fun node name -> List.assoc_opt (Node.name node, name) handles);
+    ctl = None;
+    daemon_of = (fun _ -> None);
   }
 
 let fail_outcome ~name ~node outcome =
@@ -103,6 +108,8 @@ let ship ~backend ~controller programs =
         match Hashtbl.find_opt daemons (Node.name node) with
         | Some daemon -> Deploy.Daemon.active_program daemon ~name
         | None -> None);
+    ctl = Some ctl;
+    daemon_of = (fun node -> Hashtbl.find_opt daemons (Node.name node));
   }
 
 let install mode ~backend ~controller ~programs () =

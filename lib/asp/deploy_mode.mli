@@ -45,3 +45,12 @@ val install :
     deployment's progress at the current simulated time. *)
 val find :
   plane -> Netsim.Node.t -> string -> Planp_runtime.Runtime.program option
+
+(** [controller plane] — the deploy controller that shipped the programs
+    ([In_band] only). The adaptation plane reuses it for hot-swaps so
+    epochs to each daemon stay ordered under one epoch counter. *)
+val controller : plane -> Deploy.Controller.t option
+
+(** [daemon plane node] — the deploy daemon started on [node]
+    ([In_band] only). *)
+val daemon : plane -> Netsim.Node.t -> Deploy.Daemon.t option

@@ -9,6 +9,14 @@
     [install_native_gateway] is the "built-in C version": the same logic as
     a compiled OCaml hook, the baseline of Fig. 8 curve (c). *)
 
+(** Per-packet gateway CPU cost for compiled code (seconds) — ~21000
+    cycles on the paper's 170 MHz Ultra-1. *)
+val gateway_cost_compiled : float
+
+(** [gateway_cost backend_name] scales the compiled cost by the measured
+    interpretation overhead (interp ~10x, bytecode ~2x). *)
+val gateway_cost : string -> float
+
 (** Load-balancing strategies (paper 5: "several load-balancing
     algorithms ... helpful for the administrator in managing service
     configuration"):

@@ -17,16 +17,8 @@ let setup_name = function
   | Native_gateway -> "built-in gateway, 2 servers"
   | Disjoint -> "2 servers, disjoint clients"
 
-(* ~21000 cycles on the paper's 170 MHz Ultra-1 — the kernel packet path
-   plus header rewrite and connection lookup. The JIT-compiled ASP matches
-   built-in C (the paper's central performance claim); interpretation pays
-   the factors measured by the `backends` microbenchmark. *)
-let gateway_cost_compiled = 125e-6
-
-let gateway_cost = function
-  | "interp" -> gateway_cost_compiled *. 10.0
-  | "bytecode" -> gateway_cost_compiled *. 2.0
-  | _ -> gateway_cost_compiled
+let gateway_cost_compiled = Http_asp.gateway_cost_compiled
+let gateway_cost = Http_asp.gateway_cost
 
 type config = {
   duration : float;
@@ -38,6 +30,7 @@ type config = {
   strategy : Http_asp.strategy;
   deploy : Deploy_mode.t;
   faults : Netsim.Faults.scenario option;
+  adaptation : Adapt.Policy.t option;
 }
 
 let default_config =
@@ -51,7 +44,26 @@ let default_config =
     strategy = Http_asp.Modulo;
     deploy = Deploy_mode.Preinstalled;
     faults = None;
+    adaptation = None;
   }
+
+(* The canned closed-loop policy: the Modulo gateway keeps assigning new
+   connections to a crashed server (clients only recover by re-requesting
+   after their retry timeout), so a climbing retry rate is the flap
+   signal. Swapping in the failover gateway — and starting its health
+   prober on the ACK — routes around the dead server. The guard watches
+   completed replies per second. *)
+let adaptive_policy () =
+  match
+    Adapt.Policy.parse
+      {|period 0.5
+alpha 0.4
+rule failover: when retry_rate > 1 for 0.5 cooldown 6 do swap http-gateway failover
+guard goodput window 4 min-ratio 0.5
+|}
+  with
+  | Ok policy -> policy
+  | Error msg -> failwith ("Http_experiment.adaptive_policy: " ^ msg)
 
 type point = {
   workers : int;
@@ -60,6 +72,8 @@ type point = {
   p95_response_ms : float;
   gateway_requests : int;
   server_loads : int * int;
+  client_retries : int;
+  adaptation : Adapt.Plane.stats option;
 }
 
 let vip_string = "10.3.0.100"
@@ -111,6 +125,9 @@ let run_point config setup ~workers =
     clients;
   let server0 = Http_app.Server.start server0_node () in
   let server1 = Http_app.Server.start server1_node () in
+  (* The deploy plane that shipped the gateway ASP, when there is one —
+     the adaptation plane swaps through its controller. *)
+  let gateway_plane = ref None in
   (* Gateway flavour; returns a thunk reading how many requests it routed. *)
   let read_gateway_requests =
     match setup with
@@ -142,6 +159,7 @@ let run_point config setup ~workers =
               ]
             ()
         in
+        gateway_plane := Some plane;
         fun () ->
           (* The ASP counts routed requests in its protocol state. *)
           (match Deploy_mode.find plane gateway "http-gateway" with
@@ -174,6 +192,89 @@ let run_point config setup ~workers =
                ~workers:client_workers ~trace ()))
       (List.init config.client_count Fun.id)
       (List.combine clients per_client)
+  in
+  let sum_clients read =
+    List.fold_left
+      (fun acc app -> match app with Some app -> acc + read app | None -> acc)
+      0 client_apps
+  in
+  let adaptation =
+    match config.adaptation with
+    | None -> None
+    | Some policy when Adapt.Policy.is_empty policy ->
+        (* Arms nothing; bit-identical to [adaptation = None]. *)
+        Some
+          (Adapt.Plane.arm
+             ~engine:(Topology.engine topo)
+             ~until:config.duration ~signals:[] policy)
+    | Some policy ->
+        let backend, ctl =
+          match (setup, Option.bind !gateway_plane Deploy_mode.controller) with
+          | Asp_gateway backend, Some ctl -> (backend, ctl)
+          | _ ->
+              invalid_arg
+                "Http_experiment: adaptation needs an Asp_gateway setup with \
+                 deploy = In_band (hot-swaps ride the deploy daemons)"
+        in
+        let variant_source = function
+          | "plain" ->
+              Some
+                (Http_asp.gateway_program ~strategy:config.strategy
+                   ~vip:vip_string
+                   ~servers:(server0_string, server1_string) ())
+          | "failover" ->
+              Some
+                (Http_asp.failover_gateway_program ~vip:vip_string
+                   ~servers:(server0_string, server1_string) ())
+          | _ -> None
+        in
+        let env =
+          {
+            Adapt.Plane.de_controller = ctl;
+            de_backend = backend.Planp_runtime.Backend.backend_name;
+            de_target_of =
+              (fun program ->
+                if program = "http-gateway" then Some (Node.addr gateway)
+                else None);
+            de_variant_of =
+              (fun ~program ~variant ->
+                if program <> "http-gateway" then None
+                else
+                  Option.map
+                    (fun v_source ->
+                      { Adapt.Plane.v_source; v_authenticated = false })
+                    (variant_source variant));
+          }
+        in
+        (* The failover gateway is blind until its health prober runs;
+           start it the moment the swap is acknowledged. *)
+        let prober = ref None in
+        let on_swap ~program:_ ~variant =
+          if variant = "failover" && !prober = None then
+            prober :=
+              Some
+                (Http_ft.Monitor.start gateway
+                   ~servers:(Node.addr server0_node, Node.addr server1_node)
+                   ~until:config.duration ())
+        in
+        Some
+          (Adapt.Plane.arm ~env
+             ~active:[ ("http-gateway", "plain") ]
+             ~on_swap
+             ~engine:(Topology.engine topo)
+             ~until:config.duration
+             ~signals:
+               [
+                 ( "retry_rate",
+                   Adapt.Monitor.Rate_of
+                     (fun () ->
+                       float_of_int (sum_clients Http_app.Client.retries)) );
+                 ( "goodput",
+                   Adapt.Monitor.Rate_of
+                     (fun () ->
+                       float_of_int (sum_clients Http_app.Client.completed)) );
+               ]
+             policy)
   in
   Topology.run_until topo ~stop:config.duration;
   let completed =
@@ -231,6 +332,8 @@ let run_point config setup ~workers =
     server_loads =
       ( Http_app.Server.requests_served server0,
         Http_app.Server.requests_served server1 );
+    client_retries = sum_clients Http_app.Client.retries;
+    adaptation = Option.map Adapt.Plane.stats adaptation;
   }
 
 let run_sweep config setup ~workers_list =

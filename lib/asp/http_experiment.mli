@@ -46,9 +46,21 @@ type config = {
           target names: segment ["cluster"], links ["access0"] ..
           ["accessN"], nodes ["gateway"], ["server0"], ["server1"],
           ["client0"] .. ["clientN"] *)
+  adaptation : Adapt.Policy.t option;
+      (** closed-loop adaptation policy armed for the run. Signals wired:
+          [retry_rate] (client request retries/s) and [goodput] (completed
+          replies/s). Swap target: program ["http-gateway"], variants
+          ["plain"] and ["failover"] (the failover swap also starts the
+          {!Http_ft.Monitor} health prober). Needs an [Asp_gateway] setup
+          with [deploy = In_band] unless the policy is empty. *)
 }
 
 val default_config : config
+
+(** The canned closed-loop policy for this experiment: swap the gateway to
+    {!Http_asp.failover_gateway_program} when [retry_rate] climbs (a server
+    flap the Modulo gateway cannot see), guard on [goodput]. *)
+val adaptive_policy : unit -> Adapt.Policy.t
 
 type point = {
   workers : int;  (** total concurrent client processes *)
@@ -57,6 +69,9 @@ type point = {
   p95_response_ms : float;
   gateway_requests : int;  (** requests the gateway rewrote (0 without one) *)
   server_loads : int * int;  (** requests served by each physical server *)
+  client_retries : int;  (** abandoned-and-reissued requests across clients *)
+  adaptation : Adapt.Plane.stats option;
+      (** what the adaptation plane did, when a policy was armed *)
 }
 
 (** [run_point config setup ~workers] runs one (setup, load) cell. *)

@@ -158,7 +158,7 @@ let run config =
     clients;
   let server0 = Http_app.Server.start server0_node () in
   let server1 = Http_app.Server.start server1_node () in
-  Node.set_processing_cost gateway Http_experiment.gateway_cost_compiled;
+  Node.set_processing_cost gateway Http_asp.gateway_cost_compiled;
   let rt = Runtime.attach gateway in
   let source =
     if config.failover then

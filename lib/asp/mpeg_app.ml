@@ -115,6 +115,9 @@ module Client = struct
     file : int;
     video_port : int;
     mutable received : int;
+    mutable recv_i : int;
+    mutable recv_p : int;
+    mutable recv_b : int;
     mutable shared : bool option;
     mutable setup : setup option;
   }
@@ -182,7 +185,13 @@ module Client = struct
       Netsim.Addr.equal packet.Packet.dst (Node.addr node)
       && Payload.length body >= 9
       && Payload.get_u32 body 0 = t.file
-    then t.received <- t.received + 1
+    then begin
+      t.received <- t.received + 1;
+      match Payload.get_u8 body 8 with
+      | 0 -> t.recv_i <- t.recv_i + 1
+      | 1 -> t.recv_p <- t.recv_p + 1
+      | _ -> t.recv_b <- t.recv_b + 1
+    end
 
   let on_control t node (packet : Packet.t) =
     let body = packet.Packet.body in
@@ -213,6 +222,9 @@ module Client = struct
         file;
         video_port;
         received = 0;
+        recv_i = 0;
+        recv_p = 0;
+        recv_b = 0;
         shared = None;
         setup = None;
       }
@@ -231,6 +243,7 @@ module Client = struct
     t
 
   let frames_received t = t.received
+  let frames_by_kind t = (t.recv_i, t.recv_p, t.recv_b)
   let used_existing t = t.shared
   let setup_received t = t.setup
 end

@@ -66,6 +66,11 @@ module Client : sig
 
   val frames_received : t -> int
 
+  (** [frames_by_kind t] — received (I, P, B) frame counts; the
+      adaptation plane's guard watches I+P delivery while the frame-class
+      filter sheds B-frames. *)
+  val frames_by_kind : t -> int * int * int
+
   (** [used_existing t] — [Some true] once the client decided to share an
       existing stream, [Some false] for a direct connection, [None] before
       the monitor answered. *)

@@ -103,3 +103,39 @@ channel network(ps : host*int, ss : int, p : ip*udp*blob) is
       (deliver(p); (ps, ss))
   end
 |}
+
+let filter_program ?(video_port = Mpeg_app.control_port) ~drop_b () =
+  if not drop_b then
+    Printf.sprintf
+      {|-- MPEG frame-class filter (router side), pass-through variant:
+-- forward every frame untouched. The adaptation plane's baseline, so
+-- swapping between variants is one epoch activation either way.
+val videoPort : int = %d
+
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  (OnRemote(network, p); (ps, ss))
+|}
+      video_port
+  else
+    Printf.sprintf
+      {|-- MPEG frame-class filter (router side), degrade variant: shed
+-- B-frames of the video flow so the I- and P-frames they would compete
+-- with survive a lossy segment (paper 5: media-specific degradation in
+-- the network). Dropping is deliberate, so this variant cannot pass the
+-- delivery verifier and ships over the authenticated deploy path.
+val videoPort : int = %d
+
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  let
+    val udph : udp = #2 p
+    val body : blob = #3 p
+  in
+    if udpSrc(udph) = videoPort andalso blobLength(body) > 8
+       andalso blobByte(body, 8) = 2 then
+      -- A B-frame: shed it and count the shed.
+      ((ps + 1), ss)
+    else
+      (OnRemote(network, p); (ps, ss))
+  end
+|}
+      video_port

@@ -17,3 +17,13 @@ val monitor_program :
   ?control_port:int -> ?query_port:int -> server:string -> unit -> string
 
 val capture_program : unit -> string
+
+(** [filter_program ~drop_b ()] is the router-side frame-class filter the
+    adaptation plane hot-swaps under loss. With [drop_b = false] it
+    forwards everything (the baseline variant); with [drop_b = true] it
+    sheds B-frames of the video flow (frames streamed from UDP source
+    port [video_port]) so I- and P-frames survive the congested segment.
+    The protocol state counts shed frames. The [drop_b] variant
+    intentionally violates the delivery analysis and must be deployed
+    authenticated. *)
+val filter_program : ?video_port:int -> drop_b:bool -> unit -> string

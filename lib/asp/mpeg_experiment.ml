@@ -10,10 +10,11 @@ type config = {
   duration : float;
   deploy : Deploy_mode.t;
   faults : Netsim.Faults.scenario option;
+  adaptation : Adapt.Policy.t option;
 }
 
 let default_config ?(with_asps = true) ?(backend = Planp_jit.Backends.jit)
-    ?(deploy = Deploy_mode.Preinstalled) ?faults () =
+    ?(deploy = Deploy_mode.Preinstalled) ?faults ?adaptation () =
   {
     with_asps;
     backend;
@@ -22,14 +23,35 @@ let default_config ?(with_asps = true) ?(backend = Planp_jit.Backends.jit)
     duration = 20.0;
     deploy;
     faults;
+    adaptation;
   }
+
+(* The canned closed-loop policy: when the client segment starts dropping
+   frames, swap the router filter to the B-frame-shedding variant so the
+   I- and P-frames survive (every B-frame shed frees segment capacity);
+   probe back to pass-through once drops stay quiet. The guard watches
+   I+P delivery, which degrading must not regress. *)
+let adaptive_policy () =
+  match
+    Adapt.Policy.parse
+      {|period 0.5
+alpha 0.4
+rule degrade: when loss_rate > 5 for 0.5 cooldown 6 do swap mpeg-filter degrade
+rule recover: when loss_rate < 0.5 for 8 cooldown 12 do swap mpeg-filter pass
+guard ip_goodput window 4 min-ratio 0.5
+|}
+  with
+  | Ok policy -> policy
+  | Error msg -> failwith ("Mpeg_experiment.adaptive_policy: " ^ msg)
 
 type result = {
   server_streams : int;
   server_frames_sent : int;
   client_frames : int list;
+  client_frame_kinds : (int * int * int) list;
   clients_shared : bool option list;
   segment_video_bytes : int;
+  adaptation : Adapt.Plane.stats option;
 }
 
 let server_addr_string = "10.6.0.1"
@@ -78,23 +100,38 @@ let run config =
           video_bytes := !video_bytes + Netsim.Payload.length packet.Netsim.Packet.body
       | Netsim.Packet.Udp _ | Netsim.Packet.Tcp _ | Netsim.Packet.Raw -> ());
   let server = Mpeg_app.Server.start server_node ~movie_frames:config.movie_frames () in
+  let adaptive =
+    match config.adaptation with
+    | Some policy -> not (Adapt.Policy.is_empty policy)
+    | None -> false
+  in
+  let plane = ref None in
   if config.with_asps then begin
     Node.set_promiscuous monitor_node true;
     List.iter (fun node -> Node.set_promiscuous node true) client_nodes;
     (* In_band ships the monitor ASP point-to-point and the identical
        capture ASPs to the three clients as one staged rollout, all from
        the video server; the transfers finish milliseconds into the run,
-       before the first client asks for the movie at 0.5 s. *)
-    ignore
-      (Deploy_mode.install config.deploy ~backend:config.backend
-         ~controller:server_node
-         ~programs:
-           ((monitor_node, "mpeg-monitor",
-             Mpeg_asp.monitor_program ~server:server_addr_string ())
-           :: List.map
-                (fun node -> (node, "mpeg-capture", Mpeg_asp.capture_program ()))
-                client_nodes)
-         ())
+       before the first client asks for the movie at 0.5 s. When a
+       non-empty adaptation policy is armed, the router also gets the
+       pass-through frame filter (and so a daemon for later swaps). *)
+    let programs =
+      (monitor_node, "mpeg-monitor",
+       Mpeg_asp.monitor_program ~server:server_addr_string ())
+      :: List.map
+           (fun node -> (node, "mpeg-capture", Mpeg_asp.capture_program ()))
+           client_nodes
+    in
+    let programs =
+      if adaptive then
+        (router, "mpeg-filter", Mpeg_asp.filter_program ~drop_b:false ())
+        :: programs
+      else programs
+    in
+    plane :=
+      Some
+        (Deploy_mode.install config.deploy ~backend:config.backend
+           ~controller:server_node ~programs ())
   end;
   let clients =
     List.map2
@@ -104,6 +141,81 @@ let run config =
           ~monitor:(Node.addr monitor_node)
           ~file:movie_file ~at ())
       client_nodes config.client_starts
+  in
+  let ip_frames () =
+    List.fold_left
+      (fun acc client ->
+        let i, p, _ = Mpeg_app.Client.frames_by_kind client in
+        acc + i + p)
+      0 clients
+  in
+  let adaptation =
+    match config.adaptation with
+    | None -> None
+    | Some policy when Adapt.Policy.is_empty policy ->
+        (* Arms nothing; bit-identical to [adaptation = None]. *)
+        Some
+          (Adapt.Plane.arm
+             ~engine:(Topology.engine topo)
+             ~until:config.duration ~signals:[] policy)
+    | Some policy ->
+        let ctl =
+          match Option.bind !plane Deploy_mode.controller with
+          | Some ctl -> ctl
+          | None ->
+              invalid_arg
+                "Mpeg_experiment: adaptation needs with_asps = true and \
+                 deploy = In_band (hot-swaps ride the deploy daemons)"
+        in
+        let env =
+          {
+            Adapt.Plane.de_controller = ctl;
+            de_backend = config.backend.Planp_runtime.Backend.backend_name;
+            de_target_of =
+              (fun program ->
+                if program = "mpeg-filter" then Some (Node.addr router)
+                else None);
+            de_variant_of =
+              (fun ~program ~variant ->
+                if program <> "mpeg-filter" then None
+                else
+                  match variant with
+                  | "pass" ->
+                      Some
+                        {
+                          Adapt.Plane.v_source =
+                            Mpeg_asp.filter_program ~drop_b:false ();
+                          v_authenticated = false;
+                        }
+                  | "degrade" ->
+                      (* Sheds packets on purpose: rides the privileged
+                         path past the delivery verifier. *)
+                      Some
+                        {
+                          Adapt.Plane.v_source =
+                            Mpeg_asp.filter_program ~drop_b:true ();
+                          v_authenticated = true;
+                        }
+                  | _ -> None);
+          }
+        in
+        Some
+          (Adapt.Plane.arm ~env
+             ~active:[ ("mpeg-filter", "pass") ]
+             ~engine:(Topology.engine topo)
+             ~until:config.duration
+             ~signals:
+               [
+                 ( "loss_rate",
+                   Adapt.Monitor.Counter_rate
+                     (Obs.Registry.counter
+                        ~labels:[ ("segment", "client-segment") ]
+                        "netsim.segment.drops") );
+                 ( "ip_goodput",
+                   Adapt.Monitor.Rate_of
+                     (fun () -> float_of_int (ip_frames ())) );
+               ]
+             policy)
   in
   Topology.run_until topo ~stop:config.duration;
   let labels = [ ("experiment", "mpeg") ] in
@@ -119,6 +231,8 @@ let run config =
     server_streams = Mpeg_app.Server.streams_opened server;
     server_frames_sent = Mpeg_app.Server.frames_sent server;
     client_frames = List.map Mpeg_app.Client.frames_received clients;
+    client_frame_kinds = List.map Mpeg_app.Client.frames_by_kind clients;
     clients_shared = List.map Mpeg_app.Client.used_existing clients;
     segment_video_bytes = !video_bytes;
+    adaptation = Option.map Adapt.Plane.stats adaptation;
   }

@@ -20,6 +20,13 @@ type config = {
       (** fault scenario armed on the topology before the run; target
           names: link ["backbone"], segment ["client-segment"], nodes
           ["video-server"], ["router"], ["monitor"], ["client1".."3"] *)
+  adaptation : Adapt.Policy.t option;
+      (** closed-loop adaptation policy armed for the run. Signals wired:
+          [loss_rate] (client-segment drops/s) and [ip_goodput] (I+P
+          frames delivered/s). Swap target: program ["mpeg-filter"] on the
+          router, variants ["pass"] and ["degrade"] (B-frame shedding,
+          deployed authenticated). Needs [with_asps = true] and
+          [deploy = In_band] unless the policy is empty. *)
 }
 
 val default_config :
@@ -27,15 +34,25 @@ val default_config :
   ?backend:Planp_runtime.Backend.t ->
   ?deploy:Deploy_mode.t ->
   ?faults:Netsim.Faults.scenario ->
+  ?adaptation:Adapt.Policy.t ->
   unit ->
   config
+
+(** The canned closed-loop policy for this experiment: swap the router
+    filter to B-frame shedding when [loss_rate] rises, back to
+    pass-through when it stays quiet, guard on [ip_goodput]. *)
+val adaptive_policy : unit -> Adapt.Policy.t
 
 type result = {
   server_streams : int;  (** connections the server had to serve *)
   server_frames_sent : int;
   client_frames : int list;  (** per client, in [client_starts] order *)
+  client_frame_kinds : (int * int * int) list;
+      (** per client (I, P, B) frames received *)
   clients_shared : bool option list;  (** which clients joined an existing stream *)
   segment_video_bytes : int;  (** video payload carried by the segment *)
+  adaptation : Adapt.Plane.stats option;
+      (** what the adaptation plane did, when a policy was armed *)
 }
 
 val run : config -> result

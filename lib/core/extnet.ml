@@ -14,6 +14,7 @@ module Value = Planp_runtime.Value
 module Verifier = Planp_analysis.Verifier
 module Backends = Planp_jit.Backends
 module Deploy = Deploy
+module Adapt = Adapt
 
 type admission = Verified | Authenticated
 

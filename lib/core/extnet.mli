@@ -36,6 +36,12 @@ module Backends = Planp_jit.Backends
     {!Deploy.Daemon}s, which verify on arrival and hot-swap by epoch. *)
 module Deploy = Deploy
 
+(** The closed-loop adaptation plane: {!Adapt.Monitor}s sample
+    {!Obs.Registry} metrics into smoothed condition signals, an
+    {!Adapt.Policy} decides, and {!Adapt.Plane} executes hot-swaps
+    through {!Deploy.Controller} epochs under a KPI guard. *)
+module Adapt = Adapt
+
 (** How [load] treats programs the verifier rejects. *)
 type admission =
   | Verified  (** reject programs failing any safety analysis (default) *)

@@ -305,6 +305,7 @@ let flush_events engine =
   List.iter (fun hook -> hook ()) engine.flush_hooks
 
 let on_flush engine hook = engine.flush_hooks <- engine.flush_hooks @ [ hook ]
+let flush = flush_events
 
 let step engine =
   if Sched.is_empty engine.queue then false

@@ -94,6 +94,13 @@ val run_until : ?limit:int -> t -> stop:float -> unit
     is idle. *)
 val on_flush : t -> (unit -> unit) -> unit
 
+(** [flush engine] runs the batched-metrics flush on demand — the event
+    counter push plus every [on_flush] hook — so registry values are
+    exact mid-run. Condition monitors call this at the top of each probe
+    tick before sampling; costs one list walk, nothing when no component
+    has batched anything since the last flush. *)
+val flush : t -> unit
+
 (** [pending engine] is the number of queued events (timers plus every
     packet resident in a delivery/broadcast ring). *)
 val pending : t -> int

@@ -208,6 +208,68 @@ let observe_bulk histogram ~counts ~sum =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Typed reads                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Read-only lookup: never creates a cell, so probing for a metric that no
+   component has registered stays side-effect free. *)
+let lookup t ~name ~labels =
+  Hashtbl.find_opt t.table (key_of ~name ~labels:(canonical_labels labels))
+
+let quantile_of_cell cell q =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Obs.Registry.quantile: q outside [0, 1]";
+  if cell.h_count = 0 then 0.0
+  else begin
+    (* Smallest slot whose cumulative count reaches rank ceil(q * n); the
+       answer is that bucket's upper bound, the same resolution the
+       exported bucket list offers. *)
+    let target =
+      let rank = int_of_float (Float.ceil (q *. float_of_int cell.h_count)) in
+      if rank < 1 then 1 else rank
+    in
+    let slot = ref (hist_slots - 1) in
+    let acc = ref 0 in
+    (try
+       for s = 0 to hist_slots - 1 do
+         acc := !acc + cell.h_buckets.(s);
+         if !acc >= target then begin
+           slot := s;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    bucket_upper_bound !slot
+  end
+
+let quantile histogram q = quantile_of_cell histogram.hc q
+
+let read_counter ?(registry = default) ?(labels = []) name =
+  match lookup registry ~name ~labels with
+  | None -> None
+  | Some { m_data = Counter cell; _ } -> Some cell.c_value
+  | Some metric -> wrong_kind metric "counter"
+
+let read_gauge ?(registry = default) ?(labels = []) name =
+  match lookup registry ~name ~labels with
+  | None -> None
+  | Some { m_data = Gauge cell; _ } ->
+      Some (match cell.g_fn with Some f -> f () | None -> cell.g_value)
+  | Some metric -> wrong_kind metric "gauge"
+
+let read_histogram ?(registry = default) ?(labels = []) name =
+  match lookup registry ~name ~labels with
+  | None -> None
+  | Some { m_data = Histogram cell; _ } -> Some (cell.h_count, cell.h_sum)
+  | Some metric -> wrong_kind metric "histogram"
+
+let read_quantile ?(registry = default) ?(labels = []) ~q name =
+  match lookup registry ~name ~labels with
+  | None -> None
+  | Some { m_data = Histogram cell; _ } -> Some (quantile_of_cell cell q)
+  | Some metric -> wrong_kind metric "histogram"
+
+(* ------------------------------------------------------------------ *)
 (* Snapshots and exports                                               *)
 (* ------------------------------------------------------------------ *)
 

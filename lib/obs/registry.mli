@@ -107,6 +107,32 @@ val bucket_of_int : int -> int
 val bucket_upper_bound : int -> float
 (** Inclusive upper bound of a slot; [infinity] for the overflow slot. *)
 
+val quantile : histogram -> float -> float
+(** [quantile h q] (q in [0, 1]) is the upper bound of the log-scale
+    bucket holding the q-quantile of everything observed so far — the
+    same resolution the exported bucket list offers. 0 when empty.
+    @raise Invalid_argument when [q] is outside [0, 1]. *)
+
+(** {1 Typed reads} — current values by name, without JSON round-trips.
+
+    Read-only: unlike the handle constructors these never create a cell,
+    so probing for a metric no component has registered is side-effect
+    free and returns [None]. Condition monitors ({!Adapt} in the umbrella
+    library) sample through this API every probe period.
+
+    @raise Invalid_argument when the name+labels pair names a metric of
+    another kind. *)
+
+val read_counter : ?registry:t -> ?labels:labels -> string -> int option
+val read_gauge : ?registry:t -> ?labels:labels -> string -> float option
+
+val read_histogram : ?registry:t -> ?labels:labels -> string -> (int * float) option
+(** [(observation count, sum)] of the named histogram. *)
+
+val read_quantile :
+  ?registry:t -> ?labels:labels -> q:float -> string -> float option
+(** {!quantile} by name. *)
+
 (** {1 Snapshots and exports} *)
 
 type sample =

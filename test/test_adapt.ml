@@ -1,0 +1,582 @@
+(* The closed-loop adaptation plane: EWMA signals, the condition monitor,
+   the policy grammar, the plane's hold/hysteresis/guard semantics against
+   a real deploy daemon, and the experiment wirings — empty-policy golden
+   parity and adaptive-beats-static under faults the static ASPs cannot
+   see. *)
+
+let () = Planp_runtime.Prims.install ()
+
+module Engine = Netsim.Engine
+module Node = Netsim.Node
+module Topology = Netsim.Topology
+module Faults = Netsim.Faults
+module Registry = Obs.Registry
+module Signal = Adapt.Signal
+module Monitor = Adapt.Monitor
+module Policy = Adapt.Policy
+module Plane = Adapt.Plane
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let fevent ?until ?target ~at kind =
+  { Faults.ft_at = at; ft_until = until; ft_kind = kind; ft_target = target }
+
+(* ---------- signals ---------- *)
+
+let signal_ewma () =
+  let s = Signal.create ~alpha:0.5 "s" in
+  checkf "zero before first sample" 0.0 (Signal.value s);
+  Signal.push s 10.0;
+  checkf "first sample seeds" 10.0 (Signal.value s);
+  Signal.push s 20.0;
+  checkf "ewma halves the step" 15.0 (Signal.value s);
+  checkf "last is raw" 20.0 (Signal.last s);
+  check "two samples" 2 (Signal.samples s);
+  checkb "alpha 0 rejected" true
+    (try
+       ignore (Signal.create ~alpha:0.0 "bad");
+       false
+     with Invalid_argument _ -> true);
+  checkb "alpha > 1 rejected" true
+    (try
+       ignore (Signal.create ~alpha:1.5 "bad");
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- monitor ---------- *)
+
+(* A counter bumped by scheduled events; the monitor must see exact
+   per-tick rates (including the Engine.flush of batched metrics, covered
+   end-to-end by the experiment tests below). *)
+let monitor_ticks_and_rates () =
+  let engine = Engine.create () in
+  let registry = Registry.create () in
+  let c = Registry.counter ~registry ~labels:[ ("t", "mon") ] "test.ticks" in
+  (* +10 per second for the first 3 seconds. *)
+  for i = 0 to 29 do
+    Engine.schedule engine ~at:(0.1 *. float_of_int i) (fun () ->
+        Registry.incr c)
+  done;
+  let mon = Monitor.create ~registry ~period:1.0 ~until:5.0 engine in
+  let rate = Monitor.watch mon ~alpha:1.0 ~name:"rate" (Monitor.Counter_rate c) in
+  let direct =
+    Monitor.watch mon ~alpha:1.0 ~name:"direct"
+      (Monitor.Sample (fun () -> 7.0))
+  in
+  checkb "duplicate name rejected" true
+    (try
+       ignore (Monitor.watch mon ~name:"rate" (Monitor.Sample (fun () -> 0.0)));
+       false
+     with Invalid_argument _ -> true);
+  let seen = ref [] in
+  Monitor.on_tick mon (fun ~now -> seen := now :: !seen);
+  Monitor.start mon;
+  Monitor.start mon;
+  (* idempotent *)
+  Engine.run engine;
+  check "five ticks in [1;5]" 5 (Monitor.ticks mon);
+  check "hook ran every tick" 5 (List.length !seen);
+  (* Last second is idle, so the unsmoothed rate ends at 0; the raw
+     samples walked through 10/s while the counter was climbing. *)
+  checkf "rate settles to idle" 0.0 (Signal.value rate);
+  checkf "plain sample" 7.0 (Signal.value direct);
+  check "adapt.monitor.ticks counted" 5
+    (Option.value ~default:0 (Registry.read_counter ~registry "adapt.monitor.ticks"));
+  (* The signal gauge is registered and samples the smoothed value. *)
+  checkf "adapt.signal.value gauge" 7.0
+    (Option.value ~default:(-1.0)
+       (Registry.read_gauge ~registry
+          ~labels:[ ("signal", "direct") ]
+          "adapt.signal.value"))
+
+(* ---------- policy grammar ---------- *)
+
+let policy_parse_roundtrip () =
+  let text =
+    "# comment\n\
+     period 0.25\n\
+     alpha 0.6\n\n\
+     rule degrade: when drop_rate > 5 and goodput < 40 for 1.5 cooldown 8 \
+     do swap audio-router conservative\n\
+     rule shed: when loss_rate >= 50 for 2 do undeploy mpeg-filter\n\
+     rule tune: when queue_delay > 0.25 for 1 do retune buffer 0.5\n\
+     rule bail: when retry_rate > 20 for 5 do escalate \"retry storm\"\n\
+     guard goodput window 4 min-ratio 0.5\n"
+  in
+  match Policy.parse text with
+  | Error msg -> Alcotest.fail msg
+  | Ok p ->
+      checkf "period" 0.25 p.Policy.period;
+      checkf "alpha" 0.6 p.Policy.alpha;
+      check "four rules" 4 (List.length p.Policy.rules);
+      checkb "not empty" false (Policy.is_empty p);
+      Alcotest.(check (list string))
+        "signals referenced (sorted, deduped)"
+        [ "drop_rate"; "goodput"; "loss_rate"; "queue_delay"; "retry_rate" ]
+        (Policy.signals_referenced p);
+      let degrade = List.hd p.Policy.rules in
+      checkf "hold" 1.5 degrade.Policy.rl_hold;
+      checkf "cooldown" 8.0 degrade.Policy.rl_cooldown;
+      (match degrade.Policy.rl_pred with
+      | Policy.All
+          [
+            Policy.Cmp { signal = s1; _ }; Policy.Cmp { signal = s2; _ };
+          ] ->
+          Alcotest.(check string) "conjunct 1" "drop_rate" s1;
+          Alcotest.(check string) "conjunct 2" "goodput" s2
+      | _ -> Alcotest.fail "expected a two-way conjunction");
+      (match (List.nth p.Policy.rules 3).Policy.rl_action with
+      | Policy.Escalate { reason } ->
+          Alcotest.(check string) "quoted reason" "retry storm" reason
+      | _ -> Alcotest.fail "expected escalate");
+      match p.Policy.guard with
+      | Some g ->
+          Alcotest.(check string) "guard signal" "goodput" g.Policy.g_signal;
+          checkf "guard window" 4.0 g.Policy.g_window;
+          checkf "guard ratio" 0.5 g.Policy.g_min_ratio
+      | None -> Alcotest.fail "expected a guard"
+
+let policy_parse_errors () =
+  let expect_line n text =
+    match Policy.parse text with
+    | Ok _ -> Alcotest.fail "parse should have failed"
+    | Error msg ->
+        let prefix = Printf.sprintf "line %d:" n in
+        checkb
+          (Printf.sprintf "error names line %d (got %S)" n msg)
+          true
+          (String.length msg >= String.length prefix
+          && String.sub msg 0 (String.length prefix) = prefix)
+  in
+  expect_line 1 "bogus directive\n";
+  expect_line 2 "period 0.5\nrule x: if drop_rate > 1 for 1 do swap a b\n";
+  expect_line 3 "period 0.5\n# fine\nrule x: when s !! 1 for 1 do swap a b\n";
+  expect_line 1 "rule x: when s > nope for 1 do swap a b\n";
+  expect_line 1 "guard g window 4\n";
+  expect_line 1 "period zero\n"
+
+let policy_empty () =
+  checkb "empty is empty" true (Policy.is_empty Policy.empty);
+  match Policy.parse "# nothing but comments\n\nperiod 1.0\n" with
+  | Ok p -> checkb "no rules, no guard -> empty" true (Policy.is_empty p)
+  | Error msg -> Alcotest.fail msg
+
+(* ---------- the plane against a real daemon ---------- *)
+
+(* A deployable no-op forwarder (passes the delivery verifier). *)
+let forwarder note =
+  Printf.sprintf
+    {|-- test forwarder (%s)
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  (OnRemote(network, p); (ps, ss))
+|}
+    note
+
+(* Swap to a "bad" variant whose KPI regresses inside the guard window:
+   the guard must roll back to the previous epoch, quarantine the
+   variant, and the rule must never fire again (hysteresis while active,
+   quarantine after the rollback). *)
+let plane_guard_rollback_and_quarantine () =
+  let topo = Topology.create () in
+  let ctl_node = Topology.add_host topo "ctl" "10.9.0.1" in
+  let target = Topology.add_host topo "target" "10.9.0.2" in
+  ignore (Topology.connect topo ~latency:0.001 ctl_node target);
+  Topology.compute_routes topo;
+  let daemon = Deploy.Daemon.start target () in
+  let ctl = Deploy.Controller.create ctl_node () in
+  let acked = ref false in
+  Deploy.Controller.deploy ctl ~target:(Node.addr target) ~name:"prog"
+    ~source:(forwarder "good")
+    ~on_done:(function
+      | Deploy.Controller.Acked _ -> acked := true
+      | outcome ->
+          Alcotest.failf "initial deploy: %s"
+            (Deploy.Controller.outcome_to_string outcome))
+    ();
+  (* Bounded: draining the queue would run to the deploy timeout event. *)
+  Topology.run_until topo ~stop:1.0;
+  checkb "initial deploy acked" true !acked;
+  let kpi = ref 1.0 in
+  let engine = Topology.engine topo in
+  (* Healthy until 2 s; the rule's condition turns true at 2 s; the KPI
+     collapses further at 3.5 s, inside the guard window of the swap the
+     rule triggers. *)
+  Engine.schedule engine ~at:2.0 (fun () -> kpi := 0.2);
+  Engine.schedule engine ~at:3.5 (fun () -> kpi := 0.05);
+  let policy =
+    match
+      Policy.parse
+        "period 0.25\n\
+         alpha 1\n\
+         rule bad: when kpi < 0.5 for 0.25 cooldown 1 do swap prog bad\n\
+         guard kpi window 2 min-ratio 0.9\n"
+    with
+    | Ok p -> p
+    | Error msg -> Alcotest.fail msg
+  in
+  let env =
+    {
+      Plane.de_controller = ctl;
+      de_backend = "jit";
+      de_target_of =
+        (fun program ->
+          if program = "prog" then Some (Node.addr target) else None);
+      de_variant_of =
+        (fun ~program ~variant ->
+          if program = "prog" && variant = "bad" then
+            Some { Plane.v_source = forwarder "bad"; v_authenticated = false }
+          else None);
+    }
+  in
+  let plane =
+    Plane.arm ~env
+      ~active:[ ("prog", "good") ]
+      ~engine ~until:10.0
+      ~signals:[ ("kpi", Monitor.Sample (fun () -> !kpi)) ]
+      policy
+  in
+  Topology.run topo;
+  let stats = Plane.stats plane in
+  check "rule fired exactly once" 1 stats.Plane.st_fired;
+  check "one acknowledged swap" 1 stats.Plane.st_swaps;
+  check "one guard check" 1 stats.Plane.st_guard_checks;
+  check "one rollback" 1 stats.Plane.st_rollbacks;
+  Alcotest.(check (option string))
+    "active variant restored" (Some "good")
+    (Plane.active_variant plane "prog");
+  (* The daemon really runs the rolled-back epoch: the active program is
+     the original source, not the bad variant. *)
+  (match Deploy.Daemon.active_program daemon ~name:"prog" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no active program after rollback");
+  checkb "events recorded the story" true (List.length stats.Plane.st_events >= 2);
+  check "metric: adapt.rollbacks" 1
+    (Option.value ~default:0 (Registry.read_counter "adapt.rollbacks"));
+  check "metric: adapt.rules.fired{rule=bad}" 1
+    (Option.value ~default:0
+       (Registry.read_counter ~labels:[ ("rule", "bad") ] "adapt.rules.fired"))
+
+(* A swap that holds: the rule keeps its condition true forever, but once
+   the variant is live, re-firing is suppressed without consuming the
+   cooldown. *)
+let plane_hysteresis_suppresses_refire () =
+  let topo = Topology.create () in
+  let ctl_node = Topology.add_host topo "ctl" "10.9.1.1" in
+  let target = Topology.add_host topo "target" "10.9.1.2" in
+  ignore (Topology.connect topo ~latency:0.001 ctl_node target);
+  Topology.compute_routes topo;
+  ignore (Deploy.Daemon.start target ());
+  let ctl = Deploy.Controller.create ctl_node () in
+  Deploy.Controller.deploy ctl ~target:(Node.addr target) ~name:"prog"
+    ~source:(forwarder "v1")
+    ~on_done:(fun _ -> ())
+    ();
+  Topology.run_until topo ~stop:1.0;
+  let policy =
+    match
+      Policy.parse
+        "period 0.25\n\
+         alpha 1\n\
+         rule go: when x > 0 for 0 cooldown 0.5 do swap prog v2\n"
+    with
+    | Ok p -> p
+    | Error msg -> Alcotest.fail msg
+  in
+  let env =
+    {
+      Plane.de_controller = ctl;
+      de_backend = "jit";
+      de_target_of = (fun _ -> Some (Node.addr target));
+      de_variant_of =
+        (fun ~program:_ ~variant ->
+          if variant = "v2" then
+            Some { Plane.v_source = forwarder "v2"; v_authenticated = false }
+          else None);
+    }
+  in
+  let plane =
+    Plane.arm ~env
+      ~active:[ ("prog", "v1") ]
+      ~engine:(Topology.engine topo) ~until:8.0
+      ~signals:[ ("x", Monitor.Sample (fun () -> 1.0)) ]
+      policy
+  in
+  Topology.run topo;
+  let stats = Plane.stats plane in
+  check "single firing despite ~32 eligible ticks" 1 stats.Plane.st_fired;
+  check "single swap" 1 stats.Plane.st_swaps;
+  Alcotest.(check (option string))
+    "v2 live" (Some "v2")
+    (Plane.active_variant plane "prog")
+
+let plane_requires_wired_signals () =
+  let engine = Engine.create () in
+  let policy =
+    match
+      Policy.parse "rule r: when ghost > 1 for 1 do escalate boo\n"
+    with
+    | Ok p -> p
+    | Error msg -> Alcotest.fail msg
+  in
+  checkb "unwired signal rejected" true
+    (try
+       ignore (Plane.arm ~engine ~until:1.0 ~signals:[] policy);
+       false
+     with Invalid_argument _ -> true)
+
+let plane_retune_and_escalate () =
+  let engine = Engine.create () in
+  let tuned = ref [] and escalated = ref [] in
+  let policy =
+    match
+      Policy.parse
+        "period 0.5\n\
+         rule tune: when x > 0 for 0 cooldown 10 do retune buffer 0.25\n\
+         rule bail: when x > 0 for 1 cooldown 10 do escalate \"x stuck high\"\n"
+    with
+    | Ok p -> p
+    | Error msg -> Alcotest.fail msg
+  in
+  let plane =
+    Plane.arm ~engine ~until:4.0
+      ~on_retune:(fun ~param ~value -> tuned := (param, value) :: !tuned)
+      ~on_escalate:(fun ~reason -> escalated := reason :: !escalated)
+      ~signals:[ ("x", Monitor.Sample (fun () -> 1.0)) ]
+      policy
+  in
+  Engine.run engine;
+  let stats = Plane.stats plane in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "retune delivered once" [ ("buffer", 0.25) ] !tuned;
+  Alcotest.(check (list string))
+    "escalation delivered once" [ "x stuck high" ] !escalated;
+  check "retunes counted" 1 stats.Plane.st_retunes;
+  check "escalations counted" 1 stats.Plane.st_escalations
+
+(* ---------- empty-policy golden parity ---------- *)
+
+(* An armed-but-empty adaptation policy must leave the audio experiment
+   bit-identical to no adaptation plane at all (the Faults precedent):
+   idle monitors are not "cheap", they do not exist. *)
+let empty_policy_golden_parity () =
+  let run adaptation =
+    Registry.reset Registry.default;
+    Asp.Audio_experiment.run
+      (Asp.Audio_experiment.quick_config ~deploy:Asp.Deploy_mode.In_band ?adaptation ())
+  in
+  let base = run None in
+  let armed = run (Some Policy.empty) in
+  check "frames sent" base.Asp.Audio_experiment.frames_sent
+    armed.Asp.Audio_experiment.frames_sent;
+  check "frames received" base.Asp.Audio_experiment.frames_received
+    armed.Asp.Audio_experiment.frames_received;
+  check "segment drops" base.Asp.Audio_experiment.segment_drops
+    armed.Asp.Audio_experiment.segment_drops;
+  check "silent frames" base.Asp.Audio_experiment.silent_frames
+    armed.Asp.Audio_experiment.silent_frames;
+  checkb "wire series identical" true
+    (base.Asp.Audio_experiment.series = armed.Asp.Audio_experiment.series);
+  checkb "wire quality counts identical" true
+    (base.Asp.Audio_experiment.wire_quality_counts
+    = armed.Asp.Audio_experiment.wire_quality_counts);
+  match armed.Asp.Audio_experiment.adaptation with
+  | None -> Alcotest.fail "armed run should report adaptation stats"
+  | Some stats ->
+      check "zero ticks: nothing was scheduled" 0 stats.Plane.st_ticks;
+      check "zero firings" 0 stats.Plane.st_fired
+
+(* ---------- adaptive vs static under faults ---------- *)
+
+(* A congestion fault shrinks the client segment to 1/10th capacity: the
+   static router ASP reads offered load (blind to capacity) and never
+   degrades; the closed loop sees the drop rate and swaps the
+   conservative thresholds in, then swaps back after the fault clears. *)
+let audio_adaptive_beats_static () =
+  let congest =
+    {
+      Faults.seed = 7;
+      events =
+        [
+          fevent ~at:8.0 ~until:30.0
+            ~target:(Faults.Tsegment "client-segment")
+            (Faults.Congest { bandwidth_factor = 0.1; queue_factor = 1.0 });
+        ];
+    }
+  in
+  let config adaptation =
+    {
+      (Asp.Audio_experiment.quick_config ~deploy:Asp.Deploy_mode.In_band
+         ~faults:congest ?adaptation ())
+      with
+      Asp.Audio_experiment.schedule = [ (0.0, 0.0) ];
+    }
+  in
+  Registry.reset Registry.default;
+  let static = Asp.Audio_experiment.run (config None) in
+  Registry.reset Registry.default;
+  let adaptive =
+    Asp.Audio_experiment.run (config (Some (Asp.Audio_experiment.adaptive_policy ())))
+  in
+  (match adaptive.Asp.Audio_experiment.adaptation with
+  | None -> Alcotest.fail "no adaptation stats"
+  | Some stats ->
+      checkb "at least one swap"
+        true (stats.Plane.st_swaps >= 1);
+      check "no failed swaps" 0 stats.Plane.st_failed_swaps;
+      check "no rollbacks" 0 stats.Plane.st_rollbacks);
+  checkb
+    (Printf.sprintf "adaptive delivers more frames (%d vs %d static)"
+       adaptive.Asp.Audio_experiment.frames_received
+       static.Asp.Audio_experiment.frames_received)
+    true
+    (adaptive.Asp.Audio_experiment.frames_received
+    > static.Asp.Audio_experiment.frames_received);
+  checkb
+    (Printf.sprintf "adaptive drops less (%d vs %d static)"
+       adaptive.Asp.Audio_experiment.segment_drops
+       static.Asp.Audio_experiment.segment_drops)
+    true
+    (adaptive.Asp.Audio_experiment.segment_drops
+    < static.Asp.Audio_experiment.segment_drops)
+
+(* Severe congestion on the MPEG client segment: the closed loop swaps
+   the router filter to the authenticated B-frame-shedding variant, and
+   more I- and P-frames survive than under the static pass-through. *)
+let mpeg_adaptive_protects_ip_frames () =
+  let congest =
+    {
+      Faults.seed = 11;
+      events =
+        [
+          fevent ~at:2.0 ~until:16.0
+            ~target:(Faults.Tsegment "client-segment")
+            (Faults.Congest { bandwidth_factor = 0.03; queue_factor = 1.0 });
+        ];
+    }
+  in
+  let ip_frames result =
+    List.fold_left
+      (fun acc (i, p, _) -> acc + i + p)
+      0 result.Asp.Mpeg_experiment.client_frame_kinds
+  in
+  Registry.reset Registry.default;
+  let static =
+    Asp.Mpeg_experiment.run
+      (Asp.Mpeg_experiment.default_config ~deploy:Asp.Deploy_mode.In_band
+         ~faults:congest ())
+  in
+  Registry.reset Registry.default;
+  let adaptive =
+    Asp.Mpeg_experiment.run
+      (Asp.Mpeg_experiment.default_config ~deploy:Asp.Deploy_mode.In_band
+         ~faults:congest
+         ~adaptation:(Asp.Mpeg_experiment.adaptive_policy ())
+         ())
+  in
+  (match adaptive.Asp.Mpeg_experiment.adaptation with
+  | None -> Alcotest.fail "no adaptation stats"
+  | Some stats ->
+      checkb "at least one swap" true (stats.Plane.st_swaps >= 1);
+      check "no failed swaps" 0 stats.Plane.st_failed_swaps);
+  checkb
+    (Printf.sprintf "adaptive delivers more I+P frames (%d vs %d static)"
+       (ip_frames adaptive) (ip_frames static))
+    true
+    (ip_frames adaptive > ip_frames static)
+
+(* server1 crashes mid-run: the Modulo gateway keeps assigning new
+   connections to it (each costing the client a 2 s retry); the closed
+   loop sees the retry rate, swaps the failover gateway in and starts its
+   health prober, which routes everything to the survivor. *)
+let http_adaptive_routes_around_crash () =
+  let crash =
+    {
+      Faults.seed = 3;
+      events =
+        [
+          fevent ~at:4.0 ~target:(Faults.Tnode "server1")
+            (Faults.Crash { wipe = false });
+        ];
+    }
+  in
+  let config adaptation =
+    {
+      Asp.Http_experiment.default_config with
+      Asp.Http_experiment.duration = 14.0;
+      warmup = 2.0;
+      client_count = 4;
+      trace_requests = 20_000;
+      deploy = Asp.Deploy_mode.In_band;
+      faults = Some crash;
+      adaptation;
+    }
+  in
+  let setup = Asp.Http_experiment.Asp_gateway Planp_jit.Backends.jit in
+  Registry.reset Registry.default;
+  let static = Asp.Http_experiment.run_point (config None) setup ~workers:8 in
+  Registry.reset Registry.default;
+  let adaptive =
+    Asp.Http_experiment.run_point
+      (config (Some (Asp.Http_experiment.adaptive_policy ())))
+      setup ~workers:8
+  in
+  (match adaptive.Asp.Http_experiment.adaptation with
+  | None -> Alcotest.fail "no adaptation stats"
+  | Some stats ->
+      checkb "at least one swap" true (stats.Plane.st_swaps >= 1);
+      check "no failed swaps" 0 stats.Plane.st_failed_swaps);
+  checkb
+    (Printf.sprintf "adaptive completes more replies (%.1f vs %.1f static)"
+       adaptive.Asp.Http_experiment.replies_per_s static.Asp.Http_experiment.replies_per_s)
+    true
+    (adaptive.Asp.Http_experiment.replies_per_s
+    > static.Asp.Http_experiment.replies_per_s);
+  checkb
+    (Printf.sprintf "adaptive retries less (%d vs %d static)"
+       adaptive.Asp.Http_experiment.client_retries
+       static.Asp.Http_experiment.client_retries)
+    true
+    (adaptive.Asp.Http_experiment.client_retries
+    <= static.Asp.Http_experiment.client_retries)
+
+let () =
+  Alcotest.run "adapt"
+    [
+      ( "signal",
+        [ Alcotest.test_case "ewma smoothing and bounds" `Quick signal_ewma ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "ticks, rates, gauges" `Quick
+            monitor_ticks_and_rates;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "grammar round-trip" `Quick policy_parse_roundtrip;
+          Alcotest.test_case "errors name the line" `Quick policy_parse_errors;
+          Alcotest.test_case "emptiness" `Quick policy_empty;
+        ] );
+      ( "plane",
+        [
+          Alcotest.test_case "guard rolls back and quarantines" `Quick
+            plane_guard_rollback_and_quarantine;
+          Alcotest.test_case "hysteresis suppresses refire" `Quick
+            plane_hysteresis_suppresses_refire;
+          Alcotest.test_case "unwired signals rejected" `Quick
+            plane_requires_wired_signals;
+          Alcotest.test_case "retune and escalate callbacks" `Quick
+            plane_retune_and_escalate;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "empty policy golden parity" `Quick
+            empty_policy_golden_parity;
+          Alcotest.test_case "audio: adaptive beats static" `Slow
+            audio_adaptive_beats_static;
+          Alcotest.test_case "mpeg: B-shedding protects I+P" `Slow
+            mpeg_adaptive_protects_ip_frames;
+          Alcotest.test_case "http: failover swap under crash" `Slow
+            http_adaptive_routes_around_crash;
+        ] );
+    ]

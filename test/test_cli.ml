@@ -219,6 +219,111 @@ let cli_undeploy () =
   checkb "rollback target retained" true
     (contains output "retired (epoch 1 kept for rollback)")
 
+let cli_deploy_retry_budget_aborts () =
+  (* With a finite retry budget the --flap cut (healed only at t=1s)
+     exhausts the capsule streams: the rollout settles Aborted, the exit
+     code is nonzero and the reason reaches stderr. *)
+  let path = write_program forwarder in
+  let code, output =
+    run [ "deploy"; path; "--targets"; "2"; "--flap"; "--retry-budget"; "2" ]
+  in
+  Sys.remove path;
+  check "exit 2" 2 code;
+  checkb "outcome aborted" true
+    (contains output "aborted: retry budget exhausted");
+  checkb "failure reason on stderr" true
+    (contains output "planpc: deploy failed on target0")
+
+let write_tmp suffix contents =
+  let path = Filename.temp_file "adapt" suffix in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let cli_adapt_empty_policy_parity () =
+  (* The golden-parity satellite at the CLI level: adapt with an empty
+     policy arms an inert plane on the exact [run] code path, so metrics
+     and timeline exports come out byte-identical to [planpc run]. *)
+  let path = write_program forwarder in
+  let policy = write_tmp ".pol" "# no rules\n\n" in
+  let m1 = Filename.temp_file "metrics" ".json" in
+  let t1 = Filename.temp_file "timeline" ".json" in
+  let m2 = Filename.temp_file "metrics" ".json" in
+  let t2 = Filename.temp_file "timeline" ".json" in
+  let code1, output =
+    run
+      [ "adapt"; path; "--policy"; policy; "--metrics-out"; m1;
+        "--timeline-out"; t1 ]
+  in
+  let code2, _ =
+    run [ "run"; path; "--metrics-out"; m2; "--timeline-out"; t2 ]
+  in
+  Sys.remove path;
+  Sys.remove policy;
+  check "adapt exit 0" 0 code1;
+  check "run exit 0" 0 code2;
+  checkb "reports the inert plane" true (contains output "(inert)");
+  checkb "metrics byte-identical" true (read_and_remove m1 = read_and_remove m2);
+  checkb "timeline byte-identical" true
+    (read_and_remove t1 = read_and_remove t2)
+
+let cli_adapt_closed_loop () =
+  (* End to end from the command line: congestion squeezes the lan
+     segment, the drop_rate rule fires, the plane hot-swaps the router's
+     program to the --variant source as a fresh epoch, and the goodput
+     guard confirms the swap. *)
+  let path = write_program forwarder in
+  let variant = write_tmp ".planp" forwarder in
+  let policy =
+    write_tmp ".pol"
+      "period 0.5\n\
+       alpha 0.4\n\
+       rule shed: when drop_rate > 5 for 1 cooldown 8 do swap asp lite\n\
+       guard goodput window 3 min-ratio 0.2\n"
+  in
+  let faults =
+    write_tmp ".faults"
+      "at 4.0 until 14.0 congest lan bandwidth 0.001 queue 0.002\n"
+  in
+  let code, output =
+    run
+      [ "adapt"; path; "--policy"; policy; "--variant"; "lite=" ^ variant;
+        "--faults"; faults; "--duration"; "20"; "--packets"; "40" ]
+  in
+  Sys.remove path;
+  Sys.remove variant;
+  Sys.remove policy;
+  Sys.remove faults;
+  check "exit 0" 0 code;
+  checkb "initial deploy acked" true (contains output "ACK epoch 1 (activated)");
+  checkb "rule fired a swap" true (contains output "swap asp lite");
+  checkb "swap acked as a fresh epoch" true (contains output "acked epoch 2");
+  checkb "guard passed" true (contains output "pass: goodput");
+  checkb "variant live" true
+    (contains output "active variant of \"asp\": lite");
+  checkb "router on the new epoch" true (contains output "asp@2")
+
+let cli_adapt_bad_policy () =
+  let path = write_program forwarder in
+  let policy = write_tmp ".pol" "period 0.5\nrule oops: when x ?? 3 do swap a b\n" in
+  let code, output = run [ "adapt"; path; "--policy"; policy ] in
+  Sys.remove path;
+  Sys.remove policy;
+  checkb "nonzero exit" true (code <> 0);
+  checkb "names the line" true (contains output "line 2")
+
+let cli_adapt_unwired_signal () =
+  let path = write_program forwarder in
+  let policy =
+    write_tmp ".pol" "rule r: when queue_delay > 1 for 1 do escalate \"x\"\n"
+  in
+  let code, output = run [ "adapt"; path; "--policy"; policy ] in
+  Sys.remove path;
+  Sys.remove policy;
+  checkb "nonzero exit" true (code <> 0);
+  checkb "says the signal is not wired" true (contains output "not wired")
+
 let () =
   Alcotest.run "planpc-cli"
     [
@@ -242,5 +347,13 @@ let () =
           Alcotest.test_case "deploy" `Quick cli_deploy;
           Alcotest.test_case "deploy rejected" `Quick cli_deploy_rejected;
           Alcotest.test_case "undeploy" `Quick cli_undeploy;
+          Alcotest.test_case "deploy retry budget aborts" `Quick
+            cli_deploy_retry_budget_aborts;
+          Alcotest.test_case "adapt empty policy parity" `Quick
+            cli_adapt_empty_policy_parity;
+          Alcotest.test_case "adapt closed loop" `Quick cli_adapt_closed_loop;
+          Alcotest.test_case "adapt bad policy" `Quick cli_adapt_bad_policy;
+          Alcotest.test_case "adapt unwired signal" `Quick
+            cli_adapt_unwired_signal;
         ] );
     ]

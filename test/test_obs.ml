@@ -137,6 +137,66 @@ let histogram_observe_and_export () =
         (List.exists (fun (_, n) -> n = 2) hs_buckets)
   | _ -> Alcotest.fail "expected exactly one histogram entry"
 
+(* --- typed reads ----------------------------------------------------- *)
+
+let typed_reads () =
+  let registry = Obs.Registry.create () in
+  let c =
+    Obs.Registry.counter ~registry ~labels:[ ("node", "a") ] "hits"
+  in
+  Obs.Registry.add c 7;
+  let g = Obs.Registry.gauge ~registry "depth" in
+  Obs.Registry.set g 2.5;
+  let h = Obs.Registry.histogram ~registry "lat" in
+  Obs.Registry.observe h 1.0;
+  Obs.Registry.observe h 3.0;
+  (match Obs.Registry.read_counter ~registry ~labels:[ ("node", "a") ] "hits" with
+  | Some n -> check "counter value" 7 n
+  | None -> Alcotest.fail "counter not found");
+  (match Obs.Registry.read_gauge ~registry "depth" with
+  | Some v -> checkf "gauge value" 2.5 v
+  | None -> Alcotest.fail "gauge not found");
+  (match Obs.Registry.read_histogram ~registry "lat" with
+  | Some (n, sum) ->
+      check "histogram count" 2 n;
+      checkf "histogram sum" 4.0 sum
+  | None -> Alcotest.fail "histogram not found");
+  (match Obs.Registry.read_quantile ~registry ~q:1.0 "lat" with
+  | Some v -> checkb "q1 covers the max" true (v >= 3.0)
+  | None -> Alcotest.fail "quantile not found");
+  checkf "quantile by handle agrees" (Obs.Registry.quantile h 1.0)
+    (Option.get (Obs.Registry.read_quantile ~registry ~q:1.0 "lat"))
+
+let typed_reads_never_create () =
+  let registry = Obs.Registry.create () in
+  checkb "absent counter is None" true
+    (Obs.Registry.read_counter ~registry "ghost" = None);
+  checkb "absent gauge is None" true
+    (Obs.Registry.read_gauge ~registry "ghost" = None);
+  checkb "absent histogram is None" true
+    (Obs.Registry.read_histogram ~registry "ghost" = None);
+  checkb "absent quantile is None" true
+    (Obs.Registry.read_quantile ~registry ~q:0.5 "ghost" = None);
+  (* Probing registered nothing: the registry is still empty. *)
+  check "no cells created" 0 (List.length (Obs.Registry.snapshot registry));
+  (* Labels are part of the key: same name, other labels, still None. *)
+  ignore (Obs.Registry.counter ~registry ~labels:[ ("node", "a") ] "hits");
+  checkb "label mismatch is None" true
+    (Obs.Registry.read_counter ~registry ~labels:[ ("node", "b") ] "hits"
+    = None)
+
+let typed_reads_wrong_kind_raises () =
+  let registry = Obs.Registry.create () in
+  ignore (Obs.Registry.counter ~registry "c");
+  checkb "reading a counter as a gauge raises" true
+    (match Obs.Registry.read_gauge ~registry "c" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "reading a counter as a histogram raises" true
+    (match Obs.Registry.read_histogram ~registry "c" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 (* --- enable/disable and reset --------------------------------------- *)
 
 let disabled_updates_are_noops () =
@@ -313,6 +373,11 @@ let () =
           Alcotest.test_case "histogram export" `Quick histogram_observe_and_export;
           Alcotest.test_case "disabled is a no-op" `Quick disabled_updates_are_noops;
           Alcotest.test_case "reset drops metrics" `Quick reset_drops_metrics;
+          Alcotest.test_case "typed reads" `Quick typed_reads;
+          Alcotest.test_case "typed reads never create" `Quick
+            typed_reads_never_create;
+          Alcotest.test_case "typed reads wrong kind raises" `Quick
+            typed_reads_wrong_kind_raises;
         ] );
       ( "export",
         [

@@ -13,7 +13,10 @@
 #   - the fault-matrix cell counts (frames/replies/streams under the
 #     baseline/lossy/flappy/churn scenarios; the simulation and the fault
 #     plane are both seeded, so the counts are deterministic and gated
-#     +-25% in both directions) plus the adaptation-shape assertions.
+#     +-25% in both directions) plus the adaptation-shape assertions, and
+#   - the closed-loop adaptation cells (adaptive vs static goodput under
+#     the same four scenario names; adaptive must beat static in every
+#     fault cell and tie exactly, with zero swaps, on the healthy one).
 # Absolute packets/sec and events/sec are recorded in the baseline for
 # reference but never compared across machines.
 #
@@ -32,4 +35,4 @@ if [ ! -f BENCH_PERF.json ]; then
     exit 1
 fi
 
-exec dune exec --profile release bench/main.exe -- perf scale faults --smoke --check BENCH_PERF.json
+exec dune exec --profile release bench/main.exe -- perf scale faults adapt --smoke --check BENCH_PERF.json

@@ -3,7 +3,9 @@
 #   1. every lib/* subtree is listed in README.md's architecture map;
 #   2. every netsim.faults.* metric named in the docs is actually
 #      registered by lib/netsim/faults.ml (docs cannot invent metrics);
-#   3. the odoc docs build cleanly (skipped when odoc is not installed,
+#   3. every adapt.* metric named in the docs is registered by
+#      lib/adapt/*.ml (same contract for the adaptation plane);
+#   4. the odoc docs build cleanly (skipped when odoc is not installed,
 #      as in the minimal CI image).
 # Run from the repository root: sh tools/check_docs.sh
 
@@ -36,6 +38,18 @@ for metric in $(grep -h 'netsim\.faults\.' doc/*.md README.md \
                 | grep -o '`\.[a-z_]*`' | tr -d '`.' | sort -u); do
     if ! grep -q "\"netsim\.faults\.$metric\"" lib/netsim/faults.ml; then
         echo "check_docs: docs name a faults metric .$metric that lib/netsim/faults.ml does not register" >&2
+        status=1
+    fi
+done
+
+# Same contract for the adaptation plane. The docs use full metric
+# names only (adapt.monitor.ticks, never `.ticks`), so no
+# abbreviation expansion is needed; file mentions like test_adapt.ml
+# are filtered out.
+for metric in $(grep -ho 'adapt\.[a-z_.]*[a-z_]' doc/*.md README.md \
+                | grep -v '\.ml$' | sort -u); do
+    if ! grep -qF "\"$metric\"" lib/adapt/*.ml; then
+        echo "check_docs: docs name $metric but lib/adapt/*.ml does not register it" >&2
         status=1
     fi
 done
