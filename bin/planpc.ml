@@ -208,7 +208,8 @@ let simulate_cmd =
    always produce the same registry contents. [policy], when given, must
    be empty — the armed plane schedules nothing ({!Adapt.Policy.is_empty}),
    which is exactly what the golden-parity tests pin down. *)
-let run_scenario ?faults_path ?policy ~source ~backend ~packets () =
+let run_scenario ?faults_path ?policy ?(domains = 1) ~source ~backend ~packets
+    () =
   let topo = Extnet.Topology.create () in
   let a = Extnet.Topology.add_host topo "alice" "10.0.0.1" in
   let router = Extnet.Topology.add_host topo "router" "10.0.0.254" in
@@ -220,11 +221,41 @@ let run_scenario ?faults_path ?policy ~source ~backend ~packets () =
   Extnet.Topology.compute_routes topo;
   (* Scenario target names: link "uplink", segment "lan", nodes "alice",
      "router", "bob". *)
+  let scenario =
+    Option.map
+      (fun path -> or_die (Extnet.Faults.parse_scenario (read_file path)))
+      faults_path
+  in
+  (* With --domains >= 2, shard the topology before faults are armed and
+     packets injected: fault targets are pinned into one partition so the
+     scenario's RNG draws stay deterministic. *)
+  let pin =
+    match (scenario, domains) with
+    | Some sc, d when d > 1 ->
+        or_die
+          (Result.map_error
+             (fun msg -> "--domains with --faults: " ^ msg)
+             (Extnet.Faults.pin_targets topo sc))
+    | _ -> []
+  in
+  let par =
+    if domains = 1 then None
+    else Some (or_die (Extnet.Par.of_topology ~pin topo ~domains))
+  in
   Option.iter
-    (fun path ->
-      let scenario = or_die (Extnet.Faults.parse_scenario (read_file path)) in
-      ignore (Extnet.Faults.arm topo scenario))
-    faults_path;
+    (fun par ->
+      Printf.printf "domains: %d (lookahead %gs)\n" (Extnet.Par.parts par)
+        (Extnet.Par.lookahead par))
+    par;
+  Option.iter
+    (fun sc ->
+      let engine =
+        match (par, pin) with
+        | Some par, first :: _ -> Some (Extnet.Par.engine_of par first)
+        | _ -> None
+      in
+      ignore (Extnet.Faults.arm ?engine topo sc))
+    scenario;
   let tracer = Extnet.Tracer.on_segment segment () in
   ignore
     (or_die
@@ -249,8 +280,10 @@ let run_scenario ?faults_path ?policy ~source ~backend ~packets () =
       ~dst_port:(if i mod 3 = 0 then 7 else 53)
       (Extnet.Payload.of_string "payload")
   done;
-  Extnet.Topology.run topo;
-  (topo, tracer, start_snapshot, plane, !tcp_seen, !udp_seen)
+  (match par with
+  | None -> Extnet.Topology.run topo
+  | Some par -> Extnet.Par.run par);
+  (topo, par, tracer, start_snapshot, plane, !tcp_seen, !udp_seen)
 
 let backend_of_name backend_name =
   match Planp_jit.Backends.by_name backend_name with
@@ -291,7 +324,7 @@ let timeline_out_flag =
   out_flag [ "timeline-out" ]
     "Write the merged trace + metrics timeline as JSON to $(docv)"
 
-let export_observability ~topo ~tracer ~start_snapshot ~metrics_out
+let export_observability ~topo ~par ~tracer ~start_snapshot ~metrics_out
     ~metrics_csv ~timeline_out =
   let registry = Obs.Registry.default in
   Option.iter
@@ -306,7 +339,13 @@ let export_observability ~topo ~tracer ~start_snapshot ~metrics_out
     metrics_csv;
   Option.iter
     (fun file ->
-      let now = Extnet.Engine.now (Extnet.Topology.engine topo) in
+      (* A partitioned run keeps one clock per domain; [Par.now] is their
+         maximum, which equals the sequential engine's final clock. *)
+      let now =
+        match par with
+        | None -> Extnet.Engine.now (Extnet.Topology.engine topo)
+        | Some par -> Extnet.Par.now par
+      in
       let events =
         Obs.Timeline.merge
           [
@@ -322,12 +361,12 @@ let export_observability ~topo ~tracer ~start_snapshot ~metrics_out
 
 (* The body of [run]; [adapt] with an empty policy takes this exact code
    path (plus the inert armed plane), so its exports are byte-identical. *)
-let run_plain ?policy path packets backend_name metrics_out metrics_csv
-    timeline_out faults_path =
+let run_plain ?policy ?domains path packets backend_name metrics_out
+    metrics_csv timeline_out faults_path =
   let backend = backend_of_name backend_name in
-  let topo, tracer, start_snapshot, plane, tcp_seen, udp_seen =
-    run_scenario ?faults_path ?policy ~source:(read_file path) ~backend
-      ~packets ()
+  let topo, par, tracer, start_snapshot, plane, tcp_seen, udp_seen =
+    run_scenario ?faults_path ?policy ?domains ~source:(read_file path)
+      ~backend ~packets ()
   in
   Printf.printf "--- run (%s backend) ---\n" backend_name;
   Printf.printf "receiver (bob): tcp %d   udp %d (of %d each sent)\n" tcp_seen
@@ -342,27 +381,40 @@ let run_plain ?policy path packets backend_name metrics_out metrics_csv
         "adaptation: empty policy armed, %d tick(s), %d firing(s) (inert)\n"
         stats.Extnet.Adapt.Plane.st_ticks stats.Extnet.Adapt.Plane.st_fired)
     plane;
-  export_observability ~topo ~tracer ~start_snapshot ~metrics_out ~metrics_csv
-    ~timeline_out
+  export_observability ~topo ~par ~tracer ~start_snapshot ~metrics_out
+    ~metrics_csv ~timeline_out
+
+let domains_flag =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Shard the topology across $(docv) OCaml domains (deterministic \
+           conservative parallel simulation). $(docv)=1 (the default) is \
+           the plain sequential engine; results are identical either way.")
 
 let run_cmd =
-  let run path packets backend_name metrics_out metrics_csv timeline_out
-      faults_path =
-    run_plain path packets backend_name metrics_out metrics_csv timeline_out
-      faults_path
+  let run path packets backend_name domains metrics_out metrics_csv
+      timeline_out faults_path =
+    if domains < 1 then begin
+      prerr_endline "planpc: --domains must be >= 1";
+      exit 1
+    end;
+    run_plain ~domains path packets backend_name metrics_out metrics_csv
+      timeline_out faults_path
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Run the program on a traced topology and export observability data")
     Term.(
-      const run $ file_arg $ packets_flag $ backend_flag $ metrics_out_flag
-      $ metrics_csv_flag $ timeline_out_flag $ faults_flag)
+      const run $ file_arg $ packets_flag $ backend_flag $ domains_flag
+      $ metrics_out_flag $ metrics_csv_flag $ timeline_out_flag $ faults_flag)
 
 let stats_cmd =
   let run path packets backend_name =
     let backend = backend_of_name backend_name in
-    let _topo, _tracer, _start, _plane, _tcp, _udp =
+    let _topo, _par, _tracer, _start, _plane, _tcp, _udp =
       run_scenario ~source:(read_file path) ~backend ~packets ()
     in
     Obs.Registry.pp Format.std_formatter Obs.Registry.default;
@@ -816,8 +868,8 @@ let adapt_cmd =
               (List.map
                  (fun (slot, epoch) -> Printf.sprintf "%s@%d" slot epoch)
                  slots));
-      export_observability ~topo ~tracer ~start_snapshot ~metrics_out
-        ~metrics_csv ~timeline_out;
+      export_observability ~topo ~par:None ~tracer ~start_snapshot
+        ~metrics_out ~metrics_csv ~timeline_out;
       match initial with
       | Some (Extnet.Deploy.Controller.Acked _) -> ()
       | Some outcome ->

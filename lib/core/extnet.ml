@@ -7,6 +7,8 @@ module Engine = Netsim.Engine
 module Segment = Netsim.Segment
 module Tracer = Netsim.Tracer
 module Faults = Netsim.Faults
+module Partition = Netsim.Partition
+module Par = Netsim.Par_engine
 module Obs = Obs
 module Lang = Planp
 module Runtime = Planp_runtime.Runtime

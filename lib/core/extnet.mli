@@ -24,6 +24,13 @@ module Engine = Netsim.Engine
 module Segment = Netsim.Segment
 module Tracer = Netsim.Tracer
 module Faults = Netsim.Faults
+
+(** Topology partitioning and the deterministic parallel driver: shard a
+    built topology across OCaml 5 domains with {!Par.of_topology} and
+    drive it with {!Par.run} / {!Par.run_until}. *)
+module Partition = Netsim.Partition
+
+module Par = Netsim.Par_engine
 module Obs = Obs
 module Lang = Planp
 module Runtime = Planp_runtime.Runtime

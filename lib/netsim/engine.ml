@@ -62,7 +62,7 @@ let nop_event = Timer (fun () -> ())
 let dummy_packet =
   Packet.make ~src:Addr.broadcast ~dst:Addr.broadcast Packet.Raw Payload.empty
 
-let create () =
+let create ?(register_gauges = true) () =
   let engine =
     {
       queue = Sched.create ~dummy:nop_event ();
@@ -78,23 +78,33 @@ let create () =
         Obs.Registry.counter ~help:"events executed" "netsim.engine.events";
     }
   in
-  (* Callback gauges cost nothing per event; they sample at snapshot time. *)
-  Obs.Registry.set_fn
-    (Obs.Registry.gauge ~help:"current simulated time (s)"
-       "netsim.engine.sim_time_s")
-    (fun () -> engine.clock.Sched.v);
-  Obs.Registry.set_fn
-    (Obs.Registry.gauge ~help:"events still queued" "netsim.engine.pending")
-    (fun () -> float_of_int engine.queued);
-  Obs.Registry.set_fn
-    (Obs.Registry.gauge ~help:"peak event-queue depth"
-       "netsim.engine.heap_depth_max")
-    (fun () -> float_of_int engine.depth_max);
-  Obs.Registry.set_fn
-    (Obs.Registry.gauge ~volatile:true
-       ~help:"cpu seconds spent inside run/run_until"
-       "netsim.engine.wall_cpu_s")
-    (fun () -> engine.wall_spent);
+  (* Callback gauges cost nothing per event; they sample at snapshot time.
+     Partition sub-engines pass [~register_gauges:false]: the parallel
+     driver owns these names and registers reductions over every
+     partition instead (Par_engine). *)
+  if register_gauges then begin
+    Obs.Registry.set_fn
+      (Obs.Registry.gauge ~help:"current simulated time (s)"
+         "netsim.engine.sim_time_s")
+      (fun () -> engine.clock.Sched.v);
+    Obs.Registry.set_fn
+      (Obs.Registry.gauge ~help:"events still queued" "netsim.engine.pending")
+      (fun () -> float_of_int engine.queued);
+    (* Volatile: the peak queue depth describes how the run was executed
+       (one global queue vs per-partition queues), not what the simulated
+       network did — a sharded run cannot reproduce the sequential
+       engine's instantaneous global peak, so the gauge stays out of
+       deterministic exports like the wall-clock timings do. *)
+    Obs.Registry.set_fn
+      (Obs.Registry.gauge ~volatile:true ~help:"peak event-queue depth"
+         "netsim.engine.heap_depth_max")
+      (fun () -> float_of_int engine.depth_max);
+    Obs.Registry.set_fn
+      (Obs.Registry.gauge ~volatile:true
+         ~help:"cpu seconds spent inside run/run_until"
+         "netsim.engine.wall_cpu_s")
+      (fun () -> engine.wall_spent)
+  end;
   engine
 
 let[@inline] now engine = engine.clock.Sched.v
@@ -384,6 +394,37 @@ let run_until ?(limit = default_limit) engine ~stop =
         else continue := false
       done;
       if stop > engine.clock.Sched.v then engine.clock.Sched.v <- stop)
+
+(* A bounded slice for the partitioned parallel driver: process events
+   strictly below [stop] ([<= stop] when [inclusive]), do NOT flush
+   batched metrics (worker domains must never touch the shared registry)
+   and do NOT advance the clock to [stop] (later windows still need
+   cross-partition pushes at [>= stop] to be "in the future").  Returns
+   the number of events fired so the driver can enforce a global limit. *)
+let run_window ?(limit = default_limit) ?(inclusive = false) engine ~stop =
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if
+      Sched.peek_time engine.queue ~into:engine.scratch
+      && (engine.scratch.Sched.v < stop
+         || (inclusive && engine.scratch.Sched.v = stop))
+    then begin
+      ignore (step engine);
+      incr fired;
+      if !fired > limit then
+        invalid_arg "Engine.run_window: event limit exceeded"
+    end
+    else continue := false
+  done;
+  !fired
+
+(* Earliest due time, [infinity] when idle — the horizon input of the
+   conservative window computation. *)
+let next_time engine =
+  if Sched.peek_time engine.queue ~into:engine.scratch then
+    engine.scratch.Sched.v
+  else Float.infinity
 
 let pending engine = engine.queued
 let events_processed engine = engine.processed

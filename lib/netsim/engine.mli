@@ -14,8 +14,12 @@
 
 type t
 
-(** [create ()] is a fresh engine with the clock at [0.0]. *)
-val create : unit -> t
+(** [create ()] is a fresh engine with the clock at [0.0].
+    [~register_gauges:false] skips registering the process-wide
+    [netsim.engine.*] callback gauges — partition sub-engines use it so
+    the parallel driver ({!Par_engine}) can own those names and publish
+    reductions over every partition instead. *)
+val create : ?register_gauges:bool -> unit -> t
 
 (** [now engine] is the current simulated time in seconds. *)
 val now : t -> float
@@ -86,6 +90,20 @@ val run : ?limit:int -> t -> unit
     the clock to [stop]. Events scheduled later stay queued. *)
 val run_until : ?limit:int -> t -> stop:float -> unit
 
+(** [run_window engine ~stop] processes events with time strictly below
+    [stop] ([<= stop] with [~inclusive:true]) and returns how many fired.
+    Unlike {!run_until} it neither flushes batched metrics nor advances
+    the clock to [stop] — it is the per-round primitive of the
+    partitioned parallel driver ({!Par_engine}), whose worker domains
+    must not touch the shared registry and whose later windows still push
+    cross-partition arrivals at times [>= stop]. *)
+val run_window : ?limit:int -> ?inclusive:bool -> t -> stop:float -> int
+
+(** [next_time engine] is the earliest queued event time, [infinity] when
+    the queue is empty — the horizon input of the conservative window
+    computation. *)
+val next_time : t -> float
+
 (** [on_flush engine hook] registers [hook] to run (in registration order)
     whenever the engine flushes batched metrics — on every [run]/[run_until]
     exit, including exceptional ones. Components that batch per-packet
@@ -109,7 +127,10 @@ val pending : t -> int
 val events_processed : t -> int
 
 (** [max_heap_depth engine] is the peak event-queue depth seen so far —
-    mirrored by the [netsim.engine.heap_depth_max] gauge. *)
+    mirrored by the *volatile* [netsim.engine.heap_depth_max] gauge.
+    Volatile because it describes the execution plan, not the simulated
+    network: a partitioned run keeps one queue per domain and cannot
+    reproduce the sequential engine's instantaneous global peak. *)
 val max_heap_depth : t -> int
 
 (** [wall_cpu_seconds engine] is cpu time spent inside [run]/[run_until].

@@ -400,7 +400,7 @@ let schedule_event handle engine event =
           inject "reroute";
           reconverge handle)
 
-let arm topo scenario =
+let arm ?engine topo scenario =
   let handle =
     {
       h_topo = topo;
@@ -411,9 +411,56 @@ let arm topo scenario =
     }
   in
   if scenario.events <> [] then begin
-    let engine = Topology.engine topo in
-    List.iter (schedule_event handle engine) scenario.events;
-    Engine.on_flush engine (fun () ->
+    (* Fault timers default to the topology engine; a partitioned run
+       passes the engine of the partition its targets are pinned into.
+       The metrics flush hook always stays on the topology engine, whose
+       hooks the parallel driver runs after the domains have joined. *)
+    let sched_engine =
+      match engine with Some e -> e | None -> Topology.engine topo
+    in
+    List.iter (schedule_event handle sched_engine) scenario.events;
+    Engine.on_flush (Topology.engine topo) (fun () ->
         List.iter flush_tracked handle.h_tracked)
   end;
   handle
+
+(* Which nodes a partitioned run must pin into one partition so this
+   scenario stays deterministic: every draw from the shared scenario RNG
+   then happens on one domain, in the sequential order restricted to it.
+   Faults that reconverge routes globally cannot be partitioned at all. *)
+let pin_targets topo scenario =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | ev :: rest -> (
+        match ev.ft_kind with
+        | Link_down ->
+            Error "fault 'link down' reconverges routes globally"
+        | Crash _ -> Error "fault 'crash' reconverges routes globally"
+        | Reroute -> Error "fault 'reroute' reconverges routes globally"
+        | Loss _ | Corrupt _ | Congest _ -> (
+            match ev.ft_target with
+            | Some (Tlink name) | Some (Tsegment name) -> (
+                match resolve_medium topo name with
+                | Some (Mlink link) ->
+                    let endpoints =
+                      List.concat_map
+                        (fun (l, a, b) -> if l == link then [ a; b ] else [])
+                        (Topology.link_endpoints topo)
+                    in
+                    go (List.rev_append endpoints acc) rest
+                | Some (Msegment seg) ->
+                    let stations =
+                      List.concat_map
+                        (fun (s, nodes) -> if s == seg then nodes else [])
+                        (Topology.segment_stations topo)
+                    in
+                    go (List.rev_append stations acc) rest
+                | None ->
+                    Error
+                      (Printf.sprintf "unknown link or segment %s" name))
+            | Some (Tnode name) ->
+                Error
+                  (Printf.sprintf "%s: fault needs a link or segment" name)
+            | None -> Error "fault needs a target"))
+  in
+  go [] scenario.events

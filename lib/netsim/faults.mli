@@ -76,12 +76,25 @@ val scenario_of_events : ?seed:int -> event list -> scenario
 
 type handle
 
-val arm : Topology.t -> scenario -> handle
+val arm : ?engine:Engine.t -> Topology.t -> scenario -> handle
 (** [arm topo scenario] resolves every target name against [topo] and
     schedules the events on its engine. Call before (or during) the run;
     events whose time has already passed fire on the next engine step.
+    [?engine] overrides where the fault timers are scheduled: a
+    partitioned run ({!Par_engine}) passes the engine of the partition
+    the scenario's targets are pinned into, so faults fire on the domain
+    that owns their targets.
     @raise Invalid_argument when a target name does not resolve or an
     event is malformed (e.g. [Loss] on a node). *)
+
+val pin_targets : Topology.t -> scenario -> (Node.t list, string) result
+(** [pin_targets topo scenario] is the node set a partitioned run must
+    pin into a single partition for this scenario to stay deterministic:
+    the endpoints of every targeted link and the stations of every
+    targeted segment (the shared scenario RNG then draws on one domain,
+    in sequential order). [Error] for faults that reconverge routes
+    globally ([Link_down], [Crash], [Reroute]) or targets that do not
+    resolve. [Ok []] for an empty scenario. *)
 
 val on_restart : handle -> (Node.t -> unit) -> unit
 (** [on_restart handle f] registers [f] to run whenever a crashed node

@@ -1,12 +1,27 @@
 type endpoint = A | B
 
+(* Where a direction's transmitted packets go: straight into its delivery
+   ring ([Direct], the only case on an unpartitioned topology), or into a
+   cross-domain conduit installed by the parallel driver when the link is
+   cut between partitions — the receiving domain drains the conduit into
+   the ring at the next window barrier ({!conduit_deliver}). *)
+type out_target = Direct | Conduit of (at:float -> Packet.t -> unit)
+
 (* Per-packet metrics are batched into raw fields and flushed to the
    registry by an [Engine.on_flush] hook (so exported counters are exact
    whenever the engine is idle).  [fl] is a float array so the hot stores
-   to [busy_until] and the backlog-histogram sum never box. *)
+   to [busy_until] and the backlog-histogram sum never box.
+
+   A direction carries two engines: [d_tx_eng] (the transmitting
+   endpoint's engine, whose clock times sends) and [d_ring_eng] (the
+   receiving endpoint's engine, which pops the delivery ring).  They are
+   the same engine except on a topology sharded across domains. *)
 type direction = {
   fl : float array; (* 0 = busy_until, 1 = backlog sum since last flush *)
   delivery : Engine.delivery;
+  mutable d_tx_eng : Engine.t;
+  mutable d_ring_eng : Engine.t;
+  mutable d_out : out_target;
   dir_stat : Flowstat.t;
   mutable r_packets : int; (* raw totals since creation *)
   mutable r_bytes : int;
@@ -23,7 +38,6 @@ type direction = {
 
 type t = {
   link_name : string;
-  engine : Engine.t;
   mutable bandwidth : float;
   latency : float;
   mutable queue_capacity : int;
@@ -35,11 +49,14 @@ type t = {
 
 let other = function A -> B | B -> A
 
-let make_direction ~link_name ~dir =
+let make_direction ~link_name ~dir ~engine =
   let labels = [ ("link", link_name); ("dir", dir) ] in
   {
     fl = [| 0.0; 0.0 |];
     delivery = Engine.delivery ();
+    d_tx_eng = engine;
+    d_ring_eng = engine;
+    d_out = Direct;
     dir_stat = Flowstat.create ();
     r_packets = 0;
     r_bytes = 0;
@@ -95,12 +112,11 @@ let create ?(name = "link") ?(queue_capacity = 65536) engine ~bandwidth_bps
   let link =
     {
       link_name = name;
-      engine;
       bandwidth = bandwidth_bps;
       latency;
       queue_capacity;
-      a_to_b = make_direction ~link_name:name ~dir:"a_to_b";
-      b_to_a = make_direction ~link_name:name ~dir:"b_to_a";
+      a_to_b = make_direction ~link_name:name ~dir:"a_to_b" ~engine;
+      b_to_a = make_direction ~link_name:name ~dir:"b_to_a" ~engine;
       up = true;
       impair = None;
     }
@@ -129,7 +145,8 @@ let set_up link flag =
        directions' in-flight rings and charge each loss to the direction
        that transmitted it. *)
     let drop dir =
-      let n = Engine.clear_delivery link.engine dir.delivery in
+      (* The ring lives on the receiving endpoint's engine. *)
+      let n = Engine.clear_delivery dir.d_ring_eng dir.delivery in
       if n > 0 then dir.r_drops <- dir.r_drops + n
     in
     drop link.a_to_b;
@@ -168,12 +185,14 @@ let[@inline] transmit link dir ~now ~backlog packet =
   Array.unsafe_set dir.h_counts slot (Array.unsafe_get dir.h_counts slot + 1);
   Array.unsafe_set dir.fl 1
     (Array.unsafe_get dir.fl 1 +. float_of_int backlog);
-  Engine.push_delivery link.engine dir.delivery
-    ~at:(finish +. link.latency) packet
+  let at = finish +. link.latency in
+  match dir.d_out with
+  | Direct -> Engine.push_delivery dir.d_ring_eng dir.delivery ~at packet
+  | Conduit push -> push ~at packet
 
 let send link ~from packet =
   let dir = tx_direction link from in
-  let now = Engine.now link.engine in
+  let now = Engine.now dir.d_tx_eng in
   let size = Packet.wire_size packet in
   let backlog = backlog_of dir ~now ~bandwidth:link.bandwidth in
   if (not link.up) || backlog + size > link.queue_capacity then begin
@@ -196,7 +215,26 @@ let send link ~from packet =
 
 let backlog_bytes link endpoint =
   let dir = tx_direction link endpoint in
-  backlog_of dir ~now:(Engine.now link.engine) ~bandwidth:link.bandwidth
+  backlog_of dir ~now:(Engine.now dir.d_tx_eng) ~bandwidth:link.bandwidth
 
 let stat link endpoint = (tx_direction link endpoint).dir_stat
 let drops link endpoint = (tx_direction link endpoint).r_drops
+let latency link = link.latency
+
+(* Partitioning seams — called single-threaded by the parallel driver
+   before any domain is spawned. *)
+
+let set_engines link ~a ~b =
+  (* Direction a_to_b transmits at A's clock and delivers into B's ring. *)
+  link.a_to_b.d_tx_eng <- a;
+  link.a_to_b.d_ring_eng <- b;
+  link.b_to_a.d_tx_eng <- b;
+  link.b_to_a.d_ring_eng <- a
+
+let set_conduit link ~from target =
+  let dir = tx_direction link from in
+  dir.d_out <- (match target with None -> Direct | Some push -> Conduit push)
+
+let conduit_deliver link ~from ~at packet =
+  let dir = tx_direction link from in
+  Engine.push_delivery dir.d_ring_eng dir.delivery ~at packet

@@ -72,3 +72,34 @@ val stat : t -> endpoint -> Flowstat.t
 val drops : t -> endpoint -> int
 
 val other : endpoint -> endpoint
+
+(** [latency link] is the propagation latency in seconds — the lookahead
+    contribution of this link when it is cut between partitions. *)
+val latency : t -> float
+
+(** {2 Partitioning seams}
+
+    Used by the parallel driver ({!Par_engine}) while re-homing a built
+    topology onto per-domain engines. All three must only be called
+    single-threaded, before any domain is spawned (or after all have been
+    joined). *)
+
+(** [set_engines link ~a ~b] re-homes the link: endpoint [A]'s sends are
+    timed by (and its inbound delivery ring popped by) engine [a], and
+    symmetrically for [B]. [create] initially homes both endpoints on the
+    creation engine. *)
+val set_engines : t -> a:Engine.t -> b:Engine.t -> unit
+
+(** [set_conduit link ~from target] reroutes the direction transmitting
+    from [from]: [Some push] sends each transmitted packet to
+    [push ~at packet] instead of the delivery ring (the parallel driver's
+    cross-domain conduit); [None] restores direct ring delivery. *)
+val set_conduit :
+  t -> from:endpoint -> (at:float -> Packet.t -> unit) option -> unit
+
+(** [conduit_deliver link ~from ~at packet] pushes a packet that travelled
+    the conduit of the [from]-transmitting direction into that direction's
+    delivery ring on the receiving engine. Called by the conduit drain on
+    the receiving domain; arrivals must stay monotone per direction, which
+    holds because conduits preserve send order. *)
+val conduit_deliver : t -> from:endpoint -> at:float -> Packet.t -> unit

@@ -68,7 +68,7 @@ type iface = {
 type t = {
   node_name : string;
   node_addr : Addr.t;
-  node_engine : Engine.t;
+  mutable node_engine : Engine.t;
   mutable ifaces : iface array;
   node_routing : Routing.table;
   mutable hook : hook option;
@@ -125,6 +125,10 @@ let create engine ~name ~addr =
 let name node = node.node_name
 let addr node = node.node_addr
 let engine node = node.node_engine
+
+(* Partitioning seam: re-home the node's clock (cpu-cost scheduling) onto
+   its partition's engine.  Single-threaded, pre-spawn only. *)
+let set_engine node engine = node.node_engine <- engine
 let routing node = node.node_routing
 let counters node = node.stats
 let set_multicast node registry = node.mcast <- Some registry
@@ -166,30 +170,30 @@ let is_group_member node group =
   | Some registry -> Multicast.is_member registry ~group node.node_addr
   | None -> false
 
+(* Allocation-free dispatch: [Hashtbl.find] + exception instead of
+   [find_opt] so a delivery does not box the handler in an option. *)
 let deliver_local node packet =
-  let with_default specific default =
-    match specific with Some _ -> specific | None -> default
+  let run f =
+    node.stats.delivered <- node.stats.delivered + 1;
+    Obs.Registry.incr node.obs.o_delivered;
+    f node packet
+  and unclaimed () =
+    node.stats.dropped_unclaimed <- node.stats.dropped_unclaimed + 1;
+    Obs.Registry.incr node.obs.o_drop_unclaimed
   in
-  let handler =
-    match packet.Packet.l4 with
-    | Packet.Udp h ->
-        with_default
-          (Hashtbl.find_opt node.udp_handlers h.Packet.udp_dst)
-          node.udp_default
-    | Packet.Tcp h ->
-        with_default
-          (Hashtbl.find_opt node.tcp_handlers h.Packet.tcp_dst)
-          node.tcp_default
-    | Packet.Raw -> None
+  let fallback default =
+    match default with Some f -> run f | None -> unclaimed ()
   in
-  match handler with
-  | Some f ->
-      node.stats.delivered <- node.stats.delivered + 1;
-      Obs.Registry.incr node.obs.o_delivered;
-      f node packet
-  | None ->
-      node.stats.dropped_unclaimed <- node.stats.dropped_unclaimed + 1;
-      Obs.Registry.incr node.obs.o_drop_unclaimed
+  match packet.Packet.l4 with
+  | Packet.Udp h -> (
+      match Hashtbl.find node.udp_handlers h.Packet.udp_dst with
+      | f -> run f
+      | exception Not_found -> fallback node.udp_default)
+  | Packet.Tcp h -> (
+      match Hashtbl.find node.tcp_handlers h.Packet.tcp_dst with
+      | f -> run f
+      | exception Not_found -> fallback node.tcp_default)
+  | Packet.Raw -> unclaimed ()
 
 (* Replicate a multicast packet toward every member, one copy per distinct
    outgoing interface, skipping the interface it arrived on. *)
@@ -203,47 +207,51 @@ let multicast_out node ~in_ifindex packet =
       let out_ifaces = Hashtbl.create 4 in
       Multicast.iter_members registry ~group (fun member ->
           if not (Addr.equal member node.node_addr) then
-            match Routing.lookup node.node_routing member with
-            | Some { Routing.ifindex; _ }
+            match Routing.find node.node_routing member with
+            | { Routing.ifindex; _ }
               when ifindex <> in_ifindex
                    && not (Hashtbl.mem out_ifaces ifindex) ->
                 Hashtbl.add out_ifaces ifindex ()
-            | Some _ | None -> ());
+            | _ | (exception Routing.No_route) -> ());
       Hashtbl.iter
         (fun ifindex () ->
           transmit node ~ifindex ~l2_dst:(Some group) (Packet.clone packet))
         out_ifaces
 
+(* The forwarding fast path allocates exactly one small record per hop
+   (the TTL-decremented copy): route lookup raises instead of boxing an
+   option, and the route's own [next_hop] option is passed through as the
+   frame address rather than re-wrapped. *)
 let forward node ~ifindex packet =
   if Addr.equal packet.Packet.dst node.node_addr then
     (* Addressed to this node (e.g. a hook re-emitted a local packet):
        up the stack, no TTL charge. *)
     deliver_local node packet
-  else
-  match Packet.decrement_ttl packet with
-  | None ->
-      node.stats.dropped_ttl <- node.stats.dropped_ttl + 1;
-      Obs.Registry.incr node.obs.o_drop_ttl
-  | Some packet ->
-      node.stats.forwarded <- node.stats.forwarded + 1;
-      Obs.Registry.incr node.obs.o_forwarded;
-      if Addr.is_multicast packet.Packet.dst then begin
-        multicast_out node ~in_ifindex:ifindex packet;
-        if is_group_member node packet.Packet.dst then deliver_local node packet
-      end
-      else begin
-        match Routing.lookup node.node_routing packet.Packet.dst with
-        | Some { Routing.ifindex = out; next_hop } ->
-            let l2_dst =
-              match next_hop with
-              | Some hop -> Some hop
-              | None -> Some packet.Packet.dst
-            in
-            transmit node ~ifindex:out ~l2_dst packet
-        | None ->
-            node.stats.dropped_no_route <- node.stats.dropped_no_route + 1;
-            Obs.Registry.incr node.obs.o_drop_no_route
-      end
+  else if packet.Packet.ttl <= 1 then begin
+    node.stats.dropped_ttl <- node.stats.dropped_ttl + 1;
+    Obs.Registry.incr node.obs.o_drop_ttl
+  end
+  else begin
+    let packet = Packet.with_ttl packet (packet.Packet.ttl - 1) in
+    node.stats.forwarded <- node.stats.forwarded + 1;
+    Obs.Registry.incr node.obs.o_forwarded;
+    if Addr.is_multicast packet.Packet.dst then begin
+      multicast_out node ~in_ifindex:ifindex packet;
+      if is_group_member node packet.Packet.dst then deliver_local node packet
+    end
+    else
+      match Routing.find node.node_routing packet.Packet.dst with
+      | { Routing.ifindex = out; next_hop } ->
+          let l2_dst =
+            match next_hop with
+            | Some _ as hop -> hop
+            | None -> Some packet.Packet.dst
+          in
+          transmit node ~ifindex:out ~l2_dst packet
+      | exception Routing.No_route ->
+          node.stats.dropped_no_route <- node.stats.dropped_no_route + 1;
+          Obs.Registry.incr node.obs.o_drop_no_route
+  end
 
 let ip_input node ~ifindex packet =
   let dst = packet.Packet.dst in
@@ -325,13 +333,13 @@ let originate_up node packet =
     if is_group_member node dst then deliver_local node packet
   end
   else begin
-    match Routing.lookup node.node_routing dst with
-    | Some { Routing.ifindex; next_hop } ->
+    match Routing.find node.node_routing dst with
+    | { Routing.ifindex; next_hop } ->
         let l2_dst =
-          match next_hop with Some hop -> Some hop | None -> Some dst
+          match next_hop with Some _ as hop -> hop | None -> Some dst
         in
         transmit node ~ifindex ~l2_dst packet
-    | None ->
+    | exception Routing.No_route ->
         node.stats.dropped_no_route <- node.stats.dropped_no_route + 1;
         Obs.Registry.incr node.obs.o_drop_no_route
   end

@@ -31,6 +31,12 @@ val create : Engine.t -> name:string -> addr:Addr.t -> t
 val name : t -> string
 val addr : t -> Addr.t
 val engine : t -> Engine.t
+
+(** [set_engine node e] re-homes the node's clock (used for cpu-cost
+    scheduling) onto engine [e] — the partitioning seam. Single-threaded,
+    pre-spawn only. *)
+val set_engine : t -> Engine.t -> unit
+
 val routing : t -> Routing.table
 val counters : t -> counters
 

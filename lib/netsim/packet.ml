@@ -23,11 +23,13 @@ type t = {
   chan_tag : string option;
 }
 
-let uid_counter = ref 0
-
-let fresh_uid () =
-  incr uid_counter;
-  !uid_counter
+(* Atomic so packet construction is safe from any domain of a partitioned
+   run (Par_engine). Uid VALUES stay identical to a sequential run as long
+   as at most one domain constructs packets while the simulation runs —
+   true of every bundled experiment (injection happens before the spawn,
+   and in-run construction is an ASP re-emitting on its own partition). *)
+let uid_counter = Atomic.make 0
+let fresh_uid () = 1 + Atomic.fetch_and_add uid_counter 1
 
 let make ?(ttl = 64) ?chan_tag ~src ~dst l4 body =
   { uid = fresh_uid (); src; dst; ttl; l4; body; chan_tag }
@@ -75,6 +77,8 @@ let with_dst packet dst = { packet with dst }
 let with_src packet src = { packet with src }
 let with_body packet body = { packet with body }
 let with_l4 packet l4 = { packet with l4 }
+
+let with_ttl packet ttl = { packet with ttl }
 
 let decrement_ttl packet =
   if packet.ttl <= 1 then None else Some { packet with ttl = packet.ttl - 1 }

@@ -78,6 +78,8 @@ val with_src : t -> Addr.t -> t
 val with_body : t -> Payload.t -> t
 val with_l4 : t -> l4 -> t
 
+val with_ttl : t -> int -> t
+
 (** [decrement_ttl packet] is [None] when the TTL expires. *)
 val decrement_ttl : t -> t option
 

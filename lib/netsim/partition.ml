@@ -1,0 +1,161 @@
+(* Topology partitioning for the parallel driver.
+
+   The plan must maximize the conservative lookahead (the minimum
+   propagation latency over cut links) while splitting the node set into
+   [parts] non-empty groups.  We approximate the min-cut greedily:
+
+   - segments are uncuttable (a broadcast medium has one shared
+     transmitter), so all stations of a segment start in one component,
+     as does the optional [pin] group (the fault plane pins its targets
+     together so a shared scenario RNG draws in a deterministic order);
+   - Kruskal-style, links are scanned by latency {e ascending} and their
+     endpoint components merged while more than [parts] components
+     remain, subject to a balance cap of [ceil n / parts] nodes per
+     component — low-latency links become internal, so the links left cut
+     are the high-latency ones;
+   - remaining components are bin-packed into exactly [parts] partitions,
+     largest first, each into the currently lightest bin.
+
+   Everything is deterministic: components are enumerated by minimum node
+   index, ties broken by index or bin id. *)
+
+type t = {
+  parts : int;
+  owner : int array; (* node index -> partition id in [0, parts) *)
+  cut : (Link.t * int * int) list; (* (link, owner of A, owner of B) *)
+  lookahead : float; (* min latency over [cut]; infinity when uncut *)
+}
+
+(* Union-find with path halving and union by size. *)
+
+let uf_create n = Array.init n (fun i -> i)
+
+let rec uf_find parent i =
+  let p = parent.(i) in
+  if p = i then i
+  else begin
+    parent.(i) <- parent.(p);
+    uf_find parent parent.(i)
+  end
+
+let uf_union parent size a b =
+  let ra = uf_find parent a and rb = uf_find parent b in
+  if ra = rb then false
+  else begin
+    let ra, rb = if size.(ra) >= size.(rb) then (ra, rb) else (rb, ra) in
+    parent.(rb) <- ra;
+    size.(ra) <- size.(ra) + size.(rb);
+    true
+  end
+
+(* The mandatory merges: segment stations and the pin group. Returns
+   (parent, size, component count). *)
+let base_components ?(pin = []) topo =
+  let n = Topology.node_count topo in
+  let parent = uf_create n in
+  let size = Array.make n 1 in
+  let components = ref n in
+  let merge a b = if uf_union parent size a b then decr components in
+  List.iter
+    (fun (_seg, stations) ->
+      match stations with
+      | [] -> ()
+      | first :: rest ->
+          let fi = Topology.node_index topo first in
+          List.iter
+            (fun node -> merge fi (Topology.node_index topo node))
+            rest)
+    (Topology.segment_stations topo);
+  (match pin with
+  | [] -> ()
+  | first :: rest ->
+      let fi = Topology.node_index topo first in
+      List.iter (fun node -> merge fi (Topology.node_index topo node)) rest);
+  (parent, size, !components)
+
+let max_parts ?pin topo =
+  let _, _, components = base_components ?pin topo in
+  components
+
+let plan ?pin topo ~parts =
+  let n = Topology.node_count topo in
+  if parts < 1 then Error "partition: parts must be >= 1"
+  else if n = 0 then Error "partition: empty topology"
+  else begin
+    let parent, size, components = base_components ?pin topo in
+    if components < parts then
+      Error
+        (Printf.sprintf
+           "partition: topology only splits into %d partition(s) (segments \
+            and pinned fault targets are uncuttable), %d requested"
+           components parts)
+    else begin
+      let components = ref components in
+      let cap = (n + parts - 1) / parts in
+      (* Stable sort by latency keeps creation order among equal-latency
+         links, so the plan is deterministic. *)
+      let links =
+        List.stable_sort
+          (fun (la, _, _) (lb, _, _) ->
+            Float.compare (Link.latency la) (Link.latency lb))
+          (Topology.link_endpoints topo)
+      in
+      List.iter
+        (fun (_, a, b) ->
+          if !components > parts then begin
+            let ia = Topology.node_index topo a
+            and ib = Topology.node_index topo b in
+            let ra = uf_find parent ia and rb = uf_find parent ib in
+            if ra <> rb && size.(ra) + size.(rb) <= cap then
+              if uf_union parent size ia ib then decr components
+          end)
+        links;
+      (* Enumerate components by minimum node index. *)
+      let comp_id = Array.make n (-1) in
+      let comp_sizes = ref [] in
+      let comp_count = ref 0 in
+      for i = 0 to n - 1 do
+        let root = uf_find parent i in
+        if comp_id.(root) = -1 then begin
+          comp_id.(root) <- !comp_count;
+          comp_sizes := (!comp_count, size.(root)) :: !comp_sizes;
+          incr comp_count
+        end;
+        comp_id.(i) <- comp_id.(root)
+      done;
+      (* First-fit decreasing: biggest component first (component id — i.e.
+         minimum node index — breaks ties), into the lightest bin (lowest
+         bin id breaks ties). *)
+      let order =
+        List.sort
+          (fun (ida, sa) (idb, sb) ->
+            if sa <> sb then compare sb sa else compare ida idb)
+          !comp_sizes
+      in
+      let bin_of_comp = Array.make !comp_count 0 in
+      let bin_load = Array.make parts 0 in
+      List.iter
+        (fun (id, comp_size) ->
+          let best = ref 0 in
+          for bin = 1 to parts - 1 do
+            if bin_load.(bin) < bin_load.(!best) then best := bin
+          done;
+          bin_of_comp.(id) <- !best;
+          bin_load.(!best) <- bin_load.(!best) + comp_size)
+        order;
+      let owner = Array.init n (fun i -> bin_of_comp.(comp_id.(i))) in
+      let cut = ref [] in
+      let lookahead = ref Float.infinity in
+      List.iter
+        (fun (link, a, b) ->
+          let oa = owner.(Topology.node_index topo a)
+          and ob = owner.(Topology.node_index topo b) in
+          if oa <> ob then begin
+            cut := (link, oa, ob) :: !cut;
+            if Link.latency link < !lookahead then
+              lookahead := Link.latency link
+          end)
+        (Topology.link_endpoints topo);
+      Ok { parts; owner; cut = List.rev !cut; lookahead = !lookahead }
+    end
+  end

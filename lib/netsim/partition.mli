@@ -1,0 +1,40 @@
+(** Topology partitioning for the parallel driver ({!Par_engine}).
+
+    Cuts a built topology's node set into [parts] non-empty groups while
+    trying to keep the {e lookahead} — the minimum propagation latency
+    over links crossing the cut — as large as possible, since it bounds
+    how far the conservative window synchronization lets partitions run
+    ahead of each other per round.
+
+    Segments are uncuttable (a broadcast medium has a single shared
+    transmitter), and callers may [pin] extra nodes into one group (the
+    fault plane pins all its targets together so the shared scenario RNG
+    draws in a deterministic order). Low-latency links are preferentially
+    kept internal, Kruskal-style, under a balance cap of [ceil n / parts]
+    nodes per merged component; leftover components are bin-packed
+    largest-first into the lightest partition. The plan is a pure
+    function of topology construction order — fully deterministic. *)
+
+type t = {
+  parts : int;  (** number of partitions; every one owns >= 1 node *)
+  owner : int array;
+      (** [owner.(i)] is the partition of the node with
+          {!Topology.node_index} [i] *)
+  cut : (Link.t * int * int) list;
+      (** links crossing the cut as [(link, owner of A, owner of B)], in
+          creation order *)
+  lookahead : float;
+      (** minimum {!Link.latency} over [cut]; [infinity] when no link is
+          cut *)
+}
+
+(** [max_parts ?pin topo] is the finest split this topology admits: the
+    number of connected components after gluing each segment's stations
+    (and the [pin] group) together. Links do not constrain it — any link
+    may be cut. *)
+val max_parts : ?pin:Node.t list -> Topology.t -> int
+
+(** [plan ?pin topo ~parts] computes a partition plan.
+    [Error] when [parts < 1], the topology is empty, or
+    [parts > max_parts ?pin topo]. *)
+val plan : ?pin:Node.t list -> Topology.t -> parts:int -> (t, string) result

@@ -15,6 +15,17 @@ let lookup table dst =
   | Some route -> Some route
   | None -> table.default
 
+exception No_route
+
+(* Allocation-free variant of [lookup] for the forwarding fast path:
+   no [Some] wrapper per packet (raising a constant exception does not
+   allocate). *)
+let find table dst =
+  match Hashtbl.find table.hosts dst with
+  | route -> route
+  | exception Not_found -> (
+      match table.default with Some route -> route | None -> raise No_route)
+
 let clear table =
   Hashtbl.reset table.hosts;
   table.default <- None

@@ -25,6 +25,13 @@ val set_default : table -> route option -> unit
 (** [lookup table dst] prefers a host route, then the default route. *)
 val lookup : table -> Addr.t -> route option
 
+exception No_route
+
+(** [find table dst] is [lookup] without the option allocation, for the
+    per-packet forwarding path.
+    @raise No_route when neither a host nor a default route matches. *)
+val find : table -> Addr.t -> route
+
 val clear : table -> unit
 
 (** [clear_hosts table] drops every host route but keeps the default:

@@ -7,7 +7,7 @@ type station = int
 type t = {
   seg_uid : int;
   seg_name : string;
-  engine : Engine.t;
+  mutable engine : Engine.t;
   mutable bandwidth : float;
   latency : float;
   mutable queue_capacity : int;
@@ -184,3 +184,10 @@ let load_bps segment =
 
 let drops segment = segment.r_drops
 let station_count segment = Array.length segment.stations
+
+(* Partitioning seam: a segment is an uncuttable broadcast medium, so the
+   partitioner keeps all its stations in one partition and re-homes the
+   whole segment there.  Single-threaded, pre-spawn only.  The metrics
+   flush hook stays registered on the creation engine; the parallel driver
+   runs those hooks after the domains have joined. *)
+let set_engine segment engine = segment.engine <- engine

@@ -69,3 +69,9 @@ val load_bps : t -> float
 val backlog_bytes : t -> int
 val drops : t -> int
 val station_count : t -> int
+
+(** [set_engine segment e] re-homes the segment's clock and broadcast ring
+    onto engine [e] — the partitioning seam. A segment is an uncuttable
+    medium: the partitioner keeps every station in one partition and
+    re-homes the segment there. Single-threaded, pre-spawn only. *)
+val set_engine : t -> Engine.t -> unit

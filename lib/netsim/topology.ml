@@ -18,6 +18,9 @@ type t = {
   by_addr : (Addr.t, Node.t) Hashtbl.t;
   mutable next_index : int;
   mutable edges : edge list;
+  (* Media in creation order (newest first), for the partitioner. *)
+  mutable link_list : (Link.t * Node.t * Node.t) list; (* (link, A, B) *)
+  mutable seg_list : Segment.t list;
   (* Stations attached to each segment (by segment uid), for pairwise edges. *)
   stations : (int, (int * int) list ref) Hashtbl.t;
   (* Media by name, for the fault plane's scenario files. *)
@@ -34,6 +37,8 @@ let create () =
     by_addr = Hashtbl.create 16;
     next_index = 0;
     edges = [];
+    link_list = [];
+    seg_list = [];
     stations = Hashtbl.create 8;
     links_by_name = Hashtbl.create 8;
     segments_by_name = Hashtbl.create 8;
@@ -82,10 +87,12 @@ let connect ?(name = "link") ?(bandwidth_bps = 10e6) ?(latency = 0.001)
       Node.receive a ~ifindex:if_a ~l2_dst:None packet);
   Link.set_receiver link Link.B (fun packet ->
       Node.receive b ~ifindex:if_b ~l2_dst:None packet);
+  (* Monitors read the owning node's clock so they stay correct when the
+     node is re-homed onto a partition engine (Par_engine). *)
   Node.set_iface_monitor a if_a (fun () ->
-      Flowstat.rate_bps (Link.stat link Link.A) ~now:(Engine.now topo.eng));
+      Flowstat.rate_bps (Link.stat link Link.A) ~now:(Engine.now (Node.engine a)));
   Node.set_iface_monitor b if_b (fun () ->
-      Flowstat.rate_bps (Link.stat link Link.B) ~now:(Engine.now topo.eng));
+      Flowstat.rate_bps (Link.stat link Link.B) ~now:(Engine.now (Node.engine b)));
   Node.set_iface_capacity a if_a bandwidth_bps;
   Node.set_iface_capacity b if_b bandwidth_bps;
   let ia = index_of topo a and ib = index_of topo b in
@@ -94,6 +101,7 @@ let connect ?(name = "link") ?(bandwidth_bps = 10e6) ?(latency = 0.001)
     :: { e_from = ib; e_to = ia; e_ifindex = if_b; e_link = Some link }
     :: topo.edges;
   Hashtbl.replace topo.links_by_name name link;
+  topo.link_list <- (link, a, b) :: topo.link_list;
   link
 
 let segment ?(name = "segment") ?(bandwidth_bps = 10e6) ?(latency = 0.001)
@@ -102,6 +110,7 @@ let segment ?(name = "segment") ?(bandwidth_bps = 10e6) ?(latency = 0.001)
     Segment.create ~name ?queue_capacity topo.eng ~bandwidth_bps ~latency ()
   in
   Hashtbl.replace topo.segments_by_name name seg;
+  topo.seg_list <- seg :: topo.seg_list;
   seg
 
 let attach topo seg node =
@@ -226,3 +235,30 @@ let compute_routes topo =
 
 let run ?limit topo = Engine.run ?limit topo.eng
 let run_until ?limit topo ~stop = Engine.run_until ?limit topo.eng ~stop
+
+(* Introspection for the partitioner ({!Partition}). *)
+
+let node_count topo = topo.next_index
+let node_index topo node = index_of topo node
+let link_endpoints topo = List.rev topo.link_list
+
+let segment_stations topo =
+  let node_array = Array.make topo.next_index None in
+  List.iter
+    (fun node -> node_array.(index_of topo node) <- Some node)
+    topo.node_list;
+  List.rev_map
+    (fun seg ->
+      let stations =
+        match Hashtbl.find_opt topo.stations (Segment.uid seg) with
+        | Some stations ->
+            List.rev_map
+              (fun (index, _ifindex) ->
+                match node_array.(index) with
+                | Some node -> node
+                | None -> assert false)
+              !stations
+        | None -> []
+      in
+      (seg, stations))
+    topo.seg_list

@@ -70,3 +70,24 @@ val find_segment : t -> string -> Segment.t option
 val run : ?limit:int -> t -> unit
 
 val run_until : ?limit:int -> t -> stop:float -> unit
+
+(** {2 Introspection}
+
+    Read-only structure accessors for the topology partitioner
+    ({!Partition}). *)
+
+(** [node_count topo] is the number of nodes added so far. *)
+val node_count : t -> int
+
+(** [node_index topo node] is the node's dense index in [0, node_count).
+    Indices follow creation order.
+    @raise Invalid_argument when [node] belongs to another topology. *)
+val node_index : t -> Node.t -> int
+
+(** [link_endpoints topo] lists every link created by {!connect} with its
+    endpoints, in creation order; the first node is the link's [A] side. *)
+val link_endpoints : t -> (Link.t * Node.t * Node.t) list
+
+(** [segment_stations topo] lists every segment created by {!segment} with
+    its attached station nodes, both in creation order. *)
+val segment_stations : t -> (Segment.t * Node.t list) list

@@ -42,9 +42,19 @@ val reset : t -> unit
 
 type counter
 
-val counter : ?registry:t -> ?labels:labels -> ?help:string -> string -> counter
-(** Get-or-create. @raise Invalid_argument if the name+labels pair already
-    names a metric of another kind. *)
+val counter :
+  ?registry:t ->
+  ?labels:labels ->
+  ?help:string ->
+  ?volatile:bool ->
+  string ->
+  counter
+(** Get-or-create. [~volatile:true] marks an execution-plane diagnostic
+    (how the run was executed — parallel sync traffic, scheduler shape —
+    rather than what the simulated network did); exporters skip it by
+    default, exactly as for volatile gauges.
+    @raise Invalid_argument if the name+labels pair already names a metric
+    of another kind. *)
 
 val incr : counter -> unit
 
@@ -132,6 +142,19 @@ val read_histogram : ?registry:t -> ?labels:labels -> string -> (int * float) op
 val read_quantile :
   ?registry:t -> ?labels:labels -> q:float -> string -> float option
 (** {!quantile} by name. *)
+
+(** {1 Merging} *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds every metric of [src] into [into]: counters
+    and histograms add, gauges take the source's sampled value (callback
+    gauges collapse to a plain stored value in the destination). Metrics
+    missing from [into] are created with the source's help text and
+    volatility. Deterministic: sources are walked in canonical key order,
+    so merging the per-domain registries of a partitioned run in partition
+    order always produces the same destination.
+    @raise Invalid_argument when a name+labels pair exists in both
+    registries with different kinds. *)
 
 (** {1 Snapshots and exports} *)
 

@@ -304,6 +304,43 @@ let cli_adapt_closed_loop () =
     (contains output "active variant of \"asp\": lite");
   checkb "router on the new epoch" true (contains output "asp@2")
 
+(* --domains 2 must reproduce the sequential run byte-for-byte: same
+   metrics JSON, same timeline. *)
+let cli_run_domains_parity () =
+  let path = write_program forwarder in
+  let m1 = Filename.temp_file "metrics" ".json" in
+  let t1 = Filename.temp_file "timeline" ".json" in
+  let m2 = Filename.temp_file "metrics" ".json" in
+  let t2 = Filename.temp_file "timeline" ".json" in
+  let code1, _ =
+    run
+      [ "run"; path; "-n"; "25"; "--metrics-out"; m1; "--timeline-out"; t1 ]
+  in
+  let code2, output =
+    run
+      [ "run"; path; "-n"; "25"; "--domains"; "2"; "--metrics-out"; m2;
+        "--timeline-out"; t2 ]
+  in
+  Sys.remove path;
+  check "sequential exit 0" 0 code1;
+  check "partitioned exit 0" 0 code2;
+  checkb "reports the shard" true (contains output "domains: 2");
+  let j1 = read_and_remove m1 and j2 = read_and_remove m2 in
+  checkb "metrics byte-identical across domains" true (j1 = j2);
+  let l1 = read_and_remove t1 and l2 = read_and_remove t2 in
+  checkb "timeline byte-identical across domains" true (l1 = l2)
+
+let cli_run_domains_invalid () =
+  let path = write_program forwarder in
+  let code, output = run [ "run"; path; "--domains"; "0" ] in
+  checkb "nonzero exit" true (code <> 0);
+  checkb "names the bound" true (contains output "--domains must be >= 1");
+  let code2, output2 = run [ "run"; path; "--domains"; "64" ] in
+  Sys.remove path;
+  checkb "oversplit rejected" true (code2 <> 0);
+  checkb "says how far the topology splits" true
+    (contains output2 "splits into")
+
 let cli_adapt_bad_policy () =
   let path = write_program forwarder in
   let policy = write_tmp ".pol" "period 0.5\nrule oops: when x ?? 3 do swap a b\n" in
@@ -352,6 +389,10 @@ let () =
           Alcotest.test_case "adapt empty policy parity" `Quick
             cli_adapt_empty_policy_parity;
           Alcotest.test_case "adapt closed loop" `Quick cli_adapt_closed_loop;
+          Alcotest.test_case "run --domains parity" `Quick
+            cli_run_domains_parity;
+          Alcotest.test_case "run --domains invalid" `Quick
+            cli_run_domains_invalid;
           Alcotest.test_case "adapt bad policy" `Quick cli_adapt_bad_policy;
           Alcotest.test_case "adapt unwired signal" `Quick
             cli_adapt_unwired_signal;

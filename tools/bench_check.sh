@@ -10,6 +10,9 @@
 #     (tolerance +25% plus two words; the link workloads sit at ~0, so
 #     this is effectively "the event core stays allocation-free"), and
 #   - the same-run jit-vs-interp throughput ratio on the audio ASP (>= 2x),
+#   - the same-run par4-vs-sequential events/s ratio on the 1000-flow
+#     mesh (>= 2x; skipped with a message on hosts with fewer than 4
+#     cores, where four domains cannot beat one engine),
 #   - the fault-matrix cell counts (frames/replies/streams under the
 #     baseline/lossy/flappy/churn scenarios; the simulation and the fault
 #     plane are both seeded, so the counts are deterministic and gated
@@ -35,4 +38,4 @@ if [ ! -f BENCH_PERF.json ]; then
     exit 1
 fi
 
-exec dune exec --profile release bench/main.exe -- perf scale faults adapt --smoke --check BENCH_PERF.json
+exec dune exec --profile release bench/main.exe -- perf scale faults adapt par --smoke --check BENCH_PERF.json

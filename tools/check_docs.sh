@@ -5,7 +5,9 @@
 #      registered by lib/netsim/faults.ml (docs cannot invent metrics);
 #   3. every adapt.* metric named in the docs is registered by
 #      lib/adapt/*.ml (same contract for the adaptation plane);
-#   4. the odoc docs build cleanly (skipped when odoc is not installed,
+#   4. every netsim.par.* metric named in the docs is registered by
+#      lib/netsim/par_engine.ml (same contract for the parallel driver);
+#   5. the odoc docs build cleanly (skipped when odoc is not installed,
 #      as in the minimal CI image).
 # Run from the repository root: sh tools/check_docs.sh
 
@@ -50,6 +52,23 @@ for metric in $(grep -ho 'adapt\.[a-z_.]*[a-z_]' doc/*.md README.md \
                 | grep -v '\.ml$' | sort -u); do
     if ! grep -qF "\"$metric\"" lib/adapt/*.ml; then
         echo "check_docs: docs name $metric but lib/adapt/*.ml does not register it" >&2
+        status=1
+    fi
+done
+
+# Same contract for the partitioned driver's execution-plane counters,
+# with the same abbreviation expansion as the faults family.
+for metric in $(grep -ho 'netsim\.par\.[a-z_][a-z_]*' doc/*.md README.md | sort -u); do
+    suffix="${metric#netsim.par.}"
+    if ! grep -q "\"netsim\.par\.$suffix\"" lib/netsim/par_engine.ml; then
+        echo "check_docs: docs name $metric but lib/netsim/par_engine.ml does not register it" >&2
+        status=1
+    fi
+done
+for metric in $(grep -h 'netsim\.par\.' doc/*.md README.md \
+                | grep -o '`\.[a-z_]*`' | tr -d '`.' | sort -u); do
+    if ! grep -q "\"netsim\.par\.$metric\"" lib/netsim/par_engine.ml; then
+        echo "check_docs: docs name a par metric .$metric that lib/netsim/par_engine.ml does not register" >&2
         status=1
     fi
 done
