@@ -59,7 +59,13 @@ let check_cmd =
 let verify_cmd =
   let run path =
     let checked = checked_of_file path in
-    let report = Planp_analysis.Verifier.verify checked.Planp.Typecheck.program in
+    (* The runtime's primitive classification, so the printed
+       cacheability lines match what Runtime.install will decide. *)
+    let report =
+      Planp_analysis.Verifier.verify
+        ~classify:Planp_runtime.Flowcache.classify
+        checked.Planp.Typecheck.program
+    in
     Format.printf "%a@." Planp_analysis.Verifier.pp report;
     if not (Planp_analysis.Verifier.passes report) then exit 2
   in
@@ -393,13 +399,24 @@ let domains_flag =
            conservative parallel simulation). $(docv)=1 (the default) is \
            the plain sequential engine; results are identical either way.")
 
+let no_flowcache_flag =
+  Arg.(
+    value & flag
+    & info [ "no-flowcache" ]
+        ~doc:
+          "Disable the flow-keyed decision cache and execute every packet \
+           through the backend. Exports are byte-identical either way; the \
+           flag exists to demonstrate that and to isolate the cache when \
+           profiling.")
+
 let run_cmd =
-  let run path packets backend_name domains metrics_out metrics_csv
-      timeline_out faults_path =
+  let run path packets backend_name domains no_flowcache metrics_out
+      metrics_csv timeline_out faults_path =
     if domains < 1 then begin
       prerr_endline "planpc: --domains must be >= 1";
       exit 1
     end;
+    if no_flowcache then Planp_runtime.Flowcache.set_enabled false;
     run_plain ~domains path packets backend_name metrics_out metrics_csv
       timeline_out faults_path
   in
@@ -409,7 +426,8 @@ let run_cmd =
          "Run the program on a traced topology and export observability data")
     Term.(
       const run $ file_arg $ packets_flag $ backend_flag $ domains_flag
-      $ metrics_out_flag $ metrics_csv_flag $ timeline_out_flag $ faults_flag)
+      $ no_flowcache_flag $ metrics_out_flag $ metrics_csv_flag
+      $ timeline_out_flag $ faults_flag)
 
 let stats_cmd =
   let run path packets backend_name =

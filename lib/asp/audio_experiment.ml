@@ -181,10 +181,29 @@ let run config =
                 "Audio_experiment: adaptation needs adapt = true and deploy \
                  = In_band (hot-swaps ride the deploy daemons)"
         in
+        (* [tuned] carries retuned distillation thresholds; [Retune]
+           actions adjust it and hot-swap the router ASP so the change
+           takes effect mid-run, and later "default" swaps keep it. *)
+        let tuned = ref config.policy in
         let variant_policy = function
-          | "default" -> Some config.policy
+          | "default" -> Some !tuned
           | "conservative" -> Some Audio_asp.conservative_policy
           | _ -> None
+        in
+        let on_retune ~param ~value =
+          (match param with
+          | "mono16_above" ->
+              tuned := { !tuned with Audio_asp.mono16_above = int_of_float value }
+          | "mono8_above" ->
+              tuned := { !tuned with Audio_asp.mono8_above = int_of_float value }
+          | _ -> ());
+          Deploy.Controller.deploy ctl
+            ~backend:config.backend.Planp_runtime.Backend.backend_name
+            ~authenticated:false ~target:(Node.addr router) ~name:"audio-router"
+            ~source:(Audio_asp.router_program ~policy:!tuned
+                       ~iface:router_seg_iface ())
+            ~on_done:(fun _ -> ())
+            ()
         in
         let env =
           {
@@ -210,7 +229,7 @@ let run config =
           }
         in
         Some
-          (Adapt.Plane.arm ~env
+          (Adapt.Plane.arm ~env ~on_retune
              ~active:[ ("audio-router", "default") ]
              ~engine:(Topology.engine topo)
              ~until:config.duration

@@ -72,6 +72,7 @@ type t = {
   mutable ifaces : iface array;
   node_routing : Routing.table;
   mutable hook : hook option;
+  mutable invalidation_hook : (unit -> unit) option;
   mutable promisc : bool;
   udp_handlers : (int, t -> Packet.t -> unit) Hashtbl.t;
   tcp_handlers : (int, t -> Packet.t -> unit) Hashtbl.t;
@@ -96,6 +97,7 @@ let create engine ~name ~addr =
     ifaces = [||];
     node_routing = Routing.create ();
     hook = None;
+    invalidation_hook = None;
     promisc = false;
     udp_handlers = Hashtbl.create 8;
     tcp_handlers = Hashtbl.create 8;
@@ -367,6 +369,11 @@ let reset_state node =
 let set_hook node hook = node.hook <- Some hook
 let clear_hook node = node.hook <- None
 let has_hook node = node.hook <> None
+
+let set_invalidation_hook node f = node.invalidation_hook <- Some f
+
+let invalidate_forwarding node =
+  match node.invalidation_hook with Some f -> f () | None -> ()
 let set_promiscuous node flag = node.promisc <- flag
 let promiscuous node = node.promisc
 let on_udp node ~port f = Hashtbl.replace node.udp_handlers port f

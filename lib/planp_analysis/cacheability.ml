@@ -1,0 +1,466 @@
+(* Static cacheability analysis for the flow-keyed decision cache.
+
+   The walk mirrors how the interpreter consumes a channel body: a
+   *spine* of control flow (If / Seq / Let / Try / Raise) ending in
+   either a [(ps', ss')] result tuple or an uncaught [Raise]. Everything
+   hanging off the spine must be pure; branch conditions become key
+   atoms, may-raise spine expressions become guards (keyed by whether
+   they raise), and emissions become sites whose argument expressions
+   are re-evaluated at replay time. Let-bound names are substituted into
+   the extracted expressions so atoms, guards and sites are closed over
+   the channel parameters and program globals only. *)
+
+open Planp
+open Ast
+
+type prim_class =
+  | Pure of { may_raise : bool }
+  | Table_read
+  | Node_const
+  | Emit
+  | Impure
+
+type target = Remote of string | Neighbor of string | Deliver
+
+type site = {
+  site_target : target;
+  site_expr : Ast.expr;
+  site_may_raise : bool;
+}
+
+type details = {
+  atoms : Ast.expr list;
+  guards : Ast.expr list;
+  sites : site list;
+  reads_tables : bool;
+  ps_int_delta : bool;
+}
+
+type verdict = Cacheable of details | Uncacheable of string
+
+let default_classify _ = Impure
+
+exception Give_up of string
+
+let give_up fmt = Format.kasprintf (fun s -> raise (Give_up s)) fmt
+
+(* Structural equality modulo locations, for deduplicating atoms,
+   guards and emission sites. *)
+let rec expr_equal (a : expr) (b : expr) =
+  match (a.desc, b.desc) with
+  | Int x, Int y -> x = y
+  | Bool x, Bool y -> x = y
+  | String x, String y -> String.equal x y
+  | Char x, Char y -> x = y
+  | Unit, Unit -> true
+  | Host x, Host y -> x = y
+  | Var x, Var y -> String.equal x y
+  | Call (f, xs), Call (g, ys) -> String.equal f g && exprs_equal xs ys
+  | Tuple xs, Tuple ys -> exprs_equal xs ys
+  | Proj (i, x), Proj (j, y) -> i = j && expr_equal x y
+  | Let (bs, x), Let (cs, y) ->
+      List.length bs = List.length cs
+      && List.for_all2
+           (fun b c ->
+             String.equal b.bind_name c.bind_name
+             && expr_equal b.bind_expr c.bind_expr)
+           bs cs
+      && expr_equal x y
+  | If (c1, t1, f1), If (c2, t2, f2) ->
+      expr_equal c1 c2 && expr_equal t1 t2 && expr_equal f1 f2
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
+      o1 = o2 && expr_equal a1 a2 && expr_equal b1 b2
+  | Unop (o1, a1), Unop (o2, a2) -> o1 = o2 && expr_equal a1 a2
+  | Seq (a1, b1), Seq (a2, b2) -> expr_equal a1 a2 && expr_equal b1 b2
+  | On_remote (c1, e1), On_remote (c2, e2) ->
+      String.equal c1 c2 && expr_equal e1 e2
+  | On_neighbor (c1, e1), On_neighbor (c2, e2) ->
+      String.equal c1 c2 && expr_equal e1 e2
+  | Raise x, Raise y -> String.equal x y
+  | Try (b1, hs1), Try (b2, hs2) ->
+      expr_equal b1 b2
+      && List.length hs1 = List.length hs2
+      && List.for_all2
+           (fun (e1, h1) (e2, h2) -> String.equal e1 e2 && expr_equal h1 h2)
+           hs1 hs2
+  | _ -> false
+
+and exprs_equal xs ys =
+  List.length xs = List.length ys && List.for_all2 expr_equal xs ys
+
+(* Capture-avoiding substitution of let-bound names by (already
+   substituted) defining expressions. *)
+let rec subst env (e : expr) =
+  match env with
+  | [] -> e
+  | _ -> (
+      match e.desc with
+      | Var n -> (
+          match List.assoc_opt n env with Some e' -> e' | None -> e)
+      | Int _ | Bool _ | String _ | Char _ | Unit | Host _ | Raise _ -> e
+      | Call (f, args) -> { e with desc = Call (f, List.map (subst env) args) }
+      | Tuple xs -> { e with desc = Tuple (List.map (subst env) xs) }
+      | Proj (i, x) -> { e with desc = Proj (i, subst env x) }
+      | If (c, t, f) ->
+          { e with desc = If (subst env c, subst env t, subst env f) }
+      | Binop (o, a, b) -> { e with desc = Binop (o, subst env a, subst env b) }
+      | Unop (o, a) -> { e with desc = Unop (o, subst env a) }
+      | Seq (a, b) -> { e with desc = Seq (subst env a, subst env b) }
+      | On_remote (c, x) -> { e with desc = On_remote (c, subst env x) }
+      | On_neighbor (c, x) -> { e with desc = On_neighbor (c, subst env x) }
+      | Try (b, hs) ->
+          {
+            e with
+            desc =
+              Try
+                ( subst env b,
+                  List.map (fun (ex, h) -> (ex, subst env h)) hs );
+          }
+      | Let (bs, body) ->
+          let env', bs' =
+            List.fold_left
+              (fun (env, acc) b ->
+                let b' = { b with bind_expr = subst env b.bind_expr } in
+                (List.remove_assoc b.bind_name env, b' :: acc))
+              (env, []) bs
+          in
+          { e with desc = Let (List.rev bs', subst env' body) })
+
+(* Does [e] mention any of [names] as a variable? Ignores shadowing by
+   inner lets, i.e. over-approximates — an extra key atom is sound. *)
+let rec mentions_var names (e : expr) =
+  match e.desc with
+  | Var n -> List.mem n names
+  | Int _ | Bool _ | String _ | Char _ | Unit | Host _ | Raise _ -> false
+  | Call (_, xs) | Tuple xs -> List.exists (mentions_var names) xs
+  | Proj (_, x) | Unop (_, x) | On_remote (_, x) | On_neighbor (_, x) ->
+      mentions_var names x
+  | If (a, b, c) ->
+      mentions_var names a || mentions_var names b || mentions_var names c
+  | Binop (_, a, b) | Seq (a, b) -> mentions_var names a || mentions_var names b
+  | Let (bs, body) ->
+      List.exists (fun b -> mentions_var names b.bind_expr) bs
+      || mentions_var names body
+  | Try (b, hs) ->
+      mentions_var names b || List.exists (fun (_, h) -> mentions_var names h) hs
+
+(* Purity facts about an expression: pure (value depends on nothing but
+   its free variables and resident-table contents), may it raise, does
+   it read resident tables. *)
+type facts = {
+  fa_pure : bool;
+  fa_reason : string;
+  fa_may_raise : bool;
+  fa_reads : bool;
+}
+
+let pure_facts =
+  { fa_pure = true; fa_reason = ""; fa_may_raise = false; fa_reads = false }
+
+let impure reason =
+  { fa_pure = false; fa_reason = reason; fa_may_raise = false; fa_reads = false }
+
+let fa_merge a b =
+  if not a.fa_pure then a
+  else if not b.fa_pure then b
+  else
+    {
+      a with
+      fa_may_raise = a.fa_may_raise || b.fa_may_raise;
+      fa_reads = a.fa_reads || b.fa_reads;
+    }
+
+let rec facts_of ~classify ~funs ~allowed locals (e : expr) : facts =
+  let recur = facts_of ~classify ~funs ~allowed in
+  match e.desc with
+  | Int _ | Bool _ | String _ | Char _ | Unit | Host _ -> pure_facts
+  | Var n -> (
+      if List.mem n locals then pure_facts
+      else
+        match allowed n with
+        | `Plain -> pure_facts
+        | `Table -> { pure_facts with fa_reads = true }
+        | `No -> impure (Printf.sprintf "reads %s" n))
+  | Raise _ -> { pure_facts with fa_may_raise = true }
+  | On_remote _ | On_neighbor _ -> impure "emits a packet"
+  | Call (f, args) -> (
+      let args_f =
+        List.fold_left (fun acc a -> fa_merge acc (recur locals a)) pure_facts args
+      in
+      if not args_f.fa_pure then args_f
+      else
+        match Hashtbl.find_opt funs f with
+        | Some ff ->
+            if not ff.fa_pure then
+              impure (Printf.sprintf "calls %s, which %s" f ff.fa_reason)
+            else
+              {
+                args_f with
+                fa_may_raise = args_f.fa_may_raise || ff.fa_may_raise;
+                fa_reads = args_f.fa_reads || ff.fa_reads;
+              }
+        | None -> (
+            match classify f with
+            | Pure { may_raise } ->
+                { args_f with fa_may_raise = args_f.fa_may_raise || may_raise }
+            | Table_read -> { args_f with fa_reads = true }
+            | Node_const -> args_f
+            | Emit -> impure (Printf.sprintf "emits via %s" f)
+            | Impure -> impure (Printf.sprintf "calls impure primitive %s" f)))
+  | Tuple xs ->
+      List.fold_left (fun acc x -> fa_merge acc (recur locals x)) pure_facts xs
+  | Proj (_, x) | Unop (_, x) -> recur locals x
+  | If (a, b, c) -> fa_merge (recur locals a) (fa_merge (recur locals b) (recur locals c))
+  | Binop (op, a, b) -> (
+      let m = fa_merge (recur locals a) (recur locals b) in
+      match op with Div | Mod -> { m with fa_may_raise = true } | _ -> m)
+  | Seq (a, b) -> fa_merge (recur locals a) (recur locals b)
+  | Try (b, hs) ->
+      (* Conservative: a [try] stays may-raise even if every handler is
+         total, because unlisted exceptions pass through. *)
+      List.fold_left
+        (fun acc (_, h) -> fa_merge acc (recur locals h))
+        (recur locals b) hs
+  | Let (bs, body) ->
+      let rec go locals acc = function
+        | [] -> fa_merge acc (recur locals body)
+        | b :: rest ->
+            let f = recur locals b.bind_expr in
+            if not f.fa_pure then f
+            else go (b.bind_name :: locals) (fa_merge acc f) rest
+      in
+      go locals pure_facts bs
+
+let is_table = function Ptype.Thash _ | Ptype.Thash_any -> true | _ -> false
+
+(* A table-typed protocol state may feed the cache key only if no
+   channel in the program can ever replace it by a different table:
+   every result position must return it as a bare [Var]. (Mutating it
+   in place is fine — reads are value-keyed and version-stamped.) *)
+let ps_returned_unchanged (c : channel) =
+  let rec loop (e : expr) =
+    match e.desc with
+    | Tuple [ pe; _ ] -> (
+        match pe.desc with Var n -> String.equal n c.ps_name | _ -> false)
+    | If (_, t, f) -> loop t && loop f
+    | Seq (_, r) -> loop r
+    | Let (bs, b) ->
+        (not (List.exists (fun bd -> String.equal bd.bind_name c.ps_name) bs))
+        && loop b
+    | Try (b, hs) -> loop b && List.for_all (fun (_, h) -> loop h) hs
+    | Raise _ -> true
+    | _ -> false
+  in
+  loop c.body
+
+let analyze_channel ~classify ~funs ~globals ~ps_table_ok (chan : channel) =
+  let ps_is_int = match chan.ps_type with Ptype.Tint -> true | _ -> false in
+  let allowed n =
+    if String.equal n chan.pkt_name then `Plain
+    else if String.equal n chan.ps_name then
+      if is_table chan.ps_type && ps_table_ok then `Table else `No
+    else if String.equal n chan.ss_name then
+      (* The analysis only accepts channels returning [ss] unchanged, so
+         the channel state is a per-slot constant; table-typed reads are
+         still version-stamped. *)
+      if is_table chan.ss_type then `Table else `Plain
+    else if List.mem n globals then `Plain
+    else `No
+  in
+  let facts e = facts_of ~classify ~funs ~allowed [] e in
+  let atoms = ref [] and guards = ref [] and sites = ref [] in
+  let reads = ref false and ps_delta = ref false in
+  let note f = if f.fa_reads then reads := true in
+  (* An extracted expression matters to the key when its value can vary
+     per packet (mentions the packet or protocol state), when it can
+     raise, or when it reads a resident table (mutable between
+     packets). Everything else is constant for the slot's lifetime. *)
+  let keyed e f =
+    f.fa_may_raise || f.fa_reads
+    || mentions_var [ chan.pkt_name; chan.ps_name ] e
+  in
+  let add_atom e =
+    let f = facts e in
+    if not f.fa_pure then give_up "branch condition %s" f.fa_reason;
+    note f;
+    if keyed e f && not (List.exists (expr_equal e) !atoms) then
+      atoms := e :: !atoms
+  in
+  let add_guard e f =
+    if f.fa_may_raise && keyed e f && not (List.exists (expr_equal e) !guards)
+    then guards := e :: !guards
+  in
+  let add_site target e =
+    let f = facts e in
+    if not f.fa_pure then give_up "emission argument %s" f.fa_reason;
+    note f;
+    let dup s =
+      s.site_target = target && expr_equal s.site_expr e
+    in
+    if not (List.exists dup !sites) then
+      sites :=
+        { site_target = target; site_expr = e; site_may_raise = f.fa_may_raise }
+        :: !sites
+  in
+  let is_emit f =
+    (not (Hashtbl.mem funs f))
+    && match classify f with Emit -> true | _ -> false
+  in
+  let bind_all env bs =
+    List.fold_left
+      (fun env b ->
+        let e' = subst env b.bind_expr in
+        let f = facts e' in
+        if not f.fa_pure then
+          give_up "binding %s %s" b.bind_name f.fa_reason;
+        note f;
+        add_guard e' f;
+        (b.bind_name, e') :: List.remove_assoc b.bind_name env)
+      env bs
+  in
+  (* Statement position: the value is discarded; emissions, raise
+     markers and branch decisions are what matter. *)
+  let rec walk_effect env (e : expr) =
+    match e.desc with
+    | On_remote (c, pe) -> add_site (Remote c) (subst env pe)
+    | On_neighbor (c, pe) -> add_site (Neighbor c) (subst env pe)
+    | Call (f, [ pe ]) when is_emit f -> add_site Deliver (subst env pe)
+    | Call (f, _) when is_emit f ->
+        give_up "emission primitive %s applied to an unexpected arity" f
+    | Seq (a, b) ->
+        walk_effect env a;
+        walk_effect env b
+    | Let (bs, body) -> walk_effect (bind_all env bs) body
+    | Raise _ -> ()
+    | If (c, t, f) ->
+        let whole = subst env e in
+        let fw = facts whole in
+        if fw.fa_pure then (
+          (* No emission on either arm: the branch only matters through
+             its raise behaviour, keyed as one guard. *)
+          note fw;
+          add_guard whole fw)
+        else (
+          add_atom (subst env c);
+          walk_effect env t;
+          walk_effect env f)
+    | Try (b, hs) ->
+        let whole = subst env e in
+        let fw = facts whole in
+        if fw.fa_pure then (
+          note fw;
+          add_guard whole fw)
+        else (
+          walk_effect env b;
+          List.iter (fun (_, h) -> walk_effect env h) hs)
+    | _ ->
+        let e' = subst env e in
+        let f = facts e' in
+        if not f.fa_pure then
+          give_up "statement %s" f.fa_reason;
+        note f;
+        add_guard e' f
+  in
+  (* [(ps', ss')] result position: the channel state must be returned
+     unchanged; the protocol state either unchanged or moved by a
+     key-determined integer delta. *)
+  let handle_return env pe se =
+    let se' = subst env se in
+    (match se'.desc with
+    | Var n when String.equal n chan.ss_name -> ()
+    | _ -> give_up "channel state is not returned unchanged");
+    let pe' = subst env pe in
+    let is_ps e =
+      match e.desc with
+      | Var n -> String.equal n chan.ps_name
+      | _ -> false
+    in
+    let delta d =
+      if not ps_is_int then give_up "protocol-state update is not an increment";
+      if mentions_var [ chan.ps_name ] d then
+        give_up "protocol-state delta depends on the previous state";
+      ps_delta := true;
+      add_atom d
+    in
+    match pe'.desc with
+    | _ when is_ps pe' -> ()
+    | Binop (Add, l, d) when is_ps l -> delta d
+    | Binop (Add, d, r) when is_ps r -> delta d
+    | Binop (Sub, l, d) when is_ps l -> delta d
+    | _ -> give_up "protocol-state update is not an increment"
+  in
+  let rec walk_result env (e : expr) =
+    match e.desc with
+    | Tuple [ pe; se ] -> handle_return env pe se
+    | Var n -> (
+        match List.assoc_opt n env with
+        | Some e' -> walk_result [] e'
+        | None -> give_up "channel result is the unknown variable %s" n)
+    | If (c, t, f) ->
+        add_atom (subst env c);
+        walk_result env t;
+        walk_result env f
+    | Seq (a, b) ->
+        walk_effect env a;
+        walk_result env b
+    | Let (bs, body) -> walk_result (bind_all env bs) body
+    | Try (b, hs) ->
+        walk_result env b;
+        List.iter (fun (_, h) -> walk_result env h) hs
+    | Raise _ -> ()
+    | _ -> give_up "channel result is not a (state, state) tuple"
+  in
+  if is_table chan.ps_type && not ps_table_ok then
+    give_up "a channel in this program replaces the resident table";
+  walk_result [] chan.body;
+  Cacheable
+    {
+      atoms = List.rev !atoms;
+      guards = List.rev !guards;
+      sites = List.rev !sites;
+      reads_tables = !reads;
+      ps_int_delta = !ps_delta;
+    }
+
+let analyze ~classify (program : Ast.program) =
+  let globals =
+    List.filter_map
+      (function Dval (b, _) -> Some b.bind_name | _ -> None)
+      program
+  in
+  let funs : (string, facts) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Dfun f ->
+          let allowed n =
+            if List.exists (fun (p, _) -> String.equal p n) f.params then `Plain
+            else if List.mem n globals then `Plain
+            else `No
+          in
+          Hashtbl.replace funs f.fun_name
+            (facts_of ~classify ~funs ~allowed [] f.fun_body)
+      | _ -> ())
+    program;
+  let channels = Ast.channels program in
+  let ps_table_ok = List.for_all ps_returned_unchanged channels in
+  List.map
+    (fun chan ->
+      let verdict =
+        try analyze_channel ~classify ~funs ~globals ~ps_table_ok chan
+        with Give_up reason -> Uncacheable reason
+      in
+      (chan, verdict))
+    channels
+
+let pp_verdict ppf = function
+  | Cacheable d ->
+      Format.fprintf ppf "cacheable (%d key atom%s, %d guard%s, %d site%s%s%s)"
+        (List.length d.atoms)
+        (if List.length d.atoms = 1 then "" else "s")
+        (List.length d.guards)
+        (if List.length d.guards = 1 then "" else "s")
+        (List.length d.sites)
+        (if List.length d.sites = 1 then "" else "s")
+        (if d.reads_tables then ", reads tables" else "")
+        (if d.ps_int_delta then ", counting state" else "")
+  | Uncacheable reason -> Format.fprintf ppf "uncacheable: %s" reason

@@ -1,0 +1,69 @@
+(** Static cacheability analysis for the flow-keyed decision cache
+    ([Planp_runtime.Flowcache]).
+
+    A channel is *cacheable* when its per-packet decision — which packets it
+    emits (and from which expressions), whether an exception escapes, and
+    how the protocol state moves — is a pure function of a small flow key
+    extracted from the decoded packet. The analysis walks the channel body
+    and either proves that shape or reports why it cannot:
+
+    - every branch condition on the decision spine becomes a key {e atom}
+      (re-evaluated per packet, always scalar: conditions are [bool], state
+      deltas are [int]);
+    - every expression that may raise on the spine becomes a {e guard},
+      keyed only by whether it raises (and which exception);
+    - every [OnRemote]/[OnNeighbor]/[deliver] occurrence becomes an
+      emission {e site} whose value expression is re-evaluated at replay —
+      the cache stores {e which} sites fired, never stale packet bytes;
+    - resident-table reads ([tblGet]/[tblMem]/[tblSize]) are allowed but
+      force version-stamped entries ([reads_tables]); any table write,
+      output, or time/load-dependent primitive makes the channel
+      uncacheable.
+
+    The analysis knows nothing about the primitive library; the runtime
+    passes a [classify] function. *)
+
+type prim_class =
+  | Pure of { may_raise : bool }  (** value depends only on arguments *)
+  | Table_read  (** pure read of a resident table *)
+  | Node_const  (** constant per node (e.g. [thisHost]) *)
+  | Emit  (** an emission primitive ([deliver]) *)
+  | Impure  (** anything else: writes, output, time, link state *)
+
+type target = Remote of string | Neighbor of string | Deliver
+
+type site = {
+  site_target : target;
+  site_expr : Planp.Ast.expr;
+      (** closed over the channel parameters and globals (lets substituted) *)
+  site_may_raise : bool;
+}
+
+type details = {
+  atoms : Planp.Ast.expr list;
+      (** scalar key fields: decision conditions and protocol-state deltas *)
+  guards : Planp.Ast.expr list;
+      (** may-raise spine expressions, keyed by raise marker only *)
+  sites : site list;
+  reads_tables : bool;
+      (** entries must be stamped with the resident-table version *)
+  ps_int_delta : bool;
+      (** protocol state may move by a key-determined [int] delta
+          (otherwise it must be returned unchanged) *)
+}
+
+type verdict = Cacheable of details | Uncacheable of string
+
+(** Treats every primitive as [Impure]: everything is uncacheable, with the
+    reason naming the missing classification. The safe default when the
+    caller has no primitive library at hand. *)
+val default_classify : string -> prim_class
+
+(** Verdicts in [Ast.channels] order (one per channel declaration,
+    positionally aligned with every backend's [compile] output). *)
+val analyze :
+  classify:(string -> prim_class) ->
+  Planp.Ast.program ->
+  (Planp.Ast.channel * verdict) list
+
+val pp_verdict : Format.formatter -> verdict -> unit

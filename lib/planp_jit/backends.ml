@@ -2,6 +2,7 @@ let interp = Planp_runtime.Interp.backend
 
 let jit =
   {
+    Specialize.backend with
     Planp_runtime.Backend.backend_name = "jit";
     compile =
       (fun checked ~globals ->

@@ -344,34 +344,42 @@ let compile_program checked ~globals =
     channel_fns;
   }
 
+let bytecode_labels = [ ("backend", "bytecode") ]
+
+let bytecode_counters () =
+  ( Obs.Registry.counter ~labels:bytecode_labels ~help:"packets executed"
+      "planp.exec.packets",
+    Obs.Registry.counter ~labels:bytecode_labels
+      ~help:"VM instructions dispatched" "planp.vm.instrs",
+    Obs.Registry.counter ~labels:bytecode_labels ~help:"primitive invocations"
+      "planp.vm.prim_calls" )
+
+let replay_credit () =
+  let m_packets, m_instrs, m_prims = bytecode_counters () in
+  fun ~steps ~prims ->
+    Obs.Registry.incr m_packets;
+    Obs.Registry.add m_instrs steps;
+    Obs.Registry.add m_prims prims
+
 let backend =
   {
     Backend.backend_name = "bytecode";
+    profile = Vm.profile;
+    replay_credit;
     compile =
       (fun checked ~globals ->
         let { unit_; channel_fns } = compile_program checked ~globals in
-        let labels = [ ("backend", "bytecode") ] in
-        let m_packets =
-          Obs.Registry.counter ~labels ~help:"packets executed"
-            "planp.exec.packets"
-        in
-        let m_instrs =
-          Obs.Registry.counter ~labels ~help:"VM instructions dispatched"
-            "planp.vm.instrs"
-        in
-        let m_prims =
-          Obs.Registry.counter ~labels ~help:"primitive invocations"
-            "planp.vm.prim_calls"
-        in
+        let m_packets, m_instrs, m_prims = bytecode_counters () in
         List.map
           (fun (chan, fn) ->
             let exec world ~ps ~ss ~pkt =
-              let instrs0 = !Vm.instrs_executed and prims0 = !Vm.prim_calls in
+              let instrs0, prims0 = Vm.profile () in
               Fun.protect
                 ~finally:(fun () ->
+                  let instrs1, prims1 = Vm.profile () in
                   Obs.Registry.incr m_packets;
-                  Obs.Registry.add m_instrs (!Vm.instrs_executed - instrs0);
-                  Obs.Registry.add m_prims (!Vm.prim_calls - prims0))
+                  Obs.Registry.add m_instrs (instrs1 - instrs0);
+                  Obs.Registry.add m_prims (prims1 - prims0))
                 (fun () ->
                   match Vm.call unit_ ~fn world [| ps; ss; pkt |] with
                   | Value.Vtuple [| ps'; ss' |] -> (ps', ss')

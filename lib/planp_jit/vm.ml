@@ -3,11 +3,6 @@ module Prim = Planp_runtime.Prim
 
 type try_frame = { handlers : (string * int) list; saved_sp : int }
 
-(* Profiling cells, mirroring Planp_runtime.Interp: bare increments in the
-   dispatch loop, read as per-packet deltas by the bytecode backend. *)
-let instrs_executed = ref 0
-let prim_calls = ref 0
-
 (* One growable value arena holds every frame of an execution: the layout
    is [caller frames... | locals | operand stack].  A call carves the
    callee's frame out of the same arena — its arguments, already on the
@@ -19,6 +14,40 @@ let prim_calls = ref 0
    inner execution just pays for a fresh arena — correctness never depends
    on the pool. *)
 type arena = { mutable data : Value.t array; mutable sp : int }
+
+(* All per-execution mutable scratch — the profiling cells (mirroring
+   Planp_runtime.Interp: bare increments in the dispatch loop, read as
+   per-packet deltas by the bytecode backend), the pooled arena, and the
+   primitive-argument buffers — lives in one domain-local record so the
+   VM is race-free under [Netsim.Par_engine --domains k]. *)
+type domain_state = {
+  mutable d_instrs : int;
+  mutable d_prims : int;
+  d_pooled : arena;
+  mutable d_pool_busy : bool;
+  (* Per-arity scratch buffers for primitive arguments.  The Prim.impl
+     contract (see prim.mli) lets us reuse them: implementations read
+     their arguments before any world effect and never retain the
+     array. *)
+  d_scratch : Value.t array array;
+}
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        d_instrs = 0;
+        d_prims = 0;
+        d_pooled = { data = Array.make 256 Value.Vunit; sp = 0 };
+        d_pool_busy = false;
+        d_scratch = Array.init 9 (fun n -> Array.make n Value.Vunit);
+      })
+
+let profile () =
+  let st = Domain.DLS.get dls_key in
+  (st.d_instrs, st.d_prims)
+
+let instrs_executed () = fst (profile ())
+let prim_calls () = snd (profile ())
 
 let ensure arena needed =
   if needed > Array.length arena.data then begin
@@ -36,22 +65,15 @@ let push arena value =
   Array.unsafe_set arena.data arena.sp value;
   arena.sp <- arena.sp + 1
 
-let pooled = { data = Array.make 256 Value.Vunit; sp = 0 }
-let pool_busy = ref false
-
-let take_arena () =
-  if !pool_busy then { data = Array.make 256 Value.Vunit; sp = 0 }
+let take_arena st =
+  if st.d_pool_busy then { data = Array.make 256 Value.Vunit; sp = 0 }
   else begin
-    pool_busy := true;
-    pooled
+    st.d_pool_busy <- true;
+    st.d_pooled
   end
 
-let release_arena arena = if arena == pooled then pool_busy := false
-
-(* Per-arity scratch buffers for primitive arguments.  The Prim.impl
-   contract (see prim.mli) lets us reuse them: implementations read their
-   arguments before any world effect and never retain the array. *)
-let arg_scratch = Array.init 9 (fun n -> Array.make n Value.Vunit)
+let release_arena st arena =
+  if arena == st.d_pooled then st.d_pool_busy <- false
 
 let eval_binop op left right =
   match op with
@@ -79,7 +101,7 @@ let eval_binop op left right =
 
 (* Run function [fn] whose frame starts at [base]; the caller has already
    placed the arguments at [base .. base+argc-1]. *)
-let rec exec unit_ ~fn world arena ~base =
+let rec exec unit_ ~fn world st arena ~base =
   let func = unit_.Bytecode.funcs.(fn) in
   let stack_base = base + Int.max func.Bytecode.n_locals 1 in
   ensure arena stack_base;
@@ -115,7 +137,7 @@ let rec exec unit_ ~fn world arena ~base =
       raise (Value.Runtime_error "vm: program counter out of range");
     let instr = code.(!pc) in
     incr pc;
-    incr instrs_executed;
+    st.d_instrs <- st.d_instrs + 1;
     try
       match instr with
       | Bytecode.Const value -> push arena value
@@ -139,12 +161,12 @@ let rec exec unit_ ~fn world arena ~base =
           | value -> Value.type_error ~expected:"tuple" value)
       | Bytecode.Call_prim (pool_index, argc) ->
           let prim = unit_.Bytecode.pool.(pool_index) in
-          incr prim_calls;
+          st.d_prims <- st.d_prims + 1;
           let abase = arena.sp - argc in
           if abase < stack_base then
             raise (Value.Runtime_error "vm: stack underflow");
           let args =
-            if argc < Array.length arg_scratch then arg_scratch.(argc)
+            if argc < Array.length st.d_scratch then st.d_scratch.(argc)
             else Array.make argc Value.Vunit
           in
           Array.blit arena.data abase args 0 argc;
@@ -156,7 +178,7 @@ let rec exec unit_ ~fn world arena ~base =
           let cbase = arena.sp - argc in
           if cbase < stack_base then
             raise (Value.Runtime_error "vm: stack underflow");
-          let value = exec unit_ ~fn:index world arena ~base:cbase in
+          let value = exec unit_ ~fn:index world st arena ~base:cbase in
           arena.sp <- cbase;
           push arena value
       | Bytecode.Bin op ->
@@ -208,15 +230,16 @@ let call unit_ ~fn world (args : Value.t array) =
   let func = unit_.Bytecode.funcs.(fn) in
   if Array.length args > func.Bytecode.n_params then
     raise (Value.Runtime_error "vm: too many arguments");
-  let arena = take_arena () in
+  let st = Domain.DLS.get dls_key in
+  let arena = take_arena st in
   arena.sp <- 0;
   ensure arena (Array.length args);
   Array.blit args 0 arena.data 0 (Array.length args);
   arena.sp <- Array.length args;
-  match exec unit_ ~fn world arena ~base:0 with
+  match exec unit_ ~fn world st arena ~base:0 with
   | value ->
-      release_arena arena;
+      release_arena st arena;
       value
   | exception e ->
-      release_arena arena;
+      release_arena st arena;
       raise e

@@ -19,9 +19,13 @@ val call :
   Planp_runtime.Value.t array ->
   Planp_runtime.Value.t
 
-(** Process-wide profiling cells: instructions dispatched and primitives
-    invoked since start-up. The bytecode backend reads per-packet deltas of
-    these into [planp.vm.instrs] / [planp.vm.prim_calls]. *)
-val instrs_executed : int ref
+(** Domain-local profiling cells: instructions dispatched and primitives
+    invoked by the calling domain since it started. Domain-local (not
+    process-wide refs) so accounting is race-free under
+    [Netsim.Par_engine --domains k]; the bytecode backend reads
+    per-packet deltas of these into [planp.vm.instrs] /
+    [planp.vm.prim_calls]. [profile () = (instrs, prim calls)]. *)
+val profile : unit -> int * int
 
-val prim_calls : int ref
+val instrs_executed : unit -> int
+val prim_calls : unit -> int

@@ -1,16 +1,26 @@
 module Ast = Planp.Ast
 module Env = Map.Make (String)
 
-(* Profiling cells: bare int refs so the per-step cost stays one increment
-   even with observability on; the backend's exec wrapper reads the deltas
-   into the registry once per packet. *)
-let eval_steps = ref 0
-let prim_calls = ref 0
+(* Profiling cells: mutable fields of a domain-local record, so the
+   per-step cost stays one increment even with observability on while
+   staying race-free under [Par_engine --domains k] (each domain owns
+   its cells; the backend's exec wrapper reads the deltas into the
+   registry once per packet, on the executing domain). *)
+type prof = { mutable p_steps : int; mutable p_prims : int }
+
+let profile_key = Domain.DLS.new_key (fun () -> { p_steps = 0; p_prims = 0 })
+let profile () =
+  let p = Domain.DLS.get profile_key in
+  (p.p_steps, p.p_prims)
+
+let eval_steps () = fst (profile ())
+let prim_calls () = snd (profile ())
 
 type ctx = {
   world : World.t;
   funs : (string, Ast.fundef) Hashtbl.t;
   base : Value.t Env.t;
+  prof : prof;  (** the creating domain's cells; re-fetch when crossing *)
 }
 
 let make_ctx ~world ~funs ~globals =
@@ -20,7 +30,7 @@ let make_ctx ~world ~funs ~globals =
     List.fold_left (fun env (name, value) -> Env.add name value env) Env.empty
       globals
   in
-  { world; funs = fun_table; base }
+  { world; funs = fun_table; base; prof = Domain.DLS.get profile_key }
 
 let lookup env name =
   match Env.find_opt name env with
@@ -42,7 +52,7 @@ let arith op a b =
   | _ -> assert false
 
 let rec eval ctx env (expr : Ast.expr) =
-  incr eval_steps;
+  ctx.prof.p_steps <- ctx.prof.p_steps + 1;
   match expr.Ast.desc with
   | Ast.Int n -> Value.Vint n
   | Ast.Bool b -> Value.vbool b
@@ -129,16 +139,38 @@ and apply ctx name arg_values =
       eval ctx env fun_body
   | None ->
       let prim = Prim.find_exn name in
-      incr prim_calls;
+      ctx.prof.p_prims <- ctx.prof.p_prims + 1;
       prim.Prim.impl ctx.world (Array.of_list arg_values)
 
 let eval_const ~world ~globals expr =
   let ctx = make_ctx ~world ~funs:[] ~globals in
   eval ctx ctx.base expr
 
+let interp_labels = [ ("backend", "interp") ]
+
+let replay_credit () =
+  let m_packets =
+    Obs.Registry.counter ~labels:interp_labels ~help:"packets executed"
+      "planp.exec.packets"
+  in
+  let m_steps =
+    Obs.Registry.counter ~labels:interp_labels ~help:"AST nodes evaluated"
+      "planp.interp.eval_steps"
+  in
+  let m_prims =
+    Obs.Registry.counter ~labels:interp_labels ~help:"primitive invocations"
+      "planp.interp.prim_calls"
+  in
+  fun ~steps ~prims ->
+    Obs.Registry.incr m_packets;
+    Obs.Registry.add m_steps steps;
+    Obs.Registry.add m_prims prims
+
 let backend =
   {
     Backend.backend_name = "interp";
+    profile;
+    replay_credit;
     compile =
       (fun checked ~globals ->
         let funs =
@@ -152,7 +184,7 @@ let backend =
           let world, _, _ = World.dummy () in
           make_ctx ~world ~funs ~globals
         in
-        let labels = [ ("backend", "interp") ] in
+        let labels = interp_labels in
         let m_packets =
           Obs.Registry.counter ~labels ~help:"packets executed"
             "planp.exec.packets"
@@ -168,19 +200,23 @@ let backend =
         List.map
           (fun chan ->
             let exec world ~ps ~ss ~pkt =
-              let ctx = { template with world } in
+              (* Fetch the executing domain's cells per packet: the
+                 template was built on whichever domain installed the
+                 program. *)
+              let prof = Domain.DLS.get profile_key in
+              let ctx = { template with world; prof } in
               let env =
                 ctx.base
                 |> Env.add chan.Ast.ps_name ps
                 |> Env.add chan.Ast.ss_name ss
                 |> Env.add chan.Ast.pkt_name pkt
               in
-              let steps0 = !eval_steps and prims0 = !prim_calls in
+              let steps0 = prof.p_steps and prims0 = prof.p_prims in
               Fun.protect
                 ~finally:(fun () ->
                   Obs.Registry.incr m_packets;
-                  Obs.Registry.add m_steps (!eval_steps - steps0);
-                  Obs.Registry.add m_prims (!prim_calls - prims0))
+                  Obs.Registry.add m_steps (prof.p_steps - steps0);
+                  Obs.Registry.add m_prims (prof.p_prims - prims0))
                 (fun () ->
                   match eval ctx env chan.Ast.body with
                   | Value.Vtuple [| ps'; ss' |] -> (ps', ss')

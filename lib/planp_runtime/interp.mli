@@ -31,10 +31,14 @@ val eval_const :
 (** The interpreter as a backend (re-walks the AST on every packet). *)
 val backend : Backend.t
 
-(** Process-wide profiling cells: AST nodes evaluated and primitives
-    invoked since start-up, by any caller of [eval]. The backend's
-    per-packet wrapper reads deltas of these into the
-    [planp.interp.eval_steps] / [planp.interp.prim_calls] counters. *)
-val eval_steps : int ref
+(** Domain-local profiling cells: AST nodes evaluated and primitives
+    invoked by the *calling domain* since it started, by any caller of
+    [eval]. Kept domain-local (not process-wide refs) so per-packet
+    accounting stays race-free under [Netsim.Par_engine --domains k];
+    the backend's per-packet wrapper reads deltas of these into the
+    [planp.interp.eval_steps] / [planp.interp.prim_calls] counters.
+    [profile () = (eval_steps (), prim_calls ())]. *)
+val profile : unit -> int * int
 
-val prim_calls : int ref
+val eval_steps : unit -> int
+val prim_calls : unit -> int

@@ -1,6 +1,15 @@
 module Ptype = Planp.Ptype
 module Sig = Planp.Prim_sig
 
+(* One coarse version stamp over every resident table in the process:
+   any write bumps it, and the flow cache drops version-stamped entries
+   whose stamp is stale. Coarse is sound — a spurious bump only costs a
+   cache miss — and atomic so partitioned engines on several domains
+   can share it. *)
+let generation_cell = Atomic.make 0
+let generation () = Atomic.get generation_cell
+let bump_generation () = Atomic.incr generation_cell
+
 let table_key_value = function
   | Ptype.Thash (key, value) -> Some (key, value)
   | _ -> None
@@ -109,6 +118,7 @@ let install () =
           (fun _world args ->
             let table, key, value = arg3 args in
             Hashtbl.replace (Value.as_table table) key value;
+            bump_generation ();
             Value.Vunit);
         pure = true;
       };
@@ -128,6 +138,7 @@ let install () =
           (fun _world args ->
             let table, key = arg2 args in
             Hashtbl.remove (Value.as_table table) key;
+            bump_generation ();
             Value.Vunit);
         pure = true;
       };
@@ -149,6 +160,7 @@ let install () =
             match args with
             | [| table |] ->
                 Hashtbl.reset (Value.as_table table);
+                bump_generation ();
                 Value.Vunit
             | _ -> raise (Value.Runtime_error "tblClear: expected 1 argument"));
         pure = true;

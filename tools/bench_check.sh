@@ -10,6 +10,9 @@
 #     (tolerance +25% plus two words; the link workloads sit at ~0, so
 #     this is effectively "the event core stays allocation-free"), and
 #   - the same-run jit-vs-interp throughput ratio on the audio ASP (>= 2x),
+#   - the same-run flow-cache ratio on the steady MPEG B-frame stream
+#     (cached >= 1.5x uncached, hit rate >= 0.9) and that the
+#     uncacheable http gateway reports a zero hit rate,
 #   - the same-run par4-vs-sequential events/s ratio on the 1000-flow
 #     mesh (>= 2x; skipped with a message on hosts with fewer than 4
 #     cores, where four domains cannot beat one engine),
@@ -38,4 +41,13 @@ if [ ! -f BENCH_PERF.json ]; then
     exit 1
 fi
 
-exec dune exec --profile release bench/main.exe -- perf scale faults adapt par --smoke --check BENCH_PERF.json
+# This script measures in --smoke mode, so the committed baseline must
+# have been written in --smoke mode too; a full-mode baseline gates
+# nothing real (the binary double-checks, but fail early and clearly).
+if ! grep -q '"smoke": true' BENCH_PERF.json; then
+    echo "bench_check: BENCH_PERF.json was not written with --smoke;" >&2
+    echo "regenerate: dune exec --profile release bench/main.exe -- perf cache scale faults adapt par --smoke --perf-out BENCH_PERF.json" >&2
+    exit 1
+fi
+
+exec dune exec --profile release bench/main.exe -- perf cache scale faults adapt par --smoke --check BENCH_PERF.json
