@@ -2243,6 +2243,127 @@ let adapt_churn () =
     ~adaptive:(replies adaptive)
     ~stats:adaptive.Asp.Http_experiment.adaptation
 
+(* The multi-node cell: the same server1 crash against a 2-gateway
+   fleet, three ways. Static keeps half the connections pointed at the
+   corpse; one independent plane per gateway adapts only where its own
+   clients' retries trip the rule; the coordinated plane sees the
+   fleet-wide retry rate and retunes BOTH gateways through one staged
+   rollout. Coordinated must beat both — that margin is what the
+   coordination tentpole buys. *)
+let adapt_fleet_churn () =
+  let crash =
+    Netsim.Faults.scenario_of_events ~seed:3
+      [
+        fevent ~at:4.0
+          ~target:(Netsim.Faults.Tnode "server1")
+          (Netsim.Faults.Crash { wipe = false });
+      ]
+  in
+  let config coordination adaptation =
+    {
+      Asp.Http_experiment.default_config with
+      Asp.Http_experiment.duration = 14.0;
+      warmup = 2.0;
+      (* Three clients round-robin over two gateways: gateway1 serves a
+         single client, so its local retry rate runs at a third of the
+         fleet aggregate. *)
+      client_count = 3;
+      trace_requests = 20_000;
+      deploy = Asp.Deploy_mode.In_band;
+      faults = Some crash;
+      adaptation;
+      gateways = 2;
+      coordination;
+    }
+  in
+  let setup = Asp.Http_experiment.Asp_gateway Planp_jit.Backends.jit in
+  let replies point =
+    int_of_float
+      ((point.Asp.Http_experiment.replies_per_s *. (14.0 -. 2.0)) +. 0.5)
+  in
+  (* The canned policy with the retry threshold raised to 2/s: above
+     what any single gateway's clients generate during the crash, below
+     the fleet-wide aggregate. A per-node plane watching only its own
+     noisy slice misses the flap (or only the busier gateway catches
+     it); the coordinated plane sees the sum and fails the whole fleet
+     over in one staged rollout — the aggregation argument for
+     coordination, measured. *)
+  let policy () =
+    match
+      Adapt.Policy.parse
+        {|period 0.5
+alpha 0.4
+rule failover: when retry_rate > 2 for 0.5 cooldown 6 do swap http-gateway failover
+guard goodput window 4 min-ratio 0.5
+|}
+    with
+    | Ok policy -> policy
+    | Error msg -> failwith ("bench adapt_fleet_churn policy: " ^ msg)
+  in
+  Obs.Registry.reset Obs.Registry.default;
+  let static =
+    Asp.Http_experiment.run_point
+      (config Asp.Http_experiment.Coordinated None)
+      setup ~workers:8
+  in
+  Obs.Registry.reset Obs.Registry.default;
+  let independent =
+    Asp.Http_experiment.run_point
+      (config Asp.Http_experiment.Independent (Some (policy ())))
+      setup ~workers:8
+  in
+  Obs.Registry.reset Obs.Registry.default;
+  let coordinated =
+    Asp.Http_experiment.run_point
+      (config Asp.Http_experiment.Coordinated (Some (policy ())))
+      setup ~workers:8
+  in
+  let s = replies static
+  and i = replies independent
+  and c = replies coordinated in
+  let stats = coordinated.Asp.Http_experiment.adaptation in
+  let swaps, failed =
+    match stats with
+    | Some stats ->
+        ( stats.Extnet.Adapt.Plane.st_swaps,
+          stats.Extnet.Adapt.Plane.st_failed_swaps )
+    | None -> (0, 0)
+  in
+  let shape =
+    shape_check
+      [
+        ( stats <> None,
+          "adapt/fleet-churn: coordinated run reported no plane stats" );
+        (failed = 0, Printf.sprintf "adapt/fleet-churn: %d failed swap(s)" failed);
+        ( swaps >= 1,
+          "adapt/fleet-churn: no coordinated swap under the crash" );
+        ( c > s,
+          Printf.sprintf
+            "adapt/fleet-churn: coordinated did not beat static (%d vs %d)" c s
+        );
+        ( c > i,
+          Printf.sprintf
+            "adapt/fleet-churn: coordinated did not beat independent \
+             per-node planes (%d vs %d)"
+            c i );
+        ( i > s,
+          Printf.sprintf
+            "adapt/fleet-churn: the partially-adapting independent planes \
+             did not even beat static (%d vs %d)"
+            i s );
+      ]
+  in
+  {
+    fc_counts =
+      [
+        ("static_goodput", s);
+        ("independent_goodput", i);
+        ("coordinated_goodput", c);
+        ("swaps", swaps);
+      ];
+    fc_shape = shape;
+  }
+
 let adapt () =
   section "adapt -- closed-loop adaptation vs static ASPs under faults";
   let cells =
@@ -2251,6 +2372,7 @@ let adapt () =
       ("lossy", adapt_lossy ());
       ("flappy", adapt_flappy ());
       ("churn", adapt_churn ());
+      ("fleet-churn", adapt_fleet_churn ());
     ]
   in
   Printf.printf "%-10s %s\n" "cell" "counts";

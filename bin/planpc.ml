@@ -732,10 +732,30 @@ let duration_flag =
           "Simulated run length; $(b,--packets) of each kind are \
            injected every second until then")
 
+let targets_flag =
+  Arg.(
+    value & opt int 1
+    & info [ "targets" ] ~docv:"N"
+        ~doc:
+          "Chain $(docv) routers between alice and the lan segment \
+           ($(b,router0) .. $(b,routerN-1), joined by $(b,relay) links), \
+           all running the program; swap and undeploy actions reach the \
+           whole fleet through one staged rollout. $(docv)=1 (the \
+           default) is the classic single $(b,router).")
+
 let adapt_cmd =
   let run path policy_path packets backend_name name chunk_size authenticated
-      duration variants metrics_out metrics_csv timeline_out faults_path =
+      duration variants domains targets metrics_out metrics_csv timeline_out
+      faults_path =
     ignore (backend_of_name backend_name);
+    if domains < 1 then begin
+      prerr_endline "planpc: --domains must be >= 1";
+      exit 1
+    end;
+    if targets < 1 then begin
+      prerr_endline "planpc: --targets must be >= 1";
+      exit 1
+    end;
     let policy =
       match Extnet.Adapt.Policy.parse (read_file policy_path) with
       | Ok policy -> policy
@@ -746,8 +766,8 @@ let adapt_cmd =
     in
     if Extnet.Adapt.Policy.is_empty policy then begin
       Printf.printf "policy %s is empty: plain traced run\n" policy_path;
-      run_plain ~policy path packets backend_name metrics_out metrics_csv
-        timeline_out faults_path
+      run_plain ~policy ~domains path packets backend_name metrics_out
+        metrics_csv timeline_out faults_path
     end
     else begin
       let source = read_file path in
@@ -756,37 +776,122 @@ let adapt_cmd =
       in
       let topo = Extnet.Topology.create () in
       let a = Extnet.Topology.add_host topo "alice" "10.0.0.1" in
-      let router = Extnet.Topology.add_host topo "router" "10.0.0.254" in
+      (* --targets 1 keeps the classic alice--router--lan names (the
+         golden-parity baseline); a fleet chains relay routers that all
+         run the program, so a swap must restage every hop. *)
+      let routers =
+        if targets = 1 then
+          [ Extnet.Topology.add_host topo "router" "10.0.0.254" ]
+        else
+          List.init targets (fun i ->
+              Extnet.Topology.add_host topo
+                (Printf.sprintf "router%d" i)
+                (Printf.sprintf "10.0.%d.254" i))
+      in
       let b = Extnet.Topology.add_host topo "bob" "10.0.0.2" in
-      ignore (Extnet.Topology.connect ~name:"uplink" topo a router);
+      ignore
+        (Extnet.Topology.connect ~name:"uplink" topo a (List.hd routers));
+      List.iteri
+        (fun i r ->
+          if i > 0 then
+            ignore
+              (Extnet.Topology.connect
+                 ~name:(Printf.sprintf "relay%d" (i - 1))
+                 topo
+                 (List.nth routers (i - 1))
+                 r))
+        routers;
       let segment = Extnet.Topology.segment ~name:"lan" topo () in
-      ignore (Extnet.Topology.attach topo segment router);
+      ignore
+        (Extnet.Topology.attach topo segment (List.nth routers (targets - 1)));
       ignore (Extnet.Topology.attach topo segment b);
       Extnet.Topology.compute_routes topo;
+      let scenario =
+        Option.map
+          (fun fpath -> or_die (Extnet.Faults.parse_scenario (read_file fpath)))
+          faults_path
+      in
+      (* As in [run]: shard before faults are armed or any event lands,
+         pinning fault targets into one partition. *)
+      let pin =
+        match (scenario, domains) with
+        | Some sc, d when d > 1 ->
+            or_die
+              (Result.map_error
+                 (fun msg -> "--domains with --faults: " ^ msg)
+                 (Extnet.Faults.pin_targets topo sc))
+        | _ -> []
+      in
+      (* Unlike [run], a single-domain adapt still goes through a
+         parts=1 partitioned driver: monitor ticks then ride the same
+         window-barrier pacers for every --domains count, which is what
+         makes the exports byte-identical between --domains 1 and
+         --domains N (engine-scheduled ticks would count as extra
+         engine events in the sequential run only). *)
+      let par = Some (or_die (Extnet.Par.of_topology ~pin topo ~domains)) in
       Option.iter
-        (fun fpath ->
-          let scenario =
-            or_die (Extnet.Faults.parse_scenario (read_file fpath))
+        (fun par ->
+          if Extnet.Par.parts par > 1 then
+            Printf.printf "domains: %d (lookahead %gs)\n"
+              (Extnet.Par.parts par) (Extnet.Par.lookahead par))
+        par;
+      Option.iter
+        (fun sc ->
+          let engine =
+            match (par, pin) with
+            | Some par, first :: _ -> Some (Extnet.Par.engine_of par first)
+            | _ -> None
           in
-          ignore (Extnet.Faults.arm topo scenario))
-        faults_path;
+          ignore (Extnet.Faults.arm ?engine topo sc))
+        scenario;
       let tracer = Extnet.Tracer.on_segment segment () in
       let engine = Extnet.Topology.engine topo in
-      let daemon = Extnet.Deploy.Daemon.start router () in
+      let daemons =
+        List.map (fun r -> (r, Extnet.Deploy.Daemon.start r ())) routers
+      in
       let controller = Extnet.Deploy.Controller.create ~chunk_size a () in
       let tcp_seen = ref 0 and udp_seen = ref 0 in
       Extnet.Node.on_tcp_default b (fun _ _ -> incr tcp_seen);
       Extnet.Node.on_udp_default b (fun _ _ -> incr udp_seen);
       let start_snapshot = Obs.Registry.snapshot Obs.Registry.default in
+      let router_addrs = List.map Extnet.Node.addr routers in
       let initial = ref None in
-      Extnet.Deploy.Controller.deploy controller ~backend:backend_name
-        ~authenticated
-        ~target:(Extnet.Node.addr router)
-        ~name ~source
-        ~on_done:(fun outcome -> initial := Some outcome)
-        ();
+      (match router_addrs with
+      | [ target ] ->
+          Extnet.Deploy.Controller.deploy controller ~backend:backend_name
+            ~authenticated ~target ~name ~source
+            ~on_done:(fun outcome -> initial := Some outcome)
+            ()
+      | _ ->
+          Extnet.Deploy.Controller.rollout controller ~backend:backend_name
+            ~authenticated ~concurrency:2
+            ~on_nak:Extnet.Deploy.Controller.Abort ~targets:router_addrs
+            ~name ~source
+            ~on_done:(fun outcomes ->
+              (* Worst outcome stands for the fleet: the run only
+                 proceeds usefully when every hop acked. *)
+              let worst =
+                List.find_opt
+                  (fun (_, o) ->
+                    match o with
+                    | Extnet.Deploy.Controller.Acked _ -> false
+                    | _ -> true)
+                  outcomes
+              in
+              initial :=
+                Some
+                  (match (worst, outcomes) with
+                  | Some (_, o), _ -> o
+                  | None, (_, o) :: _ -> o
+                  | None, [] -> Extnet.Deploy.Controller.Timed_out))
+            ());
+      let inj_engine =
+        match par with
+        | Some par -> Extnet.Par.engine_of par a
+        | None -> engine
+      in
       for second = 0 to int_of_float (Float.round duration) - 1 do
-        Extnet.Engine.schedule engine ~at:(float_of_int second) (fun () ->
+        Extnet.Engine.schedule inj_engine ~at:(float_of_int second) (fun () ->
             for i = 1 to packets do
               Extnet.Node.send_tcp a ~dst:(Extnet.Node.addr b)
                 ~src_port:(3000 + i)
@@ -802,9 +907,8 @@ let adapt_cmd =
         {
           Extnet.Adapt.Plane.de_controller = controller;
           de_backend = backend_name;
-          de_target_of =
-            (fun program ->
-              if program = name then Some (Extnet.Node.addr router) else None);
+          de_targets_of =
+            (fun program -> if program = name then router_addrs else []);
           de_variant_of =
             (fun ~program ~variant ->
               if program <> name then None
@@ -822,11 +926,14 @@ let adapt_cmd =
                       v_authenticated = authenticated;
                     })
                   (List.assoc_opt variant variant_sources));
+          de_concurrency = 2;
+          de_nak_policy = Extnet.Deploy.Controller.Abort;
+          de_nak_quarantine = 3;
         }
       in
       let plane =
         try
-          Extnet.Adapt.Plane.arm ~env
+          Extnet.Adapt.Plane.arm ~env ?par
             ~active:[ (name, "default") ]
             ~engine ~until:duration
             ~signals:
@@ -846,11 +953,15 @@ let adapt_cmd =
           prerr_endline ("planpc: " ^ message);
           exit 1
       in
-      Extnet.Topology.run_until topo ~stop:duration;
+      (match par with
+      | None -> Extnet.Topology.run_until topo ~stop:duration
+      | Some par -> Extnet.Par.run_until par ~stop:duration);
       Printf.printf "--- adapt (%s backend, policy %s) ---\n" backend_name
         policy_path;
       let initial = !initial in
-      Printf.printf "initial in-band deploy of %S to router: %s\n" name
+      Printf.printf "initial in-band deploy of %S to %s: %s\n" name
+        (if targets = 1 then "router"
+         else Printf.sprintf "%d routers" targets)
         (match initial with
         | Some outcome -> Extnet.Deploy.Controller.outcome_to_string outcome
         | None -> "still in flight");
@@ -878,16 +989,19 @@ let adapt_cmd =
       Printf.printf "active variant of %S: %s\n" name
         (Option.value ~default:"(none)"
            (Extnet.Adapt.Plane.active_variant plane name));
-      Printf.printf "router slots: %s\n"
-        (match Extnet.Deploy.Daemon.slots daemon with
-        | [] -> "(empty)"
-        | slots ->
-            String.concat ", "
-              (List.map
-                 (fun (slot, epoch) -> Printf.sprintf "%s@%d" slot epoch)
-                 slots));
-      export_observability ~topo ~par:None ~tracer ~start_snapshot
-        ~metrics_out ~metrics_csv ~timeline_out;
+      List.iter
+        (fun (r, daemon) ->
+          Printf.printf "%s slots: %s\n" (Extnet.Node.name r)
+            (match Extnet.Deploy.Daemon.slots daemon with
+            | [] -> "(empty)"
+            | slots ->
+                String.concat ", "
+                  (List.map
+                     (fun (slot, epoch) -> Printf.sprintf "%s@%d" slot epoch)
+                     slots)))
+        daemons;
+      export_observability ~topo ~par ~tracer ~start_snapshot ~metrics_out
+        ~metrics_csv ~timeline_out;
       match initial with
       | Some (Extnet.Deploy.Controller.Acked _) -> ()
       | Some outcome ->
@@ -904,12 +1018,13 @@ let adapt_cmd =
        ~doc:
          "Run the program under a closed-loop adaptation policy: in-band \
           deploy, condition monitors, guarded hot-swaps to $(b,--variant) \
-          sources")
+          sources across the $(b,--targets) router fleet, optionally \
+          sharded over $(b,--domains) OCaml domains")
     Term.(
       const run $ file_arg $ policy_flag $ packets_flag $ backend_flag
       $ name_flag $ chunk_flag $ authenticated_flag $ duration_flag
-      $ variant_flag $ metrics_out_flag $ metrics_csv_flag
-      $ timeline_out_flag $ faults_flag)
+      $ variant_flag $ domains_flag $ targets_flag $ metrics_out_flag
+      $ metrics_csv_flag $ timeline_out_flag $ faults_flag)
 
 let prims_cmd =
   let run () =

@@ -79,25 +79,42 @@ let sample t watch =
       watch.w_prev <- now;
       rate
 
-let rec tick t () =
-  (* Publish every batched counter before reading the registry. *)
-  Engine.flush t.engine;
+let tick_body t ~now =
   List.iter
     (fun watch -> Signal.push watch.w_signal (sample t watch))
     (List.rev t.watches);
   t.ticks <- t.ticks + 1;
   Obs.Registry.incr t.m_ticks;
+  List.iter (fun hook -> hook ~now) (List.rev t.hooks)
+
+let rec tick t () =
+  (* Publish every batched counter before reading the registry. *)
+  Engine.flush t.engine;
   let now = Engine.now t.engine in
-  List.iter (fun hook -> hook ~now) (List.rev t.hooks);
+  tick_body t ~now;
   if now +. t.period <= t.until then
     Engine.schedule_after t.engine ~delay:t.period (tick t)
+
+let seed t =
+  List.iter (fun watch -> watch.w_prev <- cumulative watch) t.watches
 
 let start t =
   if not t.started then begin
     t.started <- true;
-    List.iter (fun watch -> watch.w_prev <- cumulative watch) t.watches;
+    seed t;
     if Engine.now t.engine +. t.period <= t.until then
       Engine.schedule_after t.engine ~delay:t.period (tick t)
+  end
+
+let start_paced t par =
+  if not t.started then begin
+    t.started <- true;
+    seed t;
+    (* The pacer flushes every partition's engine (in partition order)
+       before firing, so the tick body reads a globally consistent
+       registry without flushing here. *)
+    Netsim.Par_engine.add_pacer par ~period:t.period ~until:t.until
+      (fun ~now -> tick_body t ~now)
   end
 
 let signal t name =

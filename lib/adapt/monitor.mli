@@ -52,6 +52,14 @@ val on_tick : t -> (now:float -> unit) -> unit
 val start : t -> unit
 (** Schedule the tick chain; idempotent. *)
 
+val start_paced : t -> Netsim.Par_engine.t -> unit
+(** Re-home the tick chain onto [par]'s window barriers
+    ({!Netsim.Par_engine.add_pacer}): each tick runs with every partition
+    quiescent and every engine clock forced (and flushed) to the tick
+    time, so samples and decisions are byte-identical for any domain
+    count. The tick cadence is the same [period]-to-[until] chain as
+    {!start}. Idempotent with respect to {!start}. *)
+
 val signal : t -> string -> Signal.t option
 val signals : t -> Signal.t list
 (** In registration order. *)

@@ -1,4 +1,5 @@
 module Engine = Netsim.Engine
+module Addr = Netsim.Addr
 module Controller = Deploy.Controller
 
 type variant = { v_source : string; v_authenticated : bool }
@@ -6,8 +7,11 @@ type variant = { v_source : string; v_authenticated : bool }
 type deploy_env = {
   de_controller : Controller.t;
   de_backend : string;
-  de_target_of : string -> Netsim.Addr.t option;
+  de_targets_of : string -> Addr.t list;
   de_variant_of : program:string -> variant:string -> variant option;
+  de_concurrency : int;
+  de_nak_policy : Controller.nak_policy;
+  de_nak_quarantine : int;
 }
 
 type event = {
@@ -27,6 +31,8 @@ type stats = {
   st_escalations : int;
   st_guard_checks : int;
   st_rollbacks : int;
+  st_partial_rollbacks : int;
+  st_node_quarantines : int;
   st_events : event list;
 }
 
@@ -53,6 +59,10 @@ type t = {
   mutable active : (string * string) list; (* program -> live variant *)
   mutable in_flight : string list; (* programs with an op or guard open *)
   mutable quarantined : (string * string) list; (* rolled-back variants *)
+  (* Fleet health: consecutive NAKs per node, and the nodes benched for
+     the rest of the run after [de_nak_quarantine] of them in a row. *)
+  mutable node_naks : (Addr.t * int) list;
+  mutable quarantined_nodes : Addr.t list;
   mutable events : event list; (* reverse chronological *)
   mutable fired : int;
   m_swaps_acked : Obs.Registry.counter;
@@ -63,6 +73,11 @@ type t = {
   m_guard_checks : Obs.Registry.counter;
   m_guard_regressions : Obs.Registry.counter;
   m_rollbacks : Obs.Registry.counter;
+  m_fleet_rollouts : Obs.Registry.counter;
+  m_fleet_targets_acked : Obs.Registry.counter;
+  m_fleet_targets_failed : Obs.Registry.counter;
+  m_fleet_partial_rollbacks : Obs.Registry.counter;
+  m_fleet_node_quarantines : Obs.Registry.counter;
   mutable n_swaps : int;
   mutable n_failed_swaps : int;
   mutable n_undeploys : int;
@@ -70,6 +85,8 @@ type t = {
   mutable n_escalations : int;
   mutable n_guard_checks : int;
   mutable n_rollbacks : int;
+  mutable n_partial_rollbacks : int;
+  mutable n_node_quarantines : int;
 }
 
 let record t ~rule ~what ~note =
@@ -91,16 +108,106 @@ let rec eval t = function
 let release t program =
   t.in_flight <- List.filter (fun p -> p <> program) t.in_flight
 
-(* The guard: [window] seconds after the ACK, the KPI must be at least
-   [min_ratio] of its pre-swap baseline or the swap rolls back (previous
-   epoch if one exists, undeploy for a first install) and the variant is
-   quarantined for the rest of the run. The program stays in-flight until
-   the verdict so no other op races the window. *)
-let schedule_guard t ~rule ~program ~variant ~previous ~baseline =
+let node_quarantined t addr = List.exists (Addr.equal addr) t.quarantined_nodes
+
+(* Track per-node NAK streaks from a rollout's per-target outcomes; a
+   node that NAKs [de_nak_quarantine] times in a row is benched for the
+   rest of the run (excluded from subsequent fleet operations). *)
+let note_target_outcome t ~rule ~program target outcome =
+  match outcome with
+  | Controller.Acked _ ->
+      t.node_naks <- List.filter (fun (a, _) -> not (Addr.equal a target)) t.node_naks
+  | Controller.Nakked _ ->
+      let env = Option.get t.env in
+      let streak =
+        1
+        + (match
+             List.find_opt (fun (a, _) -> Addr.equal a target) t.node_naks
+           with
+          | Some (_, n) -> n
+          | None -> 0)
+      in
+      t.node_naks <-
+        (target, streak)
+        :: List.filter (fun (a, _) -> not (Addr.equal a target)) t.node_naks;
+      if streak >= env.de_nak_quarantine && not (node_quarantined t target) then begin
+        t.quarantined_nodes <- t.quarantined_nodes @ [ target ];
+        t.n_node_quarantines <- t.n_node_quarantines + 1;
+        Obs.Registry.incr t.m_fleet_node_quarantines;
+        record t ~rule
+          ~what:(Printf.sprintf "quarantine node %s" (Addr.to_string target))
+          ~note:
+            (Printf.sprintf "%d consecutive NAKs on %s" streak program)
+      end
+  | Controller.Timed_out | Controller.Skipped | Controller.Aborted _ -> ()
+
+let acked_targets outcomes =
+  List.filter_map
+    (fun (target, outcome) ->
+      match outcome with Controller.Acked _ -> Some target | _ -> None)
+    outcomes
+
+let max_epoch outcomes =
+  List.fold_left
+    (fun acc (_, outcome) ->
+      match outcome with
+      | Controller.Acked { epoch; _ } -> max acc epoch
+      | _ -> acc)
+    0 outcomes
+
+let first_failure outcomes =
+  List.find_map
+    (fun (_, outcome) ->
+      match outcome with
+      | Controller.Acked _ -> None
+      | outcome -> Some (Controller.outcome_to_string outcome))
+    outcomes
+
+(* Restore a set of targets to the pre-swap state: rollback when the
+   plane knew a previous variant (every target was on it), undeploy when
+   the swap was the slot's first install. [on_done] receives whether
+   every restore was acknowledged. *)
+let restore_targets t ~previous ~targets ~program ~on_done =
+  let env = Option.get t.env in
+  match targets with
+  | [] -> on_done true
+  | targets -> (
+      match previous with
+      | Some _ ->
+          Controller.rollback_fleet env.de_controller
+            ~concurrency:env.de_concurrency ~targets ~name:program
+            ~on_done:(fun outcomes ->
+              on_done
+                (List.for_all
+                   (fun (_, o) ->
+                     match o with Controller.Acked _ -> true | _ -> false)
+                   outcomes))
+            ()
+      | None ->
+          let waiting = ref (List.length targets) in
+          let all_acked = ref true in
+          List.iter
+            (fun target ->
+              Controller.undeploy env.de_controller ~target ~name:program
+                ~on_done:(fun outcome ->
+                  (match outcome with
+                  | Controller.Acked _ -> ()
+                  | _ -> all_acked := false);
+                  decr waiting;
+                  if !waiting = 0 then on_done !all_acked)
+                ())
+            targets)
+
+(* The guard: [window] seconds after the fleet converges, the KPI must
+   be at least [min_ratio] of its pre-swap baseline or the swap rolls
+   back on every staged node at once (previous epoch if one exists,
+   undeploy for a first install) and the variant is quarantined for the
+   rest of the run. The program stays in-flight until the verdict so no
+   other op races the window. *)
+let schedule_guard t ~rule ~program ~variant ~previous ~baseline ~targets =
   match t.policy.Policy.guard with
   | None -> release t program
   | Some guard ->
-      let env = Option.get t.env in
       Engine.schedule_after t.engine ~delay:guard.Policy.g_window (fun () ->
           t.n_guard_checks <- t.n_guard_checks + 1;
           Obs.Registry.incr t.m_guard_checks;
@@ -120,45 +227,43 @@ let schedule_guard t ~rule ~program ~variant ~previous ~baseline =
                 (Printf.sprintf
                    "regression: %s %.3f < %.2f x %.3f, rolling back"
                    guard.Policy.g_signal post guard.Policy.g_min_ratio baseline);
-            let target = Option.get (env.de_target_of program) in
-            let settle outcome =
-              release t program;
-              match outcome with
-              | Controller.Acked _ ->
+            restore_targets t ~previous ~targets ~program
+              ~on_done:(fun restored ->
+                release t program;
+                if restored then begin
                   t.n_rollbacks <- t.n_rollbacks + 1;
                   Obs.Registry.incr t.m_rollbacks;
                   (match previous with
                   | Some prev ->
                       t.active <-
-                        (program, prev)
-                        :: List.remove_assoc program t.active
+                        (program, prev) :: List.remove_assoc program t.active
                   | None -> t.active <- List.remove_assoc program t.active);
                   record t ~rule
                     ~what:(Printf.sprintf "rollback %s" program)
-                    ~note:(Controller.outcome_to_string outcome)
-              | outcome ->
+                    ~note:
+                      (if List.length targets = 1 then "ACK"
+                       else
+                         Printf.sprintf "fleet of %d restored"
+                           (List.length targets))
+                end
+                else
                   record t ~rule
                     ~what:(Printf.sprintf "rollback %s" program)
-                    ~note:
-                      ("failed: " ^ Controller.outcome_to_string outcome)
-            in
-            match previous with
-            | Some _ ->
-                Controller.rollback env.de_controller ~target ~name:program
-                  ~on_done:settle ()
-            | None ->
-                (* First install of this slot: nothing to roll back to. *)
-                Controller.undeploy env.de_controller ~target ~name:program
-                  ~on_done:settle ()
+                    ~note:"failed: a staged node did not acknowledge")
           end)
 
 let start_swap t rule ~program ~variant =
   let env = Option.get t.env in
-  match env.de_target_of program with
-  | None ->
+  let all = env.de_targets_of program in
+  let targets = List.filter (fun a -> not (node_quarantined t a)) all in
+  match (all, targets) with
+  | [], _ ->
       record t ~rule ~what:(Printf.sprintf "swap %s %s" program variant)
         ~note:"failed: no deploy target for program"
-  | Some target -> (
+  | _, [] ->
+      record t ~rule ~what:(Printf.sprintf "swap %s %s" program variant)
+        ~note:"failed: every target is quarantined"
+  | _, targets -> (
       match env.de_variant_of ~program ~variant with
       | None ->
           record t ~rule ~what:(Printf.sprintf "swap %s %s" program variant)
@@ -171,50 +276,131 @@ let start_swap t rule ~program ~variant =
             | Some guard -> Signal.value (t.resolve guard.Policy.g_signal)
             | None -> 0.0
           in
-          Controller.deploy env.de_controller ~backend:env.de_backend
-            ~authenticated:spec.v_authenticated ~target ~name:program
-            ~source:spec.v_source
-            ~on_done:(fun outcome ->
-              match outcome with
-              | Controller.Acked { epoch; _ } ->
-                  t.n_swaps <- t.n_swaps + 1;
-                  Obs.Registry.incr t.m_swaps_acked;
-                  t.active <-
-                    (program, variant) :: List.remove_assoc program t.active;
-                  record t ~rule
-                    ~what:(Printf.sprintf "swap %s %s" program variant)
-                    ~note:(Printf.sprintf "acked epoch %d" epoch);
-                  t.on_swap ~program ~variant;
-                  schedule_guard t ~rule ~program ~variant ~previous ~baseline
-              | outcome ->
-                  release t program;
-                  t.n_failed_swaps <- t.n_failed_swaps + 1;
-                  Obs.Registry.incr t.m_swaps_failed;
-                  record t ~rule
-                    ~what:(Printf.sprintf "swap %s %s" program variant)
-                    ~note:("failed: " ^ Controller.outcome_to_string outcome))
+          let fleet = List.length targets in
+          Obs.Registry.incr t.m_fleet_rollouts;
+          Controller.rollout env.de_controller ~backend:env.de_backend
+            ~authenticated:spec.v_authenticated
+            ~concurrency:env.de_concurrency ~on_nak:env.de_nak_policy
+            ~on_target:(fun target outcome ->
+              note_target_outcome t ~rule ~program target outcome;
+              if fleet > 1 then
+                record t ~rule
+                  ~what:
+                    (Printf.sprintf "stage %s %s @ %s" program variant
+                       (Addr.to_string target))
+                  ~note:(Controller.outcome_to_string outcome))
+            ~targets ~name:program ~source:spec.v_source
+            ~on_done:(fun outcomes ->
+              let acked = acked_targets outcomes in
+              let n_acked = List.length acked in
+              let n_failed = List.length outcomes - n_acked in
+              Obs.Registry.add t.m_fleet_targets_acked n_acked;
+              Obs.Registry.add t.m_fleet_targets_failed n_failed;
+              if n_failed = 0 then begin
+                t.n_swaps <- t.n_swaps + 1;
+                Obs.Registry.incr t.m_swaps_acked;
+                t.active <-
+                  (program, variant) :: List.remove_assoc program t.active;
+                record t ~rule
+                  ~what:(Printf.sprintf "swap %s %s" program variant)
+                  ~note:
+                    (if fleet = 1 then
+                       Printf.sprintf "acked epoch %d" (max_epoch outcomes)
+                     else
+                       Printf.sprintf "fleet of %d acked epoch %d" fleet
+                         (max_epoch outcomes));
+                t.on_swap ~program ~variant;
+                schedule_guard t ~rule ~program ~variant ~previous ~baseline
+                  ~targets:acked
+              end
+              else begin
+                t.n_failed_swaps <- t.n_failed_swaps + 1;
+                Obs.Registry.incr t.m_swaps_failed;
+                let failure =
+                  Option.value ~default:"unknown" (first_failure outcomes)
+                in
+                record t ~rule
+                  ~what:(Printf.sprintf "swap %s %s" program variant)
+                  ~note:
+                    (if fleet = 1 then "failed: " ^ failure
+                     else
+                       Printf.sprintf "failed: %d/%d targets acked (%s)"
+                         n_acked fleet failure);
+                if n_acked = 0 then release t program
+                else begin
+                  (* A partial fleet must not stay mixed-epoch. Under
+                     [Abort] the controller already restored the staged
+                     nodes before reporting; under [Continue] the plane
+                     unwinds them here. Either way the previous variant
+                     stays the active one. *)
+                  t.n_partial_rollbacks <- t.n_partial_rollbacks + 1;
+                  Obs.Registry.incr t.m_fleet_partial_rollbacks;
+                  match env.de_nak_policy with
+                  | Controller.Abort ->
+                      record t ~rule
+                        ~what:(Printf.sprintf "restore %s" program)
+                        ~note:
+                          (Printf.sprintf
+                             "%d staged node(s) restored by aborted rollout"
+                             n_acked);
+                      release t program
+                  | Controller.Continue ->
+                      restore_targets t ~previous ~targets:acked ~program
+                        ~on_done:(fun restored ->
+                          record t ~rule
+                            ~what:(Printf.sprintf "restore %s" program)
+                            ~note:
+                              (if restored then
+                                 Printf.sprintf "%d staged node(s) restored"
+                                   n_acked
+                               else
+                                 "failed: a staged node did not acknowledge");
+                          release t program)
+                end
+              end)
             ())
 
 let start_undeploy t rule ~program =
   let env = Option.get t.env in
-  match env.de_target_of program with
-  | None ->
+  let targets =
+    List.filter (fun a -> not (node_quarantined t a)) (env.de_targets_of program)
+  in
+  match targets with
+  | [] ->
       record t ~rule ~what:(Printf.sprintf "undeploy %s" program)
         ~note:"failed: no deploy target for program"
-  | Some target ->
+  | targets ->
       t.in_flight <- program :: t.in_flight;
-      Controller.undeploy env.de_controller ~target ~name:program
-        ~on_done:(fun outcome ->
-          release t program;
-          (match outcome with
-          | Controller.Acked _ ->
-              t.n_undeploys <- t.n_undeploys + 1;
-              Obs.Registry.incr t.m_undeploys;
-              t.active <- List.remove_assoc program t.active
-          | _ -> ());
-          record t ~rule ~what:(Printf.sprintf "undeploy %s" program)
-            ~note:(Controller.outcome_to_string outcome))
-        ()
+      let fleet = List.length targets in
+      let waiting = ref fleet in
+      let worst = ref None in
+      List.iter
+        (fun target ->
+          Controller.undeploy env.de_controller ~target ~name:program
+            ~on_done:(fun outcome ->
+              (match outcome with
+              | Controller.Acked _ -> ()
+              | outcome -> if !worst = None then worst := Some outcome);
+              decr waiting;
+              if !waiting = 0 then begin
+                release t program;
+                match !worst with
+                | None ->
+                    t.n_undeploys <- t.n_undeploys + 1;
+                    Obs.Registry.incr t.m_undeploys;
+                    t.active <- List.remove_assoc program t.active;
+                    record t ~rule
+                      ~what:(Printf.sprintf "undeploy %s" program)
+                      ~note:
+                        (if fleet = 1 then "ACK"
+                         else Printf.sprintf "fleet of %d retired" fleet)
+                | Some outcome ->
+                    record t ~rule
+                      ~what:(Printf.sprintf "undeploy %s" program)
+                      ~note:(Controller.outcome_to_string outcome)
+              end)
+            ())
+        targets
 
 (* Decide whether a due rule actually does anything. Hysteresis lives
    here: a swap to the variant that is already live (or one that is
@@ -283,7 +469,7 @@ let needs_env = function
   | Policy.Swap _ | Policy.Undeploy _ -> true
   | Policy.Retune _ | Policy.Escalate _ -> false
 
-let arm ?(registry = Obs.Registry.default) ?env ?(active = [])
+let arm ?(registry = Obs.Registry.default) ?env ?par ?(active = [])
     ?(on_retune = fun ~param:_ ~value:_ -> ())
     ?(on_escalate = fun ~reason:_ -> ())
     ?(on_swap = fun ~program:_ ~variant:_ -> ()) ~engine ~until ~signals
@@ -297,6 +483,12 @@ let arm ?(registry = Obs.Registry.default) ?env ?(active = [])
     Obs.Registry.counter ~registry:counter_registry
       ~help:"adaptation-plane activity" name
   in
+  (match env with
+  | Some env when env.de_concurrency <= 0 ->
+      invalid_arg "Adapt.Plane.arm: de_concurrency must be positive"
+  | Some env when env.de_nak_quarantine <= 0 ->
+      invalid_arg "Adapt.Plane.arm: de_nak_quarantine must be positive"
+  | Some _ | None -> ());
   if
     env = None
     && List.exists
@@ -360,6 +552,8 @@ let arm ?(registry = Obs.Registry.default) ?env ?(active = [])
       active;
       in_flight = [];
       quarantined = [];
+      node_naks = [];
+      quarantined_nodes = [];
       events = [];
       fired = 0;
       m_swaps_acked = counter "adapt.swaps.acked";
@@ -370,6 +564,11 @@ let arm ?(registry = Obs.Registry.default) ?env ?(active = [])
       m_guard_checks = counter "adapt.guard.checks";
       m_guard_regressions = counter "adapt.guard.regressions";
       m_rollbacks = counter "adapt.rollbacks";
+      m_fleet_rollouts = counter "adapt.fleet.rollouts";
+      m_fleet_targets_acked = counter "adapt.fleet.targets_acked";
+      m_fleet_targets_failed = counter "adapt.fleet.targets_failed";
+      m_fleet_partial_rollbacks = counter "adapt.fleet.partial_rollbacks";
+      m_fleet_node_quarantines = counter "adapt.fleet.node_quarantines";
       n_swaps = 0;
       n_failed_swaps = 0;
       n_undeploys = 0;
@@ -377,12 +576,16 @@ let arm ?(registry = Obs.Registry.default) ?env ?(active = [])
       n_escalations = 0;
       n_guard_checks = 0;
       n_rollbacks = 0;
+      n_partial_rollbacks = 0;
+      n_node_quarantines = 0;
     }
   in
   Option.iter
     (fun monitor ->
       Monitor.on_tick monitor (fun ~now -> on_tick t ~now);
-      Monitor.start monitor)
+      match par with
+      | Some par -> Monitor.start_paced monitor par
+      | None -> Monitor.start monitor)
     t.monitor;
   t
 
@@ -397,11 +600,14 @@ let stats t =
     st_escalations = t.n_escalations;
     st_guard_checks = t.n_guard_checks;
     st_rollbacks = t.n_rollbacks;
+    st_partial_rollbacks = t.n_partial_rollbacks;
+    st_node_quarantines = t.n_node_quarantines;
     st_events = List.rev t.events;
   }
 
 let events t = List.rev t.events
 let active_variant t program = List.assoc_opt program t.active
+let quarantined_nodes t = t.quarantined_nodes
 
 let signal_value t name =
   match t.monitor with

@@ -1,11 +1,16 @@
 (** The closed-loop adaptation plane: a {!Monitor} feeding {!Signal}s, a
     {!Policy} evaluated every tick with hold times, hysteresis and
     cooldowns, and actions executed through the in-band deploy plane —
-    hot-swapping ASP variants as fresh {!Deploy.Controller} epochs,
-    undeploying, retuning application parameters, or escalating. After
-    every acknowledged swap an optional KPI guard window compares the
-    post-swap signal against its pre-swap baseline and rolls regressions
-    back to the previous epoch (quarantining the variant for the run).
+    hot-swapping ASP variants across a {e fleet} of targets as staged
+    {!Deploy.Controller} rollouts, undeploying, retuning application
+    parameters, or escalating. After every converged swap an optional KPI
+    guard window compares the post-swap signal against its pre-swap
+    baseline and rolls regressions back on every staged node at once
+    (quarantining the variant for the run). A fleet is never left
+    mixed-epoch: a partially-acked rollout is unwound — by the
+    controller's abort restore under [Abort], by the plane under
+    [Continue] — before the previous variant resumes as the active one,
+    and a node that repeatedly NAKs is benched from later operations.
 
     Arming an empty policy ({!Policy.is_empty}) creates no monitor,
     schedules nothing and registers no metrics — runs are
@@ -19,14 +24,24 @@
 type variant = { v_source : string; v_authenticated : bool }
 
 (** How swap/undeploy actions reach the network: the controller the
-    program's daemons already know (so epochs stay ordered), and lookups
-    from policy names to targets and variant sources. *)
+    program's daemons already know (so epochs stay ordered), lookups
+    from policy names to target fleets and variant sources, and the
+    staging discipline for coordinated rollouts. *)
 type deploy_env = {
   de_controller : Deploy.Controller.t;
   de_backend : string;
-  de_target_of : string -> Netsim.Addr.t option;
-      (** program name -> the daemon node it lives on *)
+  de_targets_of : string -> Netsim.Addr.t list;
+      (** program name -> the daemon nodes it lives on, in stage order
+          (empty when the program has no deploy target) *)
   de_variant_of : program:string -> variant:string -> variant option;
+  de_concurrency : int;
+      (** transfers in flight per rollout (see {!Deploy.Controller.rollout}) *)
+  de_nak_policy : Deploy.Controller.nak_policy;
+      (** [Abort]: first NAK stops the rollout and the controller
+          restores already-staged nodes; [Continue]: every target is
+          attempted and the plane unwinds partial convergence itself *)
+  de_nak_quarantine : int;
+      (** consecutive NAKs from one node before the plane benches it *)
 }
 
 (** One adaptation decision, for timelines and tests. *)
@@ -40,13 +55,16 @@ type event = {
 type stats = {
   st_ticks : int;
   st_fired : int;  (** rule firings (actions started) *)
-  st_swaps : int;  (** acknowledged swaps *)
-  st_failed_swaps : int;  (** NAK / timeout / abort *)
+  st_swaps : int;  (** fleet-converged swaps *)
+  st_failed_swaps : int;  (** NAK / timeout / abort / partial fleet *)
   st_undeploys : int;
   st_retunes : int;
   st_escalations : int;
   st_guard_checks : int;
-  st_rollbacks : int;  (** guard regressions rolled back *)
+  st_rollbacks : int;  (** guard regressions rolled back (fleet-wide) *)
+  st_partial_rollbacks : int;
+      (** partially-acked rollouts unwound to keep the fleet unmixed *)
+  st_node_quarantines : int;  (** nodes benched for repeated NAKs *)
   st_events : event list;  (** chronological *)
 }
 
@@ -55,6 +73,7 @@ type t
 val arm :
   ?registry:Obs.Registry.t ->
   ?env:deploy_env ->
+  ?par:Netsim.Par_engine.t ->
   ?active:(string * string) list ->
   ?on_retune:(param:string -> value:float -> unit) ->
   ?on_escalate:(reason:string -> unit) ->
@@ -68,18 +87,29 @@ val arm :
     monitor ticks run every [policy.period] until [until].
 
     @param env required when any rule swaps or undeploys
+    @param par re-home the monitor onto this partitioned driver's window
+      barriers ({!Monitor.start_paced}): each partition's engine samples
+      its local registry after a merge-ordered flush, and decisions run
+      with the whole fleet quiescent — paced runs are byte-identical for
+      any domain count. Without [par] ticks are plain engine events.
     @param active the initially-deployed variant of each program, so the
       hysteresis check can suppress a swap to the variant already live
-    @param on_swap runs after a swap is acknowledged (e.g. start the HTTP
-      health prober when the failover gateway activates)
+    @param on_swap runs after a swap converges on the whole fleet (e.g.
+      start the HTTP health prober when the failover gateway activates)
     @raise Invalid_argument when a rule or guard references a signal not
-      in [signals], or a deploy action has no [env]. *)
+      in [signals], a deploy action has no [env], or the env's
+      [de_concurrency]/[de_nak_quarantine] are not positive. *)
 
 val stats : t -> stats
 val events : t -> event list
 
 val active_variant : t -> string -> string option
-(** The variant the plane believes is live for a program. *)
+(** The variant the plane believes is live for a program (fleet-wide:
+    convergence or a clean rollback keeps every node on one variant). *)
+
+val quarantined_nodes : t -> Netsim.Addr.t list
+(** Nodes benched after [de_nak_quarantine] consecutive NAKs, in
+    quarantine order. *)
 
 val signal_value : t -> string -> float option
 (** Current smoothed value of a wired signal. *)

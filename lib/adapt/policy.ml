@@ -132,13 +132,17 @@ let parse_rule tokens =
     | "for" :: hold :: rest -> (float_tok "hold time" hold, rest)
     | _ -> fail "rule %s: expected 'for HOLD' after the condition" name
   in
-  if hold < 0.0 then fail "rule %s: negative hold time" name;
+  (* [< 0.0] alone lets nan through (every comparison with nan is false),
+     and an infinite hold can never be satisfied. *)
+  if not (Float.is_finite hold) || hold < 0.0 then
+    fail "rule %s: hold time out of range (must be finite and >= 0)" name;
   let cooldown, tokens =
     match tokens with
     | "cooldown" :: cooldown :: rest -> (float_tok "cooldown" cooldown, rest)
     | tokens -> (0.0, tokens)
   in
-  if cooldown < 0.0 then fail "rule %s: negative cooldown" name;
+  if not (Float.is_finite cooldown) || cooldown < 0.0 then
+    fail "rule %s: cooldown out of range (must be finite and >= 0)" name;
   let action =
     match tokens with
     | "do" :: action -> parse_action action
@@ -156,8 +160,10 @@ let parse_guard = function
   | [ signal; "window"; window; "min-ratio"; ratio ] ->
       let window = float_tok "guard window" window in
       let ratio = float_tok "guard min-ratio" ratio in
-      if window <= 0.0 then fail "guard: window must be positive";
-      if ratio <= 0.0 then fail "guard: min-ratio must be positive";
+      if not (Float.is_finite window && window > 0.0) then
+        fail "guard: window must be finite and positive";
+      if not (Float.is_finite ratio && ratio > 0.0) then
+        fail "guard: min-ratio must be finite and positive";
       { g_signal = signal; g_window = window; g_min_ratio = ratio }
   | _ -> fail "expected: guard SIGNAL window SECONDS min-ratio RATIO"
 
@@ -182,7 +188,8 @@ let parse text =
           | [] -> acc
           | [ "period"; period ] ->
               let period = float_tok "period" period in
-              if period <= 0.0 then fail "period must be positive";
+              if not (Float.is_finite period && period > 0.0) then
+                fail "period must be finite and positive";
               { acc with period }
           | [ "alpha"; alpha ] ->
               let alpha = float_tok "alpha" alpha in
@@ -190,7 +197,13 @@ let parse text =
                 fail "alpha must be in (0, 1]";
               { acc with alpha }
           | "rule" :: tokens ->
-              { acc with rules = parse_rule tokens :: acc.rules }
+              let rule = parse_rule tokens in
+              if
+                List.exists
+                  (fun existing -> existing.rl_name = rule.rl_name)
+                  acc.rules
+              then fail "duplicate rule name %S" rule.rl_name;
+              { acc with rules = rule :: acc.rules }
           | "guard" :: tokens -> (
               match acc.guard with
               | Some _ -> fail "duplicate guard"

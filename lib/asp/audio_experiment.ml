@@ -13,10 +13,11 @@ type config = {
   deploy : Deploy_mode.t;
   faults : Netsim.Faults.scenario option;
   adaptation : Adapt.Policy.t option;
+  routers : int;
 }
 
 let fig6_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit)
-    ?(deploy = Deploy_mode.Preinstalled) ?faults ?adaptation () =
+    ?(deploy = Deploy_mode.Preinstalled) ?faults ?adaptation ?(routers = 1) () =
   {
     duration = 500.0;
     adapt;
@@ -30,10 +31,11 @@ let fig6_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit)
     deploy;
     faults;
     adaptation;
+    routers;
   }
 
 let quick_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit)
-    ?(deploy = Deploy_mode.Preinstalled) ?faults ?adaptation () =
+    ?(deploy = Deploy_mode.Preinstalled) ?faults ?adaptation ?(routers = 1) () =
   {
     duration = 50.0;
     adapt;
@@ -44,6 +46,7 @@ let quick_config ?(adapt = true) ?(backend = Planp_jit.Backends.jit)
     deploy;
     faults;
     adaptation;
+    routers;
   }
 
 (* The canned closed-loop policy: swap the router ASP to the conservative
@@ -108,20 +111,51 @@ let attach_wire_monitor segment =
   mon
 
 let run config =
+  if config.routers < 1 then
+    invalid_arg "Audio_experiment: routers must be >= 1";
   let topo = Topology.create () in
   let server = Topology.add_host topo "audio-server" "10.1.0.1" in
-  let router = Topology.add_host topo "router" "10.1.0.254" in
+  (* One router keeps the classic Fig. 5 names and addresses (byte
+     identical to the pre-fleet experiment); [routers >= 2] chains
+     relay routers server - router0 - .. - router(n-1) - segment, all
+     running the same distillation ASP so a retune must reach every hop
+     through one staged rollout. *)
+  let routers =
+    if config.routers = 1 then [ Topology.add_host topo "router" "10.1.0.254" ]
+    else
+      List.init config.routers (fun i ->
+          Topology.add_host topo
+            (Printf.sprintf "router%d" i)
+            (Printf.sprintf "10.1.%d.254" i))
+  in
   let client = Topology.add_host topo "client" "10.2.0.10" in
   let sink = Topology.add_host topo "load-sink" "10.2.0.99" in
   let loadgen_node = Topology.add_host topo "load-generator" "10.2.0.98" in
   ignore
     (Topology.connect topo ~name:"backbone" ~bandwidth_bps:100e6
-       ~latency:0.0005 server router);
+       ~latency:0.0005 server (List.hd routers));
+  (* Relay hops run at backbone speed so the shared client segment stays
+     the only congestion point, as in the paper's Fig. 5. *)
+  List.iteri
+    (fun i r ->
+      if i > 0 then
+        ignore
+          (Topology.connect topo
+             ~name:(Printf.sprintf "relay%d" (i - 1))
+             ~bandwidth_bps:100e6 ~latency:0.0005
+             (List.nth routers (i - 1))
+             r))
+    routers;
   let segment =
     Topology.segment topo ~name:"client-segment" ~bandwidth_bps:10e6
       ~latency:0.0005 ()
   in
-  let router_seg_iface = Topology.attach topo segment router in
+  (* Every chain router sees its upstream hop first, so the downstream
+     interface index is the same (1) fleet-wide — one program source,
+     compiled against that index, is valid on every router. *)
+  let router_seg_iface =
+    Topology.attach topo segment (List.nth routers (config.routers - 1))
+  in
   ignore (Topology.attach topo segment client);
   ignore (Topology.attach topo segment sink);
   ignore (Topology.attach topo segment loadgen_node);
@@ -152,13 +186,14 @@ let run config =
         (Deploy_mode.install config.deploy ~backend:config.backend
            ~controller:server
            ~programs:
-             [
-               ( router,
-                 "audio-router",
-                 Audio_asp.router_program ~policy:config.policy
-                   ~iface:router_seg_iface () );
-               (client, "audio-client", Audio_asp.client_program ());
-             ]
+             (List.map
+                (fun r ->
+                  ( r,
+                    "audio-router",
+                    Audio_asp.router_program ~policy:config.policy
+                      ~iface:router_seg_iface () ))
+                routers
+             @ [ (client, "audio-client", Audio_asp.client_program ()) ])
            ())
     else None
   in
@@ -190,6 +225,8 @@ let run config =
           | "conservative" -> Some Audio_asp.conservative_policy
           | _ -> None
         in
+        let backend_name = config.backend.Planp_runtime.Backend.backend_name in
+        let router_addrs = List.map Node.addr routers in
         let on_retune ~param ~value =
           (match param with
           | "mono16_above" ->
@@ -197,22 +234,31 @@ let run config =
           | "mono8_above" ->
               tuned := { !tuned with Audio_asp.mono8_above = int_of_float value }
           | _ -> ());
-          Deploy.Controller.deploy ctl
-            ~backend:config.backend.Planp_runtime.Backend.backend_name
-            ~authenticated:false ~target:(Node.addr router) ~name:"audio-router"
-            ~source:(Audio_asp.router_program ~policy:!tuned
-                       ~iface:router_seg_iface ())
-            ~on_done:(fun _ -> ())
-            ()
+          let source =
+            Audio_asp.router_program ~policy:!tuned ~iface:router_seg_iface ()
+          in
+          match router_addrs with
+          | [ target ] ->
+              Deploy.Controller.deploy ctl ~backend:backend_name
+                ~authenticated:false ~target ~name:"audio-router" ~source
+                ~on_done:(fun _ -> ())
+                ()
+          | targets ->
+              (* The retuned thresholds must land on every chain hop, or
+                 the strictest remaining router keeps distilling. *)
+              Deploy.Controller.rollout ctl ~backend:backend_name
+                ~concurrency:2 ~on_nak:Deploy.Controller.Abort ~targets
+                ~name:"audio-router" ~source
+                ~on_done:(fun _ -> ())
+                ()
         in
         let env =
           {
             Adapt.Plane.de_controller = ctl;
-            de_backend = config.backend.Planp_runtime.Backend.backend_name;
-            de_target_of =
+            de_backend = backend_name;
+            de_targets_of =
               (fun program ->
-                if program = "audio-router" then Some (Node.addr router)
-                else None);
+                if program = "audio-router" then router_addrs else []);
             de_variant_of =
               (fun ~program ~variant ->
                 if program <> "audio-router" then None
@@ -226,6 +272,9 @@ let run config =
                         v_authenticated = false;
                       })
                     (variant_policy variant));
+            de_concurrency = 2;
+            de_nak_policy = Deploy.Controller.Abort;
+            de_nak_quarantine = 3;
           }
         in
         Some

@@ -26,6 +26,13 @@ type config = {
           delivered/s). Swap target: program ["audio-router"], variants
           ["default"] and ["conservative"]. Needs [adapt = true] and
           [deploy = In_band] unless the policy is empty. *)
+  routers : int;
+      (** router fleet size (default 1 — the classic Fig. 5 topology,
+          byte identical). With [n >= 2] the audio crosses a chain
+          [router0] .. [router(n-1)] of relay routers (joined by 100 Mb
+          links ["relay0"] .. ["relay(n-2)"]) all running the
+          distillation ASP, and a swap or retune reaches every hop
+          through one staged rollout. *)
 }
 
 (** The paper's Fig. 6 scenario: no load until 100 s, heavy at 100 s,
@@ -36,6 +43,7 @@ val fig6_config :
   ?deploy:Deploy_mode.t ->
   ?faults:Netsim.Faults.scenario ->
   ?adaptation:Adapt.Policy.t ->
+  ?routers:int ->
   unit ->
   config
 
@@ -46,6 +54,7 @@ val quick_config :
   ?deploy:Deploy_mode.t ->
   ?faults:Netsim.Faults.scenario ->
   ?adaptation:Adapt.Policy.t ->
+  ?routers:int ->
   unit ->
   config
 

@@ -20,6 +20,12 @@ let setup_name = function
 let gateway_cost_compiled = Http_asp.gateway_cost_compiled
 let gateway_cost = Http_asp.gateway_cost
 
+(* How a multi-gateway adaptation plane is organized: one plane
+   coordinating every gateway through staged rollouts, or one
+   independent plane per gateway, each watching only its own clients
+   (the noisier per-node baseline the bench compares against). *)
+type coordination = Coordinated | Independent
+
 type config = {
   duration : float;
   warmup : float;
@@ -31,6 +37,8 @@ type config = {
   deploy : Deploy_mode.t;
   faults : Netsim.Faults.scenario option;
   adaptation : Adapt.Policy.t option;
+  gateways : int;
+  coordination : coordination;
 }
 
 let default_config =
@@ -45,6 +53,8 @@ let default_config =
     deploy = Deploy_mode.Preinstalled;
     faults = None;
     adaptation = None;
+    gateways = 1;
+    coordination = Coordinated;
   }
 
 (* The canned closed-loop policy: the Modulo gateway keeps assigning new
@@ -74,6 +84,9 @@ type point = {
   server_loads : int * int;
   client_retries : int;
   adaptation : Adapt.Plane.stats option;
+      (** the coordinated (or sole) plane, when one was armed *)
+  adaptations : Adapt.Plane.stats list;
+      (** every armed plane — one per gateway under [Independent] *)
 }
 
 let vip_string = "10.3.0.100"
@@ -85,15 +98,28 @@ let split_workers total bins =
   List.init bins (fun i -> (total / bins) + if i < total mod bins then 1 else 0)
 
 let run_point config setup ~workers =
+  if config.gateways < 1 then
+    invalid_arg "Http_experiment: gateways must be >= 1";
+  let n_gw = config.gateways in
   let topo = Topology.create () in
-  let gateway = Topology.add_host topo "gateway" "10.3.0.254" in
+  (* With [gateways = 1] the topology (names, addresses, creation order)
+     is exactly the classic single-gateway one; [n >= 2] splits the
+     clients round-robin across a gateway fleet behind the same VIP. *)
+  let gateways =
+    List.init n_gw (fun i ->
+        let name =
+          if n_gw = 1 then "gateway" else Printf.sprintf "gateway%d" i
+        in
+        Topology.add_host topo name (Printf.sprintf "10.3.0.%d" (254 - i)))
+  in
+  let gateway_of_client i = List.nth gateways (i mod n_gw) in
   let server0_node = Topology.add_host topo "server0" server0_string in
   let server1_node = Topology.add_host topo "server1" server1_string in
   let cluster =
     Topology.segment topo ~name:"cluster" ~bandwidth_bps:100e6 ~latency:0.0002
       ()
   in
-  ignore (Topology.attach topo cluster gateway);
+  List.iter (fun gw -> ignore (Topology.attach topo cluster gw)) gateways;
   ignore (Topology.attach topo cluster server0_node);
   ignore (Topology.attach topo cluster server1_node);
   let clients =
@@ -106,7 +132,7 @@ let run_point config setup ~workers =
         ignore
           (Topology.connect topo
              ~name:(Printf.sprintf "access%d" i)
-             ~bandwidth_bps:10e6 ~latency:0.001 gateway client);
+             ~bandwidth_bps:10e6 ~latency:0.001 (gateway_of_client i) client);
         client)
   in
   Topology.compute_routes topo;
@@ -118,10 +144,12 @@ let run_point config setup ~workers =
   (* The virtual server address has no node: clients reach it through their
      default route into the gateway. *)
   let vip = Netsim.Addr.of_string vip_string in
-  List.iter
-    (fun client ->
+  List.iteri
+    (fun i client ->
       Routing.set_default (Node.routing client)
-        (Some { Routing.ifindex = 0; next_hop = Some (Node.addr gateway) }))
+        (Some
+           { Routing.ifindex = 0;
+             next_hop = Some (Node.addr (gateway_of_client i)) }))
     clients;
   let server0 = Http_app.Server.start server0_node () in
   let server1 = Http_app.Server.start server1_node () in
@@ -133,41 +161,52 @@ let run_point config setup ~workers =
     match setup with
     | Single | Disjoint -> fun () -> 0
     | Native_gateway ->
-        Node.set_processing_cost gateway (gateway_cost "native");
-        let counter =
-          Http_asp.install_native_gateway gateway ~vip
-            ~servers:(Node.addr server0_node, Node.addr server1_node)
-            ()
+        let counters =
+          List.map
+            (fun gw ->
+              Node.set_processing_cost gw (gateway_cost "native");
+              Http_asp.install_native_gateway gw ~vip
+                ~servers:(Node.addr server0_node, Node.addr server1_node)
+                ())
+            gateways
         in
-        fun () -> !counter
+        fun () -> List.fold_left (fun acc c -> acc + !c) 0 counters
     | Asp_gateway backend ->
-        Node.set_processing_cost gateway
-          (gateway_cost backend.Planp_runtime.Backend.backend_name);
+        List.iter
+          (fun gw ->
+            Node.set_processing_cost gw
+              (gateway_cost backend.Planp_runtime.Backend.backend_name))
+          gateways;
         (* In_band ships the gateway ASP from server0 across the cluster
-           segment at the start of the run; the few requests that reach
-           the gateway before activation are retried by the clients well
+           segment at the start of the run (a staged rollout when the
+           fleet has several gateways); the few requests that reach a
+           gateway before activation are retried by the clients well
            inside the warmup window. *)
         let plane =
           Deploy_mode.install config.deploy ~backend ~controller:server0_node
             ~programs:
-              [
-                ( gateway,
-                  "http-gateway",
-                  Http_asp.gateway_program ~strategy:config.strategy
-                    ~vip:vip_string
-                    ~servers:(server0_string, server1_string) () );
-              ]
+              (List.map
+                 (fun gw ->
+                   ( gw,
+                     "http-gateway",
+                     Http_asp.gateway_program ~strategy:config.strategy
+                       ~vip:vip_string
+                       ~servers:(server0_string, server1_string) () ))
+                 gateways)
             ()
         in
         gateway_plane := Some plane;
         fun () ->
           (* The ASP counts routed requests in its protocol state. *)
-          (match Deploy_mode.find plane gateway "http-gateway" with
-          | Some program -> (
-              match Runtime.proto_state program with
-              | Planp_runtime.Value.Vint n -> n
-              | _ -> 0)
-          | None -> 0)
+          List.fold_left
+            (fun acc gw ->
+              match Deploy_mode.find plane gw "http-gateway" with
+              | Some program -> (
+                  match Runtime.proto_state program with
+                  | Planp_runtime.Value.Vint n -> acc + n
+                  | _ -> acc)
+              | None -> acc)
+            0 gateways
   in
   let trace =
     Http_app.Trace.generate ~requests:config.trace_requests
@@ -198,15 +237,16 @@ let run_point config setup ~workers =
       (fun acc app -> match app with Some app -> acc + read app | None -> acc)
       0 client_apps
   in
-  let adaptation =
+  let adaptation_planes =
     match config.adaptation with
-    | None -> None
+    | None -> []
     | Some policy when Adapt.Policy.is_empty policy ->
         (* Arms nothing; bit-identical to [adaptation = None]. *)
-        Some
-          (Adapt.Plane.arm
-             ~engine:(Topology.engine topo)
-             ~until:config.duration ~signals:[] policy)
+        [
+          Adapt.Plane.arm
+            ~engine:(Topology.engine topo)
+            ~until:config.duration ~signals:[] policy;
+        ]
     | Some policy ->
         let backend, ctl =
           match (setup, Option.bind !gateway_plane Deploy_mode.controller) with
@@ -228,14 +268,12 @@ let run_point config setup ~workers =
                    ~servers:(server0_string, server1_string) ())
           | _ -> None
         in
-        let env =
+        let env_for targets =
           {
             Adapt.Plane.de_controller = ctl;
             de_backend = backend.Planp_runtime.Backend.backend_name;
-            de_target_of =
-              (fun program ->
-                if program = "http-gateway" then Some (Node.addr gateway)
-                else None);
+            de_targets_of =
+              (fun program -> if program = "http-gateway" then targets else []);
             de_variant_of =
               (fun ~program ~variant ->
                 if program <> "http-gateway" then None
@@ -244,37 +282,86 @@ let run_point config setup ~workers =
                     (fun v_source ->
                       { Adapt.Plane.v_source; v_authenticated = false })
                     (variant_source variant));
+            de_concurrency = 2;
+            de_nak_policy = Deploy.Controller.Abort;
+            de_nak_quarantine = 3;
           }
         in
         (* The failover gateway is blind until its health prober runs;
-           start it the moment the swap is acknowledged. *)
-        let prober = ref None in
-        let on_swap ~program:_ ~variant =
-          if variant = "failover" && !prober = None then
-            prober :=
-              Some
-                (Http_ft.Monitor.start gateway
-                   ~servers:(Node.addr server0_node, Node.addr server1_node)
-                   ~until:config.duration ())
+           start it the moment its swap is acknowledged (each gateway
+           probes for itself). *)
+        let probers = Array.make n_gw false in
+        let start_prober g =
+          if not probers.(g) then begin
+            probers.(g) <- true;
+            ignore
+              (Http_ft.Monitor.start (List.nth gateways g)
+                 ~servers:(Node.addr server0_node, Node.addr server1_node)
+                 ~until:config.duration ())
+          end
         in
-        Some
-          (Adapt.Plane.arm ~env
-             ~active:[ ("http-gateway", "plain") ]
-             ~on_swap
-             ~engine:(Topology.engine topo)
-             ~until:config.duration
-             ~signals:
-               [
-                 ( "retry_rate",
-                   Adapt.Monitor.Rate_of
-                     (fun () ->
-                       float_of_int (sum_clients Http_app.Client.retries)) );
-                 ( "goodput",
-                   Adapt.Monitor.Rate_of
-                     (fun () ->
-                       float_of_int (sum_clients Http_app.Client.completed)) );
-               ]
-             policy)
+        let arm_plane ~targets ~on_swap ~signals =
+          Adapt.Plane.arm ~env:(env_for targets)
+            ~active:[ ("http-gateway", "plain") ]
+            ~on_swap
+            ~engine:(Topology.engine topo)
+            ~until:config.duration ~signals policy
+        in
+        let rate_signals read_retries read_completed =
+          [
+            ( "retry_rate",
+              Adapt.Monitor.Rate_of (fun () -> float_of_int (read_retries ()))
+            );
+            ( "goodput",
+              Adapt.Monitor.Rate_of (fun () -> float_of_int (read_completed ()))
+            );
+          ]
+        in
+        (match config.coordination with
+        | Coordinated ->
+            (* One plane owns the whole gateway fleet: the swap is a
+               staged rollout retuning every gateway together. *)
+            [
+              arm_plane
+                ~targets:(List.map Node.addr gateways)
+                ~on_swap:(fun ~program:_ ~variant ->
+                  if variant = "failover" then
+                    List.iteri (fun g _ -> start_prober g) gateways)
+                ~signals:
+                  (rate_signals
+                     (fun () -> sum_clients Http_app.Client.retries)
+                     (fun () -> sum_clients Http_app.Client.completed));
+            ]
+        | Independent ->
+            (* One plane per gateway, each watching only its own clients
+               — noisier per-node signals, no cross-gateway coordination. *)
+            List.mapi
+              (fun g gw ->
+                let mine read =
+                  List.fold_left
+                    (fun acc app ->
+                      match app with
+                      | Some app -> acc + read app
+                      | None -> acc)
+                    0
+                    (List.filteri
+                       (fun i _ -> i mod n_gw = g)
+                       client_apps)
+                in
+                arm_plane
+                  ~targets:[ Node.addr gw ]
+                  ~on_swap:(fun ~program:_ ~variant ->
+                    if variant = "failover" then start_prober g)
+                  ~signals:
+                    (rate_signals
+                       (fun () -> mine Http_app.Client.retries)
+                       (fun () -> mine Http_app.Client.completed)))
+              gateways)
+  in
+  let adaptation =
+    match (config.coordination, adaptation_planes) with
+    | Coordinated, plane :: _ -> Some plane
+    | Independent, _ | _, [] -> None
   in
   Topology.run_until topo ~stop:config.duration;
   let completed =
@@ -334,6 +421,7 @@ let run_point config setup ~workers =
         Http_app.Server.requests_served server1 );
     client_retries = sum_clients Http_app.Client.retries;
     adaptation = Option.map Adapt.Plane.stats adaptation;
+    adaptations = List.map Adapt.Plane.stats adaptation_planes;
   }
 
 let run_sweep config setup ~workers_list =

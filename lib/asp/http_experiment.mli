@@ -30,6 +30,12 @@ val gateway_cost_compiled : float
     interpretation overhead (interp ~10x, bytecode ~2x). *)
 val gateway_cost : string -> float
 
+(** How a multi-gateway adaptation plane is organized: one plane driving
+    the whole fleet through staged rollouts with a fleet-level guard, or
+    one independent plane per gateway, each watching only its own
+    clients (the noisier per-node baseline the bench compares against). *)
+type coordination = Coordinated | Independent
+
 type config = {
   duration : float;
   warmup : float;
@@ -53,6 +59,13 @@ type config = {
           ["plain"] and ["failover"] (the failover swap also starts the
           {!Http_ft.Monitor} health prober). Needs an [Asp_gateway] setup
           with [deploy = In_band] unless the policy is empty. *)
+  gateways : int;
+      (** gateway fleet size (default 1 — the classic topology, byte
+          identical). With [n >= 2] the clients split round-robin across
+          [gateway0] .. [gateway(n-1)] and a swap retunes every gateway
+          through one staged rollout. *)
+  coordination : coordination;
+      (** how a multi-gateway plane is organized (default [Coordinated]) *)
 }
 
 val default_config : config
@@ -71,7 +84,11 @@ type point = {
   server_loads : int * int;  (** requests served by each physical server *)
   client_retries : int;  (** abandoned-and-reissued requests across clients *)
   adaptation : Adapt.Plane.stats option;
-      (** what the adaptation plane did, when a policy was armed *)
+      (** what the coordinated (or sole) adaptation plane did, when a
+          policy was armed; [None] under [Independent] *)
+  adaptations : Adapt.Plane.stats list;
+      (** every armed plane — one per gateway under [Independent],
+          a singleton otherwise *)
 }
 
 (** [run_point config setup ~workers] runs one (setup, load) cell. *)

@@ -11,10 +11,11 @@ type config = {
   deploy : Deploy_mode.t;
   faults : Netsim.Faults.scenario option;
   adaptation : Adapt.Policy.t option;
+  filters : int;
 }
 
 let default_config ?(with_asps = true) ?(backend = Planp_jit.Backends.jit)
-    ?(deploy = Deploy_mode.Preinstalled) ?faults ?adaptation () =
+    ?(deploy = Deploy_mode.Preinstalled) ?faults ?adaptation ?(filters = 1) () =
   {
     with_asps;
     backend;
@@ -24,6 +25,7 @@ let default_config ?(with_asps = true) ?(backend = Planp_jit.Backends.jit)
     deploy;
     faults;
     adaptation;
+    filters;
   }
 
 (* The canned closed-loop policy: when the client segment starts dropping
@@ -58,18 +60,42 @@ let server_addr_string = "10.6.0.1"
 let movie_file = 7
 
 let run config =
+  if config.filters < 1 then invalid_arg "Mpeg_experiment: filters must be >= 1";
   let topo = Topology.create () in
   let server_node = Topology.add_host topo "video-server" server_addr_string in
-  let router = Topology.add_host topo "router" "10.6.0.254" in
+  (* One filter router keeps the classic names and addresses (byte
+     identical to the pre-fleet experiment); [filters >= 2] chains relay
+     routers all running the frame filter, so a degrade/recover swap must
+     reach every hop through one staged rollout. *)
+  let routers =
+    if config.filters = 1 then [ Topology.add_host topo "router" "10.6.0.254" ]
+    else
+      List.init config.filters (fun i ->
+          Topology.add_host topo
+            (Printf.sprintf "router%d" i)
+            (Printf.sprintf "10.6.%d.254" i))
+  in
   let monitor_node = Topology.add_host topo "monitor" "10.7.0.50" in
   ignore
     (Topology.connect topo ~name:"backbone" ~bandwidth_bps:100e6
-       ~latency:0.0005 server_node router);
+       ~latency:0.0005 server_node (List.hd routers));
+  (* Relay hops run at backbone speed so the shared client segment stays
+     the only congestion point. *)
+  List.iteri
+    (fun i r ->
+      if i > 0 then
+        ignore
+          (Topology.connect topo
+             ~name:(Printf.sprintf "relay%d" (i - 1))
+             ~bandwidth_bps:100e6 ~latency:0.0005
+             (List.nth routers (i - 1))
+             r))
+    routers;
   let segment =
     Topology.segment topo ~name:"client-segment" ~bandwidth_bps:10e6
       ~latency:0.0005 ()
   in
-  ignore (Topology.attach topo segment router);
+  ignore (Topology.attach topo segment (List.nth routers (config.filters - 1)));
   ignore (Topology.attach topo segment monitor_node);
   let client_nodes =
     List.mapi
@@ -124,8 +150,10 @@ let run config =
     in
     let programs =
       if adaptive then
-        (router, "mpeg-filter", Mpeg_asp.filter_program ~drop_b:false ())
-        :: programs
+        List.map
+          (fun r -> (r, "mpeg-filter", Mpeg_asp.filter_program ~drop_b:false ()))
+          routers
+        @ programs
       else programs
     in
     plane :=
@@ -171,10 +199,10 @@ let run config =
           {
             Adapt.Plane.de_controller = ctl;
             de_backend = config.backend.Planp_runtime.Backend.backend_name;
-            de_target_of =
+            de_targets_of =
               (fun program ->
-                if program = "mpeg-filter" then Some (Node.addr router)
-                else None);
+                if program = "mpeg-filter" then List.map Node.addr routers
+                else []);
             de_variant_of =
               (fun ~program ~variant ->
                 if program <> "mpeg-filter" then None
@@ -197,6 +225,9 @@ let run config =
                           v_authenticated = true;
                         }
                   | _ -> None);
+            de_concurrency = 2;
+            de_nak_policy = Deploy.Controller.Abort;
+            de_nak_quarantine = 3;
           }
         in
         Some

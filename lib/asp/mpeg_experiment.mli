@@ -27,6 +27,13 @@ type config = {
           router, variants ["pass"] and ["degrade"] (B-frame shedding,
           deployed authenticated). Needs [with_asps = true] and
           [deploy = In_band] unless the policy is empty. *)
+  filters : int;
+      (** filter-router fleet size (default 1 — the classic topology,
+          byte identical). With [n >= 2] the video crosses a chain
+          [router0] .. [router(n-1)] of relay routers (joined by 100 Mb
+          links ["relay0"] .. ["relay(n-2)"]) all running the frame
+          filter, and a degrade/recover swap reaches every hop through
+          one staged rollout. *)
 }
 
 val default_config :
@@ -35,6 +42,7 @@ val default_config :
   ?deploy:Deploy_mode.t ->
   ?faults:Netsim.Faults.scenario ->
   ?adaptation:Adapt.Policy.t ->
+  ?filters:int ->
   unit ->
   config
 

@@ -243,31 +243,91 @@ let epoch_of t ~target ~name = Hashtbl.find_opt t.acked_epochs (target, name)
 type nak_policy = Abort | Continue
 
 let rollout ?backend ?authenticated ?epoch ?(concurrency = 2)
-    ?(on_nak = Continue) ?timeout t ~targets ~name ~source ~on_done () =
+    ?(on_nak = Continue) ?timeout ?on_target t ~targets ~name ~source ~on_done
+    () =
   if concurrency <= 0 then invalid_arg "Controller.rollout: concurrency";
   let targets = Array.of_list targets in
-  let results = Array.make (Array.length targets) None in
+  let n = Array.length targets in
+  (* Snapshot of each target's acked epoch before the rollout starts: an
+     aborted rollout restores acked targets to this state. *)
+  let prior = Array.map (fun target -> epoch_of t ~target ~name) targets in
+  let results = Array.make n None in
   let next = ref 0 in
-  let unsettled = ref (Array.length targets) in
+  let unsettled = ref n in
   let aborted = ref false in
-  if Array.length targets = 0 then on_done []
+  let finished = ref false in
+  if n = 0 then on_done []
   else begin
+    let notify i outcome =
+      match on_target with Some f -> f targets.(i) outcome | None -> ()
+    in
+    let outcome_list () =
+      Array.to_list
+        (Array.mapi
+           (fun i outcome -> (targets.(i), Option.value ~default:Skipped outcome))
+           results)
+    in
+    let finish () =
+      if not !finished then begin
+        finished := true;
+        on_done (outcome_list ())
+      end
+    in
+    (* An aborted rollout must not strand early targets on the new epoch
+       while the rest of the fleet never left the old one: once every
+       launched transfer settles, targets that already ACKed the aborted
+       epoch are restored — rolled back when they had a pre-rollout acked
+       epoch, undeployed when this rollout was their first install —
+       and [on_done] is deferred until the restores settle. The reported
+       outcome list keeps each target's original fate. *)
+    let restore_then_finish () =
+      let acked = ref [] in
+      Array.iteri
+        (fun i outcome ->
+          match outcome with
+          | Some (Acked _) -> acked := i :: !acked
+          | _ -> ())
+        results;
+      match List.rev !acked with
+      | [] -> finish ()
+      | acked ->
+          let waiting = ref (List.length acked) in
+          let settle_restore _outcome =
+            decr waiting;
+            if !waiting = 0 then finish ()
+          in
+          List.iter
+            (fun i ->
+              match prior.(i) with
+              | Some _ ->
+                  rollback ?timeout t ~target:targets.(i) ~name
+                    ~on_done:settle_restore ()
+              | None ->
+                  undeploy ?timeout t ~target:targets.(i) ~name
+                    ~on_done:settle_restore ())
+            acked
+    in
+    (* [finish_if_done] can run more than once when the settle cascade
+       unwinds (each frame re-checks); the restore must start exactly
+       once — a second pass would roll the restored nodes forward again
+       (the daemon's [previous] slot now holds the aborted epoch). *)
+    let restoring = ref false in
     let finish_if_done () =
-      if !unsettled = 0 then
-        on_done
-          (Array.to_list
-             (Array.mapi
-                (fun i outcome ->
-                  (targets.(i), Option.value ~default:Skipped outcome))
-                results))
+      if !unsettled = 0 && not !finished && not !restoring then
+        if !aborted then begin
+          restoring := true;
+          restore_then_finish ()
+        end
+        else finish ()
     in
     let rec launch_next () =
-      if !next < Array.length targets then begin
+      if !next < n then begin
         let i = !next in
         incr next;
         if !aborted then begin
           results.(i) <- Some Skipped;
           decr unsettled;
+          notify i Skipped;
           launch_next ();
           finish_if_done ()
         end
@@ -280,15 +340,56 @@ let rollout ?backend ?authenticated ?epoch ?(concurrency = 2)
               (match (outcome, on_nak) with
               | Nakked _, Abort -> aborted := true
               | _ -> ());
+              notify i outcome;
               launch_next ();
               finish_if_done ())
             ()
       end
     in
-    for _ = 1 to min concurrency (Array.length targets) do
+    for _ = 1 to min concurrency n do
       launch_next ()
     done;
     finish_if_done ()
+  end
+
+let rollback_fleet ?(concurrency = 2) ?timeout ?on_target t ~targets ~name
+    ~on_done () =
+  if concurrency <= 0 then invalid_arg "Controller.rollback_fleet: concurrency";
+  let targets = Array.of_list targets in
+  let n = Array.length targets in
+  let results = Array.make n None in
+  let next = ref 0 in
+  let unsettled = ref n in
+  if n = 0 then on_done []
+  else begin
+    let finish_if_done () =
+      if !unsettled = 0 then
+        on_done
+          (Array.to_list
+             (Array.mapi
+                (fun i outcome ->
+                  (targets.(i), Option.value ~default:Skipped outcome))
+                results))
+    in
+    let rec launch_next () =
+      if !next < n then begin
+        let i = !next in
+        incr next;
+        rollback ?timeout t ~target:targets.(i) ~name
+          ~on_done:(fun outcome ->
+            results.(i) <- Some outcome;
+            decr unsettled;
+            (match on_target with
+            | Some f -> f targets.(i) outcome
+            | None -> ());
+            launch_next ();
+            finish_if_done ())
+          ()
+      end
+    in
+    for _ = 1 to min concurrency n do
+      launch_next ()
+    done
   end
 
 let create ?(secret = "extnet") ?(chunk_size = 512)

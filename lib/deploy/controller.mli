@@ -115,7 +115,20 @@ type nak_policy =
     flight, default 2). Targets are attempted in list order; [on_done]
     receives one outcome per target, in the input order. [epoch] pins one
     epoch for every target (a node already past it NAKs as stale —
-    useful for "converge the fleet on exactly this version"). *)
+    useful for "converge the fleet on exactly this version").
+
+    [on_target] fires once per target as its outcome settles (including
+    the [Skipped] targets of an aborted rollout) — the per-stage view a
+    coordinator uses to narrate or quarantine while the fleet is still
+    converging.
+
+    Under [~on_nak:Abort] an abort does not strand the fleet mixed-epoch:
+    targets that already ACKed the aborted epoch are restored before
+    [on_done] fires — rolled back when they had a pre-rollout acked
+    epoch, undeployed when this rollout was their first install. The
+    outcome list still reports each target's original fate ([Acked] for
+    the restored ones), so callers can tell which nodes briefly ran the
+    new epoch. *)
 val rollout :
   ?backend:string ->
   ?authenticated:bool ->
@@ -123,10 +136,28 @@ val rollout :
   ?concurrency:int ->
   ?on_nak:nak_policy ->
   ?timeout:float ->
+  ?on_target:(Netsim.Addr.t -> outcome -> unit) ->
   t ->
   targets:Netsim.Addr.t list ->
   name:string ->
   source:string ->
+  on_done:((Netsim.Addr.t * outcome) list -> unit) ->
+  unit ->
+  unit
+
+(** [rollback_fleet t ~targets ~name ~on_done ()] reactivates the
+    retained previous epoch of [name] on every target, with the same
+    bounded-concurrency staging and outcome reporting as {!rollout}.
+    This is the fleet-guard primitive: a coordinated swap that regresses
+    a fleet-level KPI is unwound on every stage at once rather than one
+    controller call at a time. *)
+val rollback_fleet :
+  ?concurrency:int ->
+  ?timeout:float ->
+  ?on_target:(Netsim.Addr.t -> outcome -> unit) ->
+  t ->
+  targets:Netsim.Addr.t list ->
+  name:string ->
   on_done:((Netsim.Addr.t * outcome) list -> unit) ->
   unit ->
   unit

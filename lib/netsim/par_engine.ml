@@ -48,6 +48,19 @@ type conduit = {
 
 type mode = Drain | Until of float
 
+(* A barrier-paced callback: fires at [pc_next, pc_next + period, ...]
+   while [pc_next <= pc_until], from the window-grant critical section,
+   with every partition quiescent and every engine clock forced to the
+   fire time. The adaptation plane re-homes its monitors here so
+   sampling and decisions happen at window barriers, identically for
+   every domain count. *)
+type pacer = {
+  pc_period : float;
+  pc_until : float;
+  pc_fire : now:float -> unit;
+  mutable pc_next : float;
+}
+
 type t = {
   p_parts : int;
   p_engines : Engine.t array; (* index = partition id; 0 = topology's *)
@@ -67,6 +80,7 @@ type t = {
   mutable p_inclusive : bool;
   mutable p_running : bool;
   mutable p_limit : int;
+  mutable p_pacers : pacer list; (* registration order *)
   p_errors : exn option array;
   p_stalls : int array; (* rounds where a partition fired no event *)
   mutable s_rounds : int;
@@ -118,6 +132,7 @@ let make ~parts ~engines ~topo ~owner ~lookahead ~conduits =
     p_inclusive = false;
     p_running = false;
     p_limit = default_limit;
+    p_pacers = [];
     p_errors = Array.make parts None;
     p_stalls = Array.make parts 0;
     s_rounds = 0;
@@ -268,6 +283,16 @@ let engine_of t node =
   | None -> invalid_arg "Par_engine.engine_of: no topology (raw engines)"
   | Some topo -> t.p_engines.(t.p_owner.(Topology.node_index topo node))
 
+let add_pacer t ~period ~until fire =
+  if not (Float.is_finite period) || period <= 0.0 then
+    invalid_arg "Par_engine.add_pacer: period must be finite and positive";
+  if not (Float.is_finite until) then
+    invalid_arg "Par_engine.add_pacer: until must be finite";
+  let first = now t +. period in
+  t.p_pacers <-
+    t.p_pacers
+    @ [ { pc_period = period; pc_until = until; pc_fire = fire; pc_next = first } ]
+
 (* ------------------------------------------------------------------ *)
 (* The round loop                                                      *)
 
@@ -284,11 +309,66 @@ let drain_conduit c =
           Link.conduit_deliver c.c_link ~from:c.c_from ~at packet)
         (List.rev buf)
 
+let next_due t =
+  List.fold_left
+    (fun acc pc ->
+      if pc.pc_next <= pc.pc_until then Float.min acc pc.pc_next else acc)
+    Float.infinity t.p_pacers
+
+(* Runs with every partition quiescent — single-domain, or under
+   [p_mutex] by the last barrier arriver while the other workers are
+   parked on the condvar. While the global minimum next event time has
+   passed a pacer's due time [bt <= horizon], every engine clock is
+   forced to [bt] in partition-index order (publishing each partition's
+   batched metrics, exactly like the sequential [run_until] epilogue),
+   the due pacers fire in registration order, and any cross traffic they
+   caused is drained into the delivery rings so the next grant accounts
+   for it. Returns the post-fire global minimum next event time. *)
+let fire_due t ~horizon =
+  let live_min () =
+    Array.fold_left
+      (fun m e -> Float.min m (Engine.next_time e))
+      Float.infinity t.p_engines
+  in
+  let rec go m =
+    let bt = next_due t in
+    if bt < m && bt <= horizon then begin
+      Array.iter
+        (fun e -> Engine.run_until ~limit:t.p_limit e ~stop:bt)
+        t.p_engines;
+      List.iter
+        (fun pc ->
+          if pc.pc_next = bt && pc.pc_next <= pc.pc_until then begin
+            pc.pc_next <- pc.pc_next +. pc.pc_period;
+            (* Under the barrier a raising pacer would strand the other
+               domains on the condvar: record it like a worker error and
+               re-raise after the join. Single-domain, propagate. *)
+            if t.p_parts = 1 then pc.pc_fire ~now:bt
+            else
+              try pc.pc_fire ~now:bt
+              with e ->
+                if t.p_errors.(0) = None then t.p_errors.(0) <- Some e
+          end)
+        t.p_pacers;
+      Array.iter drain_conduit t.p_conduits;
+      go (live_min ())
+    end
+    else m
+  in
+  go (live_min ())
+
 (* Runs under [p_mutex], by the last domain to arrive at the barrier. *)
 let compute_window t mode =
   t.s_rounds <- t.s_rounds + 1;
   let m = ref Float.infinity in
   Array.iter (fun v -> if v < !m then m := v) t.p_next;
+  let horizon =
+    match mode with Drain -> Float.infinity | Until stop -> stop
+  in
+  if t.p_pacers <> [] then m := fire_due t ~horizon;
+  (* After [fire_due], any pacer still due at [<= horizon] implies an
+     event at [<= its due time] is pending, so the plain horizon test
+     also covers pacer exhaustion. *)
   let finished =
     match mode with Drain -> !m = Float.infinity | Until stop -> !m > stop
   in
@@ -298,16 +378,30 @@ let compute_window t mode =
       (fun v -> if v = Float.infinity then t.s_nulls <- t.s_nulls + 1)
       t.p_next;
     let w = !m +. t.p_lookahead in
+    let due = next_due t in
     match mode with
     | Drain ->
-        t.p_window <- w;
-        t.p_inclusive <- false
+        if due < w then begin
+          (* A pacer is due before the grant: clamp the window to the due
+             time, inclusively, so the next round's [fire_due] sees every
+             event at [<= due] processed before the pacer fires. Cross
+             arrivals caused at [due] land at [>= due + lookahead] and are
+             drained before any window covers them, so the inclusive
+             boundary is safe (same argument as the final Until window). *)
+          t.p_window <- due;
+          t.p_inclusive <- true
+        end
+        else begin
+          t.p_window <- w;
+          t.p_inclusive <- false
+        end
     | Until stop ->
-        if w >= stop then begin
-          (* Final window: events exactly at [stop] are in scope, and any
-             cross arrival they cause lands at [>= stop + lookahead], so
-             the inclusive boundary is safe. *)
-          t.p_window <- stop;
+        let bound = Float.min stop due in
+        if w >= bound then begin
+          (* Final or pacer-clamped window: events exactly at [bound] are
+             in scope, and any cross arrival they cause lands at
+             [>= bound + lookahead], so the inclusive boundary is safe. *)
+          t.p_window <- bound;
           t.p_inclusive <- true
         end
         else begin
@@ -401,10 +495,36 @@ let finish t mode =
   publish_par_counters t
 
 let drive ?(limit = default_limit) t mode =
-  if t.p_parts = 1 then
-    match mode with
-    | Drain -> Engine.run ~limit t.p_engines.(0)
-    | Until stop -> Engine.run_until ~limit t.p_engines.(0) ~stop
+  if t.p_parts = 1 then begin
+    t.p_limit <- limit;
+    let e = t.p_engines.(0) in
+    if t.p_pacers = [] then
+      match mode with
+      | Drain -> Engine.run ~limit e
+      | Until stop -> Engine.run_until ~limit e ~stop
+    else begin
+      (* Single-domain paced loop, equivalent to the barrier path: run
+         events up to each pacer's due time (inclusive, flushing batched
+         metrics), fire it, repeat — so paced runs are byte-identical
+         across domain counts. *)
+      let horizon =
+        match mode with Drain -> Float.infinity | Until stop -> stop
+      in
+      let rec loop () =
+        ignore (fire_due t ~horizon);
+        let due = next_due t in
+        if Float.is_finite due && due <= horizon then begin
+          Engine.run_until ~limit e ~stop:due;
+          loop ()
+        end
+        else
+          match mode with
+          | Drain -> Engine.run ~limit e
+          | Until stop -> Engine.run_until ~limit e ~stop
+      in
+      loop ()
+    end
+  end
   else begin
     t.p_limit <- limit;
     t.p_running <- true;

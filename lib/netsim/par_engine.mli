@@ -24,7 +24,10 @@
     {e before} any event is scheduled or packet injected; fault scenarios
     must be pinned into a single partition (see
     {!Faults.pin_targets}); multicast joins and route computation are
-    pre-run operations; and adaptation-plane monitors are not supported.
+    pre-run operations; and adaptation-plane monitors must be re-homed
+    onto window barriers with {!add_pacer} (engine-event ticks would run
+    inside one partition's window, reading the other partitions'
+    unflushed metrics).
     Packet uids are allocated from one atomic counter, so they are always
     unique, but their {e values} (visible in timeline exports) only match
     the sequential run when at most one partition constructs fresh
@@ -75,6 +78,26 @@ val now : t -> float
 (** [engine_of t node] is the engine of the partition owning [node].
     @raise Invalid_argument on a {!create}-built instance. *)
 val engine_of : t -> Node.t -> Engine.t
+
+(** [add_pacer t ~period ~until fire] registers a barrier-paced callback:
+    [fire ~now] runs at [now t + period, + 2*period, ...] while the fire
+    time stays [<= until], from the window-grant step with every
+    partition quiescent. Before a fire, every engine clock is forced to
+    the fire time in partition-index order — flushing each partition's
+    batched metrics exactly like the sequential [run_until] epilogue —
+    so the callback observes a globally consistent registry; windows are
+    clamped (inclusively) at due times so no partition runs past a fire
+    before it happens. Cross traffic the callback causes is drained into
+    the delivery rings before the next grant. Multiple pacers fire in
+    registration order. Runs with any domain count (including 1) are
+    byte-identical.
+
+    During {!run} (drain mode) due pacers keep firing — advancing the
+    clocks — even after the event queues empty, until [until] passes.
+
+    @raise Invalid_argument when [period] is not finite and positive, or
+      [until] is not finite. *)
+val add_pacer : t -> period:float -> until:float -> (now:float -> unit) -> unit
 
 (** [run t] processes events until every queue and conduit drains, like
     {!Engine.run} — spawning [parts - 1] domains for the duration of the

@@ -158,55 +158,75 @@ module Sender = struct
 end
 
 module Receiver = struct
+  (* Per-sender reassembly state: every (source address, source port)
+     pair is its own stream with its own sequence space. Without the
+     demultiplexing, a second sender's fresh stream (starting at seq 0)
+     would be classified as duplicates of an earlier sender's progress,
+     cumulatively acked as received, and silently never delivered — any
+     two controllers talking to one daemon port would deadlock the
+     second one into a timeout. *)
+  type stream = {
+    buffered : (int, Payload.t) Hashtbl.t;  (* out-of-order *)
+    mutable expected : int;  (* next in-order seq *)
+  }
+
   type t = {
     node : Node.t;
     port : int;
     chan_tag : string option;
     window : int;
     on_message : Payload.t -> unit;
-    buffered : (int, Payload.t) Hashtbl.t;  (* out-of-order *)
-    mutable expected : int;  (* next in-order seq *)
+    streams : (Addr.t * int, stream) Hashtbl.t;
     mutable delivered_count : int;
     mutable dup_count : int;
   }
 
-  let send_ack t (packet : Packet.t) =
-    match packet.Packet.l4 with
-    | Packet.Udp { Packet.udp_src; _ } ->
-        let writer = Payload.Writer.create () in
-        Payload.Writer.u8 writer ack_tag;
-        Payload.Writer.u32 writer (t.expected - 1);
-        Node.send_udp ?chan_tag:t.chan_tag t.node ~dst:packet.Packet.src
-          ~src_port:t.port ~dst_port:udp_src
-          (Payload.Writer.finish writer)
-    | Packet.Tcp _ | Packet.Raw -> ()
+  let stream_of t (packet : Packet.t) udp_src =
+    let key = (packet.Packet.src, udp_src) in
+    match Hashtbl.find_opt t.streams key with
+    | Some stream -> stream
+    | None ->
+        let stream = { buffered = Hashtbl.create 16; expected = 0 } in
+        Hashtbl.replace t.streams key stream;
+        stream
+
+  let send_ack t stream (packet : Packet.t) udp_src =
+    let writer = Payload.Writer.create () in
+    Payload.Writer.u8 writer ack_tag;
+    Payload.Writer.u32 writer (stream.expected - 1);
+    Node.send_udp ?chan_tag:t.chan_tag t.node ~dst:packet.Packet.src
+      ~src_port:t.port ~dst_port:udp_src
+      (Payload.Writer.finish writer)
 
   let on_data t (packet : Packet.t) =
     let body = packet.Packet.body in
-    if Payload.length body >= 5 && Payload.get_u8 body 0 = data_tag then begin
-      let seq = Payload.get_u32 body 1 in
-      (* Buffered out-of-order messages outlive the frame they arrived in:
-         compact so they stop retaining the framed packet body. *)
-      let payload =
-        Payload.compact
-          (Payload.sub body ~pos:5 ~len:(Payload.length body - 5))
-      in
-      if seq < t.expected || Hashtbl.mem t.buffered seq then
-        t.dup_count <- t.dup_count + 1
-      else if seq < t.expected + t.window then begin
-        Hashtbl.replace t.buffered seq payload;
-        while Hashtbl.mem t.buffered t.expected do
-          let message = Hashtbl.find t.buffered t.expected in
-          Hashtbl.remove t.buffered t.expected;
-          t.expected <- t.expected + 1;
-          t.delivered_count <- t.delivered_count + 1;
-          t.on_message message
-        done
-      end;
-      (* Ack whatever is in order so far (also re-acks duplicates, which is
-         what unblocks a sender whose acks were lost). *)
-      send_ack t packet
-    end
+    match packet.Packet.l4 with
+    | Packet.Udp { Packet.udp_src; _ }
+      when Payload.length body >= 5 && Payload.get_u8 body 0 = data_tag ->
+        let stream = stream_of t packet udp_src in
+        let seq = Payload.get_u32 body 1 in
+        (* Buffered out-of-order messages outlive the frame they arrived
+           in: compact so they stop retaining the framed packet body. *)
+        let payload =
+          Payload.compact
+            (Payload.sub body ~pos:5 ~len:(Payload.length body - 5))
+        in
+        if seq < stream.expected || Hashtbl.mem stream.buffered seq then
+          t.dup_count <- t.dup_count + 1
+        else if seq < stream.expected + t.window then begin
+          Hashtbl.replace stream.buffered seq payload;
+          while Hashtbl.mem stream.buffered stream.expected do
+            let message = Hashtbl.find stream.buffered stream.expected in
+            Hashtbl.remove stream.buffered stream.expected;
+            stream.expected <- stream.expected + 1;
+            t.delivered_count <- t.delivered_count + 1;
+            t.on_message message
+          done
+        end;
+        (* Ack whatever is in order so far (also re-acks duplicates, which
+           is what unblocks a sender whose acks were lost). *)
+        send_ack t stream packet udp_src
+    | _ -> ()
 
   let listen ?(window = 64) ?chan_tag node ~port ~on_message () =
     let t =
@@ -216,8 +236,7 @@ module Receiver = struct
         chan_tag;
         window;
         on_message;
-        buffered = Hashtbl.create 16;
-        expected = 0;
+        streams = Hashtbl.create 4;
         delivered_count = 0;
         dup_count = 0;
       }

@@ -71,8 +71,12 @@ module Receiver : sig
   type t
 
   (** [listen node ~port ~on_message ()] delivers messages to
-      [on_message], in order, exactly once. [chan_tag] tags the ACKs the
-      receiver sends back (pair it with the sender's tag). *)
+      [on_message], in order, exactly once {e per sender stream}:
+      concurrent senders to the same port are demultiplexed by (source
+      address, source port), each with its own sequence space — so two
+      controllers can address one daemon without colliding. [chan_tag]
+      tags the ACKs the receiver sends back (pair it with the sender's
+      tag). *)
   val listen :
     ?window:int ->
     ?chan_tag:string ->

@@ -155,7 +155,25 @@ let policy_parse_errors () =
   expect_line 3 "period 0.5\n# fine\nrule x: when s !! 1 for 1 do swap a b\n";
   expect_line 1 "rule x: when s > nope for 1 do swap a b\n";
   expect_line 1 "guard g window 4\n";
-  expect_line 1 "period zero\n"
+  expect_line 1 "period zero\n";
+  (* Malformed when/for/do shapes. *)
+  expect_line 1 "rule x: when s > 1 do swap a b\n";
+  expect_line 1 "rule x: when s > 1 for 1 cooldown 2\n";
+  expect_line 1 "rule x: when s > 1 for 1 do swap a\n";
+  (* Duplicate rule names: the second definition is the offence. *)
+  expect_line 3
+    "period 0.5\n\
+     rule x: when s > 1 for 1 do swap a b\n\
+     rule x: when s < 1 for 1 do swap a c\n";
+  (* Out-of-range numbers: nan slips past a bare [< 0.0] test, and
+     infinite holds/cooldowns/periods can never elapse. *)
+  expect_line 1 "rule x: when s > 1 for nan do swap a b\n";
+  expect_line 1 "rule x: when s > 1 for 1 cooldown nan do swap a b\n";
+  expect_line 1 "rule x: when s > 1 for 1 cooldown inf do swap a b\n";
+  expect_line 1 "rule x: when s > 1 for 1 cooldown -3 do swap a b\n";
+  expect_line 2 "alpha 0.5\nperiod inf\n";
+  expect_line 1 "guard g window inf min-ratio 0.5\n";
+  expect_line 1 "guard g window 4 min-ratio nan\n"
 
 let policy_empty () =
   checkb "empty is empty" true (Policy.is_empty Policy.empty);
@@ -220,14 +238,17 @@ let plane_guard_rollback_and_quarantine () =
     {
       Plane.de_controller = ctl;
       de_backend = "jit";
-      de_target_of =
+      de_targets_of =
         (fun program ->
-          if program = "prog" then Some (Node.addr target) else None);
+          if program = "prog" then [ Node.addr target ] else []);
       de_variant_of =
         (fun ~program ~variant ->
           if program = "prog" && variant = "bad" then
             Some { Plane.v_source = forwarder "bad"; v_authenticated = false }
           else None);
+      de_concurrency = 2;
+      de_nak_policy = Deploy.Controller.Abort;
+      de_nak_quarantine = 3;
     }
   in
   let plane =
@@ -288,12 +309,15 @@ let plane_hysteresis_suppresses_refire () =
     {
       Plane.de_controller = ctl;
       de_backend = "jit";
-      de_target_of = (fun _ -> Some (Node.addr target));
+      de_targets_of = (fun _ -> [ Node.addr target ]);
       de_variant_of =
         (fun ~program:_ ~variant ->
           if variant = "v2" then
             Some { Plane.v_source = forwarder "v2"; v_authenticated = false }
           else None);
+      de_concurrency = 2;
+      de_nak_policy = Deploy.Controller.Abort;
+      de_nak_quarantine = 3;
     }
   in
   let plane =

@@ -304,6 +304,58 @@ let cli_adapt_closed_loop () =
     (contains output "active variant of \"asp\": lite");
   checkb "router on the new epoch" true (contains output "asp@2")
 
+(* The tentpole pin at the CLI level: a full closed loop — faults, a
+   firing policy, a coordinated swap staged over a 3-router fleet — must
+   export byte-identical metrics and timeline for any --domains count. *)
+let cli_adapt_domains_parity () =
+  let path = write_program forwarder in
+  let variant = write_tmp ".planp" forwarder in
+  let policy =
+    write_tmp ".pol"
+      "period 0.5\n\
+       alpha 0.4\n\
+       rule shed: when drop_rate > 5 for 1 cooldown 8 do swap asp lite\n\
+       guard goodput window 3 min-ratio 0.2\n"
+  in
+  let faults =
+    write_tmp ".faults"
+      "at 4.0 until 14.0 congest lan bandwidth 0.001 queue 0.002\n"
+  in
+  (* The pin is the metrics export (counters, gauges, daemon state) and
+     the decisions the output narrates — not the timeline, whose packet
+     uids are global allocation-order artifacts that legitimately
+     interleave differently across partition counts. *)
+  let leg domains =
+    let m = Filename.temp_file "metrics" ".json" in
+    let code, output =
+      run
+        [ "adapt"; path; "--policy"; policy; "--variant"; "lite=" ^ variant;
+          "--faults"; faults; "--duration"; "20"; "--packets"; "40";
+          "--targets"; "3"; "--domains"; string_of_int domains;
+          "--metrics-out"; m ]
+    in
+    check (Printf.sprintf "domains %d exit 0" domains) 0 code;
+    (output, read_and_remove m)
+  in
+  let out1, m1 = leg 1 in
+  checkb "fleet-wide initial deploy" true (contains out1 "to 3 routers");
+  checkb "rule fired a swap" true (contains out1 "swap asp lite");
+  List.iter
+    (fun domains ->
+      let out, m = leg domains in
+      checkb
+        (Printf.sprintf "domains %d reported" domains)
+        true
+        (contains out (Printf.sprintf "domains: %d" domains));
+      checkb
+        (Printf.sprintf "metrics byte-identical at %d domains" domains)
+        true (m = m1))
+    [ 2; 4 ];
+  Sys.remove path;
+  Sys.remove variant;
+  Sys.remove policy;
+  Sys.remove faults
+
 (* --domains 2 must reproduce the sequential run byte-for-byte: same
    metrics JSON, same timeline. *)
 let cli_run_domains_parity () =
@@ -389,6 +441,8 @@ let () =
           Alcotest.test_case "adapt empty policy parity" `Quick
             cli_adapt_empty_policy_parity;
           Alcotest.test_case "adapt closed loop" `Quick cli_adapt_closed_loop;
+          Alcotest.test_case "adapt domains parity" `Quick
+            cli_adapt_domains_parity;
           Alcotest.test_case "run --domains parity" `Quick
             cli_run_domains_parity;
           Alcotest.test_case "run --domains invalid" `Quick

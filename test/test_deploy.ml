@@ -558,6 +558,117 @@ let rollout_continue_past_nak () =
           Alcotest.failf "unexpected outcomes: %s"
             (String.concat ", " (List.map Controller.outcome_to_string outcomes)))
 
+(* An aborted rollout must not leave the already-swapped prefix on the
+   new epoch (regression: abort used to stop after skipping the tail,
+   stranding the fleet mixed-epoch). A target that was on a prior epoch
+   is rolled back to it; a first-install target is undeployed. The
+   outcome list still reports each target's original fate. *)
+let rollout_abort_restores_prior_epoch () =
+  let topo, controller, daemons = rollout_topology 3 in
+  let targets = List.map (fun d -> Node.addr (Daemon.node d)) daemons in
+  let first = List.nth daemons 0 and middle = List.nth daemons 1 in
+  ignore
+    (expect_ack
+       (deploy_sync ~run:Topology.run topo controller
+          ~target:(Node.addr (Daemon.node first))
+          ~name:"counter" ~source:(counter_asp 1) ()));
+  ignore
+    (expect_ack
+       (deploy_sync ~run:Topology.run topo controller
+          ~target:(Node.addr (Daemon.node middle))
+          ~name:"counter" ~epoch:10 ~source:(counter_asp 1) ()));
+  let result = ref None in
+  let staged = ref [] in
+  Controller.rollout controller ~targets ~name:"counter" ~epoch:2
+    ~source:(counter_asp 2) ~concurrency:1 ~on_nak:Controller.Abort
+    ~on_target:(fun target outcome -> staged := (target, outcome) :: !staged)
+    ~on_done:(fun outcomes -> result := Some outcomes)
+    ();
+  Topology.run topo;
+  (match !result with
+  | None -> Alcotest.fail "rollout never finished"
+  | Some outcomes -> (
+      match List.map snd outcomes with
+      | [ Controller.Acked _; Controller.Nakked _; Controller.Skipped ] -> ()
+      | outcomes ->
+          Alcotest.failf "unexpected outcomes: %s"
+            (String.concat ", " (List.map Controller.outcome_to_string outcomes))));
+  check "per-target callback saw every stage" 3 (List.length !staged);
+  (* The acked head of the fleet is back on its prior epoch... *)
+  check "first target restored to epoch 1" 1
+    (Option.value ~default:0 (Daemon.active_epoch first ~name:"counter"));
+  probe first;
+  check "first target serves the restored version" 1
+    (count_of first ~name:"counter");
+  (* ...and the skipped tail was never touched. *)
+  checkb "skipped target still empty" true
+    (Daemon.active_epoch (List.nth daemons 2) ~name:"counter" = None)
+
+let rollout_abort_undeploys_first_install () =
+  let topo, controller, daemons = rollout_topology 3 in
+  let targets = List.map (fun d -> Node.addr (Daemon.node d)) daemons in
+  let first = List.nth daemons 0 and middle = List.nth daemons 1 in
+  (* Only the middle target is poisoned; the head has no prior epoch, so
+     the abort restore must retire its freshly-installed program. *)
+  ignore
+    (expect_ack
+       (deploy_sync ~run:Topology.run topo controller
+          ~target:(Node.addr (Daemon.node middle))
+          ~name:"counter" ~epoch:10 ~source:(counter_asp 1) ()));
+  let result = ref None in
+  Controller.rollout controller ~targets ~name:"counter" ~epoch:2
+    ~source:(counter_asp 2) ~concurrency:1 ~on_nak:Controller.Abort
+    ~on_done:(fun outcomes -> result := Some outcomes)
+    ();
+  Topology.run topo;
+  (match !result with
+  | None -> Alcotest.fail "rollout never finished"
+  | Some outcomes -> (
+      match List.map snd outcomes with
+      | [ Controller.Acked _; Controller.Nakked _; Controller.Skipped ] -> ()
+      | outcomes ->
+          Alcotest.failf "unexpected outcomes: %s"
+            (String.concat ", " (List.map Controller.outcome_to_string outcomes))));
+  checkb "first-install head undeployed after abort" true
+    (Daemon.active_epoch first ~name:"counter" = None)
+
+let rollback_fleet_restores_every_target () =
+  let topo, controller, daemons = rollout_topology 3 in
+  let targets = List.map (fun d -> Node.addr (Daemon.node d)) daemons in
+  let settle outcomes_ref =
+    Topology.run topo;
+    match !outcomes_ref with
+    | None -> Alcotest.fail "fleet operation never finished"
+    | Some outcomes -> outcomes
+  in
+  let v1 = ref None in
+  Controller.rollout controller ~targets ~name:"counter"
+    ~source:(counter_asp 1) ~concurrency:2
+    ~on_done:(fun outcomes -> v1 := Some outcomes)
+    ();
+  List.iter (fun (_, o) -> ignore (expect_ack o)) (settle v1);
+  let v2 = ref None in
+  Controller.rollout controller ~targets ~name:"counter"
+    ~source:(counter_asp 2) ~concurrency:2
+    ~on_done:(fun outcomes -> v2 := Some outcomes)
+    ();
+  List.iter (fun (_, o) -> ignore (expect_ack o)) (settle v2);
+  let rolled = ref None in
+  Controller.rollback_fleet controller ~targets ~name:"counter"
+    ~on_done:(fun outcomes -> rolled := Some outcomes)
+    ();
+  let outcomes = settle rolled in
+  check "one outcome per target" 3 (List.length outcomes);
+  checkb "input order" true (List.map fst outcomes = targets);
+  List.iter (fun (_, o) -> ignore (expect_ack o)) outcomes;
+  List.iter
+    (fun d ->
+      check "every daemon back on epoch 1" 1
+        (Option.value ~default:0 (Daemon.active_epoch d ~name:"counter"));
+      probe d;
+      check "the restored version serves" 1 (count_of d ~name:"counter"))
+    daemons
+
 (* ---------- end to end: lossy link, hot swap under traffic ---------- *)
 
 let e2e_lossy_hot_swap_and_rollback () =
@@ -693,6 +804,12 @@ let suite =
         Alcotest.test_case "all ack" `Quick rollout_all_ack;
         Alcotest.test_case "abort on NAK" `Quick rollout_abort_on_nak;
         Alcotest.test_case "continue past NAK" `Quick rollout_continue_past_nak;
+        Alcotest.test_case "abort restores prior epoch" `Quick
+          rollout_abort_restores_prior_epoch;
+        Alcotest.test_case "abort undeploys first install" `Quick
+          rollout_abort_undeploys_first_install;
+        Alcotest.test_case "rollback fleet" `Quick
+          rollback_fleet_restores_every_target;
       ] );
     ( "e2e",
       [

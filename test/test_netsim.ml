@@ -978,6 +978,54 @@ let reliable_concurrent_streams () =
     (Netsim.Reliable.Sender.retransmissions tx1
     + Netsim.Reliable.Sender.retransmissions tx2)
 
+let reliable_two_senders_one_port () =
+  (* Two senders converge on ONE receiver port, the shape of two
+     controllers addressing the same deploy daemon. The receiver must
+     demultiplex by (source address, source port): the second sender's
+     stream also starts at seq 0, and before per-peer sequence spaces its
+     messages were counted as duplicates of the first stream's progress,
+     cumulatively acked, and never delivered. *)
+  let topo = Topology.create () in
+  let a = Topology.add_host topo "a" "10.0.0.1" in
+  let c = Topology.add_host topo "c" "10.0.0.2" in
+  let b = Topology.add_host topo "b" "10.0.0.3" in
+  ignore (Topology.connect topo a b);
+  ignore (Topology.connect topo c b);
+  Topology.compute_routes topo;
+  let got = ref [] in
+  let rx =
+    Netsim.Reliable.Receiver.listen b ~port:7000
+      ~on_message:(fun m -> got := Payload.to_string m :: !got)
+      ()
+  in
+  let tx1 =
+    Netsim.Reliable.Sender.connect a ~dst:(Node.addr b) ~dst_port:7000
+      ~src_port:7001 ()
+  in
+  (* The first stream makes progress before the second even connects. *)
+  for i = 1 to 20 do
+    Netsim.Reliable.Sender.send tx1 (Payload.of_string (Printf.sprintf "s1-%d" i))
+  done;
+  Topology.run topo;
+  let tx2 =
+    Netsim.Reliable.Sender.connect c ~dst:(Node.addr b) ~dst_port:7000
+      ~src_port:7001 ()
+    (* same source port as tx1 on purpose: only the address differs *)
+  in
+  for i = 1 to 20 do
+    Netsim.Reliable.Sender.send tx2 (Payload.of_string (Printf.sprintf "s2-%d" i))
+  done;
+  Topology.run topo;
+  let s2 = List.filter (fun m -> String.length m > 1 && m.[1] = '2') !got in
+  Alcotest.(check (list string))
+    "late stream delivered in order, exactly once"
+    (List.init 20 (fun i -> Printf.sprintf "s2-%d" (i + 1)))
+    (List.rev s2);
+  check "both streams delivered in full" 40
+    (Netsim.Reliable.Receiver.delivered rx);
+  check "clean links: nothing misread as a duplicate" 0
+    (Netsim.Reliable.Receiver.duplicates rx)
+
 let reliable_flap_mid_window () =
   (* The link goes down while a window is partially acknowledged and comes
      back: delivery must stay exactly-once and in-order, and the
@@ -1149,6 +1197,8 @@ let () =
           Alcotest.test_case "dedups on lost acks" `Quick reliable_dedups;
           Alcotest.test_case "concurrent streams share a link" `Quick
             reliable_concurrent_streams;
+          Alcotest.test_case "two senders, one port" `Quick
+            reliable_two_senders_one_port;
           Alcotest.test_case "flap mid-window" `Quick reliable_flap_mid_window;
         ] );
     ]

@@ -507,6 +507,137 @@ let http_shape_parity () =
       checks "metrics parity" m1 m)
     [ 2; 3 ]
 
+(* The tentpole pin: a full closed adaptation loop — paced monitor,
+   policy firing mid-run, a coordinated swap rolled out over a 3-router
+   chain through the partitioned network — must export byte-identical
+   metrics for any domain count. The monitor re-homes onto window
+   barriers ([Plane.arm ~par]), so the decision sees every partition
+   flushed and the deploy capsules ride the same conduits as traffic. *)
+let adapt_shape_parity () =
+  Planp_runtime.Prims.install ();
+  let source_v1 =
+    "channel network(ps : int, ss : int, p : ip*udp*blob) is (deliver(p); (ps + 1, ss))"
+  in
+  let source_v2 =
+    "channel network(ps : int, ss : int, p : ip*udp*blob) is (deliver(p); (ps + 2, ss))"
+  in
+  let leg domains =
+    reset ();
+    let topo = Topology.create () in
+    let ctl = Topology.add_host topo "ctl" "10.40.0.1" in
+    let r0 = Topology.add_host topo "r0" "10.40.0.254" in
+    let r1 = Topology.add_host topo "r1" "10.40.1.254" in
+    let r2 = Topology.add_host topo "r2" "10.40.2.254" in
+    let sink = Topology.add_host topo "sink" "10.40.2.2" in
+    ignore
+      (Topology.connect topo ctl r0 ~name:"c0" ~latency:0.0011
+         ~bandwidth_bps:100_000_000.0);
+    ignore
+      (Topology.connect topo r0 r1 ~name:"b01" ~latency:0.0023
+         ~bandwidth_bps:100_000_000.0);
+    ignore
+      (Topology.connect topo r1 r2 ~name:"b12" ~latency:0.0031
+         ~bandwidth_bps:100_000_000.0);
+    ignore
+      (Topology.connect topo r2 sink ~name:"drop" ~latency:0.0007
+         ~bandwidth_bps:100_000_000.0);
+    (* The managed fleet lives on leaves off each router — a swapped-in
+       program consumes the UDP its node sees, so it must not sit on the
+       ctl->sink forwarding path. *)
+    let fleet =
+      List.mapi
+        (fun i (router, addr, latency) ->
+          let node =
+            Topology.add_host topo (Printf.sprintf "d%d" i) addr
+          in
+          ignore
+            (Topology.connect topo router node
+               ~name:(Printf.sprintf "l%d" i)
+               ~latency ~bandwidth_bps:100_000_000.0);
+          node)
+        [
+          (r0, "10.40.0.2", 0.0006);
+          (r1, "10.40.1.2", 0.0008);
+          (r2, "10.40.2.3", 0.0009);
+        ]
+    in
+    Topology.compute_routes topo;
+    (* Shard before any event is scheduled (the planpc ordering). *)
+    let par = or_fail (Par.of_topology topo ~domains) in
+    let daemons =
+      List.map (fun node -> (node, Deploy.Daemon.start node ())) fleet
+    in
+    let controller = Deploy.Controller.create ctl () in
+    let seen = ref 0 in
+    Node.on_udp sink ~port:9000 (fun _ _ -> incr seen);
+    (* Steady traffic across the whole chain drives the "load" signal
+       over threshold; the sender lives on ctl's partition engine. *)
+    let inj_engine = Par.engine_of par ctl in
+    for burst = 0 to 5 do
+      Engine.schedule inj_engine
+        ~at:(0.01 +. (0.5 *. float_of_int burst))
+        (fun () ->
+          for i = 1 to 5 do
+            Node.send_udp ctl ~dst:(Node.addr sink) ~src_port:(9000 + i)
+              ~dst_port:9000 payload
+          done)
+    done;
+    let policy =
+      or_fail
+        (Adapt.Policy.parse
+           "period 0.5\nrule go: when load > 0.5 for 0.5 cooldown 60 do swap prog fast\n")
+    in
+    let targets = List.map Node.addr fleet in
+    let env =
+      {
+        Adapt.Plane.de_controller = controller;
+        de_backend = "jit";
+        de_targets_of = (fun p -> if p = "prog" then targets else []);
+        de_variant_of =
+          (fun ~program ~variant ->
+            if program <> "prog" then None
+            else if variant = "fast" then
+              Some
+                { Adapt.Plane.v_source = source_v2; v_authenticated = false }
+            else
+              Some
+                { Adapt.Plane.v_source = source_v1; v_authenticated = false });
+        de_concurrency = 2;
+        de_nak_policy = Deploy.Controller.Abort;
+        de_nak_quarantine = 3;
+      }
+    in
+    let plane =
+      Adapt.Plane.arm ~env ~par
+        ~active:[ ("prog", "default") ]
+        ~engine:(Topology.engine topo) ~until:4.0
+        ~signals:
+          [ ("load", Adapt.Monitor.Rate_of (fun () -> float_of_int !seen)) ]
+        policy
+    in
+    Par.run_until par ~stop:6.0;
+    let stats = Adapt.Plane.stats plane in
+    let epochs =
+      List.map (fun (_, d) -> Deploy.Daemon.active_epoch d ~name:"prog") daemons
+    in
+    (metrics (), !seen, stats.Adapt.Plane.st_swaps, epochs)
+  in
+  let m1, s1, swaps1, epochs1 = leg 1 in
+  check "traffic flowed" 30 s1;
+  check "the swap converged" 1 swaps1;
+  Alcotest.(check (list (option int)))
+    "every fleet node on the swapped epoch"
+    [ Some 1; Some 1; Some 1 ]
+    epochs1;
+  List.iter
+    (fun domains ->
+      let m, s, swaps, epochs = leg domains in
+      check "traffic parity" s1 s;
+      check "decision parity" swaps1 swaps;
+      Alcotest.(check (list (option int))) "epoch parity" epochs1 epochs;
+      checks "metrics parity" m1 m)
+    [ 2; 4 ]
+
 let () =
   Alcotest.run "par"
     [
@@ -534,6 +665,7 @@ let () =
           Alcotest.test_case "audio shape" `Quick audio_shape_parity;
           Alcotest.test_case "mpeg shape" `Quick mpeg_shape_parity;
           Alcotest.test_case "http shape" `Quick http_shape_parity;
+          Alcotest.test_case "adapt closed loop" `Quick adapt_shape_parity;
           QCheck_alcotest.to_alcotest parity_prop;
         ] );
     ]

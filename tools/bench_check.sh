@@ -22,7 +22,13 @@
 #     +-25% in both directions) plus the adaptation-shape assertions, and
 #   - the closed-loop adaptation cells (adaptive vs static goodput under
 #     the same four scenario names; adaptive must beat static in every
-#     fault cell and tie exactly, with zero swaps, on the healthy one).
+#     fault cell and tie exactly, with zero swaps, on the healthy one),
+#     and
+#   - the multi-node fleet-churn cell (a 2-gateway fleet under the
+#     server crash: the coordinated plane's goodput must strictly beat
+#     both the static fleet and one independent plane per gateway —
+#     the per-node planes watch only their own clients' retry slice, so
+#     partial failover is the best they manage).
 # Absolute packets/sec and events/sec are recorded in the baseline for
 # reference but never compared across machines.
 #
